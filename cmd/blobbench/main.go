@@ -1,0 +1,179 @@
+// Command blobbench regenerates the paper's evaluation figures as text
+// tables on an in-process simulated cluster (internal/netsim with the
+// Grid'5000 parameters, time-dilated by netsim.TimeScale).
+//
+// Usage:
+//
+//	blobbench -exp fig3a            # metadata read overhead (Figure 3a)
+//	blobbench -exp fig3b            # metadata write overhead (Figure 3b)
+//	blobbench -exp fig3c            # concurrent throughput   (Figure 3c)
+//	blobbench -exp ablations        # design-choice ablations
+//	blobbench -exp all
+//
+// Reported durations divide by the time scale for comparison with the
+// paper; bandwidths multiply. The normalized (paper-comparable) value is
+// printed alongside the raw measurement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"blob/internal/bench"
+	"blob/internal/netsim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3a|fig3b|fig3c|ablations|all")
+	iters := flag.Int("iters", 3, "iterations per measured point")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	flag.Parse()
+
+	sc := bench.DefaultScale()
+	sc.Iterations = *iters
+
+	providers := []int{10, 20, 40}
+	segments := []uint64{1, 4, 16, 64, 256}
+	clients := []int{1, 2, 4, 8, 12, 16, 20}
+	if *quick {
+		providers = []int{4, 8}
+		segments = []uint64{1, 16, 64}
+		clients = []int{1, 4, 8}
+		sc.BlobPages = 1 << 18
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("\n=== %s ===\n", name)
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("fig3a", func() error { return fig3Meta(true, providers, segments, sc) })
+	run("fig3b", func() error { return fig3Meta(false, providers, segments, sc) })
+	run("fig3c", func() error { return fig3c(clients, sc, *quick) })
+	run("ablations", func() error { return ablations(sc, *quick) })
+
+	if *exp != "all" && *exp != "fig3a" && *exp != "fig3b" && *exp != "fig3c" && *exp != "ablations" {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func fig3Meta(read bool, providers []int, segments []uint64, sc bench.Scale) error {
+	what := "READ"
+	if !read {
+		what = "WRITE"
+	}
+	fmt.Printf("Metadata %s overhead, single client (paper Figure 3%s)\n", what, map[bool]string{true: "a", false: "b"}[read])
+	fmt.Printf("blob: %d pages x %d KB (tree height %d); time scale 1/%d\n\n",
+		sc.BlobPages, sc.PageSize/1024, treeHeight(sc.BlobPages), netsim.TimeScale)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprint(w, "segment\t")
+	for _, p := range providers {
+		fmt.Fprintf(w, "%d providers\t", p)
+	}
+	fmt.Fprintln(w, "")
+	for _, seg := range segments {
+		fmt.Fprintf(w, "%d KB\t", seg*sc.PageSize/1024)
+		for _, p := range providers {
+			var pt bench.MetaPoint
+			var err error
+			if read {
+				pt, err = bench.Fig3aMetadataRead(p, seg, sc)
+			} else {
+				pt, err = bench.Fig3bMetadataWrite(p, seg, sc)
+			}
+			if err != nil {
+				return err
+			}
+			norm := pt.MeanTime.Seconds() / netsim.TimeScale
+			fmt.Fprintf(w, "%.1fms (%.4fs)\t", pt.MeanTime.Seconds()*1e3, norm)
+		}
+		fmt.Fprintln(w, "")
+	}
+	w.Flush()
+	fmt.Println("\n(parenthesized values are normalized to the paper's time base)")
+	return nil
+}
+
+func fig3c(clients []int, sc bench.Scale, quick bool) error {
+	fs := bench.DefaultFig3cScale()
+	if quick {
+		fs.StorageNodes = 8
+		fs.Iterations = 3
+	}
+	fmt.Printf("Throughput of concurrent clients (paper Figure 3c)\n")
+	fmt.Printf("%d storage nodes, %d KB segments, %d iterations/client; bandwidth scale x%d\n\n",
+		fs.StorageNodes, fs.SegPages*fs.PageSize/1024, fs.Iterations, netsim.TimeScale)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "clients\tRead\tWrite\tRead (cached metadata)\t")
+	for _, n := range clients {
+		fmt.Fprintf(w, "%d\t", n)
+		for _, mode := range []bench.Mode{bench.ModeRead, bench.ModeWrite, bench.ModeReadCached} {
+			pt, err := bench.Fig3cThroughput(n, mode, fs, sc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%.1f MB/s (%.1f)\t", pt.PerClientMBps*netsim.TimeScale, pt.PerClientMBps)
+			_ = mode
+		}
+		fmt.Fprintln(w, "")
+	}
+	w.Flush()
+	fmt.Println("\n(per-client average; first value normalized to the paper's bandwidth base)")
+	return nil
+}
+
+func ablations(sc bench.Scale, quick bool) error {
+	prov := 10
+	seg := uint64(64)
+	if quick {
+		prov, seg = 4, 16
+	}
+	groups := []struct {
+		name string
+		fn   func() ([]bench.AblationPoint, error)
+	}{
+		{"RPC aggregation (paper §V.A)", func() ([]bench.AblationPoint, error) {
+			return bench.AblateBatching(prov, seg, sc)
+		}},
+		{"client metadata cache (paper §V.D)", func() ([]bench.AblationPoint, error) {
+			return bench.AblateCache(prov, seg, sc)
+		}},
+		{"placement strategy", func() ([]bench.AblationPoint, error) {
+			return bench.AblatePlacement(prov, 20, seg, sc)
+		}},
+		{"page size (striping vs streaming, §V.A)", func() ([]bench.AblationPoint, error) {
+			return bench.AblatePageSize(prov, 256<<10, []uint64{4 << 10, 16 << 10, 64 << 10}, sc.Iterations)
+		}},
+		{"data replication factor", func() ([]bench.AblationPoint, error) {
+			return bench.AblateReplication(prov, 16, []int{1, 2, 3}, sc)
+		}},
+	}
+	for _, g := range groups {
+		fmt.Printf("-- %s\n", g.name)
+		pts, err := g.fn()
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			fmt.Printf("   %-48s %8.2f %s\n", p.Name, p.Value, p.Unit)
+		}
+	}
+	return nil
+}
+
+func treeHeight(pages uint64) int {
+	h := 1
+	for s := pages; s > 1; s /= 2 {
+		h++
+	}
+	return h
+}

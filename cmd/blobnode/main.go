@@ -1,0 +1,234 @@
+// Command blobnode runs one node of a real (TCP) deployment of the
+// service. The same process can host any combination of roles, so the
+// paper's topology — a version manager node, a provider manager node and
+// N storage nodes each hosting one data provider and one metadata
+// provider — maps onto:
+//
+//	# managers (provider manager co-hosts the metadata directory)
+//	blobnode -listen :4000 -roles pmanager
+//	blobnode -listen :4001 -roles vmanager -pm host0:4000
+//
+//	# each storage node
+//	blobnode -listen :4100 -roles provider,metadata \
+//	         -pm host0:4000 -advertise hostN:4100 -capacity 4294967296
+//
+// Clients connect with blob.Options{Network: blob.TCP, VManagerAddr:
+// "host1:4001", PManagerAddr: "host0:4000", MetaDirAddr: "host0:4000"}.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"blob/internal/dht"
+	"blob/internal/mstore"
+	"blob/internal/pmanager"
+	"blob/internal/provider"
+	"blob/internal/rpc"
+	"blob/internal/vmanager"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":4000", "address to listen on")
+		advertise  = flag.String("advertise", "", "address other nodes reach this node at (default: -listen)")
+		roles      = flag.String("roles", "", "comma-separated roles: vmanager,pmanager,provider,metadata")
+		pmAddr     = flag.String("pm", "", "provider manager / metadata directory address (for provider, metadata and vmanager roles)")
+		capacity   = flag.Int64("capacity", 0, "data provider RAM capacity in bytes (0 = unlimited)")
+		repair     = flag.Duration("repair", 30*time.Second, "version manager dead-writer repair timeout (0 disables)")
+		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "data provider heartbeat interval")
+		strategy   = flag.String("strategy", "round-robin", "placement strategy: round-robin|least-loaded|power-of-two")
+		checkpoint = flag.String("checkpoint", "", "version manager checkpoint file (loaded on start, saved periodically and on shutdown)")
+		ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint interval")
+	)
+	flag.Parse()
+
+	if *roles == "" {
+		fmt.Fprintln(os.Stderr, "at least one -roles value is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	adv := *advertise
+	if adv == "" {
+		adv = *listen
+	}
+
+	srv := rpc.NewServer()
+	pool := rpc.NewPool(rpc.TCP{})
+	defer pool.Close()
+	ctx := context.Background()
+
+	var vm *vmanager.Manager
+	var dataStore *provider.Store
+	var providerID uint32
+
+	for _, role := range strings.Split(*roles, ",") {
+		switch strings.TrimSpace(role) {
+		case "pmanager":
+			strat := pmanager.RoundRobin
+			switch *strategy {
+			case "least-loaded":
+				strat = pmanager.LeastLoaded
+			case "power-of-two":
+				strat = pmanager.PowerOfTwo
+			}
+			pm := pmanager.New(pmanager.Config{
+				Strategy:         strat,
+				HeartbeatTimeout: 4 * *heartbeat,
+			})
+			pm.RegisterHandlers(srv)
+			// The metadata directory co-habits the provider manager node.
+			dir := dht.NewDirectory()
+			dir.RegisterHandlers(srv)
+			log.Printf("role pmanager+directory (strategy %s)", strat)
+
+		case "vmanager":
+			cfg := vmanager.Config{}
+			if *repair > 0 {
+				if *pmAddr == "" {
+					log.Fatal("vmanager with repair needs -pm (metadata directory address)")
+				}
+				kv, err := dht.NewDirectoryClient(ctx, pool, *pmAddr, 1)
+				if err != nil {
+					log.Fatalf("vmanager: reach metadata directory: %v", err)
+				}
+				cfg.RepairTimeout = *repair
+				cfg.Store = mstore.New(kv, 0)
+			}
+			if *checkpoint != "" {
+				if f, err := os.Open(*checkpoint); err == nil {
+					vm, err = vmanager.Restore(f, cfg)
+					f.Close()
+					if err != nil {
+						log.Fatalf("vmanager: restore %s: %v", *checkpoint, err)
+					}
+					log.Printf("role vmanager restored from %s", *checkpoint)
+				} else if !os.IsNotExist(err) {
+					log.Fatalf("vmanager: open checkpoint: %v", err)
+				}
+			}
+			if vm == nil {
+				vm = vmanager.New(cfg)
+			}
+			vm.RegisterHandlers(srv)
+			log.Printf("role vmanager (repair %v)", *repair)
+
+		case "provider":
+			if *pmAddr == "" {
+				log.Fatal("provider role needs -pm")
+			}
+			dataStore = provider.NewStore(*capacity)
+			dataStore.RegisterHandlers(srv)
+			id, err := pmanager.RegisterProvider(ctx, pool, *pmAddr, adv, *capacity)
+			if err != nil {
+				log.Fatalf("provider: register with %s: %v", *pmAddr, err)
+			}
+			providerID = id
+			log.Printf("role provider (id %d, capacity %d)", id, *capacity)
+
+		case "metadata":
+			if *pmAddr == "" {
+				log.Fatal("metadata role needs -pm (directory address)")
+			}
+			st := dht.NewStore()
+			st.RegisterHandlers(srv)
+			id, err := dht.RegisterWith(ctx, pool, *pmAddr, adv)
+			if err != nil {
+				log.Fatalf("metadata: register with %s: %v", *pmAddr, err)
+			}
+			log.Printf("role metadata provider (id %d)", id)
+
+		default:
+			log.Fatalf("unknown role %q", role)
+		}
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+	srv.Start(l)
+	log.Printf("listening on %s (advertised as %s)", *listen, adv)
+
+	// Heartbeat loop for the data provider role.
+	stop := make(chan struct{})
+	if dataStore != nil {
+		go func() {
+			t := time.NewTicker(*heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					snap := dataStore.Snapshot()
+					hctx, cancel := context.WithTimeout(ctx, *heartbeat)
+					if err := pmanager.SendHeartbeat(hctx, pool, *pmAddr, providerID, snap.BytesUsed, snap.ActiveOps); err != nil {
+						log.Printf("heartbeat: %v", err)
+					}
+					cancel()
+				}
+			}
+		}()
+	}
+
+	// Periodic version manager checkpoints.
+	if vm != nil && *checkpoint != "" {
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if err := saveCheckpoint(vm, *checkpoint); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	close(stop)
+	if vm != nil {
+		if *checkpoint != "" {
+			if err := saveCheckpoint(vm, *checkpoint); err != nil {
+				log.Printf("final checkpoint: %v", err)
+			}
+		}
+		vm.Close()
+	}
+	srv.Close()
+}
+
+// saveCheckpoint writes the manager state atomically (temp file+rename).
+func saveCheckpoint(vm *vmanager.Manager, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := vm.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

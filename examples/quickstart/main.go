@@ -1,0 +1,106 @@
+// Quickstart: launch an in-process deployment, allocate a blob, and walk
+// through the paper's primitives — WRITE producing versions, READ of any
+// published snapshot, zero-fill of never-written ranges, APPEND, and
+// garbage collection of old versions.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"blob"
+)
+
+// fillPattern returns an n-byte buffer tiled with word (n need not be a
+// multiple of the word length; the buffer length is exact).
+func fillPattern(word string, n int) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = word[i%len(word)]
+	}
+	return buf
+}
+
+func main() {
+	// A small deployment: 4 storage nodes (each hosting one data
+	// provider and one metadata provider), a version manager and a
+	// provider manager, all in this process over the simulated network.
+	cl, err := blob.Launch(blob.ClusterConfig{DataProviders: 4, MetaProviders: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Shutdown()
+
+	ctx := context.Background()
+	client, err := cl.NewClient(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// ALLOC: a 64 MB blob of 4 KB pages. Storage is allocate-on-write,
+	// so the virtual size costs nothing until pages are written.
+	const pageSize = 4 << 10
+	b, err := client.CreateBlob(ctx, pageSize, 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocated blob %d: %d MB capacity, %d KB pages\n",
+		b.ID(), b.CapacityBytes()>>20, b.PageSize()>>10)
+
+	// WRITE: each write yields a new published version.
+	hello := fillPattern("hello", 2*pageSize)
+	v1, err := b.Write(ctx, hello, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world := fillPattern("world", pageSize)
+	v2, err := b.Write(ctx, world, pageSize) // overwrite page 1
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote version %d (2 pages), then version %d (patched page 1)\n", v1, v2)
+
+	// READ: old versions stay intact (snapshots share unchanged pages).
+	buf := make([]byte, 2*pageSize)
+	if _, err := b.Read(ctx, buf, 0, v1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v%d page 1 starts with %q\n", v1, buf[pageSize:pageSize+5])
+	if _, err := b.Read(ctx, buf, 0, v2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v%d page 1 starts with %q\n", v2, buf[pageSize:pageSize+5])
+
+	// Never-written ranges read as zeros (version 0 is the all-zero
+	// string; every snapshot inherits unwritten ranges from it).
+	tail := make([]byte, pageSize)
+	if _, err := b.Read(ctx, tail, 8*pageSize, v2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unwritten page reads as zeros: %v\n", tail[0] == 0 && tail[pageSize-1] == 0)
+
+	// APPEND: concurrent appends are serialized by the version manager
+	// and never overlap.
+	v3, off, err := b.Append(ctx, hello)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, size, _ := b.Latest(ctx)
+	fmt.Printf("appended at offset %d -> version %d; blob size now %d bytes\n", off, v3, size)
+
+	// GC: drop everything only reachable from versions below v2.
+	rep, err := blob.NewCollector(client).Collect(ctx, b.ID(), v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gc kept versions >= %d: removed %d tree nodes, %d page replicas\n",
+		rep.Horizon, rep.NodesDeleted, rep.PagesDeleted)
+
+	// v2 and v3 remain readable after collection.
+	if _, err := b.Read(ctx, buf, 0, v2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("post-gc read of v2 ok")
+}

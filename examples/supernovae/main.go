@@ -1,0 +1,139 @@
+// Supernovae: the paper's motivating application, end to end.
+//
+// A synthetic sky survey is stored as one versioned blob: the sky is a
+// grid of fixed-size tile images concatenated into a long byte string;
+// each observation epoch is captured by several concurrent "telescope"
+// writers; analysis difference-images consecutive epochs in parallel,
+// extracts light curves across versions, and classifies candidates into
+// supernovae vs variable stars — while new epochs keep being written.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"blob"
+	"blob/internal/sky"
+)
+
+func main() {
+	cl, err := blob.Launch(blob.ClusterConfig{DataProviders: 6, MetaProviders: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Shutdown()
+	ctx := context.Background()
+	client, err := cl.NewClient(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// An 8x8-tile sky of 64x64-pixel images: each tile is 8 KB, the
+	// whole sky view 512 KB. (The paper's real surveys reach TBs; the
+	// pipeline is identical.)
+	geo := sky.Geometry{TilesX: 8, TilesY: 8, TileW: 64, TileH: 64}
+	cat := sky.NewCatalog(geo, 2026)
+
+	// Ground truth injected into the synthetic sky: two supernovae and
+	// one periodic variable star (the classic false positive).
+	cat.AddTransient(sky.Transient{
+		TileX: 2, TileY: 5, X: 20, Y: 40,
+		PeakFlux: 45000, PeakEpoch: 4, RiseEpochs: 1, DecayTau: 3,
+	})
+	cat.AddTransient(sky.Transient{
+		TileX: 6, TileY: 1, X: 32, Y: 12,
+		PeakFlux: 38000, PeakEpoch: 7, RiseEpochs: 2, DecayTau: 4,
+	})
+	cat.AddVariable(sky.VariableStar{
+		TileX: 4, TileY: 4, X: 30, Y: 30,
+		MeanFlux: 25000, Amplitude: 18000, PeriodEpochs: 2.6,
+	})
+
+	b, err := client.CreateBlob(ctx, 4<<10, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	survey, err := sky.NewSurvey(b, cat, 4) // 4 concurrent telescopes
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Capture epochs while analysis of earlier epochs runs concurrently
+	// — the read/write concurrency the paper's design enables.
+	const epochs = 12
+	fmt.Printf("capturing %d epochs with 4 telescopes, analyzing concurrently...\n", epochs)
+
+	detCh := make(chan sky.Detection, 64)
+	var analysis sync.WaitGroup
+	for e := 0; e < epochs; e++ {
+		v, err := survey.CaptureEpoch(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  epoch %2d captured -> blob version %d\n", e, v)
+		if e == 0 {
+			continue
+		}
+		analysis.Add(1)
+		go func(e int) {
+			defer analysis.Done()
+			dets, err := survey.DetectEpoch(ctx, e, 6, 4)
+			if err != nil {
+				log.Printf("detect epoch %d: %v", e, err)
+				return
+			}
+			for _, d := range dets {
+				detCh <- d
+			}
+		}(e)
+	}
+	analysis.Wait()
+	close(detCh)
+
+	// Deduplicate candidates by tile (one object per tile here).
+	type key struct{ tx, ty int }
+	candidates := map[key]sky.Detection{}
+	for d := range detCh {
+		k := key{d.TileX, d.TileY}
+		if prev, ok := candidates[k]; !ok || d.Flux > prev.Flux {
+			candidates[k] = d
+		}
+	}
+	fmt.Printf("\n%d variable objects detected; extracting light curves...\n", len(candidates))
+
+	supernovae := 0
+	for _, d := range candidates {
+		class, lc, err := survey.ClassifyDetection(ctx, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  tile (%d,%d) pixel (%2d,%2d): %-9s  light curve ", d.TileX, d.TileY, d.X, d.Y, class)
+		for _, f := range lc {
+			fmt.Printf("%6.0f ", f)
+		}
+		fmt.Println()
+		if class == sky.ClassSupernova {
+			supernovae++
+		}
+	}
+	fmt.Printf("\n%d supernova(e) confirmed (2 injected)\n", supernovae)
+
+	// Every epoch remains readable: verify epoch 0 still matches the
+	// catalog bit-for-bit despite 11 newer versions.
+	im, err := survey.ReadTile(ctx, 2, 5, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := cat.RenderTile(2, 5, 0)
+	identical := true
+	for i := range want.Pix {
+		if im.Pix[i] != want.Pix[i] {
+			identical = false
+			break
+		}
+	}
+	fmt.Printf("epoch-0 snapshot still bit-identical after %d epochs: %v\n", epochs, identical)
+}

@@ -1,0 +1,384 @@
+// Package bench implements the experiment harness that regenerates every
+// figure of the paper's evaluation (§V, Figure 3a/3b/3c), plus the
+// ablations of the design choices DESIGN.md calls out. The same points
+// are driven both by the root-level testing.B benchmarks and by
+// cmd/blobbench, which prints full tables.
+//
+// Scaling: the paper ran on 50 Grid'5000 nodes with a real 1 Gbit/s
+// network, a 1 TB string and 64 KB pages. We run the same process
+// topology over internal/netsim with the measured Grid'5000 parameters
+// (117.5 MB/s per NIC, 0.1 ms latency) and scale the string and segment
+// sizes down so a full sweep finishes in CI time. The claims under test
+// are shapes, not absolute numbers: how metadata cost scales with
+// segment size and provider count, and how per-client bandwidth holds as
+// concurrency grows.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"blob/internal/cluster"
+	"blob/internal/core"
+	"blob/internal/meta"
+	"blob/internal/netsim"
+)
+
+// Scale gathers the knobs that map the paper's sizes onto CI-friendly
+// ones.
+type Scale struct {
+	// PageSize is the blob page size in bytes (paper: 64 KB).
+	PageSize uint64
+	// BlobPages is the virtual blob size in pages (paper: 2^24 pages =
+	// 1 TB; allocate-on-write makes the virtual size nearly free, but
+	// tree height = log2(BlobPages) drives metadata cost, so we keep it
+	// large).
+	BlobPages uint64
+	// MetaPutDelay models the metadata backend per-put cost. Calibrated
+	// against the paper's Figure 3b (~3 ms per node through BambooDHT's
+	// replicated, disk-backed put path), times netsim.TimeScale.
+	MetaPutDelay time.Duration
+	// MetaProcessDelay models the client per-node deserialization cost.
+	// Calibrated against Figure 3a (~0.1 ms per node for the paper's
+	// client stack), times netsim.TimeScale.
+	MetaProcessDelay time.Duration
+	// Iterations averages each point over this many operations.
+	Iterations int
+}
+
+// DefaultScale is used by the benchmarks: 4 KB pages over a 2^24-page
+// (64 GB virtual) blob — same tree height (25) as the paper's 1 TB at
+// 64 KB pages. Delays carry the netsim.TimeScale dilation; divide
+// measured durations by netsim.TimeScale to compare with the paper.
+func DefaultScale() Scale {
+	return Scale{
+		PageSize:         4 << 10,
+		BlobPages:        1 << 24,
+		MetaPutDelay:     netsim.TimeScale * 3 * time.Millisecond,
+		MetaProcessDelay: netsim.TimeScale * 100 * time.Microsecond,
+		Iterations:       5,
+	}
+}
+
+// grid5000Cluster launches the paper's topology: n storage nodes, each
+// co-hosting one data provider and one metadata provider, plus the two
+// dedicated manager nodes.
+func grid5000Cluster(n int, sc Scale, cacheNodes int) (*cluster.Cluster, error) {
+	return cluster.Launch(cluster.Config{
+		DataProviders:    n,
+		MetaProviders:    n,
+		CoLocate:         true,
+		Net:              netsim.Grid5000(),
+		CacheNodes:       cacheNodes,
+		MetaPutDelay:     sc.MetaPutDelay,
+		MetaProcessDelay: sc.MetaProcessDelay,
+	})
+}
+
+// MetaPoint is one measurement of Figure 3a/3b: the time to completely
+// read (or write) the metadata of one segment.
+type MetaPoint struct {
+	Providers  int
+	SegmentKB  int
+	MeanTime   time.Duration
+	TreeHeight int
+}
+
+// Fig3aMetadataRead measures the metadata-read overhead for a single
+// client (Figure 3a): segment of segPages pages on a deployment of
+// providers storage nodes. Client-side caching is disabled, as in the
+// paper's worst-case methodology.
+func Fig3aMetadataRead(providers int, segPages uint64, sc Scale) (MetaPoint, error) {
+	pt := MetaPoint{Providers: providers, SegmentKB: int(segPages * sc.PageSize / 1024)}
+	// Only the read side is measured; skip the backend put cost so the
+	// setup writes don't dominate wall time.
+	scRead := sc
+	scRead.MetaPutDelay = 0
+	cl, err := grid5000Cluster(providers, scRead, 0)
+	if err != nil {
+		return pt, err
+	}
+	defer cl.Shutdown()
+	ctx := context.Background()
+	c, err := cl.NewClient(ctx)
+	if err != nil {
+		return pt, err
+	}
+	defer c.Close()
+	b, err := c.CreateBlob(ctx, sc.PageSize, sc.BlobPages*sc.PageSize)
+	if err != nil {
+		return pt, err
+	}
+	pt.TreeHeight = meta.TreeHeight(sc.BlobPages)
+
+	seg := make([]byte, segPages*sc.PageSize)
+	var total time.Duration
+	for i := 0; i < sc.Iterations; i++ {
+		off := uint64(i) * 4 * segPages * sc.PageSize
+		v, err := b.Write(ctx, seg, off)
+		if err != nil {
+			return pt, err
+		}
+		t0 := time.Now()
+		if _, err := b.ReadMeta(ctx, off, uint64(len(seg)), v); err != nil {
+			return pt, err
+		}
+		total += time.Since(t0)
+	}
+	pt.MeanTime = total / time.Duration(sc.Iterations)
+	return pt, nil
+}
+
+// Fig3bMetadataWrite measures the metadata-write overhead for a single
+// client (Figure 3b): the Build+Store phase of a WRITE.
+func Fig3bMetadataWrite(providers int, segPages uint64, sc Scale) (MetaPoint, error) {
+	pt := MetaPoint{Providers: providers, SegmentKB: int(segPages * sc.PageSize / 1024)}
+	cl, err := grid5000Cluster(providers, sc, 0)
+	if err != nil {
+		return pt, err
+	}
+	defer cl.Shutdown()
+	ctx := context.Background()
+	c, err := cl.NewClient(ctx)
+	if err != nil {
+		return pt, err
+	}
+	defer c.Close()
+	b, err := c.CreateBlob(ctx, sc.PageSize, sc.BlobPages*sc.PageSize)
+	if err != nil {
+		return pt, err
+	}
+	pt.TreeHeight = meta.TreeHeight(sc.BlobPages)
+
+	seg := make([]byte, segPages*sc.PageSize)
+	var total time.Duration
+	for i := 0; i < sc.Iterations; i++ {
+		off := uint64(i) * 4 * segPages * sc.PageSize
+		res, err := b.WriteDetailed(ctx, seg, off)
+		if err != nil {
+			return pt, err
+		}
+		total += res.MetaTime
+	}
+	pt.MeanTime = total / time.Duration(sc.Iterations)
+	return pt, nil
+}
+
+// Mode selects the Figure 3c access pattern.
+type Mode int
+
+// Figure 3c series.
+const (
+	// ModeRead — concurrent readers, client metadata cache disabled
+	// (the paper's worst case).
+	ModeRead Mode = iota
+	// ModeWrite — concurrent writers.
+	ModeWrite
+	// ModeReadCached — concurrent readers with a warm metadata cache.
+	ModeReadCached
+)
+
+// String names the mode like the paper's legend.
+func (m Mode) String() string {
+	switch m {
+	case ModeRead:
+		return "Read"
+	case ModeWrite:
+		return "Write"
+	case ModeReadCached:
+		return "Read (cached metadata)"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ThroughputPoint is one measurement of Figure 3c.
+type ThroughputPoint struct {
+	Clients int
+	Mode    Mode
+	// PerClientMBps is the average bandwidth per client in MB/s — the
+	// paper's y-axis.
+	PerClientMBps float64
+	// AggregateMBps is the total system throughput.
+	AggregateMBps float64
+}
+
+// Fig3cScale are the scaled-down workload parameters for the throughput
+// experiment: 20 storage nodes, 16 KB pages, 32-page (512 KB) segments
+// within a 2^10-page (16 MB) region (the paper used 64 KB pages, 8 MB
+// segments inside a 1 GB region of a 1 TB string, 100 iterations).
+type Fig3cScale struct {
+	StorageNodes int
+	PageSize     uint64
+	RegionPages  uint64
+	SegPages     uint64
+	Iterations   int
+}
+
+// DefaultFig3cScale returns the CI-friendly scaling.
+func DefaultFig3cScale() Fig3cScale {
+	return Fig3cScale{
+		StorageNodes: 20,
+		PageSize:     16 << 10,
+		RegionPages:  1 << 10,
+		SegPages:     32,
+		Iterations:   5,
+	}
+}
+
+// Fig3cThroughput measures average per-client bandwidth with nclients
+// concurrent clients in the given mode (Figure 3c). Clients access
+// disjoint segments within the region in a loop, starting simultaneously
+// and running without any synchronization, as in the paper.
+func Fig3cThroughput(nclients int, mode Mode, fs Fig3cScale, sc Scale) (ThroughputPoint, error) {
+	pt := ThroughputPoint{Clients: nclients, Mode: mode}
+	cacheNodes := 0
+	if mode == ModeReadCached {
+		cacheNodes = -1 // the paper's 2^20-node cache
+	}
+	cl, err := grid5000Cluster(fs.StorageNodes, sc, cacheNodes)
+	if err != nil {
+		return pt, err
+	}
+	defer cl.Shutdown()
+	ctx := context.Background()
+
+	admin, err := cl.NewClient(ctx)
+	if err != nil {
+		return pt, err
+	}
+	defer admin.Close()
+	blob, err := admin.CreateBlob(ctx, fs.PageSize, fs.RegionPages*fs.PageSize)
+	if err != nil {
+		return pt, err
+	}
+
+	// For read modes, pre-populate the region so reads hit real pages.
+	// Setup is not part of the measurement: suspend the backend put
+	// model and fan the fill out over several writers.
+	if mode != ModeWrite {
+		for _, st := range cl.MetaStores {
+			st.PutDelay = 0
+		}
+		const fillers = 4
+		chunkPages := fs.RegionPages / fillers
+		var wg sync.WaitGroup
+		fillErrs := make([]error, fillers)
+		for f := 0; f < fillers; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				fc, err := cl.NewClientAt(ctx, fmt.Sprintf("fill%d", f))
+				if err != nil {
+					fillErrs[f] = err
+					return
+				}
+				defer fc.Close()
+				fb, err := fc.OpenBlob(ctx, blob.ID())
+				if err != nil {
+					fillErrs[f] = err
+					return
+				}
+				buf := make([]byte, chunkPages*fs.PageSize)
+				_, fillErrs[f] = fb.Write(ctx, buf, uint64(f)*chunkPages*fs.PageSize)
+			}(f)
+		}
+		wg.Wait()
+		for _, err := range fillErrs {
+			if err != nil {
+				return pt, err
+			}
+		}
+		for _, st := range cl.MetaStores {
+			st.PutDelay = sc.MetaPutDelay
+		}
+	}
+
+	// One client per simulated host, as in the paper's deployment.
+	clients := make([]*core.Client, nclients)
+	blobs := make([]*core.Blob, nclients)
+	for i := range clients {
+		clients[i], err = cl.NewClientAt(ctx, fmt.Sprintf("bclient%d", i))
+		if err != nil {
+			return pt, err
+		}
+		defer clients[i].Close()
+		blobs[i], err = clients[i].OpenBlob(ctx, blob.ID())
+		if err != nil {
+			return pt, err
+		}
+	}
+
+	// Warm the metadata caches for the cached-read series (in parallel;
+	// warming is setup, not measurement).
+	if mode == ModeReadCached {
+		var wg sync.WaitGroup
+		warmErrs := make([]error, nclients)
+		for i := range blobs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				seg := make([]byte, fs.SegPages*fs.PageSize)
+				for it := 0; it < fs.Iterations; it++ {
+					off := segmentOffset(i, it, nclients, fs)
+					if _, err := blobs[i].ReadLatest(ctx, seg, off); err != nil {
+						warmErrs[i] = err
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range warmErrs {
+			if err != nil {
+				return pt, err
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, nclients)
+	start := time.Now()
+	for i := 0; i < nclients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seg := make([]byte, fs.SegPages*fs.PageSize)
+			for it := 0; it < fs.Iterations; it++ {
+				off := segmentOffset(i, it, nclients, fs)
+				var err error
+				if mode == ModeWrite {
+					_, err = blobs[i].Write(ctx, seg, off)
+				} else {
+					_, err = blobs[i].ReadLatest(ctx, seg, off)
+				}
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return pt, err
+		}
+	}
+	perClientBytes := float64(fs.Iterations) * float64(fs.SegPages*fs.PageSize)
+	pt.PerClientMBps = perClientBytes / elapsed / 1e6
+	pt.AggregateMBps = pt.PerClientMBps * float64(nclients)
+	return pt, nil
+}
+
+// segmentOffset places client i's iteration it at a segment disjoint
+// from every other concurrently active segment, wrapping around the
+// region like the paper's disjoint-segment loop.
+func segmentOffset(i, it, nclients int, fs Fig3cScale) uint64 {
+	slots := fs.RegionPages / fs.SegPages
+	slot := uint64(it*nclients+i) % slots
+	return slot * fs.SegPages * fs.PageSize
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// smokeScale shrinks everything so the harness itself is verified in
+// milliseconds; the real figures use DefaultScale.
+func smokeScale() Scale {
+	return Scale{
+		PageSize:     4 << 10,
+		BlobPages:    1 << 16,
+		MetaPutDelay: 5 * time.Microsecond,
+		Iterations:   2,
+	}
+}
+
+func TestFig3aPointRuns(t *testing.T) {
+	pt, err := Fig3aMetadataRead(3, 8, smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.MeanTime <= 0 {
+		t.Errorf("mean time = %v", pt.MeanTime)
+	}
+	if pt.SegmentKB != 32 {
+		t.Errorf("segment = %dKB, want 32", pt.SegmentKB)
+	}
+}
+
+func TestFig3bPointRuns(t *testing.T) {
+	pt, err := Fig3bMetadataWrite(3, 8, smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.MeanTime <= 0 {
+		t.Errorf("mean time = %v", pt.MeanTime)
+	}
+}
+
+func TestFig3cPointRuns(t *testing.T) {
+	fs := Fig3cScale{StorageNodes: 4, PageSize: 4 << 10, RegionPages: 256, SegPages: 4, Iterations: 3}
+	for _, mode := range []Mode{ModeRead, ModeWrite, ModeReadCached} {
+		pt, err := Fig3cThroughput(2, mode, fs, smokeScale())
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if pt.PerClientMBps <= 0 {
+			t.Errorf("%v: per-client bandwidth = %v", mode, pt.PerClientMBps)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeRead.String() != "Read" || ModeWrite.String() != "Write" {
+		t.Error("mode names wrong")
+	}
+	if ModeReadCached.String() != "Read (cached metadata)" {
+		t.Error("cached mode name wrong")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	sc := smokeScale()
+	if pts, err := AblateCache(2, 8, sc); err != nil || len(pts) != 2 {
+		t.Fatalf("cache ablation: %v %v", pts, err)
+	}
+	if pts, err := AblatePlacement(4, 6, 4, sc); err != nil || len(pts) != 3 {
+		t.Fatalf("placement ablation: %v %v", pts, err)
+	}
+	if pts, err := AblateReplication(3, 4, []int{1, 2}, sc); err != nil || len(pts) != 2 {
+		t.Fatalf("replication ablation: %v %v", pts, err)
+	}
+	if pts, err := AblatePageSize(2, 64<<10, []uint64{16 << 10, 32 << 10}, 1); err != nil || len(pts) != 2 {
+		t.Fatalf("page size ablation: %v %v", pts, err)
+	}
+	if pts, err := AblateBatching(2, 8, sc); err != nil || len(pts) != 2 {
+		t.Fatalf("batching ablation: %v %v", pts, err)
+	}
+}
+
+func TestSegmentOffsetsDisjointAcrossClients(t *testing.T) {
+	fs := DefaultFig3cScale()
+	seen := map[uint64]bool{}
+	for i := 0; i < 20; i++ {
+		off := segmentOffset(i, 0, 20, fs)
+		if seen[off] {
+			t.Fatalf("clients collide at offset %d", off)
+		}
+		seen[off] = true
+		if off%(fs.SegPages*fs.PageSize) != 0 {
+			t.Errorf("offset %d not segment aligned", off)
+		}
+	}
+}

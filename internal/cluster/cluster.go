@@ -1,0 +1,314 @@
+// Package cluster assembles a full deployment of the system inside one
+// process, over the simulated network fabric: a version manager, a
+// provider manager (co-hosting the metadata directory), N data providers
+// and M metadata providers — the paper's experimental topology, where
+// each storage node hosts one data provider and one metadata provider and
+// the two managers run on dedicated nodes.
+//
+// The same service implementations run over real TCP through
+// cmd/blobnode; this package is the laboratory the tests, examples and
+// benchmark harness use.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"blob/internal/core"
+	"blob/internal/dht"
+	"blob/internal/mstore"
+	"blob/internal/netsim"
+	"blob/internal/pmanager"
+	"blob/internal/provider"
+	"blob/internal/rpc"
+	"blob/internal/vmanager"
+)
+
+// Config describes a deployment.
+type Config struct {
+	// DataProviders is the number of data provider processes (default 4).
+	DataProviders int
+	// MetaProviders is the number of metadata providers (default 4).
+	MetaProviders int
+	// CoLocate places data provider i and metadata provider i on the same
+	// simulated host, sharing its NIC — the paper's topology (default
+	// true when DataProviders == MetaProviders).
+	CoLocate bool
+	// DataReplicas is the page replication factor (default 1).
+	DataReplicas int
+	// MetaReplicas is the tree node replication factor (default 1).
+	MetaReplicas int
+	// Net is the simulated fabric configuration (latency/bandwidth);
+	// zero value = instant network.
+	Net netsim.Config
+	// ProviderCapacity bounds each data provider's RAM (0 = unlimited).
+	ProviderCapacity int64
+	// Strategy is the page placement policy.
+	Strategy pmanager.Strategy
+	// RepairTimeout enables dead-writer repair at the version manager.
+	RepairTimeout time.Duration
+	// CacheNodes is the default client metadata cache size (0 disables,
+	// negative = the paper's 2^20).
+	CacheNodes int
+	// HeartbeatInterval, when positive, starts per-provider heartbeat
+	// loops and makes the provider manager filter silent providers after
+	// 4 intervals.
+	HeartbeatInterval time.Duration
+	// MetaPutDelay models the metadata backend's per-entry put cost (the
+	// BambooDHT asymmetry; see dht.Store.PutDelay). Zero for unit tests.
+	MetaPutDelay time.Duration
+	// MetaProcessDelay models the client-side per-node deserialization
+	// cost (see mstore.Client.ProcessDelay). Zero for unit tests.
+	MetaProcessDelay time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.DataProviders <= 0 {
+		c.DataProviders = 4
+	}
+	if c.MetaProviders <= 0 {
+		c.MetaProviders = 4
+	}
+	if c.DataReplicas < 1 {
+		c.DataReplicas = 1
+	}
+	if c.MetaReplicas < 1 {
+		c.MetaReplicas = 1
+	}
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg Config
+	fab *netsim.Net
+
+	VM  *vmanager.Manager
+	PM  *pmanager.Manager
+	Dir *dht.Directory
+
+	DataStores []*provider.Store
+	MetaStores []*dht.Store
+
+	// DataServers and MetaServers expose the per-node RPC servers for
+	// failure injection in tests (stopping one simulates a node crash).
+	DataServers []*rpc.Server
+	MetaServers []*rpc.Server
+
+	VMAddr  string
+	PMAddr  string
+	DirAddr string
+
+	servers   []*rpc.Server
+	pools     []*rpc.Pool
+	hbStop    chan struct{}
+	clientSeq atomic.Int64
+}
+
+// hostDialer adapts a netsim host to rpc.Network.
+type hostDialer struct{ h *netsim.Host }
+
+// Dial implements rpc.Network.
+func (d hostDialer) Dial(addr string) (net.Conn, error) { return d.h.Dial(addr) }
+
+// Launch starts a deployment.
+func Launch(cfg Config) (*Cluster, error) {
+	cfg.fillDefaults()
+	c := &Cluster{
+		cfg:    cfg,
+		fab:    netsim.New(cfg.Net),
+		hbStop: make(chan struct{}),
+	}
+
+	var lastServer *rpc.Server
+	serve := func(host *netsim.Host, port string, register func(*rpc.Server)) (string, error) {
+		srv := rpc.NewServer()
+		register(srv)
+		l, err := host.Listen(port)
+		if err != nil {
+			return "", err
+		}
+		srv.Start(l)
+		c.servers = append(c.servers, srv)
+		lastServer = srv
+		return host.Name() + ":" + port, nil
+	}
+
+	// Provider manager + metadata directory share the "pm" node.
+	var hbTimeout time.Duration
+	if cfg.HeartbeatInterval > 0 {
+		hbTimeout = 4 * cfg.HeartbeatInterval
+	}
+	c.PM = pmanager.New(pmanager.Config{
+		Strategy:         cfg.Strategy,
+		HeartbeatTimeout: hbTimeout,
+		Replicas:         cfg.DataReplicas,
+	})
+	c.Dir = dht.NewDirectory()
+	pmHost := c.fab.Host("pm")
+	addr, err := serve(pmHost, "rpc", func(s *rpc.Server) {
+		c.PM.RegisterHandlers(s)
+		c.Dir.RegisterHandlers(s)
+	})
+	if err != nil {
+		c.Shutdown()
+		return nil, err
+	}
+	c.PMAddr, c.DirAddr = addr, addr
+
+	// Storage nodes.
+	dataHost := func(i int) string {
+		if cfg.CoLocate || (cfg.DataProviders == cfg.MetaProviders) {
+			return fmt.Sprintf("node%d", i)
+		}
+		return fmt.Sprintf("data%d", i)
+	}
+	metaHost := func(i int) string {
+		if cfg.CoLocate || (cfg.DataProviders == cfg.MetaProviders) {
+			return fmt.Sprintf("node%d", i)
+		}
+		return fmt.Sprintf("meta%d", i)
+	}
+	for i := 0; i < cfg.DataProviders; i++ {
+		st := provider.NewStore(cfg.ProviderCapacity)
+		c.DataStores = append(c.DataStores, st)
+		addr, err := serve(c.fab.Host(dataHost(i)), "data", st.RegisterHandlers)
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		c.PM.Register(addr, cfg.ProviderCapacity)
+		c.DataServers = append(c.DataServers, lastServer)
+	}
+	for i := 0; i < cfg.MetaProviders; i++ {
+		st := dht.NewStore()
+		st.PutDelay = cfg.MetaPutDelay
+		c.MetaStores = append(c.MetaStores, st)
+		addr, err := serve(c.fab.Host(metaHost(i)), "meta", st.RegisterHandlers)
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		c.Dir.Register(addr)
+		c.MetaServers = append(c.MetaServers, lastServer)
+	}
+
+	// Version manager on its own node; its repair path needs a metadata
+	// client dialing from the vm host.
+	vmHost := c.fab.Host("vm")
+	var repairStore vmanager.NodeStore
+	if cfg.RepairTimeout > 0 {
+		pool := rpc.NewPool(hostDialer{vmHost})
+		c.pools = append(c.pools, pool)
+		kv, err := dht.NewDirectoryClient(context.Background(), pool, c.DirAddr, cfg.MetaReplicas)
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		repairStore = mstore.New(kv, 0)
+	}
+	c.VM = vmanager.New(vmanager.Config{
+		RepairTimeout: cfg.RepairTimeout,
+		Store:         repairStore,
+	})
+	c.VMAddr, err = serve(vmHost, "rpc", c.VM.RegisterHandlers)
+	if err != nil {
+		c.Shutdown()
+		return nil, err
+	}
+
+	if cfg.HeartbeatInterval > 0 {
+		c.startHeartbeats()
+	}
+	return c, nil
+}
+
+// startHeartbeats runs one reporting loop per data provider.
+func (c *Cluster) startHeartbeats() {
+	pool := rpc.NewPool(hostDialer{c.fab.Host("hb")})
+	c.pools = append(c.pools, pool)
+	for i, st := range c.DataStores {
+		id := uint32(i + 1) // registration order matches IDs
+		st := st
+		go func() {
+			t := time.NewTicker(c.cfg.HeartbeatInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.hbStop:
+					return
+				case <-t.C:
+					snap := st.Snapshot()
+					ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+					pmanager.SendHeartbeat(ctx, pool, c.PMAddr, id, snap.BytesUsed, snap.ActiveOps)
+					cancel()
+				}
+			}
+		}()
+	}
+}
+
+// ClientOptions returns core.Options for a client on the named simulated
+// host (each client host has its own NIC, like the paper's client nodes).
+func (c *Cluster) ClientOptions(hostName string) core.Options {
+	return core.Options{
+		Network:          hostDialer{c.fab.Host(hostName)},
+		VManagerAddr:     c.VMAddr,
+		PManagerAddr:     c.PMAddr,
+		MetaDirAddr:      c.DirAddr,
+		DataReplicas:     c.cfg.DataReplicas,
+		MetaReplicas:     c.cfg.MetaReplicas,
+		CacheNodes:       c.cfg.CacheNodes,
+		MetaProcessDelay: c.cfg.MetaProcessDelay,
+	}
+}
+
+// NewClient connects a client on a fresh simulated host.
+func (c *Cluster) NewClient(ctx context.Context) (*core.Client, error) {
+	seq := c.clientSeq.Add(1)
+	return core.NewClient(ctx, c.ClientOptions(fmt.Sprintf("client%d", seq)))
+}
+
+// NewClientAt connects a client on a specific simulated host.
+func (c *Cluster) NewClientAt(ctx context.Context, host string) (*core.Client, error) {
+	return core.NewClient(ctx, c.ClientOptions(host))
+}
+
+// TotalDataPages sums the page counts across data providers.
+func (c *Cluster) TotalDataPages() int64 {
+	var n int64
+	for _, st := range c.DataStores {
+		n += st.Snapshot().PageCount
+	}
+	return n
+}
+
+// TotalMetaNodes sums stored tree nodes across metadata providers.
+func (c *Cluster) TotalMetaNodes() int {
+	n := 0
+	for _, st := range c.MetaStores {
+		n += st.Len()
+	}
+	return n
+}
+
+// Shutdown stops every service and the fabric.
+func (c *Cluster) Shutdown() {
+	select {
+	case <-c.hbStop:
+	default:
+		close(c.hbStop)
+	}
+	if c.VM != nil {
+		c.VM.Close()
+	}
+	for _, p := range c.pools {
+		p.Close()
+	}
+	for _, s := range c.servers {
+		s.Close()
+	}
+	c.fab.Close()
+}

@@ -1,0 +1,263 @@
+// Package core implements the blob client: the paper's ALLOC, READ and
+// WRITE primitives (plus APPEND) orchestrated over the distributed
+// services — version manager, provider manager, data providers and
+// DHT-based metadata providers.
+//
+// The client is the locus of the paper's parallelism claims: page
+// transfers fan out to all involved data providers concurrently, metadata
+// fetches proceed level-by-level in per-provider batches, and the only
+// serialized step of any operation is the version manager interaction,
+// which is a single small RPC.
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blob/internal/dht"
+	"blob/internal/meta"
+	"blob/internal/mstore"
+	"blob/internal/pmanager"
+	"blob/internal/rpc"
+	"blob/internal/stats"
+	"blob/internal/vmanager"
+)
+
+// Errors surfaced by client operations.
+var (
+	// ErrNotPublished is returned by Read when the requested version is
+	// newer than the latest published version (the paper's failing READ).
+	ErrNotPublished = errors.New("core: version not yet published")
+	// ErrChecksum is returned when a page fails integrity verification on
+	// every replica.
+	ErrChecksum = errors.New("core: page checksum mismatch")
+	// ErrPageUnavailable is returned when a page cannot be fetched from
+	// any replica.
+	ErrPageUnavailable = errors.New("core: page unavailable on all replicas")
+)
+
+// Options configures a Client.
+type Options struct {
+	// Network provides connectivity (rpc.TCP{} or a netsim host).
+	Network rpc.Network
+	// VManagerAddr is the version manager's RPC address.
+	VManagerAddr string
+	// PManagerAddr is the provider manager's RPC address.
+	PManagerAddr string
+	// MetaDirAddr is the metadata directory's RPC address (DHT membership).
+	MetaDirAddr string
+	// DataReplicas is the number of copies of each page (default 1).
+	DataReplicas int
+	// MetaReplicas is the DHT replication factor for tree nodes (default 1).
+	MetaReplicas int
+	// CacheNodes bounds the client metadata cache; 0 disables it,
+	// negative selects the paper's 2^20.
+	CacheNodes int
+	// MetaProcessDelay models the client-side cost of deserializing one
+	// fetched metadata node (simulation knob for the experiment
+	// harness; zero disables it). See mstore.Client.ProcessDelay.
+	MetaProcessDelay time.Duration
+}
+
+// Client talks to one deployment of the service. It is safe for
+// concurrent use; the paper's experiments run one client per node, each
+// performing many concurrent RPCs.
+type Client struct {
+	opts Options
+	pool *rpc.Pool
+	vm   *vmanager.Client
+	ms   *mstore.Client
+
+	provMu    sync.RWMutex
+	providers map[uint32]string
+
+	// Metrics for the experiment harness.
+	Writes        stats.Counter
+	Reads         stats.Counter
+	BytesWritten  stats.Counter
+	BytesRead     stats.Counter
+	WriteLatency  stats.Histogram
+	ReadLatency   stats.Histogram
+	MetaReadTime  stats.Histogram
+	MetaWriteTime stats.Histogram
+}
+
+// NewClient connects to a deployment.
+func NewClient(ctx context.Context, opts Options) (*Client, error) {
+	if opts.Network == nil {
+		return nil, errors.New("core: Options.Network is required")
+	}
+	if opts.DataReplicas < 1 {
+		opts.DataReplicas = 1
+	}
+	if opts.MetaReplicas < 1 {
+		opts.MetaReplicas = 1
+	}
+	pool := rpc.NewPool(opts.Network)
+	kv, err := dht.NewDirectoryClient(ctx, pool, opts.MetaDirAddr, opts.MetaReplicas)
+	if err != nil {
+		pool.Close()
+		return nil, fmt.Errorf("core: connect metadata directory: %w", err)
+	}
+	ms := mstore.New(kv, opts.CacheNodes)
+	ms.ProcessDelay = opts.MetaProcessDelay
+	c := &Client{
+		opts:      opts,
+		pool:      pool,
+		vm:        vmanager.NewClient(pool, opts.VManagerAddr),
+		ms:        ms,
+		providers: make(map[uint32]string),
+	}
+	if err := c.refreshProviders(ctx); err != nil {
+		pool.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases all connections.
+func (c *Client) Close() { c.pool.Close() }
+
+// Meta exposes the metadata client (benchmarks measure metadata phases
+// directly; the GC walks trees through it).
+func (c *Client) Meta() *mstore.Client { return c.ms }
+
+// VersionManager exposes the typed version manager client.
+func (c *Client) VersionManager() *vmanager.Client { return c.vm }
+
+// Pool exposes the RPC pool (shared by auxiliary agents like the GC).
+func (c *Client) Pool() *rpc.Pool { return c.pool }
+
+// AllProviders lists every registered data provider (used by the GC to
+// broadcast deletions).
+func (c *Client) AllProviders(ctx context.Context) ([]pmanager.ProviderInfo, error) {
+	_, infos, err := pmanager.FetchProviders(ctx, c.pool, c.opts.PManagerAddr)
+	return infos, err
+}
+
+// refreshProviders refetches the provider ID -> address map.
+func (c *Client) refreshProviders(ctx context.Context) error {
+	_, infos, err := pmanager.FetchProviders(ctx, c.pool, c.opts.PManagerAddr)
+	if err != nil {
+		return fmt.Errorf("core: fetch providers: %w", err)
+	}
+	c.provMu.Lock()
+	for _, p := range infos {
+		c.providers[p.ID] = p.Addr
+	}
+	c.provMu.Unlock()
+	return nil
+}
+
+// providerAddr resolves a provider ID, refreshing the directory once on a
+// miss (a new provider may have joined since the last refresh).
+func (c *Client) providerAddr(ctx context.Context, id uint32) (string, error) {
+	c.provMu.RLock()
+	addr, ok := c.providers[id]
+	c.provMu.RUnlock()
+	if ok {
+		return addr, nil
+	}
+	if err := c.refreshProviders(ctx); err != nil {
+		return "", err
+	}
+	c.provMu.RLock()
+	addr, ok = c.providers[id]
+	c.provMu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("core: unknown provider id %d", id)
+	}
+	return addr, nil
+}
+
+// newWriteID generates a globally unique write identity.
+func newWriteID() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("core: write id: %w", err)
+	}
+	id := binary.LittleEndian.Uint64(b[:])
+	if id == 0 {
+		id = 1 // zero is reserved for "zero page"
+	}
+	return id, nil
+}
+
+// CreateBlob allocates a new blob (ALLOC): capacityBytes of virtual,
+// allocate-on-write storage in pageSize pages.
+func (c *Client) CreateBlob(ctx context.Context, pageSize, capacityBytes uint64) (*Blob, error) {
+	id, err := c.vm.CreateBlob(ctx, pageSize, capacityBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Blob{
+		c: c, id: id, pageSize: pageSize, totalPages: capacityBytes / pageSize,
+	}, nil
+}
+
+// OpenBlob binds to an existing blob.
+func (c *Client) OpenBlob(ctx context.Context, id uint64) (*Blob, error) {
+	info, err := c.vm.Info(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return &Blob{
+		c: c, id: id, pageSize: info.PageSize, totalPages: info.TotalPages,
+	}, nil
+}
+
+// Blob is a handle on one versioned binary string.
+type Blob struct {
+	c          *Client
+	id         uint64
+	pageSize   uint64
+	totalPages uint64
+}
+
+// ID returns the blob's globally unique identifier.
+func (b *Blob) ID() uint64 { return b.id }
+
+// PageSize returns the blob's page size in bytes.
+func (b *Blob) PageSize() uint64 { return b.pageSize }
+
+// CapacityBytes returns the blob's maximum size.
+func (b *Blob) CapacityBytes() uint64 { return b.totalPages * b.pageSize }
+
+// Latest returns the newest published version and its size in bytes.
+func (b *Blob) Latest(ctx context.Context) (meta.Version, uint64, error) {
+	return b.c.vm.Latest(ctx, b.id)
+}
+
+// VersionSize returns the logical size of a version in bytes.
+func (b *Blob) VersionSize(ctx context.Context, v meta.Version) (uint64, error) {
+	_, size, err := b.c.vm.VersionInfo(ctx, b.id, v)
+	return size, err
+}
+
+// WaitVersion blocks until version v is published (readers pacing
+// writers), polling the version manager.
+func (b *Blob) WaitVersion(ctx context.Context, v meta.Version) error {
+	backoff := time.Millisecond
+	for {
+		latest, _, err := b.c.vm.Latest(ctx, b.id)
+		if err != nil {
+			return err
+		}
+		if latest >= v {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"blob/internal/meta"
+	"blob/internal/mstore"
+	"blob/internal/provider"
+	"blob/internal/rpc"
+	"blob/internal/wire"
+)
+
+// ReadResult reports a completed read and its phase timings.
+type ReadResult struct {
+	// Latest is the newest published version at read time (the paper's
+	// READ return value; Latest >= the requested version).
+	Latest meta.Version
+	// MetaTime covers the segment tree traversal.
+	MetaTime time.Duration
+	// DataTime covers page fetches.
+	DataTime time.Duration
+}
+
+// Read implements the paper's READ primitive: fill buf with the segment
+// at offset of version v. Version 0 reads the initial all-zero string.
+// It fails with ErrNotPublished if v has not been published, and returns
+// the latest published version otherwise.
+func (b *Blob) Read(ctx context.Context, buf []byte, offset uint64, v meta.Version) (meta.Version, error) {
+	res, err := b.ReadDetailed(ctx, buf, offset, v)
+	return res.Latest, err
+}
+
+// ReadLatest reads the newest published snapshot and returns its version.
+func (b *Blob) ReadLatest(ctx context.Context, buf []byte, offset uint64) (meta.Version, error) {
+	latest, _, err := b.c.vm.Latest(ctx, b.id)
+	if err != nil {
+		return 0, err
+	}
+	_, err = b.Read(ctx, buf, offset, latest)
+	return latest, err
+}
+
+// ReadDetailed is Read with phase timings.
+func (b *Blob) ReadDetailed(ctx context.Context, buf []byte, offset uint64, v meta.Version) (ReadResult, error) {
+	var res ReadResult
+	start := time.Now()
+	if len(buf) == 0 || uint64(len(buf))%b.pageSize != 0 {
+		return res, fmt.Errorf("core: read length %d not a positive multiple of page size %d", len(buf), b.pageSize)
+	}
+	if offset%b.pageSize != 0 {
+		return res, fmt.Errorf("core: read offset %d not page aligned", offset)
+	}
+
+	// Step 1 (paper §III.B): learn the latest published version — the
+	// only centralized interaction of the whole read.
+	latest, _, err := b.c.vm.Latest(ctx, b.id)
+	if err != nil {
+		return res, err
+	}
+	if v > latest {
+		return res, fmt.Errorf("%w: requested v%d, latest published v%d", ErrNotPublished, v, latest)
+	}
+	res.Latest = latest
+
+	// Step 2: resolve the segment through the metadata tree.
+	t0 := time.Now()
+	pr := meta.PageRange{First: offset / b.pageSize, Count: uint64(len(buf)) / b.pageSize}
+	leaves, err := b.c.ms.ReadPlan(ctx, b.id, v, b.totalPages, pr)
+	if err != nil {
+		return res, err
+	}
+	res.MetaTime = time.Since(t0)
+	b.c.MetaReadTime.Observe(res.MetaTime)
+
+	// Step 3: fetch all pages in parallel, batched per provider.
+	t0 = time.Now()
+	if err := b.fetchPages(ctx, buf, pr, leaves); err != nil {
+		return res, err
+	}
+	res.DataTime = time.Since(t0)
+
+	b.c.Reads.Inc()
+	b.c.BytesRead.Add(int64(len(buf)))
+	b.c.ReadLatency.Observe(time.Since(start))
+	return res, nil
+}
+
+// ReadMeta performs only the metadata traversal for a segment — the
+// operation Figure 3(a) measures.
+func (b *Blob) ReadMeta(ctx context.Context, offset, length uint64, v meta.Version) ([]mstore.PageLeaf, error) {
+	pr, err := meta.BytesToPages(offset, length, b.pageSize)
+	if err != nil {
+		return nil, err
+	}
+	return b.c.ms.ReadPlan(ctx, b.id, v, b.totalPages, pr)
+}
+
+// fetchPages downloads every non-zero leaf's page into buf, zero-filling
+// zero pages, with replica failover and checksum verification.
+func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, leaves []mstore.PageLeaf) error {
+	type item struct {
+		leaf mstore.PageLeaf
+		dst  []byte
+	}
+	remaining := make([]item, 0, len(leaves))
+	for _, l := range leaves {
+		dst := buf[(l.Page-pr.First)*b.pageSize : (l.Page-pr.First+1)*b.pageSize]
+		if l.Leaf.Write == 0 {
+			clear(dst)
+			continue
+		}
+		remaining = append(remaining, item{leaf: l, dst: dst})
+	}
+
+	// Replica tiers: try everyone's first replica in one parallel wave,
+	// then the second replica for whatever failed, and so on. A page
+	// whose replica list is exhausted is unrecoverable.
+	for tier := 0; len(remaining) > 0; tier++ {
+		type group struct {
+			refs  []provider.PageRef
+			items []item
+		}
+		groups := make(map[uint32]*group)
+		for _, it := range remaining {
+			provs := it.leaf.Leaf.Providers
+			if tier >= len(provs) {
+				return fmt.Errorf("%w: page %d (write %d) failed on all %d replicas",
+					ErrPageUnavailable, it.leaf.Page, it.leaf.Leaf.Write, len(provs))
+			}
+			id := provs[tier]
+			g := groups[id]
+			if g == nil {
+				g = &group{}
+				groups[id] = g
+			}
+			g.refs = append(g.refs, provider.PageRef{
+				Blob: b.id, Write: it.leaf.Leaf.Write, RelPage: it.leaf.Leaf.RelPage,
+			})
+			g.items = append(g.items, it)
+		}
+
+		pend := make([]*rpc.Pending, 0, len(groups))
+		gs := make([]*group, 0, len(groups))
+		var next []item
+		for id, g := range groups {
+			addr, err := b.c.providerAddr(ctx, id)
+			if err != nil {
+				// Unknown provider: try these pages on the next replica.
+				next = append(next, g.items...)
+				continue
+			}
+			pend = append(pend, b.c.pool.Go(addr, provider.MGetPages, provider.EncodeGetPages(g.refs)))
+			gs = append(gs, g)
+		}
+		for i, p := range pend {
+			resp, err := p.Wait(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				next = append(next, gs[i].items...)
+				continue
+			}
+			datas, err := provider.DecodeGetPages(resp, len(gs[i].refs))
+			if err != nil {
+				return err
+			}
+			for j, data := range datas {
+				it := gs[i].items[j]
+				if data == nil || uint64(len(data)) != b.pageSize ||
+					wire.Checksum64(data) != it.leaf.Leaf.Checksum {
+					next = append(next, it) // missing or corrupt: other replica
+					continue
+				}
+				copy(it.dst, data)
+			}
+		}
+		remaining = next
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"blob/internal/cluster"
+)
+
+func TestUnalignedReadAt(t *testing.T) {
+	_, c := launch(t, cluster.Config{})
+	ctx := context.Background()
+	b, _ := c.CreateBlob(ctx, pageSize, 16*pageSize)
+	data := pattern(3, 4*pageSize)
+	v, err := b.Write(ctx, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arbitrary unaligned windows must match the flat content.
+	cases := []struct{ off, n int }{
+		{0, 10}, {1, 1}, {pageSize - 3, 7}, {pageSize + 5, 2 * pageSize},
+		{3*pageSize - 1, pageSize + 1}, {17, 3*pageSize - 40},
+	}
+	for _, tc := range cases {
+		got := make([]byte, tc.n)
+		if err := b.ReadAt(ctx, got, uint64(tc.off), v); err != nil {
+			t.Fatalf("ReadAt(%d,%d): %v", tc.off, tc.n, err)
+		}
+		if !bytes.Equal(got, data[tc.off:tc.off+tc.n]) {
+			t.Errorf("ReadAt(%d,%d) mismatch", tc.off, tc.n)
+		}
+	}
+	// Beyond capacity fails.
+	if err := b.ReadAt(ctx, make([]byte, 10), 16*pageSize-5, v); err == nil {
+		t.Error("ReadAt past capacity accepted")
+	}
+}
+
+func TestUnalignedWriteAtRMW(t *testing.T) {
+	_, c := launch(t, cluster.Config{})
+	ctx := context.Background()
+	b, _ := c.CreateBlob(ctx, pageSize, 16*pageSize)
+	base := pattern(1, 4*pageSize)
+	v1, err := b.Write(ctx, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Patch an unaligned window straddling two pages.
+	patch := pattern(200, pageSize)
+	off := uint64(pageSize + pageSize/2)
+	v2, err := b.WriteAt(ctx, patch, off, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := append([]byte(nil), base...)
+	copy(want[off:], patch)
+	got := make([]byte, 4*pageSize)
+	if _, err := b.Read(ctx, got, 0, v2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("RMW composition mismatch")
+	}
+	// Base version unchanged.
+	if _, err := b.Read(ctx, got, 0, v1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, base) {
+		t.Fatal("base snapshot mutated by WriteAt")
+	}
+}
+
+func TestWriteAtOnFreshBlobZeroFills(t *testing.T) {
+	_, c := launch(t, cluster.Config{})
+	ctx := context.Background()
+	b, _ := c.CreateBlob(ctx, pageSize, 16*pageSize)
+	v, err := b.WriteAt(ctx, []byte("xyz"), uint64(pageSize)-1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2*pageSize)
+	if _, err := b.Read(ctx, got, 0, v); err != nil {
+		t.Fatal(err)
+	}
+	if got[pageSize-2] != 0 || got[pageSize-1] != 'x' || got[pageSize] != 'y' || got[pageSize+2] != 0 {
+		t.Errorf("boundary bytes: %v", got[pageSize-2:pageSize+3])
+	}
+}
+
+func TestUnalignedQuickOracle(t *testing.T) {
+	_, c := launch(t, cluster.Config{})
+	ctx := context.Background()
+	const totalPages = 8
+	b, _ := c.CreateBlob(ctx, pageSize, totalPages*pageSize)
+	flat := make([]byte, totalPages*pageSize)
+	var latest uint64
+
+	// Property: after any sequence of unaligned writes, an unaligned
+	// read of any window equals the flat model.
+	step := func(offRaw, lenRaw uint16, seed byte) bool {
+		off := uint64(offRaw) % (totalPages*pageSize - 1)
+		n := uint64(lenRaw)%(totalPages*pageSize-off-1) + 1
+		data := pattern(seed, int(n))
+		v, err := b.WriteAt(ctx, data, off, latest)
+		if err != nil {
+			t.Logf("WriteAt(%d,%d): %v", off, n, err)
+			return false
+		}
+		latest = v
+		copy(flat[off:], data)
+
+		roff := uint64(offRaw/3) % (totalPages*pageSize - 1)
+		rn := uint64(lenRaw/7)%(totalPages*pageSize-roff-1) + 1
+		got := make([]byte, rn)
+		if err := b.ReadAt(ctx, got, roff, latest); err != nil {
+			t.Logf("ReadAt: %v", err)
+			return false
+		}
+		return bytes.Equal(got, flat[roff:roff+rn])
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(step, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderSequentialAndSeek(t *testing.T) {
+	_, c := launch(t, cluster.Config{})
+	ctx := context.Background()
+	b, _ := c.CreateBlob(ctx, pageSize, 16*pageSize)
+	data := pattern(9, 3*pageSize)
+	v, _ := b.Write(ctx, data, 0)
+
+	r, err := b.NewReader(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 3*pageSize || r.Version() != v {
+		t.Fatalf("reader meta: size %d v %d", r.Size(), r.Version())
+	}
+
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("sequential read mismatch")
+	}
+
+	// Seek back and re-read a window.
+	if _, err := r.Seek(100, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	win := make([]byte, 50)
+	if _, err := io.ReadFull(r, win); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(win, data[100:150]) {
+		t.Error("post-seek read mismatch")
+	}
+
+	// SeekEnd and EOF.
+	if _, err := r.Seek(0, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(win); err != io.EOF {
+		t.Errorf("read at end = %v, want EOF", err)
+	}
+	if _, err := r.Seek(-10, io.SeekStart); err == nil {
+		t.Error("negative seek accepted")
+	}
+}
+
+func TestReaderReadAtContract(t *testing.T) {
+	_, c := launch(t, cluster.Config{})
+	ctx := context.Background()
+	b, _ := c.CreateBlob(ctx, pageSize, 16*pageSize)
+	data := pattern(4, 2*pageSize)
+	v, _ := b.Write(ctx, data, 0)
+	r, err := b.NewReader(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 100)
+	n, err := r.ReadAt(buf, int64(2*pageSize)-50)
+	if n != 50 || err != io.EOF {
+		t.Errorf("short ReadAt = (%d, %v), want (50, EOF)", n, err)
+	}
+	if !bytes.Equal(buf[:50], data[2*pageSize-50:]) {
+		t.Error("short ReadAt content mismatch")
+	}
+	if _, err := r.ReadAt(buf, int64(2*pageSize)+10); err != io.EOF {
+		t.Errorf("ReadAt past end = %v, want EOF", err)
+	}
+	if _, err := r.ReadAt(buf, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestReaderWriteTo(t *testing.T) {
+	_, c := launch(t, cluster.Config{})
+	ctx := context.Background()
+	b, _ := c.CreateBlob(ctx, pageSize, 256*pageSize)
+	data := pattern(7, 150*pageSize) // spans multiple WriteTo chunks
+	v, err := b.Write(ctx, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := b.NewReader(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	n, err := r.WriteTo(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) || !bytes.Equal(sink.Bytes(), data) {
+		t.Fatalf("WriteTo copied %d bytes, equal=%v", n, bytes.Equal(sink.Bytes(), data))
+	}
+}
+
+func TestReaderOfUnpublishedVersionFails(t *testing.T) {
+	_, c := launch(t, cluster.Config{})
+	ctx := context.Background()
+	b, _ := c.CreateBlob(ctx, pageSize, 16*pageSize)
+	if _, err := b.NewReader(ctx, 5); err == nil {
+		t.Error("reader over unassigned version accepted")
+	}
+}
+
+func TestReaderZeroVersion(t *testing.T) {
+	_, c := launch(t, cluster.Config{})
+	ctx := context.Background()
+	b, _ := c.CreateBlob(ctx, pageSize, 16*pageSize)
+	r, err := b.NewReader(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Version 0 has logical size 0: immediate EOF.
+	if _, err := r.Read(make([]byte, 10)); err != io.EOF {
+		t.Errorf("zero-version read = %v, want EOF", err)
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"blob/internal/meta"
+	"blob/internal/pmanager"
+	"blob/internal/provider"
+	"blob/internal/rpc"
+	"blob/internal/wire"
+)
+
+// WriteResult reports a completed write and its phase timings, which the
+// experiment harness uses to separate metadata overhead (Figure 3a/3b)
+// from data transfer.
+type WriteResult struct {
+	// Version is the write's assigned (and published) version number.
+	Version meta.Version
+	// Offset is the final byte offset (== the requested offset, except
+	// for appends where the version manager resolves it).
+	Offset uint64
+	// DataTime covers provider allocation and page upload.
+	DataTime time.Duration
+	// AssignTime covers the version manager round trip.
+	AssignTime time.Duration
+	// MetaTime covers building and storing the metadata tree.
+	MetaTime time.Duration
+	// CommitTime covers the blocking publication wait.
+	CommitTime time.Duration
+}
+
+// Write implements the paper's WRITE primitive: patch the blob with buf
+// at offset, producing and publishing a new version. buf must be
+// page-aligned in offset and length. When Write returns, the version is
+// published and immediately readable.
+func (b *Blob) Write(ctx context.Context, buf []byte, offset uint64) (meta.Version, error) {
+	res, err := b.WriteDetailed(ctx, buf, offset)
+	return res.Version, err
+}
+
+// Append writes buf at the current end of the blob, returning the new
+// version and the offset the data landed at. Concurrent appends are
+// serialized by the version manager and never overlap.
+func (b *Blob) Append(ctx context.Context, buf []byte) (meta.Version, uint64, error) {
+	res, err := b.writeInternal(ctx, buf, 0, true)
+	return res.Version, res.Offset, err
+}
+
+// WriteDetailed is Write with phase timings.
+func (b *Blob) WriteDetailed(ctx context.Context, buf []byte, offset uint64) (WriteResult, error) {
+	return b.writeInternal(ctx, buf, offset, false)
+}
+
+func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isAppend bool) (WriteResult, error) {
+	var res WriteResult
+	start := time.Now()
+	if len(buf) == 0 || uint64(len(buf))%b.pageSize != 0 {
+		return res, fmt.Errorf("core: write length %d not a positive multiple of page size %d", len(buf), b.pageSize)
+	}
+	if !isAppend && offset%b.pageSize != 0 {
+		return res, fmt.Errorf("core: write offset %d not page aligned", offset)
+	}
+	npages := uint64(len(buf)) / b.pageSize
+	writeID, err := newWriteID()
+	if err != nil {
+		return res, err
+	}
+
+	// Phase 1 (paper §III.B): get providers from the provider manager,
+	// then push all pages in parallel, batched per provider.
+	t0 := time.Now()
+	alloc, err := b.allocateProviders(ctx, int(npages))
+	if err != nil {
+		return res, err
+	}
+	checksums, err := b.putPages(ctx, writeID, buf, alloc)
+	if err != nil {
+		return res, err
+	}
+	res.DataTime = time.Since(t0)
+
+	// Phase 2: request a version number; the reply carries the
+	// precomputed border versions.
+	t0 = time.Now()
+	asg, err := b.c.vm.AssignVersion(ctx, b.id, writeID, offset, uint64(len(buf)), isAppend)
+	if err != nil {
+		return res, err
+	}
+	res.AssignTime = time.Since(t0)
+	res.Version = asg.Version
+	res.Offset = asg.Offset
+	firstPage := asg.Offset / b.pageSize
+	wr := meta.PageRange{First: firstPage, Count: npages}
+	r := b.c.opts.DataReplicas
+	if r > len(alloc.IDs)/int(npages) {
+		r = len(alloc.IDs) / int(npages)
+	}
+
+	// Phase 3: build the partial tree in complete isolation and store it.
+	t0 = time.Now()
+	nodes, err := meta.Build(b.id, asg.Version, b.totalPages, wr,
+		meta.BorderResolver(asg.Borders),
+		func(page uint64) (meta.LeafData, error) {
+			rel := page - firstPage
+			return meta.LeafData{
+				Write:     writeID,
+				RelPage:   uint32(rel),
+				Providers: alloc.IDs[int(rel)*r : int(rel+1)*r],
+				Checksum:  checksums[rel],
+			}, nil
+		})
+	if err != nil {
+		return res, err
+	}
+	if err := b.c.ms.StoreNodes(ctx, nodes); err != nil {
+		return res, err
+	}
+	res.MetaTime = time.Since(t0)
+	b.c.MetaWriteTime.Observe(res.MetaTime)
+
+	// Phase 4: report success; block until published so the returned
+	// version is immediately readable (the paper's liveness guarantee
+	// makes this wait finite).
+	t0 = time.Now()
+	if _, err := b.c.vm.Commit(ctx, b.id, asg.Version, true); err != nil {
+		return res, err
+	}
+	res.CommitTime = time.Since(t0)
+
+	b.c.Writes.Inc()
+	b.c.BytesWritten.Add(int64(len(buf)))
+	b.c.WriteLatency.Observe(time.Since(start))
+	return res, nil
+}
+
+// allocateProviders asks the provider manager for page placement.
+func (b *Blob) allocateProviders(ctx context.Context, npages int) (pmanager.Allocation, error) {
+	body := pmanager.EncodeAllocate(npages, b.c.opts.DataReplicas)
+	resp, err := b.c.pool.Call(ctx, b.c.opts.PManagerAddr, pmanager.MAllocate, body)
+	if err != nil {
+		return pmanager.Allocation{}, fmt.Errorf("core: allocate providers: %w", err)
+	}
+	alloc, err := pmanager.DecodeAllocation(resp)
+	if err != nil {
+		return pmanager.Allocation{}, err
+	}
+	// Cache any addresses the manager told us about.
+	b.c.provMu.Lock()
+	for id, addr := range alloc.Addrs {
+		b.c.providers[id] = addr
+	}
+	b.c.provMu.Unlock()
+	return alloc, nil
+}
+
+// putPages uploads all pages in parallel, one batched request per
+// provider, and returns the per-page checksums.
+func (b *Blob) putPages(ctx context.Context, writeID uint64, buf []byte, alloc pmanager.Allocation) ([]uint64, error) {
+	npages := uint64(len(buf)) / b.pageSize
+	r := len(alloc.IDs) / int(npages)
+	checksums := make([]uint64, npages)
+
+	type batch struct {
+		rels  []uint32
+		datas [][]byte
+	}
+	batches := make(map[uint32]*batch)
+	for p := uint64(0); p < npages; p++ {
+		data := buf[p*b.pageSize : (p+1)*b.pageSize]
+		checksums[p] = wire.Checksum64(data)
+		for j := 0; j < r; j++ {
+			id := alloc.IDs[int(p)*r+j]
+			bt := batches[id]
+			if bt == nil {
+				bt = &batch{}
+				batches[id] = bt
+			}
+			bt.rels = append(bt.rels, uint32(p))
+			bt.datas = append(bt.datas, data)
+		}
+	}
+
+	pend := make([]*rpc.Pending, 0, len(batches))
+	for id, bt := range batches {
+		addr, err := b.c.providerAddr(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		body := provider.EncodePutPages(b.id, writeID, bt.rels, bt.datas)
+		pend = append(pend, b.c.pool.Go(addr, provider.MPutPages, body))
+	}
+	for _, p := range pend {
+		if _, err := p.Wait(ctx); err != nil {
+			return nil, fmt.Errorf("core: store pages: %w", err)
+		}
+	}
+	return checksums, nil
+}

@@ -1,0 +1,347 @@
+package dht
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"blob/internal/rpc"
+	"blob/internal/stats"
+	"blob/internal/wire"
+)
+
+// ErrNotFound is returned by Get when no replica holds the key.
+var ErrNotFound = errors.New("dht: key not found")
+
+// ErrNoNodes is returned when the ring is empty.
+var ErrNoNodes = errors.New("dht: no storage nodes")
+
+// Client routes key/value operations to the responsible replicas.
+// It is safe for concurrent use. The ring view can be refreshed from the
+// directory at any time; in-flight operations keep using the view they
+// started with (immutable snapshots).
+//
+// Reads self-heal: when a Get is served by a non-primary replica, the
+// value is asynchronously re-put to the replicas ahead of it. Write-once
+// semantics make this unconditionally safe, and it restores full
+// replication after a node loss or a partially failed MultiPut.
+type Client struct {
+	pool     *rpc.Pool
+	dirAddr  string
+	replicas int
+
+	// ReadRepairs counts values healed back onto earlier replicas.
+	ReadRepairs stats.Counter
+
+	mu   sync.RWMutex
+	ring *Ring
+}
+
+// NewClient creates a client with an explicit ring (tests, static
+// deployments). replicas is clamped to at least 1.
+func NewClient(pool *rpc.Pool, ring *Ring, replicas int) *Client {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Client{pool: pool, ring: ring, replicas: replicas}
+}
+
+// NewDirectoryClient creates a client that fetches its ring from the
+// directory service at dirAddr.
+func NewDirectoryClient(ctx context.Context, pool *rpc.Pool, dirAddr string, replicas int) (*Client, error) {
+	ring, _, err := FetchRing(ctx, pool, dirAddr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(pool, ring, replicas)
+	c.dirAddr = dirAddr
+	return c, nil
+}
+
+// Refresh refetches the membership from the directory, if one is known.
+func (c *Client) Refresh(ctx context.Context) error {
+	if c.dirAddr == "" {
+		return nil
+	}
+	ring, _, err := FetchRing(ctx, c.pool, c.dirAddr)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.ring = ring
+	c.mu.Unlock()
+	return nil
+}
+
+// Ring returns the current ring snapshot.
+func (c *Client) Ring() *Ring {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring
+}
+
+// Replicas returns the configured replication factor.
+func (c *Client) Replicas() int { return c.replicas }
+
+// Put stores value under key on all replicas. It succeeds if at least one
+// replica acknowledged; replica failures beyond that are tolerated
+// because values are write-once and repairable by re-put.
+func (c *Client) Put(ctx context.Context, key uint64, value []byte) error {
+	reps := c.Ring().ReplicasFor(key, c.replicas)
+	if len(reps) == 0 {
+		return ErrNoNodes
+	}
+	w := wire.NewWriter(len(value) + 16)
+	w.Uint64(key)
+	w.BytesField(value)
+	body := w.Bytes()
+
+	pend := make([]*rpc.Pending, len(reps))
+	for i, rep := range reps {
+		pend[i] = c.pool.Go(rep.Addr, MPut, body)
+	}
+	var firstErr error
+	acked := 0
+	for _, p := range pend {
+		if _, err := p.Wait(ctx); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		acked++
+	}
+	if acked == 0 {
+		return fmt.Errorf("dht: put failed on all %d replicas: %w", len(reps), firstErr)
+	}
+	return nil
+}
+
+// Get fetches the value for key, trying replicas in preference order.
+func (c *Client) Get(ctx context.Context, key uint64) ([]byte, error) {
+	reps := c.Ring().ReplicasFor(key, c.replicas)
+	if len(reps) == 0 {
+		return nil, ErrNoNodes
+	}
+	w := wire.NewWriter(8)
+	w.Uint64(key)
+	body := w.Bytes()
+	var lastErr error = ErrNotFound
+	for tier, rep := range reps {
+		resp, err := c.pool.Call(ctx, rep.Addr, MGet, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r := wire.NewReader(resp)
+		if r.Bool() {
+			v := r.BytesCopy()
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			if tier > 0 {
+				c.readRepair(key, v, reps[:tier])
+			}
+			return v, nil
+		}
+	}
+	if lastErr == ErrNotFound {
+		return nil, ErrNotFound
+	}
+	return nil, fmt.Errorf("dht: get %#x: %w", key, lastErr)
+}
+
+// Delete removes key from all replicas (best effort).
+func (c *Client) Delete(ctx context.Context, key uint64) error {
+	reps := c.Ring().ReplicasFor(key, c.replicas)
+	if len(reps) == 0 {
+		return ErrNoNodes
+	}
+	w := wire.NewWriter(8)
+	w.Uint64(key)
+	body := w.Bytes()
+	var firstErr error
+	for _, rep := range reps {
+		if _, err := c.pool.Call(ctx, rep.Addr, MDelete, body); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// readRepair re-puts a value onto the replicas that missed it,
+// asynchronously and best-effort.
+func (c *Client) readRepair(key uint64, value []byte, missed []NodeInfo) {
+	w := wire.NewWriter(len(value) + 16)
+	w.Uint64(key)
+	w.BytesField(value)
+	body := w.Bytes()
+	for _, rep := range missed {
+		c.pool.Go(rep.Addr, MPut, body)
+	}
+	c.ReadRepairs.Inc()
+}
+
+// KV is one key/value pair for batched puts.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// MultiPut stores a batch of entries, grouping them per replica node so
+// each node receives one aggregated request — the metadata write path of
+// the paper, where a whole subtree is dispatched in a handful of frames.
+func (c *Client) MultiPut(ctx context.Context, kvs []KV) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	ring := c.Ring()
+	if ring.Size() == 0 {
+		return ErrNoNodes
+	}
+	type group struct {
+		w *wire.Writer
+		n int
+	}
+	groups := make(map[string]*group)
+	for _, kv := range kvs {
+		for _, rep := range ring.ReplicasFor(kv.Key, c.replicas) {
+			g := groups[rep.Addr]
+			if g == nil {
+				g = &group{w: wire.NewWriter(1 << 12)}
+				g.w.Uvarint(0) // placeholder replaced below by re-encoding
+				groups[rep.Addr] = g
+			}
+			g.w.Uint64(kv.Key)
+			g.w.BytesField(kv.Value)
+			g.n++
+		}
+	}
+	// Re-encode with the real counts (cheap: header only).
+	pend := make([]*rpc.Pending, 0, len(groups))
+	for addr, g := range groups {
+		hdr := wire.NewWriter(8)
+		hdr.Uvarint(uint64(g.n))
+		// Body payload begins after the placeholder varint (1 byte: 0).
+		payload := g.w.Bytes()[1:]
+		full := make([]byte, 0, len(payload)+hdr.Len())
+		full = append(full, hdr.Bytes()...)
+		full = append(full, payload...)
+		pend = append(pend, c.pool.Go(addr, MMultiPut, full))
+	}
+	var firstErr error
+	acked := 0
+	for _, p := range pend {
+		if _, err := p.Wait(ctx); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		acked++
+	}
+	if acked == 0 && firstErr != nil {
+		return fmt.Errorf("dht: multiput failed everywhere: %w", firstErr)
+	}
+	if firstErr != nil && acked < len(groups) {
+		// Partial failure: with replicas >= 2 the surviving copies serve
+		// reads; with replicas == 1 some keys may be lost, so report.
+		if c.replicas == 1 {
+			return fmt.Errorf("dht: multiput partial failure: %w", firstErr)
+		}
+	}
+	return nil
+}
+
+// MultiGet fetches a batch of keys, one aggregated request per node
+// (primary replicas), with per-key fallback to other replicas for keys
+// the primary missed. The result maps key to value; absent keys are
+// simply missing from the map.
+func (c *Client) MultiGet(ctx context.Context, keys []uint64) (map[uint64][]byte, error) {
+	out := make(map[uint64][]byte, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	ring := c.Ring()
+	if ring.Size() == 0 {
+		return nil, ErrNoNodes
+	}
+
+	remaining := keys
+	// Try replica tiers in order: tier 0 = primary, tier 1 = secondary...
+	for tier := 0; tier < c.replicas && len(remaining) > 0; tier++ {
+		groups := make(map[string][]uint64)
+		for _, k := range remaining {
+			reps := ring.ReplicasFor(k, c.replicas)
+			if tier >= len(reps) {
+				continue
+			}
+			addr := reps[tier].Addr
+			groups[addr] = append(groups[addr], k)
+		}
+		if len(groups) == 0 {
+			break
+		}
+		type result struct {
+			keys []uint64
+			resp []byte
+			err  error
+		}
+		results := make(chan result, len(groups))
+		for addr, ks := range groups {
+			go func(addr string, ks []uint64) {
+				w := wire.NewWriter(8 * len(ks))
+				w.Uint64Slice(ks)
+				resp, err := c.pool.Call(ctx, addr, MMultiGet, w.Bytes())
+				results <- result{keys: ks, resp: resp, err: err}
+			}(addr, ks)
+		}
+		var miss []uint64
+		var lastErr error
+		for i := 0; i < len(groups); i++ {
+			res := <-results
+			if res.err != nil {
+				lastErr = res.err
+				miss = append(miss, res.keys...)
+				continue
+			}
+			r := wire.NewReader(res.resp)
+			n := int(r.Uvarint())
+			if n != len(res.keys) {
+				return nil, fmt.Errorf("dht: multiget response count %d != %d", n, len(res.keys))
+			}
+			for _, k := range res.keys {
+				if r.Bool() {
+					out[k] = r.BytesCopy()
+				} else {
+					miss = append(miss, k)
+				}
+			}
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+		}
+		_ = lastErr
+		remaining = miss
+	}
+	return out, nil
+}
+
+// Stats fetches storage statistics from every node in the ring.
+func (c *Client) Stats(ctx context.Context) (map[string]StoreStats, error) {
+	ring := c.Ring()
+	out := make(map[string]StoreStats, ring.Size())
+	for _, n := range ring.Nodes() {
+		resp, err := c.pool.Call(ctx, n.Addr, MStats, nil)
+		if err != nil {
+			return nil, fmt.Errorf("dht: stats from %s: %w", n.Addr, err)
+		}
+		st, err := DecodeStoreStats(resp)
+		if err != nil {
+			return nil, err
+		}
+		out[n.Addr] = st
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package meta
+
+import "fmt"
+
+// IntervalVersionMap records, for every page of a blob, the highest
+// version number assigned to a write covering that page. The version
+// manager holds one per blob and uses it to answer the border queries of
+// paper §IV.C: when assigning version v to a write, the latest version
+// v' <= v-1 whose segment intersects a border child range R is exactly
+// MaxIntersecting(R) evaluated before Assign(wr, v) — versions are
+// assigned in increasing order, so the map contains precisely the writes
+// numbered 1..v-1 at that moment. That version's node (v', R) is
+// guaranteed to exist (a write creates nodes for every range its segment
+// intersects), even if v' is still being written: node keys are
+// deterministic, so referencing before storing is sound.
+//
+// The structure is a sparse segment tree over [0, totalPages) with lazy
+// range assignment and range-max queries, O(log totalPages) per
+// operation and memory proportional to the number of distinct write
+// extents — a 1 TB blob of 64 KB pages (2^24 pages) costs at most ~24
+// nodes per write.
+type IntervalVersionMap struct {
+	total uint64
+	root  *ivNode
+}
+
+type ivNode struct {
+	// full, when nonzero, means the entire subtree range is covered by
+	// this version (a pending lazy assignment not yet pushed down).
+	full Version
+	// max is the maximum version present anywhere in the subtree.
+	max         Version
+	left, right *ivNode
+}
+
+// NewIntervalVersionMap creates a map over a blob of totalPages pages.
+func NewIntervalVersionMap(totalPages uint64) (*IntervalVersionMap, error) {
+	if !IsPowerOfTwo(totalPages) {
+		return nil, fmt.Errorf("meta: totalPages %d is not a power of two", totalPages)
+	}
+	return &IntervalVersionMap{total: totalPages, root: &ivNode{}}, nil
+}
+
+// TotalPages returns the page-space size the map covers.
+func (m *IntervalVersionMap) TotalPages() uint64 { return m.total }
+
+// Assign records that version v wrote the pages of wr. Versions must be
+// assigned in non-decreasing order (the version manager's serialization
+// guarantees this); violating that is a programming error and panics.
+func (m *IntervalVersionMap) Assign(wr PageRange, v Version) {
+	if err := ValidateGeometry(m.total, wr); err != nil {
+		panic(fmt.Sprintf("meta: bad Assign range: %v", err))
+	}
+	if v < m.root.max {
+		panic(fmt.Sprintf("meta: Assign version %d below current max %d", v, m.root.max))
+	}
+	assign(m.root, NodeRange{0, m.total}, wr, v)
+}
+
+func assign(n *ivNode, r NodeRange, wr PageRange, v Version) {
+	if !wr.Intersects(r) {
+		return
+	}
+	if wr.First <= r.Start && r.End() <= wr.End() {
+		// Fully covered: lazy assignment. Because versions are monotone,
+		// overwriting any pending lazy value is correct.
+		n.full = v
+		n.max = v
+		return
+	}
+	push(n)
+	left, right := r.Children()
+	assign(child(n, &n.left), left, wr, v)
+	assign(child(n, &n.right), right, wr, v)
+	n.max = maxVer(childMax(n.left), childMax(n.right))
+}
+
+// MaxIntersecting returns the highest version assigned to any page in q,
+// or ZeroVersion if no write has touched q.
+func (m *IntervalVersionMap) MaxIntersecting(q NodeRange) Version {
+	if q.Size == 0 || q.Start >= m.total {
+		return ZeroVersion
+	}
+	return query(m.root, NodeRange{0, m.total}, PageRange{q.Start, q.Size})
+}
+
+// MaxIntersectingPages is MaxIntersecting for an arbitrary page range.
+func (m *IntervalVersionMap) MaxIntersectingPages(q PageRange) Version {
+	if q.Empty() || q.First >= m.total {
+		return ZeroVersion
+	}
+	return query(m.root, NodeRange{0, m.total}, q)
+}
+
+func query(n *ivNode, r NodeRange, q PageRange) Version {
+	if n == nil || !q.Intersects(r) {
+		return ZeroVersion
+	}
+	if n.full != ZeroVersion {
+		// Entire subtree uniformly covered by n.full; deeper structure
+		// (if any) is superseded.
+		return n.full
+	}
+	if q.First <= r.Start && r.End() <= q.End() {
+		return n.max
+	}
+	left, right := r.Children()
+	return maxVer(query(n.left, left, q), query(n.right, right, q))
+}
+
+// push propagates a pending full assignment to the children.
+func push(n *ivNode) {
+	if n.full == ZeroVersion {
+		return
+	}
+	l := child(n, &n.left)
+	r := child(n, &n.right)
+	l.full, l.max = n.full, n.full
+	r.full, r.max = n.full, n.full
+	n.full = ZeroVersion
+}
+
+// child returns *slot, allocating an empty node on first use.
+func child(_ *ivNode, slot **ivNode) *ivNode {
+	if *slot == nil {
+		*slot = &ivNode{}
+	}
+	return *slot
+}
+
+func childMax(n *ivNode) Version {
+	if n == nil {
+		return ZeroVersion
+	}
+	return n.max
+}
+
+func maxVer(a, b Version) Version {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ResolveBorders fills the Ver field of each border from the map. It must
+// be called BEFORE Assign for the version being created, under the same
+// lock — the map then reflects exactly the writes numbered below it.
+func (m *IntervalVersionMap) ResolveBorders(borders []Border) {
+	for i := range borders {
+		borders[i].Ver = m.MaxIntersecting(borders[i].Child)
+	}
+}

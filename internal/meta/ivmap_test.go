@@ -1,0 +1,166 @@
+package meta
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// modelMap is the naive O(pages) reference implementation.
+type modelMap struct {
+	pages []Version
+}
+
+func newModelMap(total uint64) *modelMap {
+	return &modelMap{pages: make([]Version, total)}
+}
+
+func (m *modelMap) assign(wr PageRange, v Version) {
+	for p := wr.First; p < wr.End(); p++ {
+		m.pages[p] = v
+	}
+}
+
+func (m *modelMap) maxIntersecting(q PageRange) Version {
+	var best Version
+	end := q.End()
+	if end > uint64(len(m.pages)) {
+		end = uint64(len(m.pages))
+	}
+	for p := q.First; p < end; p++ {
+		if m.pages[p] > best {
+			best = m.pages[p]
+		}
+	}
+	return best
+}
+
+func TestIVMapMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		total := uint64(1) << (rng.Intn(8) + 1) // up to 256 pages
+		ivm, err := NewIntervalVersionMap(total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := newModelMap(total)
+		for v := Version(1); v <= 60; v++ {
+			first := uint64(rng.Intn(int(total)))
+			count := uint64(rng.Intn(int(total-first))) + 1
+			wr := PageRange{first, count}
+			ivm.Assign(wr, v)
+			model.assign(wr, v)
+
+			// Check a batch of random queries after every write.
+			for q := 0; q < 20; q++ {
+				qf := uint64(rng.Intn(int(total)))
+				qc := uint64(rng.Intn(int(total-qf))) + 1
+				pq := PageRange{qf, qc}
+				got := ivm.MaxIntersectingPages(pq)
+				want := model.maxIntersecting(pq)
+				if got != want {
+					t.Fatalf("trial %d v%d: query %v = %d, want %d", trial, v, pq, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIVMapFreshIsZero(t *testing.T) {
+	ivm, _ := NewIntervalVersionMap(64)
+	if got := ivm.MaxIntersecting(NodeRange{0, 64}); got != ZeroVersion {
+		t.Errorf("fresh map max = %d, want 0", got)
+	}
+	if got := ivm.MaxIntersecting(NodeRange{8, 8}); got != ZeroVersion {
+		t.Errorf("fresh sub-range max = %d, want 0", got)
+	}
+}
+
+func TestIVMapQueryOutOfBounds(t *testing.T) {
+	ivm, _ := NewIntervalVersionMap(16)
+	ivm.Assign(PageRange{0, 16}, 3)
+	if got := ivm.MaxIntersectingPages(PageRange{100, 4}); got != ZeroVersion {
+		t.Errorf("out-of-bounds query = %d, want 0", got)
+	}
+	if got := ivm.MaxIntersectingPages(PageRange{0, 0}); got != ZeroVersion {
+		t.Errorf("empty query = %d, want 0", got)
+	}
+}
+
+func TestIVMapMonotonicityEnforced(t *testing.T) {
+	ivm, _ := NewIntervalVersionMap(8)
+	ivm.Assign(PageRange{0, 4}, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-monotone Assign should panic")
+		}
+	}()
+	ivm.Assign(PageRange{4, 4}, 3)
+}
+
+func TestIVMapRejectsBadGeometry(t *testing.T) {
+	if _, err := NewIntervalVersionMap(12); err == nil {
+		t.Error("non-power-of-two total accepted")
+	}
+	ivm, _ := NewIntervalVersionMap(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Assign should panic")
+		}
+	}()
+	ivm.Assign(PageRange{6, 4}, 1)
+}
+
+func TestResolveBordersSemantics(t *testing.T) {
+	// Three writes; the fourth's borders must see the freshest
+	// intersecting version for each border child.
+	const total = 16
+	ivm, _ := NewIntervalVersionMap(total)
+	ivm.Assign(PageRange{0, 16}, 1)
+	ivm.Assign(PageRange{0, 4}, 2)
+	ivm.Assign(PageRange{12, 4}, 3)
+
+	// Write 4 touches pages [6,8): borders include (4,2)->? and (0,4)->2
+	// and (8,8)->3 among others.
+	borders := Borders(total, PageRange{6, 2})
+	ivm.ResolveBorders(borders)
+	got := map[NodeRange]Version{}
+	for _, b := range borders {
+		got[b.Child] = b.Ver
+	}
+	if got[NodeRange{0, 4}] != 2 {
+		t.Errorf("border (0,4) = %d, want 2", got[NodeRange{0, 4}])
+	}
+	if got[NodeRange{4, 2}] != 1 {
+		t.Errorf("border (4,2) = %d, want 1", got[NodeRange{4, 2}])
+	}
+	if got[NodeRange{8, 8}] != 3 {
+		t.Errorf("border (8,8) = %d, want 3", got[NodeRange{8, 8}])
+	}
+}
+
+func TestResolveBordersUntouchedRangeIsZero(t *testing.T) {
+	const total = 8
+	ivm, _ := NewIntervalVersionMap(total)
+	// First-ever write to pages [0,2): everything else resolves to the
+	// zero version (implicit all-zero subtree).
+	borders := Borders(total, PageRange{0, 2})
+	ivm.ResolveBorders(borders)
+	for _, b := range borders {
+		if b.Ver != ZeroVersion {
+			t.Errorf("border %v = %d, want 0 on fresh blob", b.Child, b.Ver)
+		}
+	}
+}
+
+func BenchmarkIVMapAssignQuery(b *testing.B) {
+	const total = 1 << 24
+	ivm, _ := NewIntervalVersionMap(total)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		first := uint64(rng.Intn(total - 256))
+		ivm.Assign(PageRange{first, 128}, Version(i+1))
+		ivm.MaxIntersectingPages(PageRange{first / 2, 4096})
+	}
+}

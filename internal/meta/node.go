@@ -1,0 +1,106 @@
+package meta
+
+import (
+	"fmt"
+
+	"blob/internal/wire"
+)
+
+// LeafData records where one page's bytes physically live. The page is
+// keyed on data providers by (blob, Write, RelPage): Write is the
+// client-generated write identity (pages are pushed before the version
+// number exists — paper §III.B), and RelPage the page's index relative to
+// the write's first page. Providers lists the replica provider IDs.
+// Checksum is the FNV-1a hash of the page content, verified on read.
+type LeafData struct {
+	Write     uint64
+	RelPage   uint32
+	Providers []uint32
+	Checksum  uint64
+}
+
+// Node is one segment tree node: its key plus either child versions
+// (interior) or leaf data. A child version of ZeroVersion denotes the
+// implicit all-zero subtree.
+type Node struct {
+	Key NodeKey
+
+	// Interior fields (Key.Range.Size > 1).
+	LeftVer  Version
+	RightVer Version
+
+	// Leaf field (Key.Range.Size == 1); nil for interior nodes.
+	Leaf *LeafData
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Key.Range.IsLeaf() }
+
+const (
+	nodeFlagLeaf = 1 << 0
+)
+
+// Encode serializes the node. The key is embedded in the value so a
+// decoder can detect hash collisions or routing mistakes.
+func (n *Node) Encode() []byte {
+	w := wire.NewWriter(64 + 4*len(nProviders(n)))
+	w.Uint64(n.Key.Blob)
+	w.Uvarint(n.Key.Version)
+	w.Uvarint(n.Key.Range.Start)
+	w.Uvarint(n.Key.Range.Size)
+	if n.Leaf != nil {
+		w.Uint8(nodeFlagLeaf)
+		w.Uvarint(n.Leaf.Write)
+		w.Uvarint(uint64(n.Leaf.RelPage))
+		w.Uint64(n.Leaf.Checksum)
+		w.Uint32Slice(n.Leaf.Providers)
+	} else {
+		w.Uint8(0)
+		w.Uvarint(n.LeftVer)
+		w.Uvarint(n.RightVer)
+	}
+	return w.Bytes()
+}
+
+func nProviders(n *Node) []uint32 {
+	if n.Leaf == nil {
+		return nil
+	}
+	return n.Leaf.Providers
+}
+
+// DecodeNode parses a node and verifies it matches the expected key.
+func DecodeNode(body []byte, want NodeKey) (*Node, error) {
+	r := wire.NewReader(body)
+	var n Node
+	n.Key.Blob = r.Uint64()
+	n.Key.Version = r.Uvarint()
+	n.Key.Range.Start = r.Uvarint()
+	n.Key.Range.Size = r.Uvarint()
+	flags := r.Uint8()
+	if flags&nodeFlagLeaf != 0 {
+		leaf := &LeafData{
+			Write:   r.Uvarint(),
+			RelPage: uint32(r.Uvarint()),
+		}
+		leaf.Checksum = r.Uint64()
+		leaf.Providers = r.Uint32Slice()
+		n.Leaf = leaf
+	} else {
+		n.LeftVer = r.Uvarint()
+		n.RightVer = r.Uvarint()
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("meta: decode node: %w", err)
+	}
+	if n.Key != want {
+		return nil, fmt.Errorf("meta: node key mismatch: stored %+v, expected %+v (hash collision or routing bug)", n.Key, want)
+	}
+	if n.Leaf != nil && !n.Key.Range.IsLeaf() {
+		return nil, fmt.Errorf("meta: leaf payload on interior range %v", n.Key.Range)
+	}
+	if n.Leaf == nil && n.Key.Range.IsLeaf() {
+		return nil, fmt.Errorf("meta: interior payload on leaf range %v", n.Key.Range)
+	}
+	return &n, nil
+}

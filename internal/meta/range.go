@@ -1,0 +1,133 @@
+// Package meta implements the metadata representation at the heart of the
+// paper: a per-version distributed segment tree over the page space of a
+// blob, plus the interval-version bookkeeping the version manager uses to
+// precompute the "weaving" of a new partial tree into the forest of
+// earlier versions (paper §III.C and §IV.C).
+//
+// Terminology follows the paper: a blob of totalPages pages (a power of
+// two) has, per version, a full binary tree whose root covers
+// [0, totalPages) and whose leaves cover single pages. A node is
+// identified by (blob, version, start, size); it exists exactly when the
+// version's written segment intersects [start, start+size). Interior
+// nodes record the version numbers of their two children; a child version
+// of zero denotes the implicit all-zero subtree of the initial blob
+// state. Leaves record where the page bytes live (the owning write and
+// its replica providers).
+package meta
+
+import (
+	"fmt"
+
+	"blob/internal/wire"
+)
+
+// Version numbers a snapshot of a blob. Versions are consecutive
+// integers; ZeroVersion is the implicit all-zero initial string.
+type Version = uint64
+
+// ZeroVersion is the version of the initial, all-zero blob content.
+const ZeroVersion Version = 0
+
+// PageRange is a run of consecutive pages: [First, First+Count).
+type PageRange struct {
+	First uint64
+	Count uint64
+}
+
+// End returns the exclusive upper page bound.
+func (p PageRange) End() uint64 { return p.First + p.Count }
+
+// Empty reports whether the range covers no pages.
+func (p PageRange) Empty() bool { return p.Count == 0 }
+
+// Intersects reports whether p overlaps node range r.
+func (p PageRange) Intersects(r NodeRange) bool {
+	return p.First < r.End() && r.Start < p.End()
+}
+
+// String renders the range for diagnostics.
+func (p PageRange) String() string {
+	return fmt.Sprintf("[%d,%d)", p.First, p.End())
+}
+
+// NodeRange is the page interval covered by a segment tree node:
+// [Start, Start+Size) with Size a power of two and Start a multiple of
+// Size (the standard segment tree alignment).
+type NodeRange struct {
+	Start uint64
+	Size  uint64
+}
+
+// End returns the exclusive upper page bound.
+func (r NodeRange) End() uint64 { return r.Start + r.Size }
+
+// IsLeaf reports whether the node covers a single page.
+func (r NodeRange) IsLeaf() bool { return r.Size == 1 }
+
+// Children returns the two halves of the node's interval.
+func (r NodeRange) Children() (left, right NodeRange) {
+	h := r.Size / 2
+	return NodeRange{r.Start, h}, NodeRange{r.Start + h, h}
+}
+
+// Contains reports whether page p falls inside the node's interval.
+func (r NodeRange) Contains(p uint64) bool {
+	return p >= r.Start && p < r.End()
+}
+
+// String renders the range for diagnostics.
+func (r NodeRange) String() string {
+	return fmt.Sprintf("(%d,%d)", r.Start, r.Size)
+}
+
+// IsPowerOfTwo reports whether v is a positive power of two.
+func IsPowerOfTwo(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// ValidateGeometry checks that totalPages is a power of two and wr is a
+// non-empty in-bounds page range.
+func ValidateGeometry(totalPages uint64, wr PageRange) error {
+	if !IsPowerOfTwo(totalPages) {
+		return fmt.Errorf("meta: totalPages %d is not a power of two", totalPages)
+	}
+	if wr.Empty() {
+		return fmt.Errorf("meta: empty page range")
+	}
+	if wr.End() > totalPages || wr.End() < wr.First {
+		return fmt.Errorf("meta: range %v exceeds blob of %d pages", wr, totalPages)
+	}
+	return nil
+}
+
+// NodeKey is the global identity of one tree node.
+type NodeKey struct {
+	Blob    uint64
+	Version Version
+	Range   NodeRange
+}
+
+// Hash maps the key onto the DHT key space; nodes of the same tree
+// disperse uniformly over the metadata providers.
+func (k NodeKey) Hash() uint64 {
+	return wire.HashFields(k.Blob, k.Version, k.Range.Start, k.Range.Size)
+}
+
+// RootKey returns the key of version v's root node.
+func RootKey(blob uint64, v Version, totalPages uint64) NodeKey {
+	return NodeKey{Blob: blob, Version: v, Range: NodeRange{0, totalPages}}
+}
+
+// BytesToPages converts a byte extent to a page range, requiring page
+// alignment: the paper's access unit is the segment, a concatenation of
+// consecutive pages.
+func BytesToPages(off, length, pageSize uint64) (PageRange, error) {
+	if !IsPowerOfTwo(pageSize) {
+		return PageRange{}, fmt.Errorf("meta: page size %d is not a power of two", pageSize)
+	}
+	if off%pageSize != 0 {
+		return PageRange{}, fmt.Errorf("meta: offset %d not aligned to page size %d", off, pageSize)
+	}
+	if length == 0 || length%pageSize != 0 {
+		return PageRange{}, fmt.Errorf("meta: length %d not a positive multiple of page size %d", length, pageSize)
+	}
+	return PageRange{First: off / pageSize, Count: length / pageSize}, nil
+}

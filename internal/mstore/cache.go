@@ -1,0 +1,126 @@
+package mstore
+
+import (
+	"container/list"
+	"sync"
+
+	"blob/internal/meta"
+	"blob/internal/stats"
+)
+
+// nodeCache is a sharded, bounded LRU over immutable metadata tree nodes.
+// Because nodes are write-once and deterministically keyed, the cache
+// needs no invalidation protocol — exactly why the paper reports that
+// "client-side caching of metadata tree nodes results in optimizing out a
+// large amount of RPC calls" (§V.D; their cache held 2^20 nodes).
+type nodeCache struct {
+	shards   [cacheShards]cacheShard
+	capShard int
+
+	hits   stats.Counter
+	misses stats.Counter
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[meta.NodeKey]*list.Element
+	ll *list.List
+}
+
+type cacheEntry struct {
+	key  meta.NodeKey
+	node *meta.Node
+}
+
+// newNodeCache creates a cache holding up to capacity nodes in total.
+// A capacity of zero disables caching (every lookup misses).
+func newNodeCache(capacity int) *nodeCache {
+	c := &nodeCache{capShard: capacity / cacheShards}
+	if capacity > 0 && c.capShard == 0 {
+		c.capShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[meta.NodeKey]*list.Element)
+		c.shards[i].ll = list.New()
+	}
+	return c
+}
+
+func (c *nodeCache) shard(k meta.NodeKey) *cacheShard {
+	return &c.shards[k.Hash()&(cacheShards-1)]
+}
+
+// get returns the cached node, if present.
+func (c *nodeCache) get(k meta.NodeKey) (*meta.Node, bool) {
+	if c.capShard == 0 {
+		c.misses.Inc()
+		return nil, false
+	}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	el, ok := sh.m[k]
+	if ok {
+		sh.ll.MoveToFront(el)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).node, true
+}
+
+// put inserts a node, evicting the least recently used entry if full.
+func (c *nodeCache) put(k meta.NodeKey, n *meta.Node) {
+	if c.capShard == 0 {
+		return
+	}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, dup := sh.m[k]; dup {
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.m[k] = sh.ll.PushFront(&cacheEntry{key: k, node: n})
+	if sh.ll.Len() > c.capShard {
+		oldest := sh.ll.Back()
+		sh.ll.Remove(oldest)
+		delete(sh.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// remove drops a key (used after GC deletes nodes).
+func (c *nodeCache) remove(k meta.NodeKey) {
+	if c.capShard == 0 {
+		return
+	}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if el, ok := sh.m[k]; ok {
+		sh.ll.Remove(el)
+		delete(sh.m, k)
+	}
+	sh.mu.Unlock()
+}
+
+// len returns the number of cached nodes.
+func (c *nodeCache) len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].ll.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+	Len    int
+}

@@ -1,0 +1,235 @@
+// Package mstore implements the metadata-provider client: typed storage
+// and retrieval of segment-tree nodes over the DHT, plus the level-batched
+// tree traversal a READ uses to resolve its segment to page locations.
+//
+// The traversal proceeds breadth-first: all node fetches of one tree
+// level are issued as a single batch (grouped per metadata provider by
+// the DHT client, coalesced into single frames by the RPC layer), so a
+// read of a segment of P pages costs O(log2 totalPages) round trips of
+// parallel requests rather than O(P log P) sequential lookups.
+package mstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"blob/internal/dht"
+	"blob/internal/meta"
+)
+
+// ErrMissingNode is returned when a tree node cannot be found on any
+// metadata provider — either the version is not yet (fully) written or
+// the metadata was lost.
+var ErrMissingNode = errors.New("mstore: metadata node not found")
+
+// Client provides typed access to the metadata providers.
+type Client struct {
+	kv    *dht.Client
+	cache *nodeCache
+
+	// ProcessDelay models the client-side cost of receiving and
+	// deserializing one tree node fetched over the network (the paper's
+	// §V.C observation that "the main limiting factor is actually the
+	// performance of the client's processing power"). Cache hits skip
+	// it, so it also drives the cached-vs-uncached gap of Figure 3c.
+	// Zero (the default) disables the model.
+	ProcessDelay time.Duration
+}
+
+// DefaultCacheNodes mirrors the paper's experimental setup: the client
+// cache can accommodate 2^20 tree nodes.
+const DefaultCacheNodes = 1 << 20
+
+// New creates a metadata client over kv with a node cache of cacheNodes
+// entries (0 disables caching; negative uses DefaultCacheNodes).
+func New(kv *dht.Client, cacheNodes int) *Client {
+	if cacheNodes < 0 {
+		cacheNodes = DefaultCacheNodes
+	}
+	return &Client{kv: kv, cache: newNodeCache(cacheNodes)}
+}
+
+// StoreNodes writes a batch of tree nodes to the metadata providers.
+// Nodes are also inserted into the local cache: a writer frequently
+// re-reads its own recent versions.
+func (c *Client) StoreNodes(ctx context.Context, nodes []meta.Node) error {
+	kvs := make([]dht.KV, len(nodes))
+	for i := range nodes {
+		kvs[i] = dht.KV{Key: nodes[i].Key.Hash(), Value: nodes[i].Encode()}
+	}
+	if err := c.kv.MultiPut(ctx, kvs); err != nil {
+		return fmt.Errorf("mstore: store %d nodes: %w", len(nodes), err)
+	}
+	for i := range nodes {
+		n := nodes[i]
+		c.cache.put(n.Key, &n)
+	}
+	return nil
+}
+
+// FetchNode retrieves a single node.
+func (c *Client) FetchNode(ctx context.Context, key meta.NodeKey) (*meta.Node, error) {
+	if n, ok := c.cache.get(key); ok {
+		return n, nil
+	}
+	body, err := c.kv.Get(ctx, key.Hash())
+	if err != nil {
+		if errors.Is(err, dht.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %+v", ErrMissingNode, key)
+		}
+		return nil, err
+	}
+	if c.ProcessDelay > 0 {
+		time.Sleep(c.ProcessDelay)
+	}
+	n, err := meta.DecodeNode(body, key)
+	if err != nil {
+		return nil, err
+	}
+	c.cache.put(key, n)
+	return n, nil
+}
+
+// FetchNodes retrieves a batch of nodes, serving what it can from the
+// cache and batching the rest per provider. Missing nodes yield
+// ErrMissingNode.
+func (c *Client) FetchNodes(ctx context.Context, keys []meta.NodeKey) (map[meta.NodeKey]*meta.Node, error) {
+	out := make(map[meta.NodeKey]*meta.Node, len(keys))
+	var missKeys []meta.NodeKey
+	var missHashes []uint64
+	for _, k := range keys {
+		if n, ok := c.cache.get(k); ok {
+			out[k] = n
+			continue
+		}
+		missKeys = append(missKeys, k)
+		missHashes = append(missHashes, k.Hash())
+	}
+	if len(missKeys) == 0 {
+		return out, nil
+	}
+	got, err := c.kv.MultiGet(ctx, missHashes)
+	if err != nil {
+		return nil, fmt.Errorf("mstore: fetch %d nodes: %w", len(missKeys), err)
+	}
+	if c.ProcessDelay > 0 {
+		// One sleep for the whole batch: the per-node costs are
+		// sequential on the client CPU.
+		time.Sleep(time.Duration(len(missKeys)) * c.ProcessDelay)
+	}
+	for i, k := range missKeys {
+		body, ok := got[missHashes[i]]
+		if !ok {
+			return nil, fmt.Errorf("%w: %+v", ErrMissingNode, k)
+		}
+		n, err := meta.DecodeNode(body, k)
+		if err != nil {
+			return nil, err
+		}
+		c.cache.put(k, n)
+		out[k] = n
+	}
+	return out, nil
+}
+
+// DeleteNode removes a node from the providers and the local cache (GC).
+func (c *Client) DeleteNode(ctx context.Context, key meta.NodeKey) error {
+	c.cache.remove(key)
+	return c.kv.Delete(ctx, key.Hash())
+}
+
+// PageLeaf is one resolved page of a read plan.
+type PageLeaf struct {
+	// Page is the absolute page index within the blob.
+	Page uint64
+	// Leaf locates the bytes; Leaf.Write == 0 denotes the zero page.
+	Leaf meta.LeafData
+}
+
+// ReadPlan resolves the segment pr of version v down to its page
+// locations by descending the version's tree. The returned leaves are
+// sorted by page index and cover every page of pr (zero pages included,
+// with Leaf.Write == 0).
+//
+// Per the paper's read protocol, the traversal needs no locks and no
+// interaction with the version manager: the sub-forest reachable from a
+// published version's root is immutable.
+func (c *Client) ReadPlan(ctx context.Context, blob uint64, v meta.Version, totalPages uint64, pr meta.PageRange) ([]PageLeaf, error) {
+	if err := meta.ValidateGeometry(totalPages, pr); err != nil {
+		return nil, err
+	}
+	leaves := make([]PageLeaf, 0, pr.Count)
+	if v == meta.ZeroVersion {
+		for p := pr.First; p < pr.End(); p++ {
+			leaves = append(leaves, PageLeaf{Page: p})
+		}
+		return leaves, nil
+	}
+
+	frontier := []meta.NodeKey{meta.RootKey(blob, v, totalPages)}
+	for len(frontier) > 0 {
+		nodes, err := c.FetchNodes(ctx, frontier)
+		if err != nil {
+			return nil, err
+		}
+		var next []meta.NodeKey
+		for _, key := range frontier {
+			n := nodes[key]
+			if n.IsLeaf() {
+				leaves = append(leaves, PageLeaf{Page: n.Key.Range.Start, Leaf: *n.Leaf})
+				continue
+			}
+			left, right := n.Key.Range.Children()
+			for _, side := range [2]struct {
+				r   meta.NodeRange
+				ver meta.Version
+			}{{left, n.LeftVer}, {right, n.RightVer}} {
+				if !pr.Intersects(side.r) {
+					continue
+				}
+				if side.ver == meta.ZeroVersion {
+					appendZeroPages(&leaves, side.r, pr)
+					continue
+				}
+				next = append(next, meta.NodeKey{Blob: blob, Version: side.ver, Range: side.r})
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].Page < leaves[j].Page })
+	if uint64(len(leaves)) != pr.Count {
+		return nil, fmt.Errorf("mstore: read plan resolved %d pages, want %d (corrupt tree?)", len(leaves), pr.Count)
+	}
+	return leaves, nil
+}
+
+// appendZeroPages records the pages of r∩pr as zero pages.
+func appendZeroPages(leaves *[]PageLeaf, r meta.NodeRange, pr meta.PageRange) {
+	lo, hi := r.Start, r.End()
+	if lo < pr.First {
+		lo = pr.First
+	}
+	if hi > pr.End() {
+		hi = pr.End()
+	}
+	for p := lo; p < hi; p++ {
+		*leaves = append(*leaves, PageLeaf{Page: p})
+	}
+}
+
+// CacheStats returns local cache effectiveness counters.
+func (c *Client) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:   c.cache.hits.Value(),
+		Misses: c.cache.misses.Value(),
+		Len:    c.cache.len(),
+	}
+}
+
+// StoreStats returns per-provider storage statistics.
+func (c *Client) StoreStats(ctx context.Context) (map[string]dht.StoreStats, error) {
+	return c.kv.Stats(ctx)
+}

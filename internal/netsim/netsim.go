@@ -1,0 +1,247 @@
+// Package netsim provides an in-memory network with configurable link
+// latency and per-NIC bandwidth metering. It substitutes for the paper's
+// Grid'5000 cluster (1 Gbit/s Ethernet: 117.5 MB/s measured TCP rate,
+// 0.1 ms latency): every process in the reproduced system talks over
+// net.Conn, so the same binaries run over netsim in a single process or
+// over real TCP across machines.
+//
+// The model is deliberately simple but captures the two effects the
+// paper's evaluation measures:
+//
+//   - per-message latency: each written frame becomes readable at the
+//     receiver only after the configured one-way delay, so a request/
+//     response exchange costs a round trip, and batching several logical
+//     calls into one frame (the paper's aggregated RPC) saves latency;
+//   - NIC saturation: each simulated host owns a token-bucket NIC.
+//     Writing charges both the sender's and the receiver's NIC, so many
+//     clients hammering one provider share that provider's bandwidth —
+//     which is what bounds per-client throughput in Figure 3(c).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config describes the simulated fabric.
+type Config struct {
+	// Latency is the one-way delivery delay for every frame.
+	Latency time.Duration
+	// BandwidthBps is the per-NIC capacity in bytes per second.
+	// Zero means unlimited.
+	BandwidthBps float64
+}
+
+// TimeScale is the simulation time dilation: 1 simulated time unit =
+// TimeScale real time units. The paper's cluster has 0.1 ms latency, but
+// the host kernel's sleep granularity is on the order of a millisecond,
+// so sub-millisecond delays cannot be slept accurately. Dilating all
+// simulated delays by 10x keeps every materialized sleep comfortably
+// above the granularity floor while preserving the ratios the
+// experiments measure (the latency x bandwidth product is invariant).
+// Durations measured over a Grid5000() fabric therefore compare to the
+// paper's after dividing by TimeScale; bandwidths after multiplying.
+const TimeScale = 10
+
+// Grid5000 reproduces the paper's measured testbed parameters — 0.1 ms
+// latency, 117.5 MB/s TCP throughput on 1 Gbit/s Ethernet — dilated by
+// TimeScale (see its comment).
+func Grid5000() Config {
+	return Config{
+		Latency:      TimeScale * 100 * time.Microsecond,
+		BandwidthBps: 117.5e6 / TimeScale,
+	}
+}
+
+// Fast returns a configuration with no latency and no bandwidth cap,
+// for unit tests that exercise logic rather than performance shape.
+func Fast() Config { return Config{} }
+
+// Net is a simulated network fabric. Hosts are created on demand; each
+// host has one NIC. Addresses take the form "host:port".
+type Net struct {
+	cfg Config
+
+	mu        sync.Mutex
+	listeners map[string]*listener
+	nics      map[string]*nic
+	closed    bool
+}
+
+// New creates an empty fabric.
+func New(cfg Config) *Net {
+	return &Net{
+		cfg:       cfg,
+		listeners: make(map[string]*listener),
+		nics:      make(map[string]*nic),
+	}
+}
+
+// ErrRefused is returned by Dial when no listener is bound to the address.
+var ErrRefused = errors.New("netsim: connection refused")
+
+// ErrClosed is returned after the fabric or an endpoint has been closed.
+var ErrClosed = errors.New("netsim: closed")
+
+func hostOf(addr string) string {
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+func (n *Net) nicFor(host string) *nic {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nc, ok := n.nics[host]
+	if !ok {
+		nc = &nic{bps: n.cfg.BandwidthBps}
+		n.nics[host] = nc
+	}
+	return nc
+}
+
+// Host returns a dialing/listening endpoint bound to the named host.
+// All connections made through the returned Host are metered by the
+// host's single NIC.
+func (n *Net) Host(name string) *Host {
+	return &Host{net: n, name: name, nic: n.nicFor(name)}
+}
+
+// Close tears down the fabric: all listeners stop accepting.
+func (n *Net) Close() {
+	n.mu.Lock()
+	ls := make([]*listener, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		ls = append(ls, l)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+}
+
+// Host is one simulated machine on the fabric.
+type Host struct {
+	net  *Net
+	name string
+	nic  *nic
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Listen binds a listener to "host:port".
+func (h *Host) Listen(port string) (net.Listener, error) {
+	addr := h.name + ":" + port
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	if h.net.closed {
+		return nil, ErrClosed
+	}
+	if _, busy := h.net.listeners[addr]; busy {
+		return nil, fmt.Errorf("netsim: address %s already in use", addr)
+	}
+	l := &listener{
+		net:     h.net,
+		addr:    simAddr(addr),
+		backlog: make(chan net.Conn, 128),
+		done:    make(chan struct{}),
+	}
+	h.net.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to addr ("host:port"). The connection is metered by both
+// this host's NIC and the target host's NIC.
+func (h *Host) Dial(addr string) (net.Conn, error) {
+	h.net.mu.Lock()
+	l := h.net.listeners[addr]
+	h.net.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
+	}
+	remoteNIC := h.net.nicFor(hostOf(addr))
+	cliEnd, srvEnd := newPipePair(
+		h.net.cfg.Latency,
+		h.nic, remoteNIC,
+		simAddr(h.name+":0"), simAddr(addr),
+	)
+	select {
+	case l.backlog <- srvEnd:
+		return cliEnd, nil
+	case <-l.done:
+		cliEnd.Close()
+		srvEnd.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
+	}
+}
+
+type listener struct {
+	net     *Net
+	addr    simAddr
+	backlog chan net.Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, string(l.addr))
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *listener) Addr() net.Addr { return l.addr }
+
+type simAddr string
+
+func (a simAddr) Network() string { return "sim" }
+func (a simAddr) String() string  { return string(a) }
+
+// nic models a network interface as a virtual-finish-time token bucket.
+// Each write advances the NIC's horizon by the serialization time of the
+// written bytes; the writer sleeps until its bytes would have drained.
+// Concurrent connections on the same host therefore share the capacity
+// fairly, which is the contention behaviour the throughput experiment
+// (Figure 3c) depends on.
+type nic struct {
+	mu   sync.Mutex
+	bps  float64
+	next time.Time
+}
+
+// reserve accounts for n bytes and returns how long the caller must wait
+// before the bytes are considered on the wire.
+func (c *nic) reserve(n int) time.Duration {
+	if c == nil || c.bps <= 0 {
+		return 0
+	}
+	d := time.Duration(float64(n) / c.bps * float64(time.Second))
+	now := time.Now()
+	c.mu.Lock()
+	if c.next.Before(now) {
+		c.next = now
+	}
+	c.next = c.next.Add(d)
+	wait := c.next.Sub(now)
+	c.mu.Unlock()
+	return wait
+}

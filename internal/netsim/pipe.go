@@ -1,0 +1,212 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// segment is one written frame in flight: its payload and the simulated
+// time at which it becomes visible to the reader.
+type segment struct {
+	data []byte
+	at   time.Time
+}
+
+// pipeBuf is a unidirectional byte stream with delayed delivery.
+// Writers enqueue segments stamped now+latency; readers block until the
+// head segment's timestamp has passed. Capacity is bounded so a fast
+// writer experiences backpressure like a TCP send buffer would.
+type pipeBuf struct {
+	ch     chan segment
+	closed chan struct{}
+	once   sync.Once
+
+	mu      sync.Mutex
+	pending []byte // partially consumed head segment
+}
+
+func newPipeBuf() *pipeBuf {
+	return &pipeBuf{
+		ch:     make(chan segment, 256),
+		closed: make(chan struct{}),
+	}
+}
+
+func (b *pipeBuf) close() {
+	b.once.Do(func() { close(b.closed) })
+}
+
+func (b *pipeBuf) write(p []byte, at time.Time) error {
+	data := make([]byte, len(p))
+	copy(data, p)
+	select {
+	case b.ch <- segment{data: data, at: at}:
+		return nil
+	case <-b.closed:
+		return io.ErrClosedPipe
+	}
+}
+
+// read delivers available bytes, honouring segment timestamps and an
+// optional deadline (zero means none).
+func (b *pipeBuf) read(p []byte, deadline time.Time) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	if len(b.pending) == 0 {
+		var seg segment
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			d := time.Until(deadline)
+			if d <= 0 {
+				return 0, os.ErrDeadlineExceeded
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			timeout = t.C
+		}
+		select {
+		case seg = <-b.ch:
+		case <-b.closed:
+			// Drain anything already queued before reporting EOF.
+			select {
+			case seg = <-b.ch:
+			default:
+				return 0, io.EOF
+			}
+		case <-timeout:
+			return 0, os.ErrDeadlineExceeded
+		}
+		if wait := time.Until(seg.at); wait > 0 {
+			if !deadline.IsZero() && seg.at.After(deadline) {
+				// Deliverable only after the deadline; requeue is not
+				// possible on a channel, so hold it as pending and fail.
+				b.pending = seg.data
+				return 0, os.ErrDeadlineExceeded
+			}
+			b.mu.Unlock()
+			time.Sleep(wait)
+			b.mu.Lock()
+		}
+		b.pending = seg.data
+	}
+
+	n := copy(p, b.pending)
+	b.pending = b.pending[n:]
+	return n, nil
+}
+
+// conn is one endpoint of a simulated duplex connection.
+type conn struct {
+	rd, wr       *pipeBuf
+	local, peer  net.Addr
+	latency      time.Duration
+	srcNIC       *nic
+	dstNIC       *nic
+	readDeadline atomicTime
+	closeOnce    sync.Once
+}
+
+// newPipePair creates the two endpoints of a connection between hosts.
+// Frames written on either end are charged to both NICs and delivered
+// after the configured latency.
+func newPipePair(latency time.Duration, cliNIC, srvNIC *nic, cliAddr, srvAddr net.Addr) (cli, srv net.Conn) {
+	c2s := newPipeBuf()
+	s2c := newPipeBuf()
+	cli = &conn{
+		rd: s2c, wr: c2s,
+		local: cliAddr, peer: srvAddr,
+		latency: latency, srcNIC: cliNIC, dstNIC: srvNIC,
+	}
+	srv = &conn{
+		rd: c2s, wr: s2c,
+		local: srvAddr, peer: cliAddr,
+		latency: latency, srcNIC: srvNIC, dstNIC: cliNIC,
+	}
+	return cli, srv
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	return c.rd.read(p, c.readDeadline.load())
+}
+
+// minMaterializedSleep is the smallest NIC wait actually slept. Shorter
+// waits stay as debt in the NIC's virtual-finish-time horizon — they are
+// still accounted exactly, and once the horizon runs far enough ahead
+// the accumulated wait crosses the threshold and is slept. This keeps
+// the rate limit accurate under sustained load without issuing
+// sub-granularity sleeps the kernel would inflate.
+const minMaterializedSleep = time.Millisecond
+
+func (c *conn) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	// Serialization delay on both NICs: the sender blocks until its NIC
+	// would have drained the frame (backpressure), and the receive NIC's
+	// horizon advances too so inbound and outbound traffic contend.
+	w1 := c.srcNIC.reserve(len(p))
+	w2 := c.dstNIC.reserve(len(p))
+	wait := w1
+	if w2 > wait {
+		wait = w2
+	}
+	if wait >= minMaterializedSleep {
+		time.Sleep(wait)
+	}
+	if err := c.wr.write(p, time.Now().Add(c.latency)); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.wr.close()
+		c.rd.close()
+	})
+	return nil
+}
+
+func (c *conn) LocalAddr() net.Addr  { return c.local }
+func (c *conn) RemoteAddr() net.Addr { return c.peer }
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.readDeadline.store(t)
+	return nil
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.readDeadline.store(t)
+	return nil
+}
+
+// SetWriteDeadline is accepted but not enforced: simulated writes block
+// only for the metered serialization time, which is always finite.
+func (c *conn) SetWriteDeadline(time.Time) error { return nil }
+
+// atomicTime is a mutex-guarded time value (time.Time is not atomically
+// storable without sync/atomic.Pointer indirection; contention here is
+// negligible).
+type atomicTime struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (a *atomicTime) store(t time.Time) {
+	a.mu.Lock()
+	a.t = t
+	a.mu.Unlock()
+}
+
+func (a *atomicTime) load() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.t
+}

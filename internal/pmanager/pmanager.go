@@ -1,0 +1,426 @@
+// Package pmanager implements the provider manager: the registry of data
+// providers and the page-placement policy. On each WRITE the client asks
+// the provider manager for one provider per page (times the replication
+// factor); the manager picks providers "based on some strategy that
+// favors global load balancing" (paper §III.A).
+//
+// Three strategies are provided: round-robin (the default; matches the
+// paper's global balancing), least-loaded (by reported bytes used), and
+// power-of-two-choices (random pair, pick the lighter). Providers report
+// load through periodic heartbeats; providers that miss heartbeats are
+// excluded from placement until they reappear.
+package pmanager
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"blob/internal/rpc"
+	"blob/internal/wire"
+)
+
+// RPC method identifiers for the provider manager service (0x04xx block).
+const (
+	MRegister  = 0x0401
+	MHeartbeat = 0x0402
+	MAllocate  = 0x0403
+	MList      = 0x0404
+)
+
+// Strategy selects providers for new pages.
+type Strategy int
+
+// Placement strategies.
+const (
+	// RoundRobin rotates uniformly over live providers.
+	RoundRobin Strategy = iota
+	// LeastLoaded picks the providers with the fewest stored bytes.
+	LeastLoaded
+	// PowerOfTwo samples two random providers and picks the lighter.
+	PowerOfTwo
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case PowerOfTwo:
+		return "power-of-two"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ErrNoProviders is returned when placement cannot be satisfied.
+var ErrNoProviders = errors.New("pmanager: no live data providers")
+
+// ProviderInfo describes a registered provider to clients.
+type ProviderInfo struct {
+	ID   uint32
+	Addr string
+}
+
+// provider is the manager's record of one data provider.
+type provider struct {
+	info      ProviderInfo
+	capacity  int64
+	bytesUsed int64
+	activeOps int64
+	lastSeen  time.Time
+}
+
+// Manager is the provider manager service.
+type Manager struct {
+	strategy   Strategy
+	hbTimeout  time.Duration // 0 disables liveness filtering
+	replicas   int
+	rrCounter  uint64
+	rng        *rand.Rand
+	mu         sync.Mutex
+	byID       map[uint32]*provider
+	nextID     uint32
+	epoch      uint64
+	allocCalls uint64
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Strategy is the placement policy (default RoundRobin).
+	Strategy Strategy
+	// HeartbeatTimeout excludes providers silent for longer than this
+	// from placement. Zero disables the filter (useful in tests and
+	// single-process clusters where processes cannot silently die).
+	HeartbeatTimeout time.Duration
+	// Replicas is the number of copies of each page (default 1).
+	Replicas int
+	// Seed seeds the randomized strategies (0 uses a fixed seed, keeping
+	// placement reproducible in experiments).
+	Seed int64
+}
+
+// New creates a Manager.
+func New(cfg Config) *Manager {
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Manager{
+		strategy:  cfg.Strategy,
+		hbTimeout: cfg.HeartbeatTimeout,
+		replicas:  cfg.Replicas,
+		rng:       rand.New(rand.NewSource(seed)),
+		byID:      make(map[uint32]*provider),
+		nextID:    1,
+	}
+}
+
+// Replicas returns the configured replication factor for data pages.
+func (m *Manager) Replicas() int { return m.replicas }
+
+// Register adds (or re-registers) a provider, returning its ID.
+func (m *Manager) Register(addr string, capacity int64) uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.byID {
+		if p.info.Addr == addr {
+			p.capacity = capacity
+			p.lastSeen = time.Now()
+			return p.info.ID
+		}
+	}
+	id := m.nextID
+	m.nextID++
+	m.byID[id] = &provider{
+		info:     ProviderInfo{ID: id, Addr: addr},
+		capacity: capacity,
+		lastSeen: time.Now(),
+	}
+	m.epoch++
+	return id
+}
+
+// Heartbeat records a provider's load report. Unknown IDs are ignored
+// (the provider should re-register after a manager restart).
+func (m *Manager) Heartbeat(id uint32, bytesUsed, activeOps int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.byID[id]
+	if !ok {
+		return false
+	}
+	p.bytesUsed = bytesUsed
+	p.activeOps = activeOps
+	p.lastSeen = time.Now()
+	return true
+}
+
+// live returns providers considered alive, under the lock.
+func (m *Manager) liveLocked() []*provider {
+	out := make([]*provider, 0, len(m.byID))
+	cutoff := time.Time{}
+	if m.hbTimeout > 0 {
+		cutoff = time.Now().Add(-m.hbTimeout)
+	}
+	for _, p := range m.byID {
+		if m.hbTimeout > 0 && p.lastSeen.Before(cutoff) {
+			continue
+		}
+		out = append(out, p)
+	}
+	// Deterministic order for reproducible round-robin.
+	sort.Slice(out, func(a, b int) bool { return out[a].info.ID < out[b].info.ID })
+	return out
+}
+
+// Allocate picks placement for n pages with r replicas each. The result
+// is a flat slice of n*r provider IDs: page i's replicas occupy positions
+// [i*r, (i+1)*r). The second return value maps every used ID to its
+// address.
+func (m *Manager) Allocate(n, r int) ([]uint32, map[uint32]string, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("pmanager: invalid page count %d", n)
+	}
+	if r < 1 {
+		r = m.replicas
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.allocCalls++
+	live := m.liveLocked()
+	if len(live) == 0 {
+		return nil, nil, ErrNoProviders
+	}
+	if r > len(live) {
+		r = len(live)
+	}
+	ids := make([]uint32, 0, n*r)
+	addrs := make(map[uint32]string)
+	pick := func(exclude map[uint32]bool) *provider {
+		switch m.strategy {
+		case LeastLoaded:
+			var best *provider
+			for _, p := range live {
+				if exclude[p.info.ID] {
+					continue
+				}
+				if best == nil || p.bytesUsed < best.bytesUsed {
+					best = p
+				}
+			}
+			return best
+		case PowerOfTwo:
+			var a, b *provider
+			for tries := 0; tries < 8 && (a == nil || b == nil); tries++ {
+				c := live[m.rng.Intn(len(live))]
+				if exclude[c.info.ID] {
+					continue
+				}
+				if a == nil {
+					a = c
+				} else if c != a {
+					b = c
+				}
+			}
+			if a == nil {
+				for _, p := range live {
+					if !exclude[p.info.ID] {
+						a = p
+						break
+					}
+				}
+			}
+			if b == nil || (a != nil && a.bytesUsed <= b.bytesUsed) {
+				return a
+			}
+			return b
+		default: // RoundRobin
+			for range live {
+				p := live[m.rrCounter%uint64(len(live))]
+				m.rrCounter++
+				if !exclude[p.info.ID] {
+					return p
+				}
+			}
+			return nil
+		}
+	}
+	for i := 0; i < n; i++ {
+		used := make(map[uint32]bool, r)
+		for j := 0; j < r; j++ {
+			p := pick(used)
+			if p == nil {
+				return nil, nil, ErrNoProviders
+			}
+			used[p.info.ID] = true
+			ids = append(ids, p.info.ID)
+			addrs[p.info.ID] = p.info.Addr
+			// Account the expected load immediately so a burst of
+			// Allocate calls spreads even before heartbeats catch up.
+			p.bytesUsed += 1
+		}
+	}
+	return ids, addrs, nil
+}
+
+// List returns all registered providers (dead or alive) and the epoch.
+func (m *Manager) List() (uint64, []ProviderInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ProviderInfo, 0, len(m.byID))
+	for _, p := range m.byID {
+		out = append(out, p.info)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return m.epoch, out
+}
+
+// RegisterHandlers wires the manager's RPC methods onto srv.
+func (m *Manager) RegisterHandlers(srv *rpc.Server) {
+	srv.Handle(MRegister, m.handleRegister)
+	srv.Handle(MHeartbeat, m.handleHeartbeat)
+	srv.Handle(MAllocate, m.handleAllocate)
+	srv.Handle(MList, m.handleList)
+}
+
+func (m *Manager) handleRegister(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	addr := r.String()
+	capacity := r.Varint()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("pmanager register: %w", err)
+	}
+	id := m.Register(addr, capacity)
+	w := wire.NewWriter(8)
+	w.Uint32(id)
+	return w.Bytes(), nil
+}
+
+func (m *Manager) handleHeartbeat(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	id := r.Uint32()
+	bytesUsed := r.Varint()
+	activeOps := r.Varint()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("pmanager heartbeat: %w", err)
+	}
+	known := m.Heartbeat(id, bytesUsed, activeOps)
+	w := wire.NewWriter(1)
+	w.Bool(known)
+	return w.Bytes(), nil
+}
+
+func (m *Manager) handleAllocate(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	n := int(r.Uvarint())
+	rep := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("pmanager allocate: %w", err)
+	}
+	ids, addrs, err := m.Allocate(n, rep)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(8 + 4*len(ids) + 24*len(addrs))
+	w.Uint32Slice(ids)
+	w.Uvarint(uint64(len(addrs)))
+	for id, addr := range addrs {
+		w.Uint32(id)
+		w.String(addr)
+	}
+	return w.Bytes(), nil
+}
+
+func (m *Manager) handleList(_ context.Context, _ []byte) ([]byte, error) {
+	epoch, infos := m.List()
+	w := wire.NewWriter(16 + 24*len(infos))
+	w.Uint64(epoch)
+	w.Uvarint(uint64(len(infos)))
+	for _, p := range infos {
+		w.Uint32(p.ID)
+		w.String(p.Addr)
+	}
+	return w.Bytes(), nil
+}
+
+// Client-side helpers.
+
+// Allocation is a decoded MAllocate response.
+type Allocation struct {
+	// IDs holds n*r provider IDs; page i's replicas are IDs[i*r:(i+1)*r].
+	IDs []uint32
+	// Addrs maps each used provider ID to its RPC address.
+	Addrs map[uint32]string
+}
+
+// EncodeAllocate builds an MAllocate request.
+func EncodeAllocate(pages, replicas int) []byte {
+	w := wire.NewWriter(8)
+	w.Uvarint(uint64(pages))
+	w.Uvarint(uint64(replicas))
+	return w.Bytes()
+}
+
+// DecodeAllocation parses an MAllocate response.
+func DecodeAllocation(body []byte) (Allocation, error) {
+	r := wire.NewReader(body)
+	var a Allocation
+	a.IDs = r.Uint32Slice()
+	n := int(r.Uvarint())
+	a.Addrs = make(map[uint32]string, n)
+	for i := 0; i < n; i++ {
+		id := r.Uint32()
+		a.Addrs[id] = r.String()
+	}
+	return a, r.Err()
+}
+
+// RegisterProvider announces a data provider to the manager at pmAddr.
+func RegisterProvider(ctx context.Context, pool *rpc.Pool, pmAddr, addr string, capacity int64) (uint32, error) {
+	w := wire.NewWriter(len(addr) + 12)
+	w.String(addr)
+	w.Varint(capacity)
+	resp, err := pool.Call(ctx, pmAddr, MRegister, w.Bytes())
+	if err != nil {
+		return 0, fmt.Errorf("pmanager: register: %w", err)
+	}
+	r := wire.NewReader(resp)
+	id := r.Uint32()
+	return id, r.Err()
+}
+
+// SendHeartbeat reports load for a provider.
+func SendHeartbeat(ctx context.Context, pool *rpc.Pool, pmAddr string, id uint32, bytesUsed, activeOps int64) error {
+	w := wire.NewWriter(24)
+	w.Uint32(id)
+	w.Varint(bytesUsed)
+	w.Varint(activeOps)
+	_, err := pool.Call(ctx, pmAddr, MHeartbeat, w.Bytes())
+	return err
+}
+
+// FetchProviders retrieves the full provider list.
+func FetchProviders(ctx context.Context, pool *rpc.Pool, pmAddr string) (uint64, []ProviderInfo, error) {
+	resp, err := pool.Call(ctx, pmAddr, MList, nil)
+	if err != nil {
+		return 0, nil, fmt.Errorf("pmanager: list: %w", err)
+	}
+	r := wire.NewReader(resp)
+	epoch := r.Uint64()
+	n := int(r.Uvarint())
+	infos := make([]ProviderInfo, 0, n)
+	for i := 0; i < n; i++ {
+		infos = append(infos, ProviderInfo{ID: r.Uint32(), Addr: r.String()})
+	}
+	return epoch, infos, r.Err()
+}

@@ -1,0 +1,241 @@
+package pmanager
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"blob/internal/netsim"
+	"blob/internal/rpc"
+)
+
+func newManagerWith(t *testing.T, cfg Config, n int) *Manager {
+	t.Helper()
+	m := New(cfg)
+	for i := 0; i < n; i++ {
+		m.Register(fmt.Sprintf("prov%d:rpc", i), 0)
+	}
+	return m
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	m := New(Config{})
+	id1 := m.Register("a:1", 100)
+	id2 := m.Register("a:1", 200)
+	if id1 != id2 {
+		t.Errorf("re-register changed ID: %d vs %d", id1, id2)
+	}
+	if id3 := m.Register("b:1", 100); id3 == id1 {
+		t.Error("distinct providers share an ID")
+	}
+}
+
+func TestAllocateNoProviders(t *testing.T) {
+	m := New(Config{})
+	if _, _, err := m.Allocate(4, 1); !errors.Is(err, ErrNoProviders) {
+		t.Errorf("err = %v, want ErrNoProviders", err)
+	}
+}
+
+func TestAllocateShape(t *testing.T) {
+	m := newManagerWith(t, Config{}, 5)
+	ids, addrs, err := m.Allocate(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 16 {
+		t.Fatalf("len(ids) = %d, want 16", len(ids))
+	}
+	for i := 0; i < 8; i++ {
+		a, b := ids[i*2], ids[i*2+1]
+		if a == b {
+			t.Errorf("page %d: replicas on the same provider %d", i, a)
+		}
+	}
+	for _, id := range ids {
+		if _, ok := addrs[id]; !ok {
+			t.Errorf("id %d missing from address map", id)
+		}
+	}
+}
+
+func TestRoundRobinBalances(t *testing.T) {
+	m := newManagerWith(t, Config{Strategy: RoundRobin}, 4)
+	counts := map[uint32]int{}
+	for i := 0; i < 25; i++ {
+		ids, _, err := m.Allocate(4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			counts[id]++
+		}
+	}
+	for id, c := range counts {
+		if c != 25 {
+			t.Errorf("provider %d got %d pages, want exactly 25 under round-robin", id, c)
+		}
+	}
+}
+
+func TestLeastLoadedPrefersEmpty(t *testing.T) {
+	m := newManagerWith(t, Config{Strategy: LeastLoaded}, 3)
+	// Report heavy load on providers 1 and 2.
+	m.Heartbeat(1, 1<<30, 0)
+	m.Heartbeat(2, 1<<30, 0)
+	m.Heartbeat(3, 0, 0)
+	ids, _, err := m.Allocate(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id != 3 {
+			t.Errorf("least-loaded placed a page on loaded provider %d", id)
+		}
+	}
+}
+
+func TestPowerOfTwoSpreads(t *testing.T) {
+	m := newManagerWith(t, Config{Strategy: PowerOfTwo, Seed: 42}, 6)
+	counts := map[uint32]int{}
+	for i := 0; i < 120; i++ {
+		ids, _, err := m.Allocate(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[ids[0]]++
+	}
+	if len(counts) < 4 {
+		t.Errorf("power-of-two used only %d of 6 providers", len(counts))
+	}
+	for id, c := range counts {
+		if c > 60 {
+			t.Errorf("provider %d hot-spotted with %d placements", id, c)
+		}
+	}
+}
+
+func TestHeartbeatTimeoutExcludesDead(t *testing.T) {
+	m := New(Config{HeartbeatTimeout: 30 * time.Millisecond})
+	idA := m.Register("a:1", 0)
+	_ = m.Register("b:1", 0)
+	time.Sleep(50 * time.Millisecond) // both go stale
+	if _, _, err := m.Allocate(1, 1); !errors.Is(err, ErrNoProviders) {
+		t.Fatalf("stale providers still allocatable: %v", err)
+	}
+	m.Heartbeat(idA, 10, 0) // A comes back
+	ids, _, err := m.Allocate(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id != idA {
+			t.Errorf("allocated dead provider %d", id)
+		}
+	}
+}
+
+func TestHeartbeatUnknownID(t *testing.T) {
+	m := New(Config{})
+	if m.Heartbeat(99, 0, 0) {
+		t.Error("heartbeat for unknown ID should report false")
+	}
+}
+
+func TestReplicasClampedToLiveCount(t *testing.T) {
+	m := newManagerWith(t, Config{}, 2)
+	ids, _, err := m.Allocate(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Errorf("got %d replicas, want clamp to 2", len(ids))
+	}
+}
+
+type hostDialer struct{ h *netsim.Host }
+
+func (d hostDialer) Dial(addr string) (net.Conn, error) { return d.h.Dial(addr) }
+
+func TestRPCEndToEnd(t *testing.T) {
+	fab := netsim.New(netsim.Fast())
+	defer fab.Close()
+	m := New(Config{})
+	srv := rpc.NewServer()
+	m.RegisterHandlers(srv)
+	l, err := fab.Host("pm").Listen("rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(l)
+	defer srv.Close()
+
+	pool := rpc.NewPool(hostDialer{fab.Host("cli")})
+	defer pool.Close()
+	ctx := context.Background()
+
+	id, err := RegisterProvider(ctx, pool, "pm:rpc", "prov0:rpc", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SendHeartbeat(ctx, pool, "pm:rpc", id, 123, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := pool.Call(ctx, "pm:rpc", MAllocate, EncodeAllocate(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := DecodeAllocation(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.IDs) != 3 {
+		t.Fatalf("alloc IDs = %v", alloc.IDs)
+	}
+	if alloc.Addrs[id] != "prov0:rpc" {
+		t.Errorf("addr map = %v", alloc.Addrs)
+	}
+
+	epoch, infos, err := FetchProviders(ctx, pool, "pm:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch == 0 || len(infos) != 1 || infos[0].Addr != "prov0:rpc" {
+		t.Errorf("list = epoch %d, %v", epoch, infos)
+	}
+}
+
+func TestAllocateInvalidCount(t *testing.T) {
+	m := newManagerWith(t, Config{}, 1)
+	if _, _, err := m.Allocate(0, 1); err == nil {
+		t.Error("Allocate(0) should fail")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || LeastLoaded.String() != "least-loaded" ||
+		PowerOfTwo.String() != "power-of-two" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy should still render")
+	}
+}
+
+func BenchmarkAllocate256Pages(b *testing.B) {
+	m := New(Config{})
+	for i := 0; i < 40; i++ {
+		m.Register(fmt.Sprintf("p%d:rpc", i), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Allocate(256, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// Package provider implements the data providers: the nodes that
+// physically store blob pages in their local RAM. A WRITE never updates a
+// page in place — each write stores a fresh set of pages keyed by the
+// client-generated write identity — so the store is append-only until the
+// garbage collector explicitly removes the pages of collected versions.
+//
+// Pages are keyed (blobID, writeID, relPage). The write identity rather
+// than the version number keys the data because, per the paper's
+// protocol, pages are pushed to providers *before* the client asks the
+// version manager for a version number.
+package provider
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"blob/internal/rpc"
+	"blob/internal/stats"
+	"blob/internal/wire"
+)
+
+// RPC method identifiers for the data provider service (0x03xx block).
+const (
+	MPutPages    = 0x0301
+	MGetPages    = 0x0302
+	MDeleteWrite = 0x0303
+	MStats       = 0x0304
+	MDeletePages = 0x0305
+)
+
+// ErrFull is returned when a put would exceed the provider's capacity.
+var ErrFull = errors.New("provider: capacity exceeded")
+
+// pageShards must be a power of two.
+const pageShards = 32
+
+// writeKey identifies all pages of one write on one blob.
+type writeKey struct {
+	blob  uint64
+	write uint64
+}
+
+// Store is the in-RAM page store of a single data provider.
+type Store struct {
+	capacity int64 // bytes; 0 means unlimited
+
+	shards [pageShards]pageShard
+
+	// Counters exposed through MStats and used by the load balancer.
+	BytesUsed stats.Gauge
+	PageCount stats.Gauge
+	Puts      stats.Counter
+	Gets      stats.Counter
+	Misses    stats.Counter
+	ActiveOps stats.Gauge
+}
+
+type pageShard struct {
+	mu sync.RWMutex
+	m  map[writeKey]map[uint32][]byte
+}
+
+// NewStore creates a store bounded by capacity bytes (0 = unlimited).
+func NewStore(capacity int64) *Store {
+	s := &Store{capacity: capacity}
+	for i := range s.shards {
+		s.shards[i].m = make(map[writeKey]map[uint32][]byte)
+	}
+	return s
+}
+
+func (s *Store) shard(k writeKey) *pageShard {
+	return &s.shards[wire.HashFields(k.blob, k.write)&(pageShards-1)]
+}
+
+// Page is one page upload or download unit.
+type Page struct {
+	Blob    uint64
+	Write   uint64
+	RelPage uint32
+	Data    []byte
+}
+
+// PutPages stores a batch of pages atomically with respect to capacity
+// accounting. Re-putting an existing page is idempotent (first wins),
+// which makes client retries after partial failures safe.
+func (s *Store) PutPages(pages []Page) error {
+	var total int64
+	for _, p := range pages {
+		total += int64(len(p.Data))
+	}
+	if s.capacity > 0 && s.BytesUsed.Value()+total > s.capacity {
+		return ErrFull
+	}
+	for _, p := range pages {
+		k := writeKey{p.Blob, p.Write}
+		sh := s.shard(k)
+		sh.mu.Lock()
+		wm := sh.m[k]
+		if wm == nil {
+			wm = make(map[uint32][]byte)
+			sh.m[k] = wm
+		}
+		if _, exists := wm[p.RelPage]; !exists {
+			buf := make([]byte, len(p.Data))
+			copy(buf, p.Data)
+			wm[p.RelPage] = buf
+			s.BytesUsed.Add(int64(len(p.Data)))
+			s.PageCount.Add(1)
+			s.Puts.Inc()
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// GetPage returns one page's bytes.
+func (s *Store) GetPage(blob, write uint64, rel uint32) ([]byte, bool) {
+	k := writeKey{blob, write}
+	sh := s.shard(k)
+	sh.mu.RLock()
+	var data []byte
+	var ok bool
+	if wm := sh.m[k]; wm != nil {
+		data, ok = wm[rel]
+	}
+	sh.mu.RUnlock()
+	s.Gets.Inc()
+	if !ok {
+		s.Misses.Inc()
+	}
+	return data, ok
+}
+
+// DeletePages removes specific pages of a write, returning how many were
+// present. The garbage collector uses this when only part of a write has
+// been superseded.
+func (s *Store) DeletePages(blob, write uint64, rels []uint32) int {
+	k := writeKey{blob, write}
+	sh := s.shard(k)
+	sh.mu.Lock()
+	wm := sh.m[k]
+	n := 0
+	var freed int64
+	for _, rel := range rels {
+		if d, ok := wm[rel]; ok {
+			freed += int64(len(d))
+			delete(wm, rel)
+			n++
+		}
+	}
+	if wm != nil && len(wm) == 0 {
+		delete(sh.m, k)
+	}
+	sh.mu.Unlock()
+	if n > 0 {
+		s.BytesUsed.Add(-freed)
+		s.PageCount.Add(-int64(n))
+	}
+	return n
+}
+
+// DeleteWrite removes every page belonging to (blob, write), returning
+// the number of pages freed. Used by the garbage collector.
+func (s *Store) DeleteWrite(blob, write uint64) int {
+	k := writeKey{blob, write}
+	sh := s.shard(k)
+	sh.mu.Lock()
+	wm := sh.m[k]
+	var freed int64
+	for _, d := range wm {
+		freed += int64(len(d))
+	}
+	n := len(wm)
+	delete(sh.m, k)
+	sh.mu.Unlock()
+	if n > 0 {
+		s.BytesUsed.Add(-freed)
+		s.PageCount.Add(-int64(n))
+	}
+	return n
+}
+
+// ForEachPage visits every stored page. The data slice is the store's
+// internal buffer; mutating it is only legitimate for fault-injection
+// tests. Iteration order is unspecified.
+func (s *Store) ForEachPage(fn func(blob, write uint64, rel uint32, data []byte)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, wm := range sh.m {
+			for rel, data := range wm {
+				fn(k.blob, k.write, rel, data)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Stats is the load/usage snapshot served over MStats and piggybacked on
+// heartbeats to the provider manager.
+type Stats struct {
+	BytesUsed int64
+	PageCount int64
+	Capacity  int64
+	Puts      int64
+	Gets      int64
+	Misses    int64
+	ActiveOps int64
+}
+
+// Snapshot returns current statistics.
+func (s *Store) Snapshot() Stats {
+	return Stats{
+		BytesUsed: s.BytesUsed.Value(),
+		PageCount: s.PageCount.Value(),
+		Capacity:  s.capacity,
+		Puts:      s.Puts.Value(),
+		Gets:      s.Gets.Value(),
+		Misses:    s.Misses.Value(),
+		ActiveOps: s.ActiveOps.Value(),
+	}
+}
+
+// RegisterHandlers wires the provider's RPC methods onto srv.
+func (s *Store) RegisterHandlers(srv *rpc.Server) {
+	srv.Handle(MPutPages, s.handlePutPages)
+	srv.Handle(MGetPages, s.handleGetPages)
+	srv.Handle(MDeleteWrite, s.handleDeleteWrite)
+	srv.Handle(MDeletePages, s.handleDeletePages)
+	srv.Handle(MStats, s.handleStats)
+}
+
+// Wire formats.
+//
+//	MPutPages request:  u64 blob | u64 write | uvarint n | n × (u32 rel, bytes)
+//	MGetPages request:  uvarint n | n × (u64 blob, u64 write, u32 rel)
+//	MGetPages response: uvarint n | n × (bool found, bytes if found)
+
+func (s *Store) handlePutPages(_ context.Context, body []byte) ([]byte, error) {
+	s.ActiveOps.Add(1)
+	defer s.ActiveOps.Add(-1)
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	write := r.Uint64()
+	n := int(r.Uvarint())
+	pages := make([]Page, 0, n)
+	for i := 0; i < n; i++ {
+		rel := r.Uint32()
+		data := r.BytesField()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("provider put: page %d: %w", i, err)
+		}
+		pages = append(pages, Page{Blob: blob, Write: write, RelPage: rel, Data: data})
+	}
+	if err := s.PutPages(pages); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (s *Store) handleGetPages(_ context.Context, body []byte) ([]byte, error) {
+	s.ActiveOps.Add(1)
+	defer s.ActiveOps.Add(-1)
+	r := wire.NewReader(body)
+	n := int(r.Uvarint())
+	w := wire.NewWriter(1 << 12)
+	w.Uvarint(uint64(n))
+	for i := 0; i < n; i++ {
+		blob := r.Uint64()
+		write := r.Uint64()
+		rel := r.Uint32()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("provider get: request %d: %w", i, err)
+		}
+		data, ok := s.GetPage(blob, write, rel)
+		w.Bool(ok)
+		if ok {
+			w.BytesField(data)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+func (s *Store) handleDeleteWrite(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	write := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("provider delete: %w", err)
+	}
+	n := s.DeleteWrite(blob, write)
+	w := wire.NewWriter(8)
+	w.Uvarint(uint64(n))
+	return w.Bytes(), nil
+}
+
+func (s *Store) handleDeletePages(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	write := r.Uint64()
+	rels := r.Uint32Slice()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("provider delete pages: %w", err)
+	}
+	n := s.DeletePages(blob, write, rels)
+	w := wire.NewWriter(8)
+	w.Uvarint(uint64(n))
+	return w.Bytes(), nil
+}
+
+func (s *Store) handleStats(_ context.Context, _ []byte) ([]byte, error) {
+	st := s.Snapshot()
+	w := wire.NewWriter(56)
+	w.Varint(st.BytesUsed)
+	w.Varint(st.PageCount)
+	w.Varint(st.Capacity)
+	w.Varint(st.Puts)
+	w.Varint(st.Gets)
+	w.Varint(st.Misses)
+	w.Varint(st.ActiveOps)
+	return w.Bytes(), nil
+}
+
+// DecodeStats parses an MStats response.
+func DecodeStats(body []byte) (Stats, error) {
+	r := wire.NewReader(body)
+	st := Stats{
+		BytesUsed: r.Varint(),
+		PageCount: r.Varint(),
+		Capacity:  r.Varint(),
+		Puts:      r.Varint(),
+		Gets:      r.Varint(),
+		Misses:    r.Varint(),
+		ActiveOps: r.Varint(),
+	}
+	return st, r.Err()
+}
+
+// Client-side request encoders, shared by the blob client and tests.
+
+// EncodePutPages builds an MPutPages request body for pages of one write.
+// All pages must share the same blob and write identity.
+func EncodePutPages(blob, write uint64, rels []uint32, datas [][]byte) []byte {
+	size := 24
+	for _, d := range datas {
+		size += len(d) + 8
+	}
+	w := wire.NewWriter(size)
+	w.Uint64(blob)
+	w.Uint64(write)
+	w.Uvarint(uint64(len(rels)))
+	for i := range rels {
+		w.Uint32(rels[i])
+		w.BytesField(datas[i])
+	}
+	return w.Bytes()
+}
+
+// PageRef identifies one page to fetch.
+type PageRef struct {
+	Blob    uint64
+	Write   uint64
+	RelPage uint32
+}
+
+// EncodeGetPages builds an MGetPages request body.
+func EncodeGetPages(refs []PageRef) []byte {
+	w := wire.NewWriter(4 + 20*len(refs))
+	w.Uvarint(uint64(len(refs)))
+	for _, p := range refs {
+		w.Uint64(p.Blob)
+		w.Uint64(p.Write)
+		w.Uint32(p.RelPage)
+	}
+	return w.Bytes()
+}
+
+// DecodeGetPages parses an MGetPages response into per-request results;
+// a nil slice means the page was absent on this provider.
+func DecodeGetPages(body []byte, want int) ([][]byte, error) {
+	r := wire.NewReader(body)
+	n := int(r.Uvarint())
+	if n != want {
+		return nil, fmt.Errorf("provider: response count %d != %d", n, want)
+	}
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			out[i] = r.BytesCopy()
+		}
+	}
+	return out, r.Err()
+}
+
+// EncodeDeleteWrite builds an MDeleteWrite request body.
+func EncodeDeleteWrite(blob, write uint64) []byte {
+	w := wire.NewWriter(16)
+	w.Uint64(blob)
+	w.Uint64(write)
+	return w.Bytes()
+}
+
+// EncodeDeletePages builds an MDeletePages request body.
+func EncodeDeletePages(blob, write uint64, rels []uint32) []byte {
+	w := wire.NewWriter(24 + 4*len(rels))
+	w.Uint64(blob)
+	w.Uint64(write)
+	w.Uint32Slice(rels)
+	return w.Bytes()
+}

@@ -1,0 +1,115 @@
+package rpc
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool maintains one multiplexed client connection per remote address,
+// dialing lazily and transparently redialing after transport failures.
+// Every component that talks to many peers (clients fanning out to data
+// and metadata providers, the GC agent, the repair path in the version
+// manager) shares this type.
+type Pool struct {
+	network Network
+
+	mu      sync.Mutex
+	clients map[string]*Client
+	closed  bool
+}
+
+// NewPool returns an empty pool over the given network.
+func NewPool(n Network) *Pool {
+	return &Pool{network: n, clients: make(map[string]*Client)}
+}
+
+// Get returns a live client for addr, dialing if necessary.
+func (p *Pool) Get(addr string) (*Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := p.clients[addr]; ok && !c.Closed() {
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+
+	// Dial outside the lock; racing dials are harmless (loser is closed).
+	c, err := Dial(p.network, addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return nil, ErrClosed
+	}
+	if exist, ok := p.clients[addr]; ok && !exist.Closed() {
+		p.mu.Unlock()
+		c.Close()
+		return exist, nil
+	}
+	p.clients[addr] = c
+	p.mu.Unlock()
+	return c, nil
+}
+
+// Invalidate drops the cached connection for addr, closing it.
+func (p *Pool) Invalidate(addr string) {
+	p.mu.Lock()
+	c := p.clients[addr]
+	delete(p.clients, addr)
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// Call performs a synchronous RPC to addr. On a transport failure it
+// redials once and retries; application errors (ServerError) are returned
+// as-is, since retrying a failed operation on the same node is futile.
+func (p *Pool) Call(ctx context.Context, addr string, method uint32, body []byte) ([]byte, error) {
+	c, err := p.Get(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Call(ctx, method, body)
+	if err == nil || IsServerError(err) || ctx.Err() != nil {
+		return resp, err
+	}
+	// Transport failure: one redial attempt.
+	p.Invalidate(addr)
+	c, err = p.Get(addr)
+	if err != nil {
+		return nil, err
+	}
+	return c.Call(ctx, method, body)
+}
+
+// Go starts an asynchronous call to addr. Dial errors surface as an
+// already-failed Pending.
+func (p *Pool) Go(addr string, method uint32, body []byte) *Pending {
+	c, err := p.Get(addr)
+	if err != nil {
+		return &Pending{c: &call{err: err, done: closedChan}}
+	}
+	return c.Go(method, body)
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	cs := make([]*Client, 0, len(p.clients))
+	for _, c := range p.clients {
+		cs = append(cs, c)
+	}
+	p.clients = make(map[string]*Client)
+	p.mu.Unlock()
+	for _, c := range cs {
+		c.Close()
+	}
+}

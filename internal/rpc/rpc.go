@@ -1,0 +1,335 @@
+// Package rpc implements the lightweight remote procedure call framework
+// the system's processes communicate through. It reproduces the key
+// property the paper calls out in §V.A: a single client performs a large
+// number of concurrent RPCs, and the framework "delays RPC calls to a
+// single machine and streams all of them in a single real RPC call" —
+// i.e. every connection has a writer loop that coalesces all pending
+// outgoing messages into one network frame. Fine-grain dispersal of data
+// and metadata then costs little more than coarse-grain transfers.
+//
+// Design:
+//
+//   - A Client multiplexes concurrent calls over one connection using
+//     64-bit call identifiers.
+//   - Outgoing requests are queued; a writer goroutine drains the queue
+//     and writes everything available as one buffered frame (the
+//     aggregation the paper describes). Responses are batched the same
+//     way on the server side.
+//   - Handlers run in their own goroutines, so a slow request does not
+//     head-of-line-block the connection.
+//   - Transport is any net.Conn source: real TCP (Dialer) or the
+//     simulated fabric in internal/netsim.
+//
+// Message wire format (both directions, little endian):
+//
+//	request:  0x01 | u64 id | u32 method | uvarint len | body
+//	response: 0x02 | u64 id | u8 status  | uvarint len | body-or-error
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"blob/internal/stats"
+	"blob/internal/wire"
+)
+
+// Network abstracts connection establishment so the same stack runs over
+// TCP and over the netsim fabric.
+type Network interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCP is the real-network implementation of Network.
+type TCP struct{}
+
+// Dial connects over TCP.
+func (TCP) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// HandlerFunc processes one request body and returns the response body.
+// Returning an error sends a ServerError to the caller. The context is
+// cancelled when the server shuts down.
+type HandlerFunc func(ctx context.Context, body []byte) ([]byte, error)
+
+// ServerError is an application-level error propagated from a remote
+// handler. It is distinguishable from transport failures so callers can
+// decide whether retrying on another replica makes sense.
+type ServerError string
+
+// Error implements the error interface.
+func (e ServerError) Error() string { return string(e) }
+
+// IsServerError reports whether err is an application error returned by a
+// remote handler (as opposed to a transport failure).
+func IsServerError(err error) bool {
+	var se ServerError
+	return errors.As(err, &se)
+}
+
+// ErrClosed is returned for calls on a closed client or server.
+var ErrClosed = errors.New("rpc: connection closed")
+
+// ErrTooLarge is returned when a message exceeds the frame limit.
+var ErrTooLarge = errors.New("rpc: message too large")
+
+// MaxBody bounds a single request or response body.
+const MaxBody = 128 << 20
+
+const (
+	kindRequest  = 0x01
+	kindResponse = 0x02
+
+	statusOK  = 0
+	statusErr = 1
+)
+
+// Metrics collects framework-level counters, shared process-wide so the
+// experiment harness can report how many physical frames carried how many
+// logical messages (the aggregation ratio).
+type Metrics struct {
+	CallsSent      stats.Counter
+	CallsHandled   stats.Counter
+	FramesSent     stats.Counter
+	MessagesCoaled stats.Counter
+	BytesSent      stats.Counter
+	BytesReceived  stats.Counter
+}
+
+// M is the process-global metrics instance.
+var M Metrics
+
+// call tracks one in-flight request on a client.
+type call struct {
+	id     uint64
+	method uint32
+	body   []byte
+	done   chan struct{}
+	resp   []byte
+	err    error
+}
+
+// Client is one multiplexed RPC connection to a remote server.
+type Client struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	closed  bool
+
+	nextID atomic.Uint64
+	sendq  chan *call
+	done   chan struct{}
+
+	writerDone chan struct{}
+	readerDone chan struct{}
+}
+
+// NewClient wraps an established connection. Most callers use Dial or a
+// Pool instead.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:       conn,
+		pending:    make(map[uint64]*call),
+		sendq:      make(chan *call, 4096),
+		done:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+		readerDone: make(chan struct{}),
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c
+}
+
+// Dial establishes a client connection to addr over the given network.
+func Dial(n Network, addr string) (*Client, error) {
+	conn, err := n.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// Go starts an asynchronous call. The returned call completes when a
+// response arrives or the connection fails; wait on it with Wait.
+func (c *Client) Go(method uint32, body []byte) *Pending {
+	if len(body) > MaxBody {
+		return &Pending{c: &call{err: ErrTooLarge, done: closedChan}}
+	}
+	cl := &call{
+		id:     c.nextID.Add(1),
+		method: method,
+		body:   body,
+		done:   make(chan struct{}),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cl.err = ErrClosed
+		close(cl.done)
+		return &Pending{c: cl}
+	}
+	c.pending[cl.id] = cl
+	c.mu.Unlock()
+
+	select {
+	case c.sendq <- cl:
+	default:
+		// Queue full: block (backpressure) rather than fail.
+		c.sendq <- cl
+	}
+	M.CallsSent.Inc()
+	return &Pending{c: cl}
+}
+
+// Call performs a synchronous RPC.
+func (c *Client) Call(ctx context.Context, method uint32, body []byte) ([]byte, error) {
+	return c.Go(method, body).Wait(ctx)
+}
+
+// Pending represents an in-flight asynchronous call.
+type Pending struct {
+	c *call
+}
+
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Wait blocks until the call completes or ctx is done.
+func (p *Pending) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-p.c.done:
+		return p.c.resp, p.c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// writeLoop drains the send queue, coalescing every queued request into a
+// single conn.Write — the paper's RPC aggregation.
+func (c *Client) writeLoop() {
+	defer close(c.writerDone)
+	w := wire.NewWriter(64 << 10)
+	for {
+		var cl *call
+		select {
+		case cl = <-c.sendq:
+		case <-c.done:
+			return
+		}
+		w.Reset()
+		n := 0
+		appendReq := func(cl *call) {
+			w.Uint8(kindRequest)
+			w.Uint64(cl.id)
+			w.Uint32(cl.method)
+			w.BytesField(cl.body)
+			n++
+		}
+		appendReq(cl)
+		// Opportunistically drain whatever else is queued right now:
+		// every message collected here travels in the same frame.
+	drain:
+		for w.Len() < 1<<20 {
+			select {
+			case more := <-c.sendq:
+				appendReq(more)
+			default:
+				break drain
+			}
+		}
+		M.FramesSent.Inc()
+		M.MessagesCoaled.Add(int64(n))
+		M.BytesSent.Add(int64(w.Len()))
+		if _, err := c.conn.Write(w.Bytes()); err != nil {
+			c.failAll(fmt.Errorf("rpc: write: %w", err))
+			return
+		}
+	}
+}
+
+// readLoop parses responses from the connection and completes calls.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	br := newFrameReader(c.conn)
+	for {
+		kind, err := br.readByte()
+		if err != nil {
+			c.failAll(fmt.Errorf("rpc: read: %w", err))
+			return
+		}
+		if kind != kindResponse {
+			c.failAll(fmt.Errorf("rpc: protocol error: kind %#x", kind))
+			return
+		}
+		id, err := br.readUint64()
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		status, err := br.readByte()
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		body, err := br.readBytes()
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		M.BytesReceived.Add(int64(len(body)))
+
+		c.mu.Lock()
+		cl := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if cl == nil {
+			continue // cancelled or duplicate; drop
+		}
+		if status == statusOK {
+			cl.resp = body
+		} else {
+			cl.err = ServerError(body)
+		}
+		close(cl.done)
+	}
+}
+
+// failAll completes every pending call with err and closes the client.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	pend := c.pending
+	c.pending = make(map[uint64]*call)
+	c.mu.Unlock()
+
+	close(c.done)
+	c.conn.Close()
+	for _, cl := range pend {
+		cl.err = err
+		close(cl.done)
+	}
+}
+
+// Close shuts the connection down; pending calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.failAll(ErrClosed)
+	return nil
+}
+
+// Closed reports whether the client has failed or been closed.
+func (c *Client) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}

@@ -1,0 +1,285 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"blob/internal/wire"
+)
+
+// Server dispatches incoming requests to registered handlers. Responses
+// are coalesced per connection exactly like client requests: one response
+// writer goroutine per connection drains completed replies into single
+// frames.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[uint32]HandlerFunc
+	conns    map[net.Conn]struct{}
+	lis      []net.Listener
+	closed   bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewServer returns an empty server; register handlers before Serve.
+func NewServer() *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		handlers: make(map[uint32]HandlerFunc),
+		conns:    make(map[net.Conn]struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+}
+
+// Handle registers a handler for a method identifier. Registration after
+// Serve has started is allowed but must not race with itself.
+func (s *Server) Handle(method uint32, h HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate handler for method %#x", method))
+	}
+	s.handlers[method] = h
+}
+
+// lookup returns the handler for a method, if any.
+func (s *Server) lookup(method uint32) HandlerFunc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handlers[method]
+}
+
+// Serve accepts connections until the listener is closed. It always
+// returns a non-nil error (ErrClosed after Close). Serve may be invoked
+// concurrently on several listeners.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.lis = append(s.lis, l)
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Start runs Serve in a goroutine, for callers that manage lifecycle
+// through Close.
+func (s *Server) Start(l net.Listener) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.Serve(l)
+	}()
+}
+
+// Close stops all listeners and connections and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	lis := s.lis
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.cancel()
+	for _, l := range lis {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// reply is one completed response awaiting transmission.
+type reply struct {
+	id     uint64
+	status uint8
+	body   []byte
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	replies := make(chan reply, 1024)
+	connDone := make(chan struct{})
+	defer close(connDone)
+
+	// Response writer: coalesce everything available into one frame.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		w := wire.NewWriter(64 << 10)
+		for {
+			var r reply
+			select {
+			case r = <-replies:
+			case <-connDone:
+				return
+			}
+			w.Reset()
+			n := 0
+			appendResp := func(r reply) {
+				w.Uint8(kindResponse)
+				w.Uint64(r.id)
+				w.Uint8(r.status)
+				w.BytesField(r.body)
+				n++
+			}
+			appendResp(r)
+		drain:
+			for w.Len() < 1<<20 {
+				select {
+				case more := <-replies:
+					appendResp(more)
+				default:
+					break drain
+				}
+			}
+			M.FramesSent.Inc()
+			M.MessagesCoaled.Add(int64(n))
+			M.BytesSent.Add(int64(w.Len()))
+			if _, err := conn.Write(w.Bytes()); err != nil {
+				conn.Close() // unblocks the read loop below
+				return
+			}
+		}
+	}()
+
+	br := newFrameReader(conn)
+	for {
+		kind, err := br.readByte()
+		if err != nil {
+			return
+		}
+		if kind != kindRequest {
+			return
+		}
+		id, err := br.readUint64()
+		if err != nil {
+			return
+		}
+		method, err := br.readUint32()
+		if err != nil {
+			return
+		}
+		body, err := br.readBytes()
+		if err != nil {
+			return
+		}
+		M.BytesReceived.Add(int64(len(body)))
+
+		h := s.lookup(method)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			var r reply
+			r.id = id
+			if h == nil {
+				r.status = statusErr
+				r.body = []byte(fmt.Sprintf("rpc: unknown method %#x", method))
+			} else if out, err := h(s.ctx, body); err != nil {
+				r.status = statusErr
+				r.body = []byte(err.Error())
+			} else {
+				r.status = statusOK
+				r.body = out
+			}
+			M.CallsHandled.Inc()
+			select {
+			case replies <- r:
+			case <-connDone:
+			case <-s.ctx.Done():
+			}
+		}()
+	}
+}
+
+// frameReader incrementally parses the message stream from a connection.
+// Bodies are copied out of the buffered reader so handlers and callers
+// may retain them.
+type frameReader struct {
+	br *bufio.Reader
+}
+
+func newFrameReader(conn net.Conn) *frameReader {
+	return &frameReader{br: bufio.NewReaderSize(conn, 256<<10)}
+}
+
+func (f *frameReader) readByte() (byte, error) {
+	return f.br.ReadByte()
+}
+
+func (f *frameReader) readUint32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(f.br, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (f *frameReader) readUint64() (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(f.br, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (f *frameReader) readBytes() ([]byte, error) {
+	n, err := binary.ReadUvarint(f.br)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBody {
+		return nil, ErrTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(f.br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

@@ -1,0 +1,189 @@
+package sky
+
+import (
+	"math"
+	"sort"
+)
+
+// Candidate is a variable object found by difference imaging: something
+// whose brightness changed significantly between two epochs of the same
+// tile.
+type Candidate struct {
+	// X, Y is the flux-weighted centroid within the tile.
+	X, Y int
+	// Flux is the total absolute difference flux of the component.
+	Flux float64
+	// NPix is the number of pixels in the connected component.
+	NPix int
+}
+
+// DiffDetect compares two epochs of one tile and returns the connected
+// components of significant change, brightest first. threshold is in
+// noise sigmas; sigma is the expected per-pixel noise of the difference.
+func DiffDetect(prev, cur *Image, threshold, sigma float64) []Candidate {
+	w, h := cur.W, cur.H
+	cut := threshold * sigma * math.Sqrt2 // difference of two noisy frames
+	hot := make([]bool, w*h)
+	diff := make([]float64, w*h)
+	for i := range diff {
+		d := float64(cur.Pix[i]) - float64(prev.Pix[i])
+		diff[i] = d
+		if math.Abs(d) > cut {
+			hot[i] = true
+		}
+	}
+
+	// Connected components over the hot mask (4-connectivity BFS).
+	seen := make([]bool, w*h)
+	var out []Candidate
+	var queue []int
+	for start := range hot {
+		if !hot[start] || seen[start] {
+			continue
+		}
+		queue = queue[:0]
+		queue = append(queue, start)
+		seen[start] = true
+		var flux, cx, cy float64
+		npix := 0
+		for len(queue) > 0 {
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			x, y := i%w, i/w
+			f := math.Abs(diff[i])
+			flux += f
+			cx += f * float64(x)
+			cy += f * float64(y)
+			npix++
+			for _, ni := range [4]int{i - 1, i + 1, i - w, i + w} {
+				if ni < 0 || ni >= w*h {
+					continue
+				}
+				// Avoid wrapping across rows for the +-1 neighbours.
+				if (ni == i-1 || ni == i+1) && ni/w != y {
+					continue
+				}
+				if hot[ni] && !seen[ni] {
+					seen[ni] = true
+					queue = append(queue, ni)
+				}
+			}
+		}
+		if npix < 2 {
+			continue // single hot pixels are noise
+		}
+		out = append(out, Candidate{
+			X:    int(cx/flux + 0.5),
+			Y:    int(cy/flux + 0.5),
+			Flux: flux,
+			NPix: npix,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Flux > out[b].Flux })
+	return out
+}
+
+// ApertureFlux sums the background-subtracted counts in a small box
+// around (x, y) — the photometry used to build light curves.
+func ApertureFlux(im *Image, x, y, radius int, background float64) float64 {
+	var sum float64
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			px, py := x+dx, y+dy
+			if px < 0 || py < 0 || px >= im.W || py >= im.H {
+				continue
+			}
+			sum += float64(im.At(px, py)) - background
+		}
+	}
+	return sum
+}
+
+// Class is the outcome of light-curve classification.
+type Class int
+
+// Classification outcomes.
+const (
+	// ClassNoise — no significant brightening.
+	ClassNoise Class = iota
+	// ClassSupernova — a single rise-then-decay event.
+	ClassSupernova
+	// ClassVariable — periodic or multi-peaked variability.
+	ClassVariable
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassSupernova:
+		return "supernova"
+	case ClassVariable:
+		return "variable"
+	default:
+		return "noise"
+	}
+}
+
+// LightCurve is flux per epoch for one object.
+type LightCurve []float64
+
+// Classify decides whether a light curve looks like a supernova (one
+// asymmetric rise-and-decay event), a periodic variable (multiple
+// significant maxima), or noise. minAmplitude is the detection floor in
+// flux units.
+func Classify(lc LightCurve, minAmplitude float64) Class {
+	if len(lc) < 4 {
+		return ClassNoise
+	}
+	// Baseline: median of the curve.
+	sorted := append(LightCurve(nil), lc...)
+	sort.Float64s(sorted)
+	baseline := sorted[len(sorted)/2]
+
+	peakIdx, peak := 0, math.Inf(-1)
+	for i, f := range lc {
+		if f > peak {
+			peak, peakIdx = f, i
+		}
+	}
+	amp := peak - baseline
+	if amp < minAmplitude {
+		return ClassNoise
+	}
+
+	// Count significant local maxima: epochs above baseline + amp/2 that
+	// dominate their neighbourhood.
+	half := baseline + amp/2
+	peaks := 0
+	for i := 1; i < len(lc)-1; i++ {
+		if lc[i] > half && lc[i] >= lc[i-1] && lc[i] >= lc[i+1] {
+			peaks++
+		}
+	}
+	// Endpoints can hide maxima of periodic curves.
+	if lc[0] > half && lc[0] >= lc[1] {
+		peaks++
+	}
+	if lc[len(lc)-1] > half && lc[len(lc)-1] >= lc[len(lc)-2] {
+		peaks++
+	}
+	if peaks > 1 {
+		return ClassVariable
+	}
+
+	// One peak: supernovae decay slower than they rise. Measure the time
+	// above half-max on each side of the peak.
+	riseHalf, decayHalf := 0, 0
+	for i := peakIdx; i >= 0 && lc[i] > half; i-- {
+		riseHalf++
+	}
+	for i := peakIdx; i < len(lc) && lc[i] > half; i++ {
+		decayHalf++
+	}
+	if decayHalf >= riseHalf {
+		return ClassSupernova
+	}
+	// Fast decay relative to rise: likely an artifact or eclipsing
+	// system; treat as variable.
+	return ClassVariable
+}

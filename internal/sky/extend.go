@@ -1,0 +1,224 @@
+package sky
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Extensions beyond the paper's minimal pipeline, in the directions its
+// introduction motivates: image co-addition (stacking epochs to detect
+// fainter objects) and moving-object rejection (asteroids masquerade as
+// one-epoch transients, the other classic supernova false positive).
+
+// Asteroid is a solar-system object: constant brightness, moving across
+// the tile at a fixed pixel velocity per epoch.
+type Asteroid struct {
+	TileX, TileY int
+	X0, Y0       float64 // position at epoch 0
+	VX, VY       float64 // pixels per epoch
+	Flux         float64
+}
+
+// positionAt returns the asteroid's pixel position at an epoch.
+func (a Asteroid) positionAt(epoch int) (x, y float64) {
+	return a.X0 + a.VX*float64(epoch), a.Y0 + a.VY*float64(epoch)
+}
+
+// AddAsteroid injects a moving object into the catalog.
+func (c *Catalog) AddAsteroid(a Asteroid) { c.asteroids = append(c.asteroids, a) }
+
+// Stack co-adds images pixel-wise (mean). Stacking n epochs suppresses
+// the per-pixel noise by sqrt(n), revealing sources below the single-
+// epoch detection limit — the standard deep-survey technique.
+func Stack(images []*Image) (*Image, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("sky: nothing to stack")
+	}
+	w, h := images[0].W, images[0].H
+	acc := make([]float64, w*h)
+	for _, im := range images {
+		if im.W != w || im.H != h {
+			return nil, fmt.Errorf("sky: stack size mismatch %dx%d vs %dx%d", im.W, im.H, w, h)
+		}
+		for i, p := range im.Pix {
+			acc[i] += float64(p)
+		}
+	}
+	out := NewImage(w, h)
+	n := float64(len(images))
+	for i, v := range acc {
+		out.Set(i%w, i/w, v/n)
+	}
+	return out, nil
+}
+
+// StackTile reads and co-adds a tile over an epoch range.
+func (s *Survey) StackTile(ctx context.Context, tx, ty, fromEpoch, toEpoch int) (*Image, error) {
+	if fromEpoch < 0 || toEpoch < fromEpoch {
+		return nil, fmt.Errorf("sky: bad stack range [%d,%d]", fromEpoch, toEpoch)
+	}
+	images := make([]*Image, 0, toEpoch-fromEpoch+1)
+	for e := fromEpoch; e <= toEpoch; e++ {
+		im, err := s.ReadTile(ctx, tx, ty, e)
+		if err != nil {
+			return nil, err
+		}
+		images = append(images, im)
+	}
+	return Stack(images)
+}
+
+// Track is a linked sequence of detections consistent with linear motion
+// — a moving object.
+type Track struct {
+	Detections []Detection
+	// VX, VY is the fitted velocity in pixels per epoch.
+	VX, VY float64
+}
+
+// LinkMovingObjects groups per-tile detections across epochs into
+// linear-motion tracks. Two detections in consecutive epochs of the same
+// tile link when their displacement lies in (minStep, maxStep] pixels;
+// chains of at least three linked detections become tracks. The
+// remaining (stationary) detections are returned separately.
+func LinkMovingObjects(dets []Detection, minStep, maxStep float64) (tracks []Track, stationary []Detection) {
+	type tileKey struct{ tx, ty int }
+	byTile := make(map[tileKey][]Detection)
+	for _, d := range dets {
+		k := tileKey{d.TileX, d.TileY}
+		byTile[k] = append(byTile[k], d)
+	}
+	used := make(map[int]bool) // index into per-tile slice
+
+	for _, tds := range byTile {
+		sort.Slice(tds, func(a, b int) bool { return tds[a].Epoch < tds[b].Epoch })
+		for k := range used {
+			delete(used, k)
+		}
+		for i := range tds {
+			if used[i] {
+				continue
+			}
+			chain := []int{i}
+			cur := i
+			for {
+				next := -1
+				for j := cur + 1; j < len(tds); j++ {
+					if used[j] || tds[j].Epoch != tds[cur].Epoch+1 {
+						continue
+					}
+					dx := float64(tds[j].X - tds[cur].X)
+					dy := float64(tds[j].Y - tds[cur].Y)
+					step := math.Hypot(dx, dy)
+					if step > minStep && step <= maxStep {
+						next = j
+						break
+					}
+				}
+				if next < 0 {
+					break
+				}
+				chain = append(chain, next)
+				cur = next
+			}
+			if len(chain) < 3 {
+				continue
+			}
+			tr := Track{}
+			for _, idx := range chain {
+				used[idx] = true
+				tr.Detections = append(tr.Detections, tds[idx])
+			}
+			n := len(tr.Detections)
+			de := float64(tr.Detections[n-1].Epoch - tr.Detections[0].Epoch)
+			tr.VX = float64(tr.Detections[n-1].X-tr.Detections[0].X) / de
+			tr.VY = float64(tr.Detections[n-1].Y-tr.Detections[0].Y) / de
+			tracks = append(tracks, tr)
+		}
+		for i, d := range tds {
+			if !used[i] {
+				stationary = append(stationary, d)
+			}
+		}
+	}
+	return tracks, stationary
+}
+
+// HuntResult is the outcome of the full supernova-hunt pipeline.
+type HuntResult struct {
+	// Supernovae are detections whose light curves classify as SN.
+	Supernovae []Detection
+	// Variables are periodic or multi-peaked objects.
+	Variables []Detection
+	// MovingObjects are linked asteroid tracks.
+	MovingObjects []Track
+	// Rejected counts candidates dismissed as noise.
+	Rejected int
+}
+
+// HuntSupernovae runs the complete pipeline over all captured epochs:
+// difference-detect every consecutive epoch pair, link and reject moving
+// objects, deduplicate stationary candidates per position, extract light
+// curves and classify. workers bounds the parallel tile analyses.
+func (s *Survey) HuntSupernovae(ctx context.Context, threshold float64, workers int) (HuntResult, error) {
+	var res HuntResult
+	epochs := s.Epochs()
+	if epochs < 2 {
+		return res, fmt.Errorf("sky: need at least two epochs, have %d", epochs)
+	}
+	var all []Detection
+	for e := 1; e < epochs; e++ {
+		dets, err := s.DetectEpoch(ctx, e, threshold, workers)
+		if err != nil {
+			return res, err
+		}
+		all = append(all, dets...)
+	}
+
+	tracks, stationary := LinkMovingObjects(all, 1.5, 12)
+	res.MovingObjects = tracks
+
+	// Deduplicate stationary candidates: same tile, nearby centroid.
+	type obj struct {
+		d    Detection
+		flux float64
+	}
+	var objs []obj
+	for _, d := range stationary {
+		merged := false
+		for i := range objs {
+			o := &objs[i]
+			if o.d.TileX == d.TileX && o.d.TileY == d.TileY {
+				dx, dy := d.X-o.d.X, d.Y-o.d.Y
+				if dx*dx+dy*dy <= 16 {
+					if d.Flux > o.flux {
+						o.d, o.flux = d, d.Flux
+					}
+					merged = true
+					break
+				}
+			}
+		}
+		if !merged {
+			objs = append(objs, obj{d: d, flux: d.Flux})
+		}
+	}
+
+	for _, o := range objs {
+		class, _, err := s.ClassifyDetection(ctx, o.d)
+		if err != nil {
+			return res, err
+		}
+		switch class {
+		case ClassSupernova:
+			res.Supernovae = append(res.Supernovae, o.d)
+		case ClassVariable:
+			res.Variables = append(res.Variables, o.d)
+		default:
+			res.Rejected++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package sky
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStackReducesNoise(t *testing.T) {
+	g := Geometry{TilesX: 1, TilesY: 1, TileW: 32, TileH: 32}
+	c := NewCatalog(g, 13)
+
+	// Measure background standard deviation in a single frame vs a
+	// 16-frame stack (star-free corner pixels).
+	stddev := func(im *Image) float64 {
+		var sum, sum2 float64
+		n := 0
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				v := float64(im.At(x, y))
+				sum += v
+				sum2 += v * v
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		return math.Sqrt(sum2/float64(n) - mean*mean)
+	}
+
+	single := c.RenderTile(0, 0, 0)
+	var frames []*Image
+	for e := 0; e < 16; e++ {
+		frames = append(frames, c.RenderTile(0, 0, e))
+	}
+	stacked, err := Stack(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s16 := stddev(single), stddev(stacked)
+	// sqrt(16) = 4x noise suppression; allow generous slack for the
+	// small sample and quantization.
+	if s16 > s1/2 {
+		t.Errorf("stack stddev %.2f vs single %.2f: insufficient suppression", s16, s1)
+	}
+}
+
+func TestStackValidation(t *testing.T) {
+	if _, err := Stack(nil); err == nil {
+		t.Error("empty stack accepted")
+	}
+	a, b := NewImage(4, 4), NewImage(8, 8)
+	if _, err := Stack([]*Image{a, b}); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+}
+
+func TestAsteroidMovesAcrossEpochs(t *testing.T) {
+	g := Geometry{TilesX: 1, TilesY: 1, TileW: 32, TileH: 32}
+	c := NewCatalog(g, 3)
+	c.AddAsteroid(Asteroid{X0: 5, Y0: 16, VX: 3, VY: 0, Flux: 30000})
+
+	locate := func(epoch int) int {
+		im := c.RenderTile(0, 0, epoch)
+		// Find the brightest pixel in the asteroid's row band.
+		best, bx := uint16(0), -1
+		for x := 0; x < im.W; x++ {
+			if v := im.At(x, 16); v > best {
+				best, bx = v, x
+			}
+		}
+		return bx
+	}
+	x0, x2 := locate(0), locate(2)
+	if x2-x0 < 4 || x2-x0 > 8 {
+		t.Errorf("asteroid moved %d pixels over 2 epochs, want ~6", x2-x0)
+	}
+}
+
+func TestLinkMovingObjects(t *testing.T) {
+	// Synthetic detections: an asteroid moving +3px/epoch and a
+	// stationary transient.
+	var dets []Detection
+	for e := 1; e <= 4; e++ {
+		dets = append(dets, Detection{
+			TileX: 0, TileY: 0, Epoch: e,
+			Candidate: Candidate{X: 5 + 3*e, Y: 10, Flux: 1000, NPix: 5},
+		})
+	}
+	dets = append(dets,
+		Detection{TileX: 1, TileY: 0, Epoch: 2, Candidate: Candidate{X: 20, Y: 20, Flux: 9000, NPix: 9}},
+		Detection{TileX: 1, TileY: 0, Epoch: 3, Candidate: Candidate{X: 20, Y: 20, Flux: 7000, NPix: 8}},
+	)
+
+	tracks, stationary := LinkMovingObjects(dets, 1.5, 6)
+	if len(tracks) != 1 {
+		t.Fatalf("tracks = %d, want 1", len(tracks))
+	}
+	tr := tracks[0]
+	if len(tr.Detections) != 4 {
+		t.Errorf("track length = %d, want 4", len(tr.Detections))
+	}
+	if math.Abs(tr.VX-3) > 0.5 || math.Abs(tr.VY) > 0.5 {
+		t.Errorf("track velocity = (%.1f, %.1f), want (3, 0)", tr.VX, tr.VY)
+	}
+	if len(stationary) != 2 {
+		t.Errorf("stationary = %d, want 2 (the transient's two epochs)", len(stationary))
+	}
+}
+
+func TestLinkRequiresThreeEpochs(t *testing.T) {
+	dets := []Detection{
+		{TileX: 0, TileY: 0, Epoch: 1, Candidate: Candidate{X: 5, Y: 5}},
+		{TileX: 0, TileY: 0, Epoch: 2, Candidate: Candidate{X: 8, Y: 5}},
+	}
+	tracks, stationary := LinkMovingObjects(dets, 1.5, 6)
+	if len(tracks) != 0 {
+		t.Errorf("two-point chain became a track")
+	}
+	if len(stationary) != 2 {
+		t.Errorf("stationary = %d, want 2", len(stationary))
+	}
+}

@@ -1,0 +1,102 @@
+package sky_test
+
+import (
+	"context"
+	"testing"
+
+	"blob/internal/sky"
+)
+
+func TestHuntSupernovaeFullPipeline(t *testing.T) {
+	geo := sky.Geometry{TilesX: 4, TilesY: 3, TileW: 32, TileH: 32}
+	_, cat, sv := surveyFixture(t, geo, 2, 77)
+
+	// Ground truth: a supernova, a variable star and an asteroid.
+	cat.AddTransient(sky.Transient{
+		TileX: 1, TileY: 1, X: 12, Y: 12,
+		PeakFlux: 42000, PeakEpoch: 4, RiseEpochs: 1, DecayTau: 3,
+	})
+	cat.AddVariable(sky.VariableStar{
+		TileX: 3, TileY: 0, X: 16, Y: 16,
+		MeanFlux: 22000, Amplitude: 16000, PeriodEpochs: 2.4,
+	})
+	cat.AddAsteroid(sky.Asteroid{
+		TileX: 0, TileY: 2, X0: 4, Y0: 16, VX: 3, VY: 0, Flux: 35000,
+	})
+
+	ctx := context.Background()
+	const epochs = 10
+	for e := 0; e < epochs; e++ {
+		if _, err := sv.CaptureEpoch(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := sv.HuntSupernovae(ctx, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Supernovae) != 1 {
+		t.Fatalf("supernovae = %d, want 1 (%+v)", len(res.Supernovae), res.Supernovae)
+	}
+	sn := res.Supernovae[0]
+	if sn.TileX != 1 || sn.TileY != 1 {
+		t.Errorf("supernova located on tile (%d,%d), want (1,1)", sn.TileX, sn.TileY)
+	}
+
+	if len(res.Variables) != 1 {
+		t.Errorf("variables = %d, want 1", len(res.Variables))
+	}
+
+	if len(res.MovingObjects) == 0 {
+		t.Fatal("asteroid not linked into a track")
+	}
+	track := res.MovingObjects[0]
+	if track.Detections[0].TileX != 0 || track.Detections[0].TileY != 2 {
+		t.Errorf("track on tile (%d,%d), want (0,2)",
+			track.Detections[0].TileX, track.Detections[0].TileY)
+	}
+	if track.VX < 2 || track.VX > 4 {
+		t.Errorf("track VX = %.1f, want ~3", track.VX)
+	}
+
+	// Crucially, the asteroid must NOT be in the supernova list — the
+	// rejection the moving-object linker exists for.
+	for _, d := range res.Supernovae {
+		if d.TileX == 0 && d.TileY == 2 {
+			t.Error("asteroid misclassified as supernova")
+		}
+	}
+}
+
+func TestHuntNeedsTwoEpochs(t *testing.T) {
+	geo := sky.Geometry{TilesX: 2, TilesY: 1, TileW: 16, TileH: 16}
+	_, _, sv := surveyFixture(t, geo, 1, 4)
+	ctx := context.Background()
+	sv.CaptureEpoch(ctx)
+	if _, err := sv.HuntSupernovae(ctx, 6, 2); err == nil {
+		t.Error("hunt with one epoch accepted")
+	}
+}
+
+func TestStackTileOverSurvey(t *testing.T) {
+	geo := sky.Geometry{TilesX: 2, TilesY: 1, TileW: 16, TileH: 16}
+	_, _, sv := surveyFixture(t, geo, 1, 6)
+	ctx := context.Background()
+	for e := 0; e < 4; e++ {
+		if _, err := sv.CaptureEpoch(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	im, err := sv.StackTile(ctx, 0, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 16 || im.H != 16 {
+		t.Errorf("stacked size %dx%d", im.W, im.H)
+	}
+	if _, err := sv.StackTile(ctx, 0, 0, 2, 1); err == nil {
+		t.Error("reversed stack range accepted")
+	}
+}

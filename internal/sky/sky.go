@@ -1,0 +1,114 @@
+// Package sky implements the paper's motivating application: searching
+// for supernovae in a survey of the sky. The whole sky is "a very long
+// string of bytes (blob), obtained by concatenating the images in binary
+// form. Assuming all images have a fixed size, a specific part of the sky
+// is accessible by providing the corresponding offset in the string. A
+// simple transformation from two-dimensional to unidimensional
+// coordinates is sufficient." (paper §I)
+//
+// The package provides the full pipeline on synthetic data (the
+// substitution for real telescope imagery): deterministic star-field
+// rendering with injected transients, epoch capture into a versioned
+// blob, difference-imaging detection, light-curve extraction across
+// versions, and a supernova-vs-variable-star classifier.
+package sky
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Geometry describes the sky tiling: a TilesX x TilesY grid of images,
+// each TileW x TileH pixels of 2 bytes (16-bit counts).
+type Geometry struct {
+	TilesX, TilesY int
+	TileW, TileH   int
+}
+
+// BytesPerPixel is the pixel encoding width (uint16 little endian).
+const BytesPerPixel = 2
+
+// TileBytes returns the byte size of one tile image.
+func (g Geometry) TileBytes() uint64 {
+	return uint64(g.TileW) * uint64(g.TileH) * BytesPerPixel
+}
+
+// SkyBytes returns the byte size of one full sky view.
+func (g Geometry) SkyBytes() uint64 {
+	return g.TileBytes() * uint64(g.TilesX) * uint64(g.TilesY)
+}
+
+// Validate checks the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.TilesX <= 0 || g.TilesY <= 0 || g.TileW <= 0 || g.TileH <= 0 {
+		return fmt.Errorf("sky: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// TileOffset maps 2-D tile coordinates to the 1-D blob offset — the
+// paper's dimensional transformation.
+func (g Geometry) TileOffset(tx, ty int) uint64 {
+	return (uint64(ty)*uint64(g.TilesX) + uint64(tx)) * g.TileBytes()
+}
+
+// TileAt inverts TileOffset.
+func (g Geometry) TileAt(offset uint64) (tx, ty int) {
+	idx := offset / g.TileBytes()
+	return int(idx % uint64(g.TilesX)), int(idx / uint64(g.TilesX))
+}
+
+// Image is one decoded tile: row-major 16-bit photon counts.
+type Image struct {
+	W, H int
+	Pix  []uint16
+}
+
+// NewImage allocates a zeroed image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]uint16, w*h)}
+}
+
+// At returns the pixel value at (x, y).
+func (im *Image) At(x, y int) uint16 { return im.Pix[y*im.W+x] }
+
+// Set stores a pixel value, saturating at the uint16 range.
+func (im *Image) Set(x, y int, v float64) {
+	switch {
+	case v <= 0:
+		im.Pix[y*im.W+x] = 0
+	case v >= 65535:
+		im.Pix[y*im.W+x] = 65535
+	default:
+		im.Pix[y*im.W+x] = uint16(v)
+	}
+}
+
+// Add accumulates flux into a pixel, saturating.
+func (im *Image) Add(x, y int, v float64) {
+	im.Set(x, y, float64(im.At(x, y))+v)
+}
+
+// Encode serializes the image into buf (little-endian uint16), which
+// must be exactly W*H*2 bytes.
+func (im *Image) Encode(buf []byte) error {
+	if len(buf) != im.W*im.H*BytesPerPixel {
+		return fmt.Errorf("sky: encode buffer %d bytes, want %d", len(buf), im.W*im.H*BytesPerPixel)
+	}
+	for i, p := range im.Pix {
+		binary.LittleEndian.PutUint16(buf[i*2:], p)
+	}
+	return nil
+}
+
+// DecodeImage parses a tile image of the given dimensions.
+func DecodeImage(buf []byte, w, h int) (*Image, error) {
+	if len(buf) != w*h*BytesPerPixel {
+		return nil, fmt.Errorf("sky: decode buffer %d bytes, want %d", len(buf), w*h*BytesPerPixel)
+	}
+	im := NewImage(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = binary.LittleEndian.Uint16(buf[i*2:])
+	}
+	return im, nil
+}

@@ -1,0 +1,253 @@
+package sky
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestGeometryMapping(t *testing.T) {
+	g := Geometry{TilesX: 8, TilesY: 4, TileW: 16, TileH: 16}
+	if g.TileBytes() != 16*16*2 {
+		t.Errorf("TileBytes = %d", g.TileBytes())
+	}
+	if g.SkyBytes() != 32*g.TileBytes() {
+		t.Errorf("SkyBytes = %d", g.SkyBytes())
+	}
+	for ty := 0; ty < g.TilesY; ty++ {
+		for tx := 0; tx < g.TilesX; tx++ {
+			off := g.TileOffset(tx, ty)
+			gx, gy := g.TileAt(off)
+			if gx != tx || gy != ty {
+				t.Fatalf("TileAt(TileOffset(%d,%d)) = (%d,%d)", tx, ty, gx, gy)
+			}
+		}
+	}
+	if err := (Geometry{TilesX: 0, TilesY: 1, TileW: 1, TileH: 1}).Validate(); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func TestImageEncodeDecodeRoundTrip(t *testing.T) {
+	im := NewImage(8, 4)
+	for i := range im.Pix {
+		im.Pix[i] = uint16(i * 1000)
+	}
+	buf := make([]byte, 8*4*2)
+	if err := im.Encode(buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeImage(buf, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Pix {
+		if got.Pix[i] != im.Pix[i] {
+			t.Fatalf("pixel %d: %d != %d", i, got.Pix[i], im.Pix[i])
+		}
+	}
+	if err := im.Encode(make([]byte, 3)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if _, err := DecodeImage(buf, 100, 100); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestImageSaturation(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Set(0, 0, 1e9)
+	im.Set(1, 0, -5)
+	if im.At(0, 0) != 65535 || im.At(1, 0) != 0 {
+		t.Errorf("saturation: %d, %d", im.At(0, 0), im.At(1, 0))
+	}
+	im.Set(0, 1, 60000)
+	im.Add(0, 1, 60000)
+	if im.At(0, 1) != 65535 {
+		t.Errorf("Add saturation: %d", im.At(0, 1))
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	g := Geometry{TilesX: 2, TilesY: 2, TileW: 32, TileH: 32}
+	c1 := NewCatalog(g, 42)
+	c2 := NewCatalog(g, 42)
+	a := c1.RenderTile(1, 0, 5)
+	b := c2.RenderTile(1, 0, 5)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same seed, different pixels")
+		}
+	}
+	// Different epochs must differ (noise), different seeds must differ.
+	d := c1.RenderTile(1, 0, 6)
+	same := 0
+	for i := range a.Pix {
+		if a.Pix[i] == d.Pix[i] {
+			same++
+		}
+	}
+	if same == len(a.Pix) {
+		t.Error("epochs 5 and 6 rendered identically")
+	}
+}
+
+func TestRenderedStarsAreStable(t *testing.T) {
+	// The static star field must not move between epochs: the brightest
+	// pixel of a tile should stay at the same location.
+	g := Geometry{TilesX: 1, TilesY: 1, TileW: 32, TileH: 32}
+	c := NewCatalog(g, 7)
+	locate := func(im *Image) int {
+		best, bi := uint16(0), 0
+		for i, p := range im.Pix {
+			if p > best {
+				best, bi = p, i
+			}
+		}
+		return bi
+	}
+	p0 := locate(c.RenderTile(0, 0, 0))
+	p1 := locate(c.RenderTile(0, 0, 9))
+	if p0 != p1 {
+		t.Errorf("brightest pixel moved: %d -> %d", p0, p1)
+	}
+}
+
+func TestTransientLightCurveShape(t *testing.T) {
+	tr := Transient{PeakFlux: 1000, PeakEpoch: 10, RiseEpochs: 2, DecayTau: 4}
+	if f := tr.TransientFlux(7); f != 0 {
+		t.Errorf("flux before rise = %v", f)
+	}
+	if f := tr.TransientFlux(9); math.Abs(f-500) > 1 {
+		t.Errorf("mid-rise flux = %v, want 500", f)
+	}
+	if f := tr.TransientFlux(10); f != 1000 {
+		t.Errorf("peak flux = %v", f)
+	}
+	f14 := tr.TransientFlux(14)
+	if math.Abs(f14-1000*math.Exp(-1)) > 1 {
+		t.Errorf("decay flux = %v", f14)
+	}
+	if tr.TransientFlux(40) > tr.TransientFlux(20) {
+		t.Error("decay not monotone")
+	}
+}
+
+func TestDiffDetectFindsInjectedTransient(t *testing.T) {
+	g := Geometry{TilesX: 2, TilesY: 1, TileW: 32, TileH: 32}
+	c := NewCatalog(g, 3)
+	c.AddTransient(Transient{
+		TileX: 1, TileY: 0, X: 16, Y: 16,
+		PeakFlux: 30000, PeakEpoch: 2, RiseEpochs: 1, DecayTau: 4,
+	})
+
+	// Quiet tile: no detections between consecutive epochs.
+	prev := c.RenderTile(0, 0, 1)
+	cur := c.RenderTile(0, 0, 2)
+	if cands := DiffDetect(prev, cur, 6, c.noiseSigma); len(cands) != 0 {
+		t.Errorf("quiet tile produced %d candidates", len(cands))
+	}
+
+	// Transient tile: detection near (16,16).
+	prev = c.RenderTile(1, 0, 1)
+	cur = c.RenderTile(1, 0, 2)
+	cands := DiffDetect(prev, cur, 6, c.noiseSigma)
+	if len(cands) == 0 {
+		t.Fatal("transient not detected")
+	}
+	best := cands[0]
+	if dx, dy := best.X-16, best.Y-16; dx*dx+dy*dy > 9 {
+		t.Errorf("detection at (%d,%d), want near (16,16)", best.X, best.Y)
+	}
+}
+
+func TestClassifySyntheticCurves(t *testing.T) {
+	// Supernova: rise 2, decay tau 5 around epoch 6.
+	tr := Transient{PeakFlux: 5000, PeakEpoch: 6, RiseEpochs: 2, DecayTau: 5}
+	var sn LightCurve
+	for e := 0; e < 16; e++ {
+		sn = append(sn, tr.TransientFlux(e))
+	}
+	if got := Classify(sn, 100); got != ClassSupernova {
+		t.Errorf("supernova curve classified as %v", got)
+	}
+
+	// Periodic variable.
+	var vr LightCurve
+	for e := 0; e < 16; e++ {
+		vr = append(vr, 2000+1500*math.Sin(float64(e)))
+	}
+	if got := Classify(vr, 100); got != ClassVariable {
+		t.Errorf("variable curve classified as %v", got)
+	}
+
+	// Flat noise.
+	var nz LightCurve
+	for e := 0; e < 16; e++ {
+		nz = append(nz, 10*math.Sin(float64(e*3)))
+	}
+	if got := Classify(nz, 100); got != ClassNoise {
+		t.Errorf("noise curve classified as %v", got)
+	}
+
+	if got := Classify(LightCurve{1, 2}, 0); got != ClassNoise {
+		t.Errorf("too-short curve classified as %v", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassSupernova.String() != "supernova" || ClassVariable.String() != "variable" ||
+		ClassNoise.String() != "noise" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestApertureFlux(t *testing.T) {
+	im := NewImage(16, 16)
+	for i := range im.Pix {
+		im.Pix[i] = 1000
+	}
+	splat(im, 8, 8, 10000, 1.0)
+	f := ApertureFlux(im, 8, 8, 3, 1000)
+	if f < 8000 || f > 12000 {
+		t.Errorf("aperture flux = %v, want ~10000", f)
+	}
+	// Off-source aperture is near zero.
+	f0 := ApertureFlux(im, 2, 2, 1, 1000)
+	if math.Abs(f0) > 500 {
+		t.Errorf("background aperture = %v", f0)
+	}
+}
+
+func TestRenderTileBytes(t *testing.T) {
+	g := Geometry{TilesX: 1, TilesY: 1, TileW: 8, TileH: 8}
+	c := NewCatalog(g, 1)
+	buf := make([]byte, g.TileBytes())
+	if err := c.RenderTileBytes(0, 0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, make([]byte, len(buf))) {
+		t.Error("rendered tile is all zeros")
+	}
+}
+
+func BenchmarkRenderTile64(b *testing.B) {
+	g := Geometry{TilesX: 1, TilesY: 1, TileW: 64, TileH: 64}
+	c := NewCatalog(g, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.RenderTile(0, 0, i)
+	}
+}
+
+func BenchmarkDiffDetect64(b *testing.B) {
+	g := Geometry{TilesX: 1, TilesY: 1, TileW: 64, TileH: 64}
+	c := NewCatalog(g, 1)
+	prev := c.RenderTile(0, 0, 0)
+	cur := c.RenderTile(0, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DiffDetect(prev, cur, 6, c.noiseSigma)
+	}
+}

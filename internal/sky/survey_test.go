@@ -1,0 +1,255 @@
+package sky_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"blob/internal/cluster"
+	"blob/internal/sky"
+)
+
+// surveyFixture spins up a cluster and a survey over it.
+func surveyFixture(t testing.TB, geo sky.Geometry, telescopes int, seed uint64) (*cluster.Cluster, *sky.Catalog, *sky.Survey) {
+	t.Helper()
+	cl, err := cluster.Launch(cluster.Config{DataProviders: 4, MetaProviders: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Shutdown)
+	c, err := cl.NewClient(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	cat := sky.NewCatalog(geo, seed)
+	pageSize := uint64(1024)
+	if geo.TileBytes() < pageSize {
+		pageSize = geo.TileBytes() // tile size is a power of two in tests
+	}
+	capacity := geo.SkyBytes() * 2
+	// Round capacity up to a power-of-two page count.
+	pages := capacity / pageSize
+	p2 := uint64(1)
+	for p2 < pages {
+		p2 *= 2
+	}
+	b, err := c.CreateBlob(context.Background(), pageSize, p2*pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := sky.NewSurvey(b, cat, telescopes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, cat, sv
+}
+
+func TestSurveyEndToEndSupernovaHunt(t *testing.T) {
+	geo := sky.Geometry{TilesX: 4, TilesY: 4, TileW: 32, TileH: 32}
+	_, cat, sv := surveyFixture(t, geo, 2, 11)
+
+	// Ground truth: one supernova peaking at epoch 3, one periodic
+	// variable star as the classic false positive.
+	cat.AddTransient(sky.Transient{
+		TileX: 2, TileY: 1, X: 10, Y: 20,
+		PeakFlux: 40000, PeakEpoch: 3, RiseEpochs: 1, DecayTau: 3,
+	})
+	cat.AddVariable(sky.VariableStar{
+		TileX: 0, TileY: 3, X: 16, Y: 16,
+		MeanFlux: 20000, Amplitude: 15000, PeriodEpochs: 2.7,
+	})
+
+	ctx := context.Background()
+	const epochs = 10
+	for e := 0; e < epochs; e++ {
+		if _, err := sv.CaptureEpoch(ctx); err != nil {
+			t.Fatalf("capture epoch %d: %v", e, err)
+		}
+	}
+	if sv.Epochs() != epochs {
+		t.Fatalf("epochs = %d", sv.Epochs())
+	}
+
+	// Detect at the supernova's peak epoch.
+	dets, err := sv.DetectEpoch(ctx, 3, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snDet *sky.Detection
+	for i := range dets {
+		if dets[i].TileX == 2 && dets[i].TileY == 1 {
+			snDet = &dets[i]
+		}
+	}
+	if snDet == nil {
+		t.Fatalf("supernova tile produced no detection; got %d detections elsewhere", len(dets))
+	}
+	if dx, dy := snDet.X-10, snDet.Y-20; dx*dx+dy*dy > 9 {
+		t.Errorf("supernova localized at (%d,%d), want near (10,20)", snDet.X, snDet.Y)
+	}
+
+	// Classification: the supernova tile's light curve must classify as
+	// supernova, the variable star's as variable.
+	class, lc, err := sv.ClassifyDetection(ctx, *snDet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != sky.ClassSupernova {
+		t.Errorf("supernova classified as %v (lc=%v)", class, lc)
+	}
+
+	varDet := sky.Detection{TileX: 0, TileY: 3, Candidate: sky.Candidate{X: 16, Y: 16}}
+	class, lc, err = sv.ClassifyDetection(ctx, varDet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != sky.ClassVariable {
+		t.Errorf("variable star classified as %v (lc=%v)", class, lc)
+	}
+}
+
+func TestSurveyQuietSkyNoDetections(t *testing.T) {
+	geo := sky.Geometry{TilesX: 2, TilesY: 2, TileW: 32, TileH: 32}
+	_, _, sv := surveyFixture(t, geo, 1, 5)
+	ctx := context.Background()
+	for e := 0; e < 3; e++ {
+		if _, err := sv.CaptureEpoch(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dets, err := sv.DetectEpoch(ctx, 2, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 0 {
+		t.Errorf("quiet sky produced %d detections: %+v", len(dets), dets)
+	}
+}
+
+func TestSurveySnapshotIsolationAcrossEpochs(t *testing.T) {
+	// Reading epoch e's tile must be bit-identical to the catalog's
+	// rendering for epoch e even after later epochs were written —
+	// the application-level statement of the paper's versioning.
+	geo := sky.Geometry{TilesX: 2, TilesY: 1, TileW: 16, TileH: 16}
+	_, cat, sv := surveyFixture(t, geo, 1, 9)
+	ctx := context.Background()
+	for e := 0; e < 4; e++ {
+		if _, err := sv.CaptureEpoch(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 4; e++ {
+		got, err := sv.ReadTile(ctx, 1, 0, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cat.RenderTile(1, 0, e)
+		for i := range want.Pix {
+			if got.Pix[i] != want.Pix[i] {
+				t.Fatalf("epoch %d pixel %d: stored %d, rendered %d", e, i, got.Pix[i], want.Pix[i])
+			}
+		}
+	}
+}
+
+func TestSurveyConcurrentCaptureAndAnalysis(t *testing.T) {
+	// The paper's headline scenario: telescopes write new epochs while
+	// analysis reads old ones, concurrently.
+	geo := sky.Geometry{TilesX: 4, TilesY: 2, TileW: 16, TileH: 16}
+	_, _, sv := surveyFixture(t, geo, 2, 21)
+	ctx := context.Background()
+
+	// Seed two epochs so analysis has something to difference.
+	for e := 0; e < 2; e++ {
+		if _, err := sv.CaptureEpoch(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	// Writer: capture 4 more epochs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for e := 0; e < 4; e++ {
+			if _, err := sv.CaptureEpoch(ctx); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	// Analysts: repeatedly difference epochs 0/1 while writes proceed.
+	for a := 0; a < 3; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := sv.DetectEpoch(ctx, 1, 6, 2); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if sv.Epochs() != 6 {
+		t.Errorf("epochs = %d, want 6", sv.Epochs())
+	}
+}
+
+func TestSurveyValidation(t *testing.T) {
+	cl, err := cluster.Launch(cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Shutdown()
+	c, err := cl.NewClient(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	geo := sky.Geometry{TilesX: 4, TilesY: 4, TileW: 32, TileH: 32}
+	cat := sky.NewCatalog(geo, 1)
+
+	// Blob too small.
+	small, _ := c.CreateBlob(context.Background(), 1024, 4*1024)
+	if _, err := sky.NewSurvey(small, cat, 1); err == nil {
+		t.Error("undersized blob accepted")
+	}
+
+	// Page size not dividing tile size.
+	odd, _ := c.CreateBlob(context.Background(), 4096, 1<<20)
+	catOdd := sky.NewCatalog(sky.Geometry{TilesX: 2, TilesY: 2, TileW: 10, TileH: 10}, 1)
+	if _, err := sky.NewSurvey(odd, catOdd, 1); err == nil {
+		t.Error("tile/page mismatch accepted")
+	}
+}
+
+func TestSurveyLightCurveErrors(t *testing.T) {
+	geo := sky.Geometry{TilesX: 2, TilesY: 1, TileW: 16, TileH: 16}
+	_, _, sv := surveyFixture(t, geo, 1, 2)
+	ctx := context.Background()
+	sv.CaptureEpoch(ctx)
+	d := sky.Detection{TileX: 0, TileY: 0}
+	if _, err := sv.LightCurve(ctx, d, 3, 1); err == nil {
+		t.Error("reversed epoch range accepted")
+	}
+	if _, err := sv.LightCurve(ctx, d, 0, 9); err == nil {
+		t.Error("uncaptured epoch accepted")
+	}
+	if _, err := sv.DetectEpoch(ctx, 0, 5, 1); err == nil {
+		t.Error("DetectEpoch(0) should fail (needs a predecessor)")
+	}
+}
+
+func ExampleSurvey() {
+	// See examples/supernovae for the full runnable pipeline.
+}

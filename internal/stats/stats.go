@@ -1,0 +1,219 @@
+// Package stats provides the lightweight metrics primitives used across
+// the system: monotone counters, fixed-bucket latency histograms and
+// windowed rates. Services expose these through their Stats RPCs and the
+// benchmark harness aggregates them to regenerate the paper's figures
+// (bandwidth per client, RPC counts saved by batching or caching).
+//
+// All primitives are safe for concurrent use and allocation-free on the
+// hot path.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable 64-bit value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records durations into exponential buckets:
+// bucket i covers [2^i, 2^(i+1)) microseconds, with the last bucket
+// catching everything beyond. It answers approximate quantiles, which
+// is all the experiment reports need.
+type Histogram struct {
+	buckets [32]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	maxUS   atomic.Int64
+}
+
+func bucketOf(us int64) int {
+	if us < 1 {
+		return 0
+	}
+	b := 63 - leadingZeros64(uint64(us))
+	if b > 31 {
+		b = 31
+	}
+	return b
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.buckets[bucketOf(us)].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumUS.Load()/n) * time.Microsecond
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration {
+	return time.Duration(h.maxUS.Load()) * time.Microsecond
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) from the
+// bucket boundaries; resolution is a factor of two.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return time.Duration(int64(1)<<(uint(i)+1)) * time.Microsecond
+		}
+	}
+	return h.Max()
+}
+
+// String summarizes the histogram for logs and experiment output.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+}
+
+// Rate measures throughput: bytes (or events) per elapsed wall time.
+type Rate struct {
+	start time.Time
+	n     atomic.Int64
+}
+
+// NewRate starts a rate measurement now.
+func NewRate() *Rate { return &Rate{start: time.Now()} }
+
+// Add records n units.
+func (r *Rate) Add(n int64) { r.n.Add(n) }
+
+// Total returns the accumulated units.
+func (r *Rate) Total() int64 { return r.n.Load() }
+
+// PerSecond returns units per second since the rate was created.
+func (r *Rate) PerSecond() float64 {
+	el := time.Since(r.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(r.n.Load()) / el
+}
+
+// Registry is a named collection of counters, handy for snapshotting a
+// service's state over an RPC.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns a copy of all counter values.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v.Value()
+	}
+	return out
+}
+
+// String renders the snapshot sorted by name.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, snap[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,341 @@
+package vmanager
+
+import (
+	"context"
+	"fmt"
+
+	"blob/internal/meta"
+	"blob/internal/rpc"
+	"blob/internal/wire"
+)
+
+// RPC method identifiers for the version manager service (0x05xx block).
+const (
+	MCreate      = 0x0501
+	MInfo        = 0x0502
+	MAssign      = 0x0503
+	MCommit      = 0x0504
+	MAbort       = 0x0505
+	MLatest      = 0x0506
+	MVersionInfo = 0x0507
+	MHistory     = 0x0508
+)
+
+// RegisterHandlers wires the manager's RPC methods onto srv.
+func (m *Manager) RegisterHandlers(srv *rpc.Server) {
+	srv.Handle(MCreate, m.handleCreate)
+	srv.Handle(MInfo, m.handleInfo)
+	srv.Handle(MAssign, m.handleAssign)
+	srv.Handle(MCommit, m.handleCommit)
+	srv.Handle(MAbort, m.handleAbort)
+	srv.Handle(MLatest, m.handleLatest)
+	srv.Handle(MVersionInfo, m.handleVersionInfo)
+	srv.Handle(MHistory, m.handleHistory)
+}
+
+func (m *Manager) handleCreate(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	pageSize := r.Uint64()
+	capacity := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager create: %w", err)
+	}
+	id, err := m.CreateBlob(pageSize, capacity)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(8)
+	w.Uint64(id)
+	return w.Bytes(), nil
+}
+
+func (m *Manager) handleInfo(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager info: %w", err)
+	}
+	info, err := m.Info(blob)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(40)
+	w.Uint64(info.ID)
+	w.Uint64(info.PageSize)
+	w.Uint64(info.TotalPages)
+	w.Uint64(info.LatestPublished)
+	w.Uint64(info.SizeBytes)
+	return w.Bytes(), nil
+}
+
+func (m *Manager) handleAssign(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	writeID := r.Uint64()
+	offset := r.Uint64()
+	length := r.Uint64()
+	isAppend := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager assign: %w", err)
+	}
+	a, err := m.AssignVersion(blob, writeID, offset, length, isAppend)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(32 + 24*len(a.Borders))
+	w.Uint64(a.Version)
+	w.Uint64(a.Offset)
+	w.Uvarint(uint64(len(a.Borders)))
+	for _, b := range a.Borders {
+		w.Uvarint(b.Child.Start)
+		w.Uvarint(b.Child.Size)
+		w.Uvarint(b.Ver)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeAssignment parses an MAssign response.
+func DecodeAssignment(body []byte) (Assignment, error) {
+	r := wire.NewReader(body)
+	var a Assignment
+	a.Version = r.Uint64()
+	a.Offset = r.Uint64()
+	n := int(r.Uvarint())
+	a.Borders = make([]meta.Border, 0, n)
+	for i := 0; i < n; i++ {
+		a.Borders = append(a.Borders, meta.Border{
+			Child: meta.NodeRange{Start: r.Uvarint(), Size: r.Uvarint()},
+			Ver:   r.Uvarint(),
+		})
+	}
+	return a, r.Err()
+}
+
+func (m *Manager) handleCommit(ctx context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	v := r.Uint64()
+	block := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager commit: %w", err)
+	}
+	pub, err := m.Commit(ctx, blob, v, block)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(8)
+	w.Uint64(pub)
+	return w.Bytes(), nil
+}
+
+func (m *Manager) handleAbort(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	v := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager abort: %w", err)
+	}
+	if err := m.Abort(blob, v); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (m *Manager) handleLatest(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager latest: %w", err)
+	}
+	v, size, err := m.Latest(blob)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(16)
+	w.Uint64(v)
+	w.Uint64(size)
+	return w.Bytes(), nil
+}
+
+func (m *Manager) handleVersionInfo(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	v := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager versioninfo: %w", err)
+	}
+	published, size, err := m.VersionInfo(blob, v)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(16)
+	w.Bool(published)
+	w.Uint64(size)
+	return w.Bytes(), nil
+}
+
+func (m *Manager) handleHistory(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	from := r.Uint64()
+	to := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager history: %w", err)
+	}
+	recs, err := m.History(blob, from, to)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(8 + 32*len(recs))
+	w.Uvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		w.Uvarint(rec.Version)
+		w.Uvarint(rec.Range.First)
+		w.Uvarint(rec.Range.Count)
+		w.Uint64(rec.WriteID)
+		w.Bool(rec.Aborted)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeHistory parses an MHistory response.
+func DecodeHistory(body []byte) ([]WriteRecord, error) {
+	r := wire.NewReader(body)
+	n := int(r.Uvarint())
+	out := make([]WriteRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, WriteRecord{
+			Version: r.Uvarint(),
+			Range:   meta.PageRange{First: r.Uvarint(), Count: r.Uvarint()},
+			WriteID: r.Uint64(),
+			Aborted: r.Bool(),
+		})
+	}
+	return out, r.Err()
+}
+
+// Client is a typed client for the version manager service.
+type Client struct {
+	pool *rpc.Pool
+	addr string
+}
+
+// NewClient returns a client for the manager at addr.
+func NewClient(pool *rpc.Pool, addr string) *Client {
+	return &Client{pool: pool, addr: addr}
+}
+
+// CreateBlob allocates a blob.
+func (c *Client) CreateBlob(ctx context.Context, pageSize, capacityBytes uint64) (uint64, error) {
+	w := wire.NewWriter(16)
+	w.Uint64(pageSize)
+	w.Uint64(capacityBytes)
+	resp, err := c.pool.Call(ctx, c.addr, MCreate, w.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(resp)
+	id := r.Uint64()
+	return id, r.Err()
+}
+
+// Info fetches blob geometry and published state.
+func (c *Client) Info(ctx context.Context, blob uint64) (BlobInfo, error) {
+	w := wire.NewWriter(8)
+	w.Uint64(blob)
+	resp, err := c.pool.Call(ctx, c.addr, MInfo, w.Bytes())
+	if err != nil {
+		return BlobInfo{}, err
+	}
+	r := wire.NewReader(resp)
+	info := BlobInfo{
+		ID:              r.Uint64(),
+		PageSize:        r.Uint64(),
+		TotalPages:      r.Uint64(),
+		LatestPublished: r.Uint64(),
+		SizeBytes:       r.Uint64(),
+	}
+	return info, r.Err()
+}
+
+// AssignVersion requests a version for a write.
+func (c *Client) AssignVersion(ctx context.Context, blob, writeID, offset, length uint64, isAppend bool) (Assignment, error) {
+	w := wire.NewWriter(40)
+	w.Uint64(blob)
+	w.Uint64(writeID)
+	w.Uint64(offset)
+	w.Uint64(length)
+	w.Bool(isAppend)
+	resp, err := c.pool.Call(ctx, c.addr, MAssign, w.Bytes())
+	if err != nil {
+		return Assignment{}, err
+	}
+	return DecodeAssignment(resp)
+}
+
+// Commit reports completion of a write; with block it waits for
+// publication.
+func (c *Client) Commit(ctx context.Context, blob uint64, v meta.Version, block bool) (meta.Version, error) {
+	w := wire.NewWriter(24)
+	w.Uint64(blob)
+	w.Uint64(v)
+	w.Bool(block)
+	resp, err := c.pool.Call(ctx, c.addr, MCommit, w.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(resp)
+	pub := r.Uint64()
+	return pub, r.Err()
+}
+
+// Abort withdraws an assigned version.
+func (c *Client) Abort(ctx context.Context, blob uint64, v meta.Version) error {
+	w := wire.NewWriter(16)
+	w.Uint64(blob)
+	w.Uint64(v)
+	_, err := c.pool.Call(ctx, c.addr, MAbort, w.Bytes())
+	return err
+}
+
+// Latest returns the newest published version and its byte size.
+func (c *Client) Latest(ctx context.Context, blob uint64) (meta.Version, uint64, error) {
+	w := wire.NewWriter(8)
+	w.Uint64(blob)
+	resp, err := c.pool.Call(ctx, c.addr, MLatest, w.Bytes())
+	if err != nil {
+		return 0, 0, err
+	}
+	r := wire.NewReader(resp)
+	v := r.Uint64()
+	size := r.Uint64()
+	return v, size, r.Err()
+}
+
+// VersionInfo reports publication state and size of a version.
+func (c *Client) VersionInfo(ctx context.Context, blob uint64, v meta.Version) (published bool, size uint64, err error) {
+	w := wire.NewWriter(16)
+	w.Uint64(blob)
+	w.Uint64(v)
+	resp, err := c.pool.Call(ctx, c.addr, MVersionInfo, w.Bytes())
+	if err != nil {
+		return false, 0, err
+	}
+	r := wire.NewReader(resp)
+	published = r.Bool()
+	size = r.Uint64()
+	return published, size, r.Err()
+}
+
+// History fetches write records for versions in (from, to].
+func (c *Client) History(ctx context.Context, blob uint64, from, to meta.Version) ([]WriteRecord, error) {
+	w := wire.NewWriter(24)
+	w.Uint64(blob)
+	w.Uint64(from)
+	w.Uint64(to)
+	resp, err := c.pool.Call(ctx, c.addr, MHistory, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return DecodeHistory(resp)
+}

@@ -1,0 +1,442 @@
+// Package vmanager implements the version manager, "the key actor of the
+// system" (paper §III.A). It is the only serialization point: it assigns
+// version numbers to writes, precomputes the border-node versions each
+// writer needs to weave its partial metadata tree into the forest of
+// earlier versions (§IV.C), tracks which versions have committed, and
+// publishes versions strictly in order — giving the global
+// serializability and liveness properties of §II.
+//
+// Beyond the paper, the manager implements the fault-tolerance extension
+// sketched in its future work: if a writer that was assigned a version
+// dies before committing, the manager repairs the hole by materializing
+// that version's metadata itself (a logical no-op patch referencing the
+// previous content), so publication of later versions is never blocked
+// forever. See repair.go.
+package vmanager
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blob/internal/meta"
+	"blob/internal/stats"
+)
+
+// Errors returned to clients.
+var (
+	ErrNoBlob         = errors.New("vmanager: unknown blob")
+	ErrAborted        = errors.New("vmanager: version aborted")
+	ErrNotPending     = errors.New("vmanager: version not pending")
+	ErrBadRange       = errors.New("vmanager: invalid range")
+	ErrVersionUnknown = errors.New("vmanager: version not yet assigned")
+)
+
+// WriteRecord is the durable history entry for one assigned write,
+// consumed by the garbage collector and the repair path.
+type WriteRecord struct {
+	Version meta.Version
+	Range   meta.PageRange
+	WriteID uint64
+	Aborted bool
+}
+
+// pendingWrite tracks an assigned, not-yet-published version.
+type pendingWrite struct {
+	wr        meta.PageRange
+	writeID   uint64
+	committed bool
+	aborted   bool
+	deadline  time.Time
+	repairing bool
+}
+
+// blobState is the manager's record of one blob.
+type blobState struct {
+	id         uint64
+	pageSize   uint64
+	totalPages uint64
+
+	latestAssigned  meta.Version
+	latestPublished meta.Version
+	// sizes[v] is the logical size in bytes of version v (grows with
+	// writes past the end and with appends). sizes[0] == 0.
+	sizes []uint64
+
+	ivm     *meta.IntervalVersionMap
+	pending map[meta.Version]*pendingWrite
+	history []WriteRecord
+
+	// changed is closed and replaced whenever publication state moves,
+	// waking blocked Commit calls.
+	changed chan struct{}
+}
+
+// Assignment is the version manager's reply to a write's version request:
+// the version number, the final byte offset (resolved for appends), and
+// the precomputed border set with which the writer builds its metadata in
+// complete isolation.
+type Assignment struct {
+	Version meta.Version
+	Offset  uint64
+	Borders []meta.Border
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// RepairTimeout is how long an assigned version may stay uncommitted
+	// before the manager repairs it as a no-op patch. Zero disables
+	// repair (the paper's baseline behaviour, where a dead writer blocks
+	// publication of successors).
+	RepairTimeout time.Duration
+	// RepairScan is how often the repair loop scans for expired writes
+	// (default: RepairTimeout/4).
+	RepairScan time.Duration
+	// Store gives the repair path access to the metadata providers.
+	// Required only when RepairTimeout > 0.
+	Store NodeStore
+}
+
+// NodeStore is the slice of the metadata-provider interface the repair
+// path needs. internal/mstore.Client satisfies it.
+type NodeStore interface {
+	FetchNode(ctx context.Context, key meta.NodeKey) (*meta.Node, error)
+	StoreNodes(ctx context.Context, nodes []meta.Node) error
+}
+
+// Manager is the version manager service state.
+type Manager struct {
+	cfg Config
+
+	mu     sync.Mutex
+	blobs  map[uint64]*blobState
+	nextID uint64
+
+	// Metrics.
+	Assigns   stats.Counter
+	Commits   stats.Counter
+	Publishes stats.Counter
+	Aborts    stats.Counter
+	Repairs   stats.Counter
+
+	stopRepair chan struct{}
+	repairWG   sync.WaitGroup
+	closed     bool
+}
+
+// New creates a Manager and starts its repair loop if configured.
+func New(cfg Config) *Manager {
+	if cfg.RepairScan <= 0 {
+		cfg.RepairScan = cfg.RepairTimeout / 4
+	}
+	m := &Manager{
+		cfg:        cfg,
+		blobs:      make(map[uint64]*blobState),
+		nextID:     1,
+		stopRepair: make(chan struct{}),
+	}
+	if cfg.RepairTimeout > 0 {
+		if cfg.Store == nil {
+			panic("vmanager: RepairTimeout set without a NodeStore")
+		}
+		m.repairWG.Add(1)
+		go m.repairLoop()
+	}
+	return m
+}
+
+// Close stops background work.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stopRepair)
+	m.repairWG.Wait()
+}
+
+// CreateBlob allocates a new blob (the paper's ALLOC primitive): a
+// globally unique id for a string of capacityBytes bytes in pageSize
+// pages. capacityBytes/pageSize must be a power of two.
+func (m *Manager) CreateBlob(pageSize, capacityBytes uint64) (uint64, error) {
+	if !meta.IsPowerOfTwo(pageSize) {
+		return 0, fmt.Errorf("vmanager: page size %d not a power of two", pageSize)
+	}
+	if capacityBytes == 0 || capacityBytes%pageSize != 0 {
+		return 0, fmt.Errorf("vmanager: capacity %d not a multiple of page size %d", capacityBytes, pageSize)
+	}
+	totalPages := capacityBytes / pageSize
+	ivm, err := meta.NewIntervalVersionMap(totalPages)
+	if err != nil {
+		return 0, fmt.Errorf("vmanager: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.blobs[id] = &blobState{
+		id:         id,
+		pageSize:   pageSize,
+		totalPages: totalPages,
+		sizes:      []uint64{0},
+		ivm:        ivm,
+		pending:    make(map[meta.Version]*pendingWrite),
+		changed:    make(chan struct{}),
+	}
+	return id, nil
+}
+
+// BlobInfo describes a blob's static geometry and current published state.
+type BlobInfo struct {
+	ID              uint64
+	PageSize        uint64
+	TotalPages      uint64
+	LatestPublished meta.Version
+	SizeBytes       uint64
+}
+
+// Info returns a blob's current info.
+func (m *Manager) Info(blob uint64) (BlobInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[blob]
+	if !ok {
+		return BlobInfo{}, ErrNoBlob
+	}
+	return BlobInfo{
+		ID:              b.id,
+		PageSize:        b.pageSize,
+		TotalPages:      b.totalPages,
+		LatestPublished: b.latestPublished,
+		SizeBytes:       b.sizes[b.latestPublished],
+	}, nil
+}
+
+// AssignVersion serializes a write into the version order. For appends
+// the offset is resolved to the current logical end of the blob. The
+// returned border set reflects exactly the writes numbered below the new
+// version, whether or not they have published — the mechanism that lets
+// concurrent writers proceed without synchronizing with each other.
+func (m *Manager) AssignVersion(blob, writeID uint64, offset, length uint64, isAppend bool) (Assignment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[blob]
+	if !ok {
+		return Assignment{}, ErrNoBlob
+	}
+	if isAppend {
+		offset = b.sizes[b.latestAssigned]
+	}
+	if offset%b.pageSize != 0 || length == 0 || length%b.pageSize != 0 {
+		return Assignment{}, fmt.Errorf("%w: offset %d length %d not aligned to page size %d",
+			ErrBadRange, offset, length, b.pageSize)
+	}
+	wr := meta.PageRange{First: offset / b.pageSize, Count: length / b.pageSize}
+	if wr.End() > b.totalPages {
+		return Assignment{}, fmt.Errorf("%w: write [%d,%d) exceeds capacity of %d pages",
+			ErrBadRange, wr.First, wr.End(), b.totalPages)
+	}
+
+	v := b.latestAssigned + 1
+	borders := meta.Borders(b.totalPages, wr)
+	b.ivm.ResolveBorders(borders) // before Assign: sees versions 1..v-1
+	b.ivm.Assign(wr, v)
+	b.latestAssigned = v
+
+	// Track the logical size of this version.
+	newSize := b.sizes[v-1]
+	if end := offset + length; end > newSize {
+		newSize = end
+	}
+	b.sizes = append(b.sizes, newSize)
+
+	var deadline time.Time
+	if m.cfg.RepairTimeout > 0 {
+		deadline = time.Now().Add(m.cfg.RepairTimeout)
+	}
+	b.pending[v] = &pendingWrite{
+		wr: wr, writeID: writeID, deadline: deadline,
+	}
+	b.history = append(b.history, WriteRecord{Version: v, Range: wr, WriteID: writeID})
+	m.Assigns.Inc()
+	return Assignment{Version: v, Offset: offset, Borders: borders}, nil
+}
+
+// Commit reports that the writer of (blob, v) finished storing data and
+// metadata. If block is true, Commit waits until v is actually published
+// (all earlier versions committed too) or ctx expires, so a returned
+// WRITE is immediately readable.
+func (m *Manager) Commit(ctx context.Context, blob uint64, v meta.Version, block bool) (meta.Version, error) {
+	m.mu.Lock()
+	b, ok := m.blobs[blob]
+	if !ok {
+		m.mu.Unlock()
+		return 0, ErrNoBlob
+	}
+	p, ok := b.pending[v]
+	switch {
+	case ok && p.aborted:
+		m.mu.Unlock()
+		return 0, fmt.Errorf("%w: version %d", ErrAborted, v)
+	case !ok:
+		if v <= b.latestPublished {
+			// Already published: the repair path may have completed the
+			// version on the writer's behalf. Check the abort flag.
+			for i := len(b.history) - 1; i >= 0; i-- {
+				if b.history[i].Version == v {
+					if b.history[i].Aborted {
+						m.mu.Unlock()
+						return 0, fmt.Errorf("%w: version %d", ErrAborted, v)
+					}
+					break
+				}
+			}
+			pub := b.latestPublished
+			m.mu.Unlock()
+			return pub, nil
+		}
+		m.mu.Unlock()
+		return 0, fmt.Errorf("%w: version %d", ErrNotPending, v)
+	}
+	p.committed = true
+	m.Commits.Inc()
+	m.advanceLocked(b)
+
+	if !block {
+		pub := b.latestPublished
+		m.mu.Unlock()
+		return pub, nil
+	}
+	for b.latestPublished < v {
+		if p.aborted {
+			m.mu.Unlock()
+			return 0, fmt.Errorf("%w: version %d", ErrAborted, v)
+		}
+		ch := b.changed
+		m.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+		m.mu.Lock()
+	}
+	pub := b.latestPublished
+	m.mu.Unlock()
+	return pub, nil
+}
+
+// advanceLocked publishes the longest committed prefix.
+func (m *Manager) advanceLocked(b *blobState) {
+	moved := false
+	for {
+		next := b.latestPublished + 1
+		p, ok := b.pending[next]
+		if !ok || !p.committed {
+			break
+		}
+		delete(b.pending, next)
+		b.latestPublished = next
+		m.Publishes.Inc()
+		moved = true
+	}
+	if moved {
+		close(b.changed)
+		b.changed = make(chan struct{})
+	}
+}
+
+// Abort withdraws an assigned version (the writer knows it failed). The
+// version is immediately repaired as a no-op patch if repair is enabled;
+// otherwise it is marked committed-as-aborted so publication can proceed
+// once its metadata exists. Abort with repair disabled requires that the
+// caller has itself stored valid metadata for the version (or accepts
+// that readers of later versions may fail).
+func (m *Manager) Abort(blob uint64, v meta.Version) error {
+	m.mu.Lock()
+	b, ok := m.blobs[blob]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNoBlob
+	}
+	p, ok := b.pending[v]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: version %d", ErrNotPending, v)
+	}
+	p.aborted = true
+	for i := len(b.history) - 1; i >= 0; i-- {
+		if b.history[i].Version == v {
+			b.history[i].Aborted = true
+			break
+		}
+	}
+	m.Aborts.Inc()
+	// Wake any blocked Commit for this version.
+	close(b.changed)
+	b.changed = make(chan struct{})
+	m.mu.Unlock()
+
+	if m.cfg.RepairTimeout > 0 {
+		return m.repairVersion(context.Background(), blob, v)
+	}
+	return nil
+}
+
+// Latest returns the newest published version and its size.
+func (m *Manager) Latest(blob uint64) (meta.Version, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[blob]
+	if !ok {
+		return 0, 0, ErrNoBlob
+	}
+	return b.latestPublished, b.sizes[b.latestPublished], nil
+}
+
+// VersionInfo reports whether v is published and its logical size.
+func (m *Manager) VersionInfo(blob uint64, v meta.Version) (published bool, size uint64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[blob]
+	if !ok {
+		return false, 0, ErrNoBlob
+	}
+	if v > b.latestAssigned {
+		return false, 0, ErrVersionUnknown
+	}
+	return v <= b.latestPublished, b.sizes[v], nil
+}
+
+// History returns write records for versions in (from, to], for the GC.
+func (m *Manager) History(blob uint64, from, to meta.Version) ([]WriteRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[blob]
+	if !ok {
+		return nil, ErrNoBlob
+	}
+	out := make([]WriteRecord, 0, len(b.history))
+	for _, rec := range b.history {
+		if rec.Version > from && rec.Version <= to {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// Blobs lists all blob IDs (diagnostics).
+func (m *Manager) Blobs() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, 0, len(m.blobs))
+	for id := range m.blobs {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package wire
+
+// Hashing helpers shared by the DHT key space, page placement and
+// checksums. We use FNV-1a for streaming checksums (simple, stdlib-free,
+// good enough for integrity of RAM-resident pages) and a splitmix64-style
+// finalizer for key dispersal, whose avalanche behaviour gives the uniform
+// node spread the segment-tree dispersal relies on.
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Checksum64 returns the FNV-1a hash of p. Used as a page integrity check:
+// leaves record the checksum at write time and readers verify it.
+func Checksum64(p []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Mix64 finalizes x with the splitmix64 mixing function. All bits of the
+// input affect all bits of the output, so consecutive keys (version
+// numbers, page indexes) disperse uniformly over the ring.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashFields mixes a sequence of integers into one well-dispersed key.
+// It is the canonical way to derive a DHT key from a composite identity
+// such as (blobID, version, offset, size).
+func HashFields(fields ...uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for _, f := range fields {
+		h ^= Mix64(f)
+		h *= fnvPrime64
+		h = Mix64(h)
+	}
+	return h
+}
