@@ -156,6 +156,9 @@ func ablations(sc bench.Scale, quick bool) error {
 		{"data replication factor", func() ([]bench.AblationPoint, error) {
 			return bench.AblateReplication(prov, 16, []int{1, 2, 3}, sc)
 		}},
+		{"provider persistence (RAM vs diskstore)", func() ([]bench.AblationPoint, error) {
+			return bench.AblatePersistence(prov, 8, seg, sc)
+		}},
 	}
 	for _, g := range groups {
 		fmt.Printf("-- %s\n", g.name)

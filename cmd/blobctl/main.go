@@ -11,6 +11,7 @@
 //	blobctl -vm ... -pm ... read   -blob 1 -offset 0 -length 65536 -version 3 -out tile.raw
 //	blobctl -vm ... -pm ... stat   -blob 1
 //	blobctl -vm ... -pm ... gc     -blob 1 -keep 5
+//	blobctl -vm ... -pm ... stats
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"os"
 
 	"blob"
+	"blob/internal/provider"
 )
 
 func main() {
@@ -29,7 +31,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "data replication factor for writes")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|stats [subflags]")
 		os.Exit(2)
 	}
 
@@ -146,6 +148,29 @@ func main() {
 		}
 		fmt.Printf("collected %d versions: %d tree nodes and %d page replicas deleted (%d nodes kept)\n",
 			rep.VersionsCollected, rep.NodesDeleted, rep.PagesDeleted, rep.NodesKept)
+
+	case "stats":
+		provs, err := client.AllProviders(ctx)
+		if err != nil {
+			log.Fatalf("list providers: %v", err)
+		}
+		fmt.Printf("%-4s %-22s %10s %12s %12s %12s %8s %6s %10s %9s\n",
+			"id", "addr", "pages", "bytes", "capacity", "disk", "segs", "live%", "cache", "hits")
+		for _, p := range provs {
+			resp, err := client.Pool().Call(ctx, p.Addr, provider.MStats, nil)
+			if err != nil {
+				fmt.Printf("%-4d %-22s unreachable: %v\n", p.ID, p.Addr, err)
+				continue
+			}
+			st, err := provider.DecodeStats(resp)
+			if err != nil {
+				fmt.Printf("%-4d %-22s bad stats response: %v\n", p.ID, p.Addr, err)
+				continue
+			}
+			fmt.Printf("%-4d %-22s %10d %12d %12d %12d %8d %5.1f%% %10d %9d\n",
+				p.ID, p.Addr, st.PageCount, st.BytesUsed, st.Capacity,
+				st.DiskBytes, st.Segments, 100*st.LiveRatio(), st.CacheBytes, st.CacheHits)
+		}
 
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)

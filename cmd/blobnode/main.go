@@ -8,9 +8,11 @@
 //	blobnode -listen :4000 -roles pmanager
 //	blobnode -listen :4001 -roles vmanager -pm host0:4000
 //
-//	# each storage node
+//	# each storage node (add -data-dir for a persistent, crash-recoverable
+//	# provider; omit it for the paper's RAM-only mode)
 //	blobnode -listen :4100 -roles provider,metadata \
-//	         -pm host0:4000 -advertise hostN:4100 -capacity 4294967296
+//	         -pm host0:4000 -advertise hostN:4100 -capacity 4294967296 \
+//	         -data-dir /var/lib/blob/pages -disk-cache 268435456
 //
 // Clients connect with blob.Options{Network: blob.TCP, VManagerAddr:
 // "host1:4001", PManagerAddr: "host0:4000", MetaDirAddr: "host0:4000"}.
@@ -20,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	"blob/internal/dht"
+	"blob/internal/diskstore"
 	"blob/internal/mstore"
 	"blob/internal/pmanager"
 	"blob/internal/provider"
@@ -42,7 +46,12 @@ func main() {
 		advertise  = flag.String("advertise", "", "address other nodes reach this node at (default: -listen)")
 		roles      = flag.String("roles", "", "comma-separated roles: vmanager,pmanager,provider,metadata")
 		pmAddr     = flag.String("pm", "", "provider manager / metadata directory address (for provider, metadata and vmanager roles)")
-		capacity   = flag.Int64("capacity", 0, "data provider RAM capacity in bytes (0 = unlimited)")
+		capacity   = flag.Int64("capacity", 0, "data provider page capacity in bytes (0 = unlimited)")
+		dataDir    = flag.String("data-dir", "", "data provider persistence directory (empty = RAM-only, the paper's mode)")
+		segSize    = flag.Int64("segment-size", 0, "segment file size for -data-dir in bytes (0 = 4 MiB default)")
+		diskCache  = flag.Int64("disk-cache", 0, "write-through RAM cache in front of -data-dir, in bytes (0 disables)")
+		compactEvr = flag.Duration("compact-interval", time.Minute, "segment compaction period for -data-dir (0 disables)")
+		syncWrites = flag.Bool("sync-writes", false, "fsync every page append to -data-dir")
 		repair     = flag.Duration("repair", 30*time.Second, "version manager dead-writer repair timeout (0 disables)")
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "data provider heartbeat interval")
 		strategy   = flag.String("strategy", "round-robin", "placement strategy: round-robin|least-loaded|power-of-two")
@@ -67,7 +76,8 @@ func main() {
 	ctx := context.Background()
 
 	var vm *vmanager.Manager
-	var dataStore *provider.Store
+	var dataSvc *provider.Service
+	var dataStore provider.PageStore
 	var providerID uint32
 
 	for _, role := range strings.Split(*roles, ",") {
@@ -125,14 +135,34 @@ func main() {
 			if *pmAddr == "" {
 				log.Fatal("provider role needs -pm")
 			}
-			dataStore = provider.NewStore(*capacity)
-			dataStore.RegisterHandlers(srv)
+			if *dataDir != "" {
+				ds, err := provider.NewDiskStore(diskstore.Options{
+					Dir:          *dataDir,
+					SegmentSize:  *segSize,
+					Sync:         *syncWrites,
+					CompactEvery: *compactEvr,
+				}, *capacity)
+				if err != nil {
+					log.Fatalf("provider: open data dir %s: %v", *dataDir, err)
+				}
+				snap := ds.Snapshot()
+				log.Printf("provider: recovered %d pages (%d live bytes, %d segments) from %s",
+					snap.PageCount, snap.BytesUsed, snap.Segments, *dataDir)
+				dataStore = ds
+				if *diskCache > 0 {
+					dataStore = provider.NewCachedStore(ds, *diskCache)
+				}
+			} else {
+				dataStore = provider.NewStore(*capacity)
+			}
+			dataSvc = provider.NewService(dataStore)
+			dataSvc.RegisterHandlers(srv)
 			id, err := pmanager.RegisterProvider(ctx, pool, *pmAddr, adv, *capacity)
 			if err != nil {
 				log.Fatalf("provider: register with %s: %v", *pmAddr, err)
 			}
 			providerID = id
-			log.Printf("role provider (id %d, capacity %d)", id, *capacity)
+			log.Printf("role provider (id %d, capacity %d, persistence %q)", id, *capacity, *dataDir)
 
 		case "metadata":
 			if *pmAddr == "" {
@@ -160,7 +190,7 @@ func main() {
 
 	// Heartbeat loop for the data provider role.
 	stop := make(chan struct{})
-	if dataStore != nil {
+	if dataSvc != nil {
 		go func() {
 			t := time.NewTicker(*heartbeat)
 			defer t.Stop()
@@ -169,7 +199,7 @@ func main() {
 				case <-stop:
 					return
 				case <-t.C:
-					snap := dataStore.Snapshot()
+					snap := dataSvc.Snapshot()
 					hctx, cancel := context.WithTimeout(ctx, *heartbeat)
 					if err := pmanager.SendHeartbeat(hctx, pool, *pmAddr, providerID, snap.BytesUsed, snap.ActiveOps); err != nil {
 						log.Printf("heartbeat: %v", err)
@@ -203,6 +233,15 @@ func main() {
 	<-sig
 	log.Print("shutting down")
 	close(stop)
+	// Stop serving before closing the store: a GetPages answered from a
+	// closed store would report pages absent rather than failing the
+	// connection, and clients cannot tell that apart from data loss.
+	srv.Close()
+	if cl, ok := dataStore.(io.Closer); ok {
+		if err := cl.Close(); err != nil {
+			log.Printf("close data store: %v", err)
+		}
+	}
 	if vm != nil {
 		if *checkpoint != "" {
 			if err := saveCheckpoint(vm, *checkpoint); err != nil {
@@ -211,7 +250,6 @@ func main() {
 		}
 		vm.Close()
 	}
-	srv.Close()
 }
 
 // saveCheckpoint writes the manager state atomically (temp file+rename).

@@ -1,0 +1,3 @@
+module blob
+
+go 1.24

@@ -78,6 +78,15 @@ func TestAblationsRun(t *testing.T) {
 	if pts, err := AblateBatching(2, 8, sc); err != nil || len(pts) != 2 {
 		t.Fatalf("batching ablation: %v %v", pts, err)
 	}
+	pts, err := AblatePersistence(2, 2, 4, sc)
+	if err != nil || len(pts) != 6 {
+		t.Fatalf("persistence ablation: %v %v", pts, err)
+	}
+	for _, p := range pts {
+		if p.Value <= 0 {
+			t.Errorf("persistence point %q = %v %s", p.Name, p.Value, p.Unit)
+		}
+	}
 }
 
 func TestSegmentOffsetsDisjointAcrossClients(t *testing.T) {

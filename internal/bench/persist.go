@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"blob/internal/cluster"
+	"blob/internal/netsim"
+)
+
+// AblatePersistence compares write and read throughput of RAM-only
+// providers (the paper's design) against disk-backed providers and
+// disk-backed providers fronted by a write-through RAM cache — the cost
+// of durability, and how much of it the cache tier buys back. Each
+// backend runs the same single-client streaming workload: `writes`
+// segments of segPages pages written back to back, then read back.
+func AblatePersistence(providers, writes int, segPages uint64, sc Scale) ([]AblationPoint, error) {
+	type backend struct {
+		name string
+		cfg  func(dir string) cluster.Config
+	}
+	base := func() cluster.Config {
+		return cluster.Config{
+			DataProviders:    providers,
+			MetaProviders:    providers,
+			Net:              netsim.Grid5000(),
+			CoLocate:         true,
+			CacheNodes:       -1,
+			MetaPutDelay:     sc.MetaPutDelay,
+			MetaProcessDelay: sc.MetaProcessDelay,
+		}
+	}
+	backends := []backend{
+		{"RAM providers (paper)", func(string) cluster.Config { return base() }},
+		{"disk providers", func(dir string) cluster.Config {
+			c := base()
+			c.DataDir = dir
+			return c
+		}},
+		{"disk + RAM cache", func(dir string) cluster.Config {
+			c := base()
+			c.DataDir = dir
+			c.DiskCacheBytes = 1 << 30
+			return c
+		}},
+	}
+
+	var out []AblationPoint
+	for _, bk := range backends {
+		dir, err := os.MkdirTemp("", "blob-bench-disk-")
+		if err != nil {
+			return nil, err
+		}
+		wMBs, rMBs, err := persistencePoint(bk.cfg(dir), writes, segPages, sc)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out,
+			AblationPoint{Name: fmt.Sprintf("write, %s", bk.name), Value: wMBs, Unit: "MB/s"},
+			AblationPoint{Name: fmt.Sprintf("read, %s", bk.name), Value: rMBs, Unit: "MB/s"},
+		)
+	}
+	return out, nil
+}
+
+// persistencePoint runs the streaming workload on one deployment and
+// returns (write MB/s, read MB/s).
+func persistencePoint(cfg cluster.Config, writes int, segPages uint64, sc Scale) (float64, float64, error) {
+	cl, err := cluster.Launch(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Shutdown()
+	ctx := context.Background()
+	c, err := cl.NewClient(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+	b, err := c.CreateBlob(ctx, sc.PageSize, sc.BlobPages*sc.PageSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	seg := make([]byte, segPages*sc.PageSize)
+	segBytes := float64(len(seg))
+
+	t0 := time.Now()
+	for i := 0; i < writes; i++ {
+		if _, err := b.Write(ctx, seg, uint64(i)*uint64(len(seg))); err != nil {
+			return 0, 0, err
+		}
+	}
+	wSec := time.Since(t0).Seconds()
+
+	v, _, err := b.Latest(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	buf := make([]byte, len(seg))
+	t0 = time.Now()
+	for i := 0; i < writes; i++ {
+		if _, err := b.Read(ctx, buf, uint64(i)*uint64(len(seg)), v); err != nil {
+			return 0, 0, err
+		}
+	}
+	rSec := time.Since(t0).Seconds()
+
+	mb := segBytes * float64(writes) / (1 << 20)
+	return mb / wSec, mb / rSec, nil
+}

@@ -13,12 +13,16 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"blob/internal/core"
 	"blob/internal/dht"
+	"blob/internal/diskstore"
 	"blob/internal/mstore"
 	"blob/internal/netsim"
 	"blob/internal/pmanager"
@@ -63,6 +67,21 @@ type Config struct {
 	// MetaProcessDelay models the client-side per-node deserialization
 	// cost (see mstore.Client.ProcessDelay). Zero for unit tests.
 	MetaProcessDelay time.Duration
+	// DataDir, when non-empty, makes data providers persistent: provider
+	// i keeps its pages in a diskstore segment log under
+	// DataDir/provider-<i> and serves them again after a restart
+	// (RestartDataProvider). Empty keeps the paper's RAM-only providers.
+	DataDir string
+	// SegmentSize is the disk-backed providers' segment file size
+	// (0 = diskstore default, 4 MiB). Ignored without DataDir.
+	SegmentSize int64
+	// DiskCacheBytes, when positive, fronts each disk-backed provider
+	// with a write-through RAM cache of that many bytes. Ignored without
+	// DataDir.
+	DiskCacheBytes int64
+	// CompactEvery, when positive, runs each disk-backed provider's
+	// segment compactor with that period. Ignored without DataDir.
+	CompactEvery time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -89,8 +108,14 @@ type Cluster struct {
 	PM  *pmanager.Manager
 	Dir *dht.Directory
 
-	DataStores []*provider.Store
-	MetaStores []*dht.Store
+	// DataStores holds each data provider's storage backend: in-RAM
+	// provider.Store by default, or a disk-backed (optionally cached)
+	// stack when Config.DataDir is set.
+	DataStores []provider.PageStore
+	// DataServices hosts the RPC handlers over the corresponding
+	// DataStores entry.
+	DataServices []*provider.Service
+	MetaStores   []*dht.Store
 
 	// DataServers and MetaServers expose the per-node RPC servers for
 	// failure injection in tests (stopping one simulates a node crash).
@@ -101,10 +126,46 @@ type Cluster struct {
 	PMAddr  string
 	DirAddr string
 
+	dataHosts []string
 	servers   []*rpc.Server
 	pools     []*rpc.Pool
 	hbStop    chan struct{}
 	clientSeq atomic.Int64
+
+	// svcMu guards the Data* slice elements against RestartDataProvider
+	// racing the heartbeat loops and the aggregate accessors. Tests that
+	// index the exported slices directly must not do so concurrently
+	// with RestartDataProvider.
+	svcMu sync.RWMutex
+}
+
+// dataService returns the current RPC service of data provider i, which
+// RestartDataProvider may have replaced since launch.
+func (c *Cluster) dataService(i int) *provider.Service {
+	c.svcMu.RLock()
+	defer c.svcMu.RUnlock()
+	return c.DataServices[i]
+}
+
+// newDataStore builds data provider i's storage backend from the
+// deployment config: RAM-only by default, or a disk-backed segment log
+// (with an optional write-through RAM cache) under Config.DataDir.
+func (c *Cluster) newDataStore(i int) (provider.PageStore, error) {
+	if c.cfg.DataDir == "" {
+		return provider.NewStore(c.cfg.ProviderCapacity), nil
+	}
+	ds, err := provider.NewDiskStore(diskstore.Options{
+		Dir:          filepath.Join(c.cfg.DataDir, fmt.Sprintf("provider-%d", i)),
+		SegmentSize:  c.cfg.SegmentSize,
+		CompactEvery: c.cfg.CompactEvery,
+	}, c.cfg.ProviderCapacity)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.DiskCacheBytes > 0 {
+		return provider.NewCachedStore(ds, c.cfg.DiskCacheBytes), nil
+	}
+	return ds, nil
 }
 
 // hostDialer adapts a netsim host to rpc.Network.
@@ -172,9 +233,16 @@ func Launch(cfg Config) (*Cluster, error) {
 		return fmt.Sprintf("meta%d", i)
 	}
 	for i := 0; i < cfg.DataProviders; i++ {
-		st := provider.NewStore(cfg.ProviderCapacity)
+		st, err := c.newDataStore(i)
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		svc := provider.NewService(st)
 		c.DataStores = append(c.DataStores, st)
-		addr, err := serve(c.fab.Host(dataHost(i)), "data", st.RegisterHandlers)
+		c.DataServices = append(c.DataServices, svc)
+		c.dataHosts = append(c.dataHosts, dataHost(i))
+		addr, err := serve(c.fab.Host(dataHost(i)), "data", svc.RegisterHandlers)
 		if err != nil {
 			c.Shutdown()
 			return nil, err
@@ -229,9 +297,9 @@ func Launch(cfg Config) (*Cluster, error) {
 func (c *Cluster) startHeartbeats() {
 	pool := rpc.NewPool(hostDialer{c.fab.Host("hb")})
 	c.pools = append(c.pools, pool)
-	for i, st := range c.DataStores {
+	for i := range c.DataServices {
 		id := uint32(i + 1) // registration order matches IDs
-		st := st
+		i := i
 		go func() {
 			t := time.NewTicker(c.cfg.HeartbeatInterval)
 			defer t.Stop()
@@ -240,7 +308,10 @@ func (c *Cluster) startHeartbeats() {
 				case <-c.hbStop:
 					return
 				case <-t.C:
-					snap := st.Snapshot()
+					// Re-resolve each tick: RestartDataProvider swaps
+					// the service, and heartbeats must report the live
+					// store's load, not the dead one's.
+					snap := c.dataService(i).Snapshot()
 					ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 					pmanager.SendHeartbeat(ctx, pool, c.PMAddr, id, snap.BytesUsed, snap.ActiveOps)
 					cancel()
@@ -278,8 +349,11 @@ func (c *Cluster) NewClientAt(ctx context.Context, host string) (*core.Client, e
 
 // TotalDataPages sums the page counts across data providers.
 func (c *Cluster) TotalDataPages() int64 {
+	c.svcMu.RLock()
+	stores := append([]provider.PageStore(nil), c.DataStores...)
+	c.svcMu.RUnlock()
 	var n int64
-	for _, st := range c.DataStores {
+	for _, st := range stores {
 		n += st.Snapshot().PageCount
 	}
 	return n
@@ -294,7 +368,47 @@ func (c *Cluster) TotalMetaNodes() int {
 	return n
 }
 
-// Shutdown stops every service and the fabric.
+// RestartDataProvider simulates a crash-and-relaunch of data provider i:
+// its RPC server stops, its store closes (for a disk-backed provider
+// this is where durability matters — a RAM provider comes back empty),
+// and a fresh store is opened over the same data directory and served at
+// the same address, so placements recorded in the metadata remain valid.
+func (c *Cluster) RestartDataProvider(i int) error {
+	if i < 0 || i >= len(c.DataStores) {
+		return fmt.Errorf("cluster: no data provider %d", i)
+	}
+	c.svcMu.RLock()
+	oldSrv, oldStore := c.DataServers[i], c.DataStores[i]
+	c.svcMu.RUnlock()
+	oldSrv.Close()
+	if cl, ok := oldStore.(io.Closer); ok {
+		if err := cl.Close(); err != nil {
+			return fmt.Errorf("cluster: close provider %d store: %w", i, err)
+		}
+	}
+	st, err := c.newDataStore(i)
+	if err != nil {
+		return fmt.Errorf("cluster: reopen provider %d store: %w", i, err)
+	}
+	svc := provider.NewService(st)
+	srv := rpc.NewServer()
+	svc.RegisterHandlers(srv)
+	l, err := c.fab.Host(c.dataHosts[i]).Listen("data")
+	if err != nil {
+		return fmt.Errorf("cluster: relisten provider %d: %w", i, err)
+	}
+	srv.Start(l)
+	c.svcMu.Lock()
+	c.DataStores[i] = st
+	c.DataServices[i] = svc
+	c.DataServers[i] = srv
+	c.servers = append(c.servers, srv)
+	c.svcMu.Unlock()
+	return nil
+}
+
+// Shutdown stops every service and the fabric, closing any persistent
+// data stores.
 func (c *Cluster) Shutdown() {
 	select {
 	case <-c.hbStop:
@@ -307,8 +421,17 @@ func (c *Cluster) Shutdown() {
 	for _, p := range c.pools {
 		p.Close()
 	}
-	for _, s := range c.servers {
+	c.svcMu.RLock()
+	servers := append([]*rpc.Server(nil), c.servers...)
+	stores := append([]provider.PageStore(nil), c.DataStores...)
+	c.svcMu.RUnlock()
+	for _, s := range servers {
 		s.Close()
+	}
+	for _, st := range stores {
+		if cl, ok := st.(io.Closer); ok {
+			cl.Close()
+		}
 	}
 	c.fab.Close()
 }

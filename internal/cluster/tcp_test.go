@@ -48,7 +48,7 @@ func TestRealTCPDeployment(t *testing.T) {
 
 	// Three storage nodes, each hosting a data and a metadata provider.
 	for i := 0; i < 3; i++ {
-		ds := provider.NewStore(0)
+		ds := provider.NewService(provider.NewStore(0))
 		ms := dht.NewStore()
 		addr := start(func(s *rpc.Server) {
 			ds.RegisterHandlers(s)

@@ -1,0 +1,611 @@
+// Package diskstore is a crash-recoverable persistent page store: the
+// disk-backed counterpart of the data provider's in-RAM store. It keeps
+// the paper's access model — pages are immutable once written, a write
+// never updates data in place, deletion happens only when the garbage
+// collector orders it — and adds durability so a provider restarted over
+// its data directory serves every page it held before the crash.
+//
+// Layout: pages (blob, write, rel) → data are appended as checksummed
+// records into fixed-size segment files (seg-NNNNNNNN.log) under one
+// directory. Deletions append tombstone records. An in-memory index maps
+// each live page to its (segment, offset) and is rebuilt on startup by
+// scanning the segments in id order; a torn final record — the footprint
+// of a crash mid-append — is truncated away, keeping every record before
+// it. Per-segment live-byte accounting feeds a compactor that rewrites
+// mostly-dead segments' surviving records to the active segment and
+// deletes the file, reclaiming disk after garbage collection.
+//
+// Concurrency: appends and index mutations serialize on one writer lock;
+// reads take a read lock only to resolve the index, then read the record
+// bytes with ReadAt and verify its checksum — segments are immutable, so
+// reads proceed in parallel with appends and with compaction. A segment
+// being compacted away is unmapped from the index first and its file is
+// closed only when the last in-flight reader releases it.
+package diskstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the segment directory; created if absent.
+	Dir string
+	// SegmentSize is the size at which the active segment is sealed and a
+	// new one started (default 4 MiB). Individual records may exceed it —
+	// a segment always holds at least one record.
+	SegmentSize int64
+	// Capacity bounds live page payload bytes (0 = unlimited). A put
+	// batch whose genuinely new pages would exceed it fails atomically
+	// with ErrCapacity before anything is written; already-present pages
+	// don't count, so idempotent retries near the limit stay safe.
+	Capacity int64
+	// Sync makes every append batch fsync before returning. Off by
+	// default: the paper's providers favour throughput, and recovery
+	// already tolerates a torn tail.
+	Sync bool
+	// CompactMinDead is the fraction of a sealed segment's bytes that
+	// must be dead before the compactor rewrites it (default 0.5).
+	CompactMinDead float64
+	// CompactEvery, when positive, starts a background compaction loop
+	// with that period. Compaction can also be driven explicitly through
+	// CompactOnce.
+	CompactEvery time.Duration
+}
+
+func (o *Options) fillDefaults() {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 4 << 20
+	}
+	if o.CompactMinDead <= 0 || o.CompactMinDead > 1 {
+		o.CompactMinDead = 0.5
+	}
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("diskstore: closed")
+
+// ErrCapacity is returned when a put batch's new pages would exceed
+// Options.Capacity.
+var ErrCapacity = errors.New("diskstore: capacity exceeded")
+
+// writeKey identifies all pages of one write on one blob.
+type writeKey struct {
+	blob  uint64
+	write uint64
+}
+
+// loc locates one live page record inside a segment.
+type loc struct {
+	seg  *segment
+	off  int64 // record start (length prefix)
+	size int64 // total encoded size, header included
+}
+
+func (l loc) dataLen() int64 { return l.size - recHeaderSize - putBodyPrefix }
+
+// Store is a persistent page store over one directory of segment files.
+type Store struct {
+	opts Options
+
+	mu      sync.RWMutex
+	index   map[writeKey]map[uint32]loc
+	segs    map[uint64]*segment
+	active  *segment
+	nextID  uint64
+	nextSeq uint64 // next record sequence number (see record.go)
+	closed  bool
+
+	pageCount int64
+	pageBytes int64 // live page payload bytes
+
+	compactions int64
+	truncated   int64 // bytes discarded by torn-tail recovery
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Stats is a point-in-time usage snapshot.
+type Stats struct {
+	// Pages and PageBytes count live pages and their payload bytes.
+	Pages     int64
+	PageBytes int64
+	// DiskBytes is the total size of all segment files; LiveBytes is the
+	// portion occupied by live page records. Their ratio drives
+	// compaction.
+	DiskBytes int64
+	LiveBytes int64
+	// Segments counts segment files, the active one included.
+	Segments int64
+	// Compactions counts segments rewritten since open; TruncatedBytes
+	// counts bytes discarded by torn-tail recovery at open.
+	Compactions    int64
+	TruncatedBytes int64
+}
+
+// LiveRatio is LiveBytes/DiskBytes, 1 for an empty store.
+func (s Stats) LiveRatio() float64 {
+	if s.DiskBytes == 0 {
+		return 1
+	}
+	return float64(s.LiveBytes) / float64(s.DiskBytes)
+}
+
+// Open opens (or creates) the store in opts.Dir, rebuilding the page
+// index by scanning every segment in id order. A torn tail — a final
+// record cut short or corrupted by a crash mid-append — is truncated
+// away; every record before it survives.
+func Open(opts Options) (*Store, error) {
+	opts.fillDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("diskstore: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:    opts,
+		index:   make(map[writeKey]map[uint32]loc),
+		segs:    make(map[uint64]*segment),
+		nextID:  1,
+		nextSeq: 1,
+		stop:    make(chan struct{}),
+	}
+	ids, err := listSegmentIDs(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	replay := newReplayState()
+	for i, id := range ids {
+		seg, err := openSegment(opts.Dir, id)
+		if err != nil {
+			s.closeAll()
+			return nil, err
+		}
+		if err := s.scanSegment(seg, replay, i == len(ids)-1); err != nil {
+			seg.f.Close()
+			s.closeAll()
+			return nil, err
+		}
+		s.segs[id] = seg
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+	}
+	s.resolveReplay(replay)
+	// Reuse the newest segment for appends if it has room, else start a
+	// fresh one lazily on first append.
+	if len(ids) > 0 {
+		last := s.segs[ids[len(ids)-1]]
+		if last.size < opts.SegmentSize {
+			s.active = last
+		}
+	}
+	if opts.CompactEvery > 0 {
+		s.wg.Add(1)
+		go s.compactLoop()
+	}
+	return s, nil
+}
+
+// listSegmentIDs returns the ids of all segment files in dir, ascending.
+func listSegmentIDs(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// pageKey identifies one page during the recovery replay.
+type pageKey struct {
+	k   writeKey
+	rel uint32
+}
+
+// replayState accumulates the recovery scan. Records carry store-wide
+// sequence numbers, so the scan just collects the highest-seq put and
+// tombstone per page and resolves liveness afterwards — file positions
+// (which compaction rearranges) carry no meaning.
+type replayState struct {
+	puts     map[pageKey]loc    // highest-seq put per page
+	putSeq   map[pageKey]uint64 // its sequence number
+	delPage  map[pageKey]uint64 // highest per-page tombstone seq
+	delWrite map[writeKey]uint64
+	maxSeq   uint64
+}
+
+func newReplayState() *replayState {
+	return &replayState{
+		puts:     make(map[pageKey]loc),
+		putSeq:   make(map[pageKey]uint64),
+		delPage:  make(map[pageKey]uint64),
+		delWrite: make(map[writeKey]uint64),
+	}
+}
+
+// scanSegment feeds one segment into the replay state. A corrupt record
+// in the newest segment is a torn tail — the footprint of a crash
+// mid-append — and is truncated away, keeping every record before it.
+// Sealed segments are fsynced before the log moves past them, so
+// corruption there is bit rot, not a crash: silently dropping the
+// records after it would lose healthy pages and resurrect tombstoned
+// ones, so Open fails loudly instead and leaves the file for the
+// operator. Called only from Open, before the store is shared.
+func (s *Store) scanSegment(seg *segment, rp *replayState, last bool) error {
+	buf, err := os.ReadFile(seg.path)
+	if err != nil {
+		return err
+	}
+	off := int64(0)
+	for off < int64(len(buf)) {
+		rec, n, err := decodeRecord(buf[off:])
+		if err != nil {
+			if !last {
+				return fmt.Errorf("diskstore: sealed segment %s corrupt at offset %d: %w", seg.path, off, err)
+			}
+			// Torn or corrupt tail: keep the valid prefix, drop the rest.
+			s.truncated += int64(len(buf)) - off
+			if err := seg.f.Truncate(off); err != nil {
+				return fmt.Errorf("diskstore: truncate %s at %d: %w", seg.path, off, err)
+			}
+			break
+		}
+		if rec.seq > rp.maxSeq {
+			rp.maxSeq = rec.seq
+		}
+		k := writeKey{rec.blob, rec.write}
+		switch rec.op {
+		case opPut:
+			pk := pageKey{k, rec.rel}
+			if rec.seq > rp.putSeq[pk] {
+				rp.puts[pk] = loc{seg: seg, off: off, size: int64(n)}
+				rp.putSeq[pk] = rec.seq
+			}
+		case opDelPages:
+			for _, rel := range rec.rels {
+				pk := pageKey{k, rel}
+				if rec.seq > rp.delPage[pk] {
+					rp.delPage[pk] = rec.seq
+				}
+			}
+		case opDelWrite:
+			if rec.seq > rp.delWrite[k] {
+				rp.delWrite[k] = rec.seq
+			}
+		}
+		off += int64(n)
+	}
+	seg.size = off
+	return nil
+}
+
+// resolveReplay turns the scanned replay state into the live index: a
+// page is live iff its newest put outlives every tombstone covering it.
+func (s *Store) resolveReplay(rp *replayState) {
+	for pk, l := range rp.puts {
+		seq := rp.putSeq[pk]
+		if seq <= rp.delWrite[pk.k] || seq <= rp.delPage[pk] {
+			continue
+		}
+		wm := s.index[pk.k]
+		if wm == nil {
+			wm = make(map[uint32]loc)
+			s.index[pk.k] = wm
+		}
+		wm[pk.rel] = l
+		l.seg.live += l.size
+		s.pageCount++
+		s.pageBytes += l.dataLen()
+	}
+	if rp.maxSeq >= s.nextSeq {
+		s.nextSeq = rp.maxSeq + 1
+	}
+}
+
+// dropPage removes one page from the index, crediting its segment's dead
+// bytes. The caller holds the writer lock (or is the startup scan).
+func (s *Store) dropPage(wm map[uint32]loc, k writeKey, rel uint32) bool {
+	l, ok := wm[rel]
+	if !ok {
+		return false
+	}
+	delete(wm, rel)
+	if len(wm) == 0 {
+		delete(s.index, k)
+	}
+	l.seg.live -= l.size
+	s.pageCount--
+	s.pageBytes -= l.dataLen()
+	return true
+}
+
+// PutPages appends a batch of pages, returning how many were genuinely
+// new. Re-putting an existing page is idempotent (first wins), which
+// makes client retries after partial failures safe — the duplicate
+// bytes are never written and don't count against Capacity. Pages
+// larger than MaxPageSize are rejected: their records could not be
+// decoded again, so persisting one would read as a torn tail on
+// recovery.
+func (s *Store) PutPages(pages []Page) (int, error) {
+	for _, p := range pages {
+		if len(p.Data) > MaxPageSize {
+			return 0, fmt.Errorf("diskstore: page (%d,%d,%d) is %d bytes, max %d",
+				p.Blob, p.Write, p.Rel, len(p.Data), MaxPageSize)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	fresh := make([]Page, 0, len(pages))
+	inBatch := make(map[pageKey]bool, len(pages))
+	var newBytes int64
+	for _, p := range pages {
+		pk := pageKey{writeKey{p.Blob, p.Write}, p.Rel}
+		if inBatch[pk] {
+			continue
+		}
+		if _, exists := s.index[pk.k][p.Rel]; exists {
+			continue
+		}
+		inBatch[pk] = true
+		fresh = append(fresh, p)
+		newBytes += int64(len(p.Data))
+	}
+	if s.opts.Capacity > 0 && s.pageBytes+newBytes > s.opts.Capacity {
+		return 0, fmt.Errorf("%w: %d live + %d new > %d",
+			ErrCapacity, s.pageBytes, newBytes, s.opts.Capacity)
+	}
+	for _, p := range fresh {
+		buf := appendPutRecord(nil, s.takeSeq(), p.Blob, p.Write, p.Rel, p.Data)
+		l, err := s.appendLocked(buf)
+		if err != nil {
+			return 0, err
+		}
+		k := writeKey{p.Blob, p.Write}
+		wm := s.index[k]
+		if wm == nil {
+			wm = make(map[uint32]loc)
+			s.index[k] = wm
+		}
+		wm[p.Rel] = l
+		l.seg.live += l.size
+		s.pageCount++
+		s.pageBytes += int64(len(p.Data))
+	}
+	if s.opts.Sync && s.active != nil && len(fresh) > 0 {
+		if err := s.active.f.Sync(); err != nil {
+			return len(fresh), err
+		}
+	}
+	return len(fresh), nil
+}
+
+// Page is one page upload unit.
+type Page struct {
+	Blob  uint64
+	Write uint64
+	Rel   uint32
+	Data  []byte
+}
+
+// takeSeq allocates the next record sequence number. Caller holds mu.
+func (s *Store) takeSeq() uint64 {
+	seq := s.nextSeq
+	s.nextSeq++
+	return seq
+}
+
+// appendLocked writes one encoded record to the active segment, rolling
+// to a fresh segment first if the active one is full. Caller holds mu.
+func (s *Store) appendLocked(buf []byte) (loc, error) {
+	if s.active == nil || s.active.size >= s.opts.SegmentSize {
+		if err := s.rollLocked(); err != nil {
+			return loc{}, err
+		}
+	}
+	seg := s.active
+	off := seg.size
+	if _, err := seg.f.WriteAt(buf, off); err != nil {
+		return loc{}, fmt.Errorf("diskstore: append to %s: %w", seg.path, err)
+	}
+	seg.size += int64(len(buf))
+	return loc{seg: seg, off: off, size: int64(len(buf))}, nil
+}
+
+// rollLocked seals the active segment (fsync) and opens a fresh one.
+func (s *Store) rollLocked() error {
+	if s.active != nil {
+		if err := s.active.f.Sync(); err != nil {
+			return err
+		}
+	}
+	seg, err := openSegment(s.opts.Dir, s.nextID)
+	if err != nil {
+		return err
+	}
+	s.nextID++
+	s.segs[seg.id] = seg
+	s.active = seg
+	return nil
+}
+
+// GetPage returns one page's bytes, or false if absent. The returned
+// slice is freshly read from disk and owned by the caller. A record whose
+// checksum no longer matches (disk corruption) is reported as absent —
+// bad bytes are never served.
+func (s *Store) GetPage(blob, write uint64, rel uint32) ([]byte, bool) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, false
+	}
+	l, ok := s.index[writeKey{blob, write}][rel]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, false
+	}
+	l.seg.acquire()
+	s.mu.RUnlock()
+	defer l.seg.release()
+
+	buf := make([]byte, l.size)
+	if _, err := l.seg.f.ReadAt(buf, l.off); err != nil {
+		return nil, false
+	}
+	rec, _, err := decodeRecord(buf)
+	if err != nil || rec.op != opPut {
+		return nil, false
+	}
+	return rec.data, true
+}
+
+// DeletePages removes specific pages of a write, returning how many were
+// present. The deletion is durable: a tombstone record is appended so
+// recovery replays it.
+func (s *Store) DeletePages(blob, write uint64, rels []uint32) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	k := writeKey{blob, write}
+	wm := s.index[k]
+	present := rels[:0:0]
+	for _, rel := range rels {
+		if _, ok := wm[rel]; ok {
+			present = append(present, rel)
+		}
+	}
+	if len(present) == 0 {
+		return 0, nil
+	}
+	if _, err := s.appendLocked(appendDelPagesRecord(nil, s.takeSeq(), blob, write, present)); err != nil {
+		return 0, err
+	}
+	for _, rel := range present {
+		s.dropPage(wm, k, rel)
+	}
+	return len(present), nil
+}
+
+// DeleteWrite removes every page of (blob, write), returning how many
+// pages were freed.
+func (s *Store) DeleteWrite(blob, write uint64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	k := writeKey{blob, write}
+	wm := s.index[k]
+	if len(wm) == 0 {
+		return 0, nil
+	}
+	if _, err := s.appendLocked(appendDelWriteRecord(nil, s.takeSeq(), blob, write)); err != nil {
+		return 0, err
+	}
+	n := 0
+	for rel := range wm {
+		if s.dropPage(wm, k, rel) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ForEachPage visits every live page. The data slice is a private copy.
+// Iteration order is unspecified. Pages put or deleted concurrently may
+// or may not be visited.
+func (s *Store) ForEachPage(fn func(blob, write uint64, rel uint32, data []byte)) {
+	type entry struct {
+		k   writeKey
+		rel uint32
+	}
+	s.mu.RLock()
+	entries := make([]entry, 0, s.pageCount)
+	for k, wm := range s.index {
+		for rel := range wm {
+			entries = append(entries, entry{k, rel})
+		}
+	}
+	s.mu.RUnlock()
+	for _, e := range entries {
+		if data, ok := s.GetPage(e.k.blob, e.k.write, e.rel); ok {
+			fn(e.k.blob, e.k.write, e.rel, data)
+		}
+	}
+}
+
+// Stats returns a usage snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Pages:          s.pageCount,
+		PageBytes:      s.pageBytes,
+		Segments:       int64(len(s.segs)),
+		Compactions:    s.compactions,
+		TruncatedBytes: s.truncated,
+	}
+	for _, seg := range s.segs {
+		st.DiskBytes += seg.size
+		st.LiveBytes += seg.live
+	}
+	return st
+}
+
+// Close stops the compactor, fsyncs the active segment and closes every
+// segment file. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	var err error
+	if s.active != nil {
+		err = s.active.f.Sync()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	s.closeAll()
+	s.mu.Unlock()
+	return err
+}
+
+// closeAll closes every segment file. Caller holds mu (or owns the store
+// exclusively during a failed Open).
+func (s *Store) closeAll() {
+	for _, seg := range s.segs {
+		seg.retire(false)
+	}
+	s.segs = map[uint64]*segment{}
+	s.active = nil
+}

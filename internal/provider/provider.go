@@ -11,12 +11,10 @@
 package provider
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"sync"
 
-	"blob/internal/rpc"
 	"blob/internal/stats"
 	"blob/internal/wire"
 )
@@ -32,6 +30,32 @@ const (
 
 // ErrFull is returned when a put would exceed the provider's capacity.
 var ErrFull = errors.New("provider: capacity exceeded")
+
+// PageStore is the storage backend of one data provider. Store (RAM),
+// DiskStore (persistent segment log) and CachedStore (write-through RAM
+// cache over another backend) implement it; the RPC Service serves any
+// of them. Implementations must be safe for concurrent use — the paper's
+// access model guarantees a page is never updated in place, so backends
+// only ever add, serve and (on GC order) remove immutable pages.
+type PageStore interface {
+	// PutPages stores a batch of pages. Re-putting an existing page must
+	// be idempotent (first wins) so client retries are safe. Returns
+	// ErrFull when the batch would exceed the backend's capacity.
+	PutPages(pages []Page) error
+	// GetPage returns one page's bytes, or false if absent.
+	GetPage(blob, write uint64, rel uint32) ([]byte, bool)
+	// DeletePages removes specific pages of a write, returning how many
+	// were present. Used by the GC when part of a write is superseded.
+	DeletePages(blob, write uint64, rels []uint32) int
+	// DeleteWrite removes every page of (blob, write), returning the
+	// number of pages freed.
+	DeleteWrite(blob, write uint64) int
+	// ForEachPage visits every stored page; iteration order is
+	// unspecified.
+	ForEachPage(fn func(blob, write uint64, rel uint32, data []byte))
+	// Snapshot returns current usage statistics.
+	Snapshot() Stats
+}
 
 // pageShards must be a power of two.
 const pageShards = 32
@@ -54,7 +78,6 @@ type Store struct {
 	Puts      stats.Counter
 	Gets      stats.Counter
 	Misses    stats.Counter
-	ActiveOps stats.Gauge
 }
 
 type pageShard struct {
@@ -85,14 +108,25 @@ type Page struct {
 
 // PutPages stores a batch of pages atomically with respect to capacity
 // accounting. Re-putting an existing page is idempotent (first wins),
-// which makes client retries after partial failures safe.
+// which makes client retries after partial failures safe — duplicates
+// don't count against capacity, so a retry of a batch that already
+// landed never trips ErrFull.
 func (s *Store) PutPages(pages []Page) error {
-	var total int64
-	for _, p := range pages {
-		total += int64(len(p.Data))
-	}
-	if s.capacity > 0 && s.BytesUsed.Value()+total > s.capacity {
-		return ErrFull
+	if s.capacity > 0 {
+		var total int64
+		for _, p := range pages {
+			k := writeKey{p.Blob, p.Write}
+			sh := s.shard(k)
+			sh.mu.RLock()
+			_, exists := sh.m[k][p.RelPage]
+			sh.mu.RUnlock()
+			if !exists {
+				total += int64(len(p.Data))
+			}
+		}
+		if s.BytesUsed.Value()+total > s.capacity {
+			return ErrFull
+		}
 	}
 	for _, p := range pages {
 		k := writeKey{p.Blob, p.Write}
@@ -200,7 +234,8 @@ func (s *Store) ForEachPage(fn func(blob, write uint64, rel uint32, data []byte)
 }
 
 // Stats is the load/usage snapshot served over MStats and piggybacked on
-// heartbeats to the provider manager.
+// heartbeats to the provider manager. The disk and cache fields are zero
+// for backends without the corresponding tier.
 type Stats struct {
 	BytesUsed int64
 	PageCount int64
@@ -209,6 +244,27 @@ type Stats struct {
 	Gets      int64
 	Misses    int64
 	ActiveOps int64
+
+	// Disk tier (DiskStore): total segment-file bytes, the portion
+	// occupied by live page records, and the segment-file count.
+	DiskBytes int64
+	DiskLive  int64
+	Segments  int64
+
+	// Cache tier (CachedStore): bytes resident in the RAM cache and
+	// reads served from it.
+	CacheBytes int64
+	CacheHits  int64
+}
+
+// LiveRatio is the fraction of on-disk bytes still live (1 when the
+// backend has no disk tier or no segments). Values well below 1 mean
+// the compactor has reclaimable garbage.
+func (st Stats) LiveRatio() float64 {
+	if st.DiskBytes == 0 {
+		return 1
+	}
+	return float64(st.DiskLive) / float64(st.DiskBytes)
 }
 
 // Snapshot returns current statistics.
@@ -220,123 +276,7 @@ func (s *Store) Snapshot() Stats {
 		Puts:      s.Puts.Value(),
 		Gets:      s.Gets.Value(),
 		Misses:    s.Misses.Value(),
-		ActiveOps: s.ActiveOps.Value(),
 	}
-}
-
-// RegisterHandlers wires the provider's RPC methods onto srv.
-func (s *Store) RegisterHandlers(srv *rpc.Server) {
-	srv.Handle(MPutPages, s.handlePutPages)
-	srv.Handle(MGetPages, s.handleGetPages)
-	srv.Handle(MDeleteWrite, s.handleDeleteWrite)
-	srv.Handle(MDeletePages, s.handleDeletePages)
-	srv.Handle(MStats, s.handleStats)
-}
-
-// Wire formats.
-//
-//	MPutPages request:  u64 blob | u64 write | uvarint n | n × (u32 rel, bytes)
-//	MGetPages request:  uvarint n | n × (u64 blob, u64 write, u32 rel)
-//	MGetPages response: uvarint n | n × (bool found, bytes if found)
-
-func (s *Store) handlePutPages(_ context.Context, body []byte) ([]byte, error) {
-	s.ActiveOps.Add(1)
-	defer s.ActiveOps.Add(-1)
-	r := wire.NewReader(body)
-	blob := r.Uint64()
-	write := r.Uint64()
-	n := int(r.Uvarint())
-	pages := make([]Page, 0, n)
-	for i := 0; i < n; i++ {
-		rel := r.Uint32()
-		data := r.BytesField()
-		if err := r.Err(); err != nil {
-			return nil, fmt.Errorf("provider put: page %d: %w", i, err)
-		}
-		pages = append(pages, Page{Blob: blob, Write: write, RelPage: rel, Data: data})
-	}
-	if err := s.PutPages(pages); err != nil {
-		return nil, err
-	}
-	return nil, nil
-}
-
-func (s *Store) handleGetPages(_ context.Context, body []byte) ([]byte, error) {
-	s.ActiveOps.Add(1)
-	defer s.ActiveOps.Add(-1)
-	r := wire.NewReader(body)
-	n := int(r.Uvarint())
-	w := wire.NewWriter(1 << 12)
-	w.Uvarint(uint64(n))
-	for i := 0; i < n; i++ {
-		blob := r.Uint64()
-		write := r.Uint64()
-		rel := r.Uint32()
-		if err := r.Err(); err != nil {
-			return nil, fmt.Errorf("provider get: request %d: %w", i, err)
-		}
-		data, ok := s.GetPage(blob, write, rel)
-		w.Bool(ok)
-		if ok {
-			w.BytesField(data)
-		}
-	}
-	return w.Bytes(), nil
-}
-
-func (s *Store) handleDeleteWrite(_ context.Context, body []byte) ([]byte, error) {
-	r := wire.NewReader(body)
-	blob := r.Uint64()
-	write := r.Uint64()
-	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("provider delete: %w", err)
-	}
-	n := s.DeleteWrite(blob, write)
-	w := wire.NewWriter(8)
-	w.Uvarint(uint64(n))
-	return w.Bytes(), nil
-}
-
-func (s *Store) handleDeletePages(_ context.Context, body []byte) ([]byte, error) {
-	r := wire.NewReader(body)
-	blob := r.Uint64()
-	write := r.Uint64()
-	rels := r.Uint32Slice()
-	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("provider delete pages: %w", err)
-	}
-	n := s.DeletePages(blob, write, rels)
-	w := wire.NewWriter(8)
-	w.Uvarint(uint64(n))
-	return w.Bytes(), nil
-}
-
-func (s *Store) handleStats(_ context.Context, _ []byte) ([]byte, error) {
-	st := s.Snapshot()
-	w := wire.NewWriter(56)
-	w.Varint(st.BytesUsed)
-	w.Varint(st.PageCount)
-	w.Varint(st.Capacity)
-	w.Varint(st.Puts)
-	w.Varint(st.Gets)
-	w.Varint(st.Misses)
-	w.Varint(st.ActiveOps)
-	return w.Bytes(), nil
-}
-
-// DecodeStats parses an MStats response.
-func DecodeStats(body []byte) (Stats, error) {
-	r := wire.NewReader(body)
-	st := Stats{
-		BytesUsed: r.Varint(),
-		PageCount: r.Varint(),
-		Capacity:  r.Varint(),
-		Puts:      r.Varint(),
-		Gets:      r.Varint(),
-		Misses:    r.Varint(),
-		ActiveOps: r.Varint(),
-	}
-	return st, r.Err()
 }
 
 // Client-side request encoders, shared by the blob client and tests.

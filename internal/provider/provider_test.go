@@ -132,7 +132,7 @@ func startProvider(t testing.TB, fab *netsim.Net, name string, capacity int64) (
 	t.Helper()
 	s := NewStore(capacity)
 	srv := rpc.NewServer()
-	s.RegisterHandlers(srv)
+	NewService(s).RegisterHandlers(srv)
 	l, err := fab.Host(name).Listen("rpc")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,161 @@
+package provider
+
+import (
+	"context"
+	"fmt"
+
+	"blob/internal/rpc"
+	"blob/internal/stats"
+	"blob/internal/wire"
+)
+
+// Service hosts one data provider's RPC methods over any PageStore
+// backend — the in-RAM Store, the persistent DiskStore, or a CachedStore
+// stack. It owns the in-flight operation gauge the load balancer reads,
+// so backends stay pure storage.
+type Service struct {
+	store PageStore
+
+	// ActiveOps counts RPCs in flight, merged into Snapshot for the
+	// provider manager's load-based placement.
+	ActiveOps stats.Gauge
+}
+
+// NewService creates a Service serving ps.
+func NewService(ps PageStore) *Service { return &Service{store: ps} }
+
+// Store returns the backend the service serves.
+func (sv *Service) Store() PageStore { return sv.store }
+
+// Snapshot returns the backend's statistics with the service's in-flight
+// operation count merged in.
+func (sv *Service) Snapshot() Stats {
+	st := sv.store.Snapshot()
+	st.ActiveOps = sv.ActiveOps.Value()
+	return st
+}
+
+// RegisterHandlers wires the provider's RPC methods onto srv.
+func (sv *Service) RegisterHandlers(srv *rpc.Server) {
+	srv.Handle(MPutPages, sv.handlePutPages)
+	srv.Handle(MGetPages, sv.handleGetPages)
+	srv.Handle(MDeleteWrite, sv.handleDeleteWrite)
+	srv.Handle(MDeletePages, sv.handleDeletePages)
+	srv.Handle(MStats, sv.handleStats)
+}
+
+// Wire formats.
+//
+//	MPutPages request:  u64 blob | u64 write | uvarint n | n × (u32 rel, bytes)
+//	MGetPages request:  uvarint n | n × (u64 blob, u64 write, u32 rel)
+//	MGetPages response: uvarint n | n × (bool found, bytes if found)
+
+func (sv *Service) handlePutPages(_ context.Context, body []byte) ([]byte, error) {
+	sv.ActiveOps.Add(1)
+	defer sv.ActiveOps.Add(-1)
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	write := r.Uint64()
+	n := int(r.Uvarint())
+	pages := make([]Page, 0, n)
+	for i := 0; i < n; i++ {
+		rel := r.Uint32()
+		data := r.BytesField()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("provider put: page %d: %w", i, err)
+		}
+		pages = append(pages, Page{Blob: blob, Write: write, RelPage: rel, Data: data})
+	}
+	if err := sv.store.PutPages(pages); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (sv *Service) handleGetPages(_ context.Context, body []byte) ([]byte, error) {
+	sv.ActiveOps.Add(1)
+	defer sv.ActiveOps.Add(-1)
+	r := wire.NewReader(body)
+	n := int(r.Uvarint())
+	w := wire.NewWriter(1 << 12)
+	w.Uvarint(uint64(n))
+	for i := 0; i < n; i++ {
+		blob := r.Uint64()
+		write := r.Uint64()
+		rel := r.Uint32()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("provider get: request %d: %w", i, err)
+		}
+		data, ok := sv.store.GetPage(blob, write, rel)
+		w.Bool(ok)
+		if ok {
+			w.BytesField(data)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+func (sv *Service) handleDeleteWrite(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	write := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("provider delete: %w", err)
+	}
+	n := sv.store.DeleteWrite(blob, write)
+	w := wire.NewWriter(8)
+	w.Uvarint(uint64(n))
+	return w.Bytes(), nil
+}
+
+func (sv *Service) handleDeletePages(_ context.Context, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	blob := r.Uint64()
+	write := r.Uint64()
+	rels := r.Uint32Slice()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("provider delete pages: %w", err)
+	}
+	n := sv.store.DeletePages(blob, write, rels)
+	w := wire.NewWriter(8)
+	w.Uvarint(uint64(n))
+	return w.Bytes(), nil
+}
+
+func (sv *Service) handleStats(_ context.Context, _ []byte) ([]byte, error) {
+	st := sv.Snapshot()
+	w := wire.NewWriter(96)
+	w.Varint(st.BytesUsed)
+	w.Varint(st.PageCount)
+	w.Varint(st.Capacity)
+	w.Varint(st.Puts)
+	w.Varint(st.Gets)
+	w.Varint(st.Misses)
+	w.Varint(st.ActiveOps)
+	w.Varint(st.DiskBytes)
+	w.Varint(st.DiskLive)
+	w.Varint(st.Segments)
+	w.Varint(st.CacheBytes)
+	w.Varint(st.CacheHits)
+	return w.Bytes(), nil
+}
+
+// DecodeStats parses an MStats response.
+func DecodeStats(body []byte) (Stats, error) {
+	r := wire.NewReader(body)
+	st := Stats{
+		BytesUsed:  r.Varint(),
+		PageCount:  r.Varint(),
+		Capacity:   r.Varint(),
+		Puts:       r.Varint(),
+		Gets:       r.Varint(),
+		Misses:     r.Varint(),
+		ActiveOps:  r.Varint(),
+		DiskBytes:  r.Varint(),
+		DiskLive:   r.Varint(),
+		Segments:   r.Varint(),
+		CacheBytes: r.Varint(),
+		CacheHits:  r.Varint(),
+	}
+	return st, r.Err()
+}
