@@ -159,6 +159,13 @@ func ablations(sc bench.Scale, quick bool) error {
 		{"provider persistence (RAM vs diskstore)", func() ([]bench.AblationPoint, error) {
 			return bench.AblatePersistence(prov, 8, seg, sc)
 		}},
+		{"restart recovery (sidecar index vs full replay)", func() ([]bench.AblationPoint, error) {
+			n := 64
+			if quick {
+				n = 16
+			}
+			return bench.AblateRestart(n, 4<<20)
+		}},
 	}
 	for _, g := range groups {
 		fmt.Printf("-- %s\n", g.name)

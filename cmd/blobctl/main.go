@@ -154,8 +154,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("list providers: %v", err)
 		}
-		fmt.Printf("%-4s %-22s %10s %12s %12s %12s %8s %6s %10s %9s\n",
-			"id", "addr", "pages", "bytes", "capacity", "disk", "segs", "live%", "cache", "hits")
+		fmt.Printf("%-4s %-22s %10s %12s %12s %12s %8s %6s %10s %9s %10s %5s\n",
+			"id", "addr", "pages", "bytes", "capacity", "disk", "segs", "live%", "cache", "hits", "replayB", "idx")
 		for _, p := range provs {
 			resp, err := client.Pool().Call(ctx, p.Addr, provider.MStats, nil)
 			if err != nil {
@@ -167,9 +167,10 @@ func main() {
 				fmt.Printf("%-4d %-22s bad stats response: %v\n", p.ID, p.Addr, err)
 				continue
 			}
-			fmt.Printf("%-4d %-22s %10d %12d %12d %12d %8d %5.1f%% %10d %9d\n",
+			fmt.Printf("%-4d %-22s %10d %12d %12d %12d %8d %5.1f%% %10d %9d %10d %5d\n",
 				p.ID, p.Addr, st.PageCount, st.BytesUsed, st.Capacity,
-				st.DiskBytes, st.Segments, 100*st.LiveRatio(), st.CacheBytes, st.CacheHits)
+				st.DiskBytes, st.Segments, 100*st.LiveRatio(), st.CacheBytes, st.CacheHits,
+				st.ReplayedBytes, st.SidecarsLoaded)
 		}
 
 	default:

@@ -51,6 +51,7 @@ func main() {
 		segSize    = flag.Int64("segment-size", 0, "segment file size for -data-dir in bytes (0 = 4 MiB default)")
 		diskCache  = flag.Int64("disk-cache", 0, "write-through RAM cache in front of -data-dir, in bytes (0 disables)")
 		compactEvr = flag.Duration("compact-interval", time.Minute, "segment compaction period for -data-dir (0 disables)")
+		compactBps = flag.Int64("compact-rate", 0, "compaction I/O throttle for -data-dir in bytes/sec (0 = unthrottled)")
 		syncWrites = flag.Bool("sync-writes", false, "fsync every page append to -data-dir")
 		repair     = flag.Duration("repair", 30*time.Second, "version manager dead-writer repair timeout (0 disables)")
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "data provider heartbeat interval")
@@ -137,17 +138,18 @@ func main() {
 			}
 			if *dataDir != "" {
 				ds, err := provider.NewDiskStore(diskstore.Options{
-					Dir:          *dataDir,
-					SegmentSize:  *segSize,
-					Sync:         *syncWrites,
-					CompactEvery: *compactEvr,
+					Dir:              *dataDir,
+					SegmentSize:      *segSize,
+					Sync:             *syncWrites,
+					CompactEvery:     *compactEvr,
+					CompactRateBytes: *compactBps,
 				}, *capacity)
 				if err != nil {
 					log.Fatalf("provider: open data dir %s: %v", *dataDir, err)
 				}
 				snap := ds.Snapshot()
-				log.Printf("provider: recovered %d pages (%d live bytes, %d segments) from %s",
-					snap.PageCount, snap.BytesUsed, snap.Segments, *dataDir)
+				log.Printf("provider: recovered %d pages (%d live bytes, %d segments; %d sidecars loaded, %d bytes replayed) from %s",
+					snap.PageCount, snap.BytesUsed, snap.Segments, snap.SidecarsLoaded, snap.ReplayedBytes, *dataDir)
 				dataStore = ds
 				if *diskCache > 0 {
 					dataStore = provider.NewCachedStore(ds, *diskCache)

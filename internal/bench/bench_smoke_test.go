@@ -89,6 +89,24 @@ func TestAblationsRun(t *testing.T) {
 	}
 }
 
+func TestAblateRestartRuns(t *testing.T) {
+	pts, err := AblateRestart(4, 64<<10)
+	if err != nil || len(pts) != 5 {
+		t.Fatalf("restart ablation: %v %v", pts, err)
+	}
+	byName := map[string]float64{}
+	for _, p := range pts {
+		byName[p.Name] = p.Value
+	}
+	// The whole point: a sidecar restart reads far less segment data than
+	// a full replay (only the active tail, if anything).
+	side := byName["segment bytes read, sidecar index"]
+	full := byName["segment bytes read, full replay"]
+	if full <= 0 || side >= full/2 {
+		t.Errorf("sidecar restart read %v MB of segment data vs %v MB full replay", side, full)
+	}
+}
+
 func TestSegmentOffsetsDisjointAcrossClients(t *testing.T) {
 	fs := DefaultFig3cScale()
 	seen := map[uint64]bool{}

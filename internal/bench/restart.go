@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"blob/internal/diskstore"
+)
+
+// AblateRestart measures provider restart cost as a function of on-disk
+// footprint — the recovery-time bottleneck the index sidecars exist for.
+// A diskstore is filled until it holds `segments` sealed segment files of
+// segmentSize bytes, closed, and reopened two ways: with its index
+// sidecars (restart reads O(live index) bytes) and with every .idx file
+// deleted (the pre-sidecar behaviour: every segment's data is replayed).
+// Both reopens must reach the identical page set; the reported points
+// are the wall-clock reopen times and the segment-file bytes each
+// recovery actually read.
+func AblateRestart(segments int, segmentSize int64) ([]AblationPoint, error) {
+	dir, err := os.MkdirTemp("", "blob-bench-restart-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	opts := diskstore.Options{Dir: dir, SegmentSize: segmentSize}
+
+	s, err := diskstore.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	page := make([]byte, 8<<10)
+	for w := uint64(1); s.Stats().Segments <= int64(segments); w++ {
+		if _, err := s.PutPages([]diskstore.Page{{Blob: 1, Write: w, Rel: 0, Data: page}}); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	wantPages := s.Stats().Pages
+	if err := s.Close(); err != nil {
+		return nil, err
+	}
+
+	reopen := func() (time.Duration, diskstore.Stats, error) {
+		t0 := time.Now()
+		s, err := diskstore.Open(opts)
+		if err != nil {
+			return 0, diskstore.Stats{}, err
+		}
+		d := time.Since(t0)
+		st := s.Stats()
+		err = s.Close()
+		if st.Pages != wantPages {
+			return 0, st, fmt.Errorf("bench: restart recovered %d pages, want %d", st.Pages, wantPages)
+		}
+		return d, st, err
+	}
+
+	sideTime, sideStats, err := reopen()
+	if err != nil {
+		return nil, err
+	}
+
+	// Delete every sidecar: the next open degrades to the full replay.
+	idxs, err := filepath.Glob(filepath.Join(dir, "*.idx"))
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range idxs {
+		if err := os.Remove(idx); err != nil {
+			return nil, err
+		}
+	}
+	replayTime, replayStats, err := reopen()
+	if err != nil {
+		return nil, err
+	}
+
+	return []AblationPoint{
+		{Name: fmt.Sprintf("reopen %d segments, sidecar index", segments), Value: sideTime.Seconds() * 1e3, Unit: "ms"},
+		{Name: fmt.Sprintf("reopen %d segments, full replay", segments), Value: replayTime.Seconds() * 1e3, Unit: "ms"},
+		{Name: "segment bytes read, sidecar index", Value: float64(sideStats.ReplayedBytes) / (1 << 20), Unit: "MB"},
+		{Name: "segment bytes read, full replay", Value: float64(replayStats.ReplayedBytes) / (1 << 20), Unit: "MB"},
+		{Name: "sidecar bytes read", Value: float64(sideStats.SidecarBytes) / (1 << 20), Unit: "MB"},
+	}, nil
+}

@@ -82,6 +82,11 @@ type Config struct {
 	// CompactEvery, when positive, runs each disk-backed provider's
 	// segment compactor with that period. Ignored without DataDir.
 	CompactEvery time.Duration
+	// CompactRateBytes, when positive, throttles each disk-backed
+	// provider's compaction I/O to roughly that many bytes per second so
+	// reclamation cannot starve foreground page traffic. Ignored without
+	// DataDir.
+	CompactRateBytes int64
 }
 
 func (c *Config) fillDefaults() {
@@ -155,9 +160,10 @@ func (c *Cluster) newDataStore(i int) (provider.PageStore, error) {
 		return provider.NewStore(c.cfg.ProviderCapacity), nil
 	}
 	ds, err := provider.NewDiskStore(diskstore.Options{
-		Dir:          filepath.Join(c.cfg.DataDir, fmt.Sprintf("provider-%d", i)),
-		SegmentSize:  c.cfg.SegmentSize,
-		CompactEvery: c.cfg.CompactEvery,
+		Dir:              filepath.Join(c.cfg.DataDir, fmt.Sprintf("provider-%d", i)),
+		SegmentSize:      c.cfg.SegmentSize,
+		CompactEvery:     c.cfg.CompactEvery,
+		CompactRateBytes: c.cfg.CompactRateBytes,
 	}, c.cfg.ProviderCapacity)
 	if err != nil {
 		return nil, err

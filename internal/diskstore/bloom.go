@@ -1,0 +1,100 @@
+package diskstore
+
+import (
+	"blob/internal/wire"
+)
+
+// Per-segment bloom filters. Each sealed segment's sidecar carries a
+// bloom filter over the page keys of every put record in the segment
+// (live or since-deleted), so "does this segment possibly hold a record
+// for page X?" is answerable without reading the segment or the index.
+// The store keeps loaded filters in memory for MightContain — the cheap
+// negative-lookup primitive remote/replicated backends can use to rule a
+// provider out without an exact index probe.
+//
+// Sizing: bloomBitsPerEntry bits per put record with bloomHashes probe
+// positions gives a false-positive rate under 1%. Probe positions use
+// double hashing over the page key's dispersal hash (see hashPageKey and
+// docs/diskstore-format.md for the exact byte-level definition).
+
+const (
+	bloomBitsPerEntry = 10
+	bloomHashes       = 7
+)
+
+// bloomFilter is a fixed-size bloom filter over page keys.
+type bloomFilter struct {
+	k    uint32
+	bits []uint64
+}
+
+// newBloom sizes a filter for n expected entries.
+func newBloom(n int) *bloomFilter {
+	words := (n*bloomBitsPerEntry + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	return &bloomFilter{k: bloomHashes, bits: make([]uint64, words)}
+}
+
+// hashPageKey derives the two double-hashing bases for one page key.
+// h2 is forced odd so the probe stride is coprime with any power-of-two
+// modulus and never degenerates to a single position.
+func hashPageKey(blob, write uint64, rel uint32) (h1, h2 uint64) {
+	h1 = wire.HashFields(blob, write, uint64(rel))
+	h2 = wire.Mix64(h1) | 1
+	return h1, h2
+}
+
+func (b *bloomFilter) nbits() uint64 { return uint64(len(b.bits)) * 64 }
+
+// add records one page key.
+func (b *bloomFilter) add(blob, write uint64, rel uint32) {
+	h1, h2 := hashPageKey(blob, write, rel)
+	m := b.nbits()
+	for i := uint64(0); i < uint64(b.k); i++ {
+		bit := (h1 + i*h2) % m
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// mightContain reports whether the key may have been added: false means
+// definitely absent, true means possibly present.
+func (b *bloomFilter) mightContain(blob, write uint64, rel uint32) bool {
+	h1, h2 := hashPageKey(blob, write, rel)
+	m := b.nbits()
+	for i := uint64(0); i < uint64(b.k); i++ {
+		bit := (h1 + i*h2) % m
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// encode appends the filter's wire form (hash count, word count, words).
+func (b *bloomFilter) encode(w *wire.Writer) {
+	w.Uint32(b.k)
+	w.Uint32(uint32(len(b.bits)))
+	for _, word := range b.bits {
+		w.Uint64(word)
+	}
+}
+
+// decodeBloom reads a filter written by encode. Structural errors poison
+// the reader, which the sidecar loader turns into a replay fallback.
+func decodeBloom(r *wire.Reader) *bloomFilter {
+	k := r.Uint32()
+	words := int(r.Uint32())
+	if r.Err() != nil || k == 0 || words <= 0 || words > r.Remaining()/8+1 {
+		return nil
+	}
+	b := &bloomFilter{k: k, bits: make([]uint64, words)}
+	for i := range b.bits {
+		b.bits[i] = r.Uint64()
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return b
+}

@@ -9,9 +9,13 @@ import (
 // record is re-appended (bytes verbatim — records are self-contained,
 // already checksummed, and keep their sequence number) to the active
 // segment, the index is repointed, and the old file is unlinked once the
-// last in-flight reader drains. Reads never block: a reader that
-// resolved the old location before the repoint finishes against the
-// unlinked file's still-open handle.
+// last in-flight reader drains — its index sidecar with it; the records
+// live on in whatever segment received them, which gets its own sidecar
+// when it seals. Reads never block: a reader that resolved the old
+// location before the repoint finishes against the unlinked file's
+// still-open handle. When Options.CompactRateBytes is set, candidate
+// reads and record rewrites are metered through a token bucket (see
+// throttle.go), so reclamation yields the disk to foreground traffic.
 //
 // Tombstones need care: a tombstone guards every dead put record with a
 // lower sequence number that is still physically on disk — dropping it
@@ -84,6 +88,12 @@ func (s *Store) CompactOnce() (bool, error) {
 	defer cand.release()
 	dropTombstones := cand.id == minID
 
+	// Pre-pay the candidate read against the I/O budget; rewrites below
+	// are post-paid after each append so the throttle sleep never holds
+	// the writer lock foreground puts need.
+	if err := s.compactThrottle(size); err != nil {
+		return false, err
+	}
 	buf := make([]byte, size)
 	if _, err := cand.f.ReadAt(buf, 0); err != nil {
 		return false, fmt.Errorf("diskstore: compact read %s: %w", cand.path, err)
@@ -96,8 +106,14 @@ func (s *Store) CompactOnce() (bool, error) {
 			return false, fmt.Errorf("diskstore: compact %s at %d: %w", cand.path, off, err)
 		}
 		raw := buf[off : off+int64(n)]
-		if err := s.rewriteRecord(cand, rec, off, raw, dropTombstones); err != nil {
+		rewrote, err := s.rewriteRecord(cand, rec, off, raw, dropTombstones)
+		if err != nil {
 			return false, err
+		}
+		if rewrote {
+			if err := s.compactThrottle(int64(n)); err != nil {
+				return false, err
+			}
 		}
 		off += int64(n)
 	}
@@ -119,33 +135,35 @@ func (s *Store) CompactOnce() (bool, error) {
 	return true, nil
 }
 
-// rewriteRecord migrates one record out of a segment being compacted.
-func (s *Store) rewriteRecord(cand *segment, rec record, off int64, raw []byte, dropTombstones bool) error {
+// rewriteRecord migrates one record out of a segment being compacted,
+// reporting whether bytes were actually re-appended (for the caller's
+// I/O accounting).
+func (s *Store) rewriteRecord(cand *segment, rec record, off int64, raw []byte, dropTombstones bool) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return false, ErrClosed
 	}
 	switch rec.op {
 	case opPut:
 		k := writeKey{rec.blob, rec.write}
 		old, ok := s.index[k][rec.rel]
 		if !ok || old.seg != cand || old.off != off {
-			return nil // dead (deleted or duplicate): drop
+			return false, nil // dead (deleted or duplicate): drop
 		}
-		l, err := s.appendLocked(raw)
+		l, err := s.appendLocked(raw, rec.meta())
 		if err != nil {
-			return err
+			return false, err
 		}
 		s.index[k][rec.rel] = l
 		l.seg.live += l.size
 	case opDelPages, opDelWrite:
 		if dropTombstones {
-			return nil
+			return false, nil
 		}
-		if _, err := s.appendLocked(raw); err != nil {
-			return err
+		if _, err := s.appendLocked(raw, rec.meta()); err != nil {
+			return false, err
 		}
 	}
-	return nil
+	return true, nil
 }

@@ -8,12 +8,23 @@
 // Layout: pages (blob, write, rel) → data are appended as checksummed
 // records into fixed-size segment files (seg-NNNNNNNN.log) under one
 // directory. Deletions append tombstone records. An in-memory index maps
-// each live page to its (segment, offset) and is rebuilt on startup by
-// scanning the segments in id order; a torn final record — the footprint
-// of a crash mid-append — is truncated away, keeping every record before
-// it. Per-segment live-byte accounting feeds a compactor that rewrites
-// mostly-dead segments' surviving records to the active segment and
-// deletes the file, reclaiming disk after garbage collection.
+// each live page to its (segment, offset) and is rebuilt on startup; a
+// torn final record — the footprint of a crash mid-append — is truncated
+// away, keeping every record before it. Per-segment live-byte accounting
+// feeds a compactor that rewrites mostly-dead segments' surviving
+// records to the active segment and deletes the file, reclaiming disk
+// after garbage collection. The compactor's I/O can be throttled
+// (Options.CompactRateBytes) so reclamation never starves foreground
+// page traffic.
+//
+// Restart cost is O(live index), not O(disk): sealing a segment writes a
+// checksummed index sidecar (seg-NNNNNNNN.idx, see index.go and
+// docs/diskstore-format.md) holding the segment's index entries,
+// tombstones and a bloom filter over its page keys. Open absorbs sealed
+// segments by reading only their sidecars; the active tail segment is
+// always replayed (it is the only file a crash can tear), and a segment
+// whose sidecar is missing, stale or corrupt degrades to a full replay
+// of just that segment, after which its sidecar is rewritten.
 //
 // Concurrency: appends and index mutations serialize on one writer lock;
 // reads take a read lock only to resolve the index, then read the record
@@ -26,11 +37,13 @@ package diskstore
 import (
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -58,6 +71,11 @@ type Options struct {
 	// with that period. Compaction can also be driven explicitly through
 	// CompactOnce.
 	CompactEvery time.Duration
+	// CompactRateBytes, when positive, caps compaction I/O (candidate
+	// reads plus record rewrites) at roughly this many bytes per second
+	// through a token bucket, so background reclamation cannot starve
+	// foreground page traffic. Zero leaves compaction unthrottled.
+	CompactRateBytes int64
 }
 
 func (o *Options) fillDefaults() {
@@ -109,6 +127,15 @@ type Store struct {
 	compactions int64
 	truncated   int64 // bytes discarded by torn-tail recovery
 
+	// Recovery telemetry, written once by Open.
+	replayedBytes  int64 // segment bytes fully replayed at open
+	sidecarBytes   int64 // sidecar bytes read in place of replay
+	segsReplayed   int64 // segments that took the replay path
+	sidecarsLoaded int64 // segments absorbed from their sidecar
+
+	throttle     *tokenBucket // nil when CompactRateBytes == 0
+	throttleWait atomic.Int64 // nanoseconds the compactor slept throttled
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -129,6 +156,18 @@ type Stats struct {
 	// counts bytes discarded by torn-tail recovery at open.
 	Compactions    int64
 	TruncatedBytes int64
+	// Recovery telemetry from Open: ReplayedBytes is segment-file bytes
+	// that had to be fully replayed (the active tail plus any segment
+	// lacking a usable sidecar), SidecarBytes is index-sidecar bytes read
+	// in their place, and SegmentsReplayed / SidecarsLoaded count the
+	// segments that took each path.
+	ReplayedBytes    int64
+	SidecarBytes     int64
+	SegmentsReplayed int64
+	SidecarsLoaded   int64
+	// ThrottleWait is the total time compaction has slept in the
+	// CompactRateBytes token bucket since open.
+	ThrottleWait time.Duration
 }
 
 // LiveRatio is LiveBytes/DiskBytes, 1 for an empty store.
@@ -140,9 +179,12 @@ func (s Stats) LiveRatio() float64 {
 }
 
 // Open opens (or creates) the store in opts.Dir, rebuilding the page
-// index by scanning every segment in id order. A torn tail — a final
-// record cut short or corrupted by a crash mid-append — is truncated
-// away; every record before it survives.
+// index. Sealed segments with a valid index sidecar are absorbed by
+// reading only the sidecar; the newest segment — the active tail, the
+// only file a crash can tear — is always replayed, and a torn final
+// record is truncated away, keeping every record before it. A sealed
+// segment whose sidecar is missing, stale or corrupt is fully replayed
+// instead, and its sidecar rewritten for the next restart.
 func Open(opts Options) (*Store, error) {
 	opts.fillDefaults()
 	if opts.Dir == "" {
@@ -159,26 +201,51 @@ func Open(opts Options) (*Store, error) {
 		nextSeq: 1,
 		stop:    make(chan struct{}),
 	}
+	if opts.CompactRateBytes > 0 {
+		s.throttle = newTokenBucket(opts.CompactRateBytes)
+	}
 	ids, err := listSegmentIDs(opts.Dir)
 	if err != nil {
 		return nil, err
 	}
+	removeOrphanSidecars(opts.Dir, ids)
 	replay := newReplayState()
+	var replayed []*segment // sealed segments that need a fresh sidecar
 	for i, id := range ids {
 		seg, err := openSegment(opts.Dir, id)
 		if err != nil {
 			s.closeAll()
 			return nil, err
 		}
-		if err := s.scanSegment(seg, replay, i == len(ids)-1); err != nil {
+		last := i == len(ids)-1
+		if !last {
+			if fi, err := seg.f.Stat(); err == nil && fi.Size() == 0 {
+				// A roll that crashed before its first append (or an
+				// operator-truncated file): the segment holds no records,
+				// so recover it as empty by deleting it — keeping it would
+				// pin the oldest-segment id forever and block the
+				// compactor's tombstone dropping.
+				seg.retire(true)
+				s.nextID = id + 1
+				continue
+			}
+			if s.loadSidecar(seg, replay) {
+				s.segs[id] = seg
+				s.nextID = id + 1
+				continue
+			}
+		}
+		if err := s.scanSegment(seg, replay, last); err != nil {
 			seg.f.Close()
 			s.closeAll()
 			return nil, err
 		}
-		s.segs[id] = seg
-		if id >= s.nextID {
-			s.nextID = id + 1
+		s.segsReplayed++
+		if !last {
+			replayed = append(replayed, seg)
 		}
+		s.segs[id] = seg
+		s.nextID = id + 1
 	}
 	s.resolveReplay(replay)
 	// Reuse the newest segment for appends if it has room, else start a
@@ -187,13 +254,114 @@ func Open(opts Options) (*Store, error) {
 		last := s.segs[ids[len(ids)-1]]
 		if last.size < opts.SegmentSize {
 			s.active = last
+		} else {
+			replayed = append(replayed, last) // stays sealed: index it
 		}
+	}
+	for _, seg := range replayed {
+		s.writeSidecarFor(seg)
 	}
 	if opts.CompactEvery > 0 {
 		s.wg.Add(1)
 		go s.compactLoop()
 	}
 	return s, nil
+}
+
+// loadSidecar tries to absorb a sealed segment from its index sidecar,
+// feeding the entries into the replay state. It reports success; any
+// failure (no sidecar, torn or checksum-corrupt file, or a sidecar that
+// does not describe the segment file's exact byte count — the footprint
+// of a segment that was appended to after the sidecar was written) means
+// the caller must fully replay the segment.
+func (s *Store) loadSidecar(seg *segment, rp *replayState) bool {
+	buf, err := os.ReadFile(sidecarPath(s.opts.Dir, seg.id))
+	if err != nil {
+		return false
+	}
+	sc, err := decodeSidecar(buf)
+	if err != nil || sc.id != seg.id {
+		return false
+	}
+	fi, err := seg.f.Stat()
+	if err != nil || fi.Size() != sc.dataSize {
+		return false
+	}
+	seg.size = sc.dataSize
+	seg.bloom = sc.bloom
+	for _, p := range sc.puts {
+		pk := pageKey{writeKey{p.blob, p.write}, p.rel}
+		if p.seq > rp.putSeq[pk] {
+			rp.puts[pk] = loc{seg: seg, off: p.off, size: p.size}
+			rp.putSeq[pk] = p.seq
+		}
+	}
+	for _, d := range sc.delPages {
+		pk := pageKey{writeKey{d.blob, d.write}, d.rel}
+		if d.seq > rp.delPage[pk] {
+			rp.delPage[pk] = d.seq
+		}
+	}
+	for _, d := range sc.delWrites {
+		k := writeKey{d.blob, d.write}
+		if d.seq > rp.delWrite[k] {
+			rp.delWrite[k] = d.seq
+		}
+	}
+	if sc.maxSeq > rp.maxSeq {
+		rp.maxSeq = sc.maxSeq
+	}
+	s.sidecarBytes += int64(len(buf))
+	s.sidecarsLoaded++
+	return true
+}
+
+// writeSidecarFor builds seg's index sidecar from the entries its
+// accumulator collected as records were appended or replayed — no
+// segment bytes are re-read — retains the bloom filter in memory, and
+// hands the encoded bytes to a tracked goroutine for the actual file
+// write, so sealing never stalls the writer lock on filesystem I/O.
+// Sidecars are an acceleration, not a correctness requirement, so a
+// failed write only logs: the segment will be replayed on the next
+// open.
+func (s *Store) writeSidecarFor(seg *segment) {
+	sc := seg.idx
+	if sc == nil {
+		if seg.size > 0 {
+			// A non-empty segment with no accumulator is a caller bug
+			// (already-sealed segment, or a second seal). Writing an
+			// empty-but-valid sidecar here would make the next Open
+			// absorb the segment as empty — silent data loss. Refuse;
+			// worst case the segment is replayed on restart.
+			log.Printf("diskstore: refusing sidecar for %s: no accumulated entries for %d data bytes", seg.path, seg.size)
+			return
+		}
+		sc = &sidecar{id: seg.id}
+	}
+	seg.idx = nil // sealed: no further records; entries move to the file
+	sc.dataSize = seg.size
+	sc.bloom = newBloom(len(sc.puts))
+	for _, p := range sc.puts {
+		sc.bloom.add(p.blob, p.write, p.rel)
+	}
+	seg.bloom = sc.bloom // valid regardless of the file write's fate
+	data := sc.encode()
+	dir := s.opts.Dir
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := writeSidecarBytes(dir, seg.id, data); err != nil {
+			log.Printf("diskstore: sidecar for %s: %v (segment will be replayed on restart)", seg.path, err)
+		}
+		// The write can race a compaction that unlinked the segment (and
+		// its sidecar) while we were renaming: the rename happens before
+		// this doomed check, and retire sets doomed before removing, so
+		// whichever side runs last sees the other's work and the .idx
+		// never outlives its segment.
+		if seg.doomed.Load() {
+			os.Remove(sidecarPath(dir, seg.id))
+		}
+	}()
 }
 
 // listSegmentIDs returns the ids of all segment files in dir, ascending.
@@ -258,6 +426,7 @@ func (s *Store) scanSegment(seg *segment, rp *replayState, last bool) error {
 	if err != nil {
 		return err
 	}
+	s.replayedBytes += int64(len(buf))
 	off := int64(0)
 	for off < int64(len(buf)) {
 		rec, n, err := decodeRecord(buf[off:])
@@ -275,6 +444,7 @@ func (s *Store) scanSegment(seg *segment, rp *replayState, last bool) error {
 		if rec.seq > rp.maxSeq {
 			rp.maxSeq = rec.seq
 		}
+		seg.noteRecord(rec.meta(), off, int64(n))
 		k := writeKey{rec.blob, rec.write}
 		switch rec.op {
 		case opPut:
@@ -380,8 +550,9 @@ func (s *Store) PutPages(pages []Page) (int, error) {
 			ErrCapacity, s.pageBytes, newBytes, s.opts.Capacity)
 	}
 	for _, p := range fresh {
-		buf := appendPutRecord(nil, s.takeSeq(), p.Blob, p.Write, p.Rel, p.Data)
-		l, err := s.appendLocked(buf)
+		seq := s.takeSeq()
+		buf := appendPutRecord(nil, seq, p.Blob, p.Write, p.Rel, p.Data)
+		l, err := s.appendLocked(buf, recMeta{op: opPut, seq: seq, blob: p.Blob, write: p.Write, rel: p.Rel})
 		if err != nil {
 			return 0, err
 		}
@@ -420,8 +591,9 @@ func (s *Store) takeSeq() uint64 {
 }
 
 // appendLocked writes one encoded record to the active segment, rolling
-// to a fresh segment first if the active one is full. Caller holds mu.
-func (s *Store) appendLocked(buf []byte) (loc, error) {
+// to a fresh segment first if the active one is full, and feeds the
+// record into the segment's sidecar accumulator. Caller holds mu.
+func (s *Store) appendLocked(buf []byte, m recMeta) (loc, error) {
 	if s.active == nil || s.active.size >= s.opts.SegmentSize {
 		if err := s.rollLocked(); err != nil {
 			return loc{}, err
@@ -433,15 +605,21 @@ func (s *Store) appendLocked(buf []byte) (loc, error) {
 		return loc{}, fmt.Errorf("diskstore: append to %s: %w", seg.path, err)
 	}
 	seg.size += int64(len(buf))
+	seg.noteRecord(m, off, int64(len(buf)))
 	return loc{seg: seg, off: off, size: int64(len(buf))}, nil
 }
 
-// rollLocked seals the active segment (fsync) and opens a fresh one.
+// rollLocked seals the active segment (fsync, then index sidecar) and
+// opens a fresh one. The sidecar is written only after the sync, so its
+// entries never describe records the segment file could still lose; if
+// the process dies between the two, the missing sidecar just means one
+// full segment replay on the next open.
 func (s *Store) rollLocked() error {
 	if s.active != nil {
 		if err := s.active.f.Sync(); err != nil {
 			return err
 		}
+		s.writeSidecarFor(s.active)
 	}
 	seg, err := openSegment(s.opts.Dir, s.nextID)
 	if err != nil {
@@ -503,7 +681,9 @@ func (s *Store) DeletePages(blob, write uint64, rels []uint32) (int, error) {
 	if len(present) == 0 {
 		return 0, nil
 	}
-	if _, err := s.appendLocked(appendDelPagesRecord(nil, s.takeSeq(), blob, write, present)); err != nil {
+	seq := s.takeSeq()
+	if _, err := s.appendLocked(appendDelPagesRecord(nil, seq, blob, write, present),
+		recMeta{op: opDelPages, seq: seq, blob: blob, write: write, rels: present}); err != nil {
 		return 0, err
 	}
 	for _, rel := range present {
@@ -525,7 +705,9 @@ func (s *Store) DeleteWrite(blob, write uint64) (int, error) {
 	if len(wm) == 0 {
 		return 0, nil
 	}
-	if _, err := s.appendLocked(appendDelWriteRecord(nil, s.takeSeq(), blob, write)); err != nil {
+	seq := s.takeSeq()
+	if _, err := s.appendLocked(appendDelWriteRecord(nil, seq, blob, write),
+		recMeta{op: opDelWrite, seq: seq, blob: blob, write: write}); err != nil {
 		return 0, err
 	}
 	n := 0
@@ -560,16 +742,55 @@ func (s *Store) ForEachPage(fn func(blob, write uint64, rel uint32, data []byte)
 	}
 }
 
+// MightContain is the bloom-backed negative-lookup primitive: false
+// means the store definitely holds no live page under the key, true
+// means it may. True is conservative twice over — bloom false
+// positives, and deleted pages whose put records a bloom-covered
+// segment still physically holds (they keep answering true until
+// compaction drops them; segments without a filter are answered from
+// the exact index instead). It lets a caller — a replica router, a
+// future remote backend — rule this store out without a GetPage round
+// trip or disk touch.
+func (s *Store) MightContain(blob, write uint64, rel uint32) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
+	unfiltered := false
+	for _, seg := range s.segs {
+		if seg.bloom == nil {
+			if seg.size > 0 {
+				unfiltered = true
+			}
+			continue
+		}
+		if seg.bloom.mightContain(blob, write, rel) {
+			return true
+		}
+	}
+	if unfiltered {
+		_, ok := s.index[writeKey{blob, write}][rel]
+		return ok
+	}
+	return false
+}
+
 // Stats returns a usage snapshot.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
-		Pages:          s.pageCount,
-		PageBytes:      s.pageBytes,
-		Segments:       int64(len(s.segs)),
-		Compactions:    s.compactions,
-		TruncatedBytes: s.truncated,
+		Pages:            s.pageCount,
+		PageBytes:        s.pageBytes,
+		Segments:         int64(len(s.segs)),
+		Compactions:      s.compactions,
+		TruncatedBytes:   s.truncated,
+		ReplayedBytes:    s.replayedBytes,
+		SidecarBytes:     s.sidecarBytes,
+		SegmentsReplayed: s.segsReplayed,
+		SidecarsLoaded:   s.sidecarsLoaded,
+		ThrottleWait:     time.Duration(s.throttleWait.Load()),
 	}
 	for _, seg := range s.segs {
 		st.DiskBytes += seg.size

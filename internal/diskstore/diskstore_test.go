@@ -185,9 +185,10 @@ func TestCorruptChecksumRejected(t *testing.T) {
 }
 
 // TestSealedSegmentCorruptionFailsOpen pins the recovery policy split:
-// only the newest segment can legitimately hold a torn record, so bit
-// rot in a sealed segment must fail Open loudly rather than silently
-// dropping the records behind it (which could resurrect deleted pages).
+// only the newest segment can legitimately hold a torn record, so when a
+// sealed segment must be replayed (no usable index sidecar), bit rot in
+// it must fail Open loudly rather than silently dropping the records
+// behind it (which could resurrect deleted pages).
 func TestSealedSegmentCorruptionFailsOpen(t *testing.T) {
 	dir := t.TempDir()
 	s := openTest(t, dir, Options{SegmentSize: 128})
@@ -203,8 +204,42 @@ func TestSealedSegmentCorruptionFailsOpen(t *testing.T) {
 	if err := os.WriteFile(segmentPath(dir, 1), buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Force the replay path: without its sidecar the sealed segment must
+	// be scanned, and the scan must refuse the rotten record.
+	if err := os.Remove(sidecarPath(dir, 1)); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Open(Options{Dir: dir, SegmentSize: 128}); err == nil {
 		t.Fatal("Open accepted a corrupt sealed segment")
+	}
+}
+
+// TestBitRotBehindValidSidecarSurfacesAtRead pins the sidecar-era side
+// of the policy: a sealed segment with a valid sidecar is not replayed,
+// so data-level bit rot surfaces at read time — the record checksum makes
+// GetPage report the page absent rather than serve bad bytes — while
+// every other page keeps working.
+func TestBitRotBehindValidSidecarSurfacesAtRead(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentSize: 128})
+	mustPut(t, s, 1, 1, 0, bytes.Repeat([]byte("a"), 120)) // fills seg1
+	mustPut(t, s, 1, 2, 0, bytes.Repeat([]byte("b"), 120)) // fills seg2
+	mustPut(t, s, 1, 3, 0, []byte("c"))
+	s.Close()
+	buf, err := os.ReadFile(segmentPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x01
+	if err := os.WriteFile(segmentPath(dir, 1), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := openTest(t, dir, Options{SegmentSize: 128})
+	if d, ok := r.GetPage(1, 1, 0); ok {
+		t.Errorf("rotten record served: %q", d)
+	}
+	if d, ok := r.GetPage(1, 2, 0); !ok || !bytes.Equal(d, bytes.Repeat([]byte("b"), 120)) {
+		t.Errorf("healthy page lost: %v", ok)
 	}
 }
 

@@ -24,6 +24,10 @@
 // match, or whose body fails structural validation marks the end of the
 // usable prefix of its segment — everything from its offset on is
 // discarded, never served.
+//
+// (This file comment is deliberately detached from the package clause —
+// the package's doc comment lives in diskstore.go.)
+
 package diskstore
 
 import (
@@ -66,6 +70,22 @@ type record struct {
 	rel   uint32   // opPut only
 	data  []byte   // opPut only; aliases the scan buffer
 	rels  []uint32 // opDelPages only
+}
+
+// recMeta is the append-side identity of a record: what the writer knew
+// before encoding it. It travels alongside the encoded bytes so the
+// sidecar accumulator never has to decode its own output.
+type recMeta struct {
+	op    byte
+	seq   uint64
+	blob  uint64
+	write uint64
+	rel   uint32   // opPut only
+	rels  []uint32 // opDelPages only
+}
+
+func (rec record) meta() recMeta {
+	return recMeta{op: rec.op, seq: rec.seq, blob: rec.blob, write: rec.write, rel: rec.rel, rels: rec.rels}
 }
 
 // appendPutRecord appends an encoded opPut record for one page to dst.

@@ -22,6 +22,19 @@ type segment struct {
 	size int64 // bytes written (valid prefix after recovery)
 	live int64 // bytes occupied by live put records
 
+	// bloom is the filter over the segment's put page keys, set when the
+	// segment is sealed (sidecar written) or its sidecar is loaded; nil
+	// for the active segment and for sealed segments whose sidecar write
+	// failed. Immutable once set — sealed segments never gain records.
+	bloom *bloomFilter
+
+	// idx accumulates the segment's sidecar entries as records are
+	// appended (or replayed at open), so sealing writes the sidecar from
+	// memory instead of re-reading and re-decoding the segment under the
+	// store's writer lock. Guarded by the writer lock; cleared once the
+	// sidecar is written.
+	idx *sidecar
+
 	// refs counts in-flight readers plus one for store membership; the
 	// count reaching zero closes and removes the file. Compaction drops
 	// the membership ref after unmapping the segment from the index, so
@@ -50,13 +63,46 @@ func openSegment(dir string, id uint64) (*segment, error) {
 // acquire pins the segment's file open for one reader.
 func (g *segment) acquire() { g.refs.Add(1) }
 
+// noteRecord feeds one just-appended (or just-replayed) record into the
+// segment's sidecar accumulator. Caller holds the store's writer lock
+// (or owns the store exclusively during Open).
+func (g *segment) noteRecord(m recMeta, off, size int64) {
+	if g.idx == nil {
+		g.idx = &sidecar{id: g.id}
+	}
+	sc := g.idx
+	if m.seq > sc.maxSeq {
+		sc.maxSeq = m.seq
+	}
+	switch m.op {
+	case opPut:
+		sc.puts = append(sc.puts, sidecarPut{
+			blob: m.blob, write: m.write, rel: m.rel,
+			seq: m.seq, off: off, size: size,
+		})
+	case opDelPages:
+		for _, rel := range m.rels {
+			sc.delPages = append(sc.delPages, sidecarDelPages{
+				blob: m.blob, write: m.write, rel: rel, seq: m.seq,
+			})
+		}
+	case opDelWrite:
+		sc.delWrites = append(sc.delWrites, sidecarDelWrite{
+			blob: m.blob, write: m.write, seq: m.seq,
+		})
+	}
+}
+
 // release drops a reader pin, closing and removing the file if the
-// segment was retired and this was the last reference.
+// segment was retired and this was the last reference. A removed
+// segment's index sidecar goes with it — the records it described no
+// longer exist.
 func (g *segment) release() {
 	if g.refs.Add(-1) == 0 {
 		g.f.Close()
 		if g.doomed.Load() {
 			os.Remove(g.path)
+			os.Remove(sidecarPath(filepath.Dir(g.path), g.id))
 		}
 	}
 }

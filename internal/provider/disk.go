@@ -100,6 +100,11 @@ func (d *DiskStore) Snapshot() Stats {
 		DiskBytes: ds.DiskBytes,
 		DiskLive:  ds.LiveBytes,
 		Segments:  ds.Segments,
+
+		ReplayedBytes:    ds.ReplayedBytes,
+		SidecarBytes:     ds.SidecarBytes,
+		SegmentsReplayed: ds.SegmentsReplayed,
+		SidecarsLoaded:   ds.SidecarsLoaded,
 	}
 }
 

@@ -1,8 +1,13 @@
 // Package provider implements the data providers: the nodes that
-// physically store blob pages in their local RAM. A WRITE never updates a
-// page in place — each write stores a fresh set of pages keyed by the
-// client-generated write identity — so the store is append-only until the
-// garbage collector explicitly removes the pages of collected versions.
+// physically store blob pages. A WRITE never updates a page in place —
+// each write stores a fresh set of pages keyed by the client-generated
+// write identity — so a store is append-only until the garbage collector
+// explicitly removes the pages of collected versions.
+//
+// Storage is pluggable behind the PageStore interface: the in-RAM Store
+// (the paper's design), the persistent DiskStore over
+// internal/diskstore, and the write-through CachedStore RAM tier all
+// implement it, and the RPC Service hosts any of them.
 //
 // Pages are keyed (blobID, writeID, relPage). The write identity rather
 // than the version number keys the data because, per the paper's
@@ -250,6 +255,16 @@ type Stats struct {
 	DiskBytes int64
 	DiskLive  int64
 	Segments  int64
+
+	// Disk-tier restart telemetry: segment bytes fully replayed at the
+	// last open versus index-sidecar bytes read in their place, and the
+	// per-path segment counts. A healthy restart replays only the active
+	// tail (SegmentsReplayed == 1); higher values mean sidecars were
+	// missing or stale. See docs/diskstore-format.md.
+	ReplayedBytes    int64
+	SidecarBytes     int64
+	SegmentsReplayed int64
+	SidecarsLoaded   int64
 
 	// Cache tier (CachedStore): bytes resident in the RAM cache and
 	// reads served from it.

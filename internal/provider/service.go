@@ -137,6 +137,10 @@ func (sv *Service) handleStats(_ context.Context, _ []byte) ([]byte, error) {
 	w.Varint(st.Segments)
 	w.Varint(st.CacheBytes)
 	w.Varint(st.CacheHits)
+	w.Varint(st.ReplayedBytes)
+	w.Varint(st.SidecarBytes)
+	w.Varint(st.SegmentsReplayed)
+	w.Varint(st.SidecarsLoaded)
 	return w.Bytes(), nil
 }
 
@@ -156,6 +160,11 @@ func DecodeStats(body []byte) (Stats, error) {
 		Segments:   r.Varint(),
 		CacheBytes: r.Varint(),
 		CacheHits:  r.Varint(),
+
+		ReplayedBytes:    r.Varint(),
+		SidecarBytes:     r.Varint(),
+		SegmentsReplayed: r.Varint(),
+		SidecarsLoaded:   r.Varint(),
 	}
 	return st, r.Err()
 }

@@ -1,0 +1,54 @@
+package blob
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInternalPackageDocs is the documentation gate CI enforces: every
+// package under internal/ must carry exactly one package-level doc
+// comment, so `go doc blob/internal/<pkg>` describes each layer of the
+// system and the description has one unambiguous home.
+func TestInternalPackageDocs(t *testing.T) {
+	dirs, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		pkg := d.Name()
+		files, err := filepath.Glob(filepath.Join("internal", pkg, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var docFiles []string
+		for _, path := range files {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				continue
+			}
+			if f.Doc != nil {
+				docFiles = append(docFiles, path)
+			}
+		}
+		switch len(docFiles) {
+		case 0:
+			t.Errorf("internal/%s has no package doc comment; add one (`// Package %s ...`) so `go doc` describes the layer", pkg, pkg)
+		case 1:
+			// good
+		default:
+			t.Errorf("internal/%s has package doc comments in %v; keep exactly one", pkg, docFiles)
+		}
+	}
+}
