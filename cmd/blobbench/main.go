@@ -166,6 +166,13 @@ func ablations(sc bench.Scale, quick bool) error {
 			}
 			return bench.AblateRestart(n, 4<<20)
 		}},
+		{"replica repair (wiped provider, docs/replication.md)", func() ([]bench.AblationPoint, error) {
+			w := 8
+			if quick {
+				w = 4
+			}
+			return bench.AblateRepair(prov, w, seg, sc)
+		}},
 	}
 	for _, g := range groups {
 		fmt.Printf("-- %s\n", g.name)

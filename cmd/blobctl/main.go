@@ -11,6 +11,7 @@
 //	blobctl -vm ... -pm ... read   -blob 1 -offset 0 -length 65536 -version 3 -out tile.raw
 //	blobctl -vm ... -pm ... stat   -blob 1
 //	blobctl -vm ... -pm ... gc     -blob 1 -keep 5
+//	blobctl -vm ... -pm ... repair -blob 1
 //	blobctl -vm ... -pm ... stats
 package main
 
@@ -31,7 +32,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "data replication factor for writes")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|stats [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|repair|stats [subflags]")
 		os.Exit(2)
 	}
 
@@ -149,13 +150,39 @@ func main() {
 		fmt.Printf("collected %d versions: %d tree nodes and %d page replicas deleted (%d nodes kept)\n",
 			rep.VersionsCollected, rep.NodesDeleted, rep.PagesDeleted, rep.NodesKept)
 
+	case "repair":
+		fs := flag.NewFlagSet("repair", flag.ExitOnError)
+		blobID := fs.Uint64("blob", 0, "blob id (0 = every blob)")
+		fs.Parse(args)
+		blobs := []uint64{*blobID}
+		if *blobID == 0 {
+			var err error
+			blobs, err = client.VersionManager().Blobs(ctx)
+			if err != nil {
+				log.Fatalf("list blobs: %v", err)
+			}
+		}
+		agent := blob.NewRepairer(client)
+		agent.Log = log.Printf
+		rep, err := agent.RepairAll(ctx, blobs)
+		if err != nil {
+			log.Fatalf("repair: %v", err)
+		}
+		fmt.Printf("checked %d replica slots over %d blob(s): %d degraded, %d repaired (%d bytes pulled, %d already held), %d settled by digests, %d unrepairable\n",
+			rep.PagesChecked, len(blobs), rep.PagesMissing, rep.PagesRepaired,
+			rep.BytesPulled, rep.PagesSkipped, rep.BloomSkips, rep.Unrepairable)
+		if !rep.FullyRedundant() {
+			os.Exit(1)
+		}
+
 	case "stats":
 		provs, err := client.AllProviders(ctx)
 		if err != nil {
 			log.Fatalf("list providers: %v", err)
 		}
-		fmt.Printf("%-4s %-22s %10s %12s %12s %12s %8s %6s %10s %9s %10s %5s\n",
-			"id", "addr", "pages", "bytes", "capacity", "disk", "segs", "live%", "cache", "hits", "replayB", "idx")
+		fmt.Printf("%-4s %-22s %10s %12s %12s %12s %8s %6s %10s %9s %10s %5s %8s %10s %7s\n",
+			"id", "addr", "pages", "bytes", "capacity", "disk", "segs", "live%", "cache", "hits", "replayB", "idx",
+			"repairP", "pullB", "bskip")
 		for _, p := range provs {
 			resp, err := client.Pool().Call(ctx, p.Addr, provider.MStats, nil)
 			if err != nil {
@@ -167,10 +194,11 @@ func main() {
 				fmt.Printf("%-4d %-22s bad stats response: %v\n", p.ID, p.Addr, err)
 				continue
 			}
-			fmt.Printf("%-4d %-22s %10d %12d %12d %12d %8d %5.1f%% %10d %9d %10d %5d\n",
+			fmt.Printf("%-4d %-22s %10d %12d %12d %12d %8d %5.1f%% %10d %9d %10d %5d %8d %10d %7d\n",
 				p.ID, p.Addr, st.PageCount, st.BytesUsed, st.Capacity,
 				st.DiskBytes, st.Segments, 100*st.LiveRatio(), st.CacheBytes, st.CacheHits,
-				st.ReplayedBytes, st.SidecarsLoaded)
+				st.ReplayedBytes, st.SidecarsLoaded,
+				st.RepairedPages, st.RepairBytes, st.BloomSkips)
 		}
 
 	default:

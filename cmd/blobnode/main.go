@@ -8,6 +8,9 @@
 //	blobnode -listen :4000 -roles pmanager
 //	blobnode -listen :4001 -roles vmanager -pm host0:4000
 //
+//	# optional replica repair agent (docs/replication.md)
+//	blobnode -listen :4002 -roles repairer -pm host0:4000 -vm host1:4001
+//
 //	# each storage node (add -data-dir for a persistent, crash-recoverable
 //	# provider; omit it for the paper's RAM-only mode)
 //	blobnode -listen :4100 -roles provider,metadata \
@@ -31,11 +34,13 @@ import (
 	"syscall"
 	"time"
 
+	"blob/internal/core"
 	"blob/internal/dht"
 	"blob/internal/diskstore"
 	"blob/internal/mstore"
 	"blob/internal/pmanager"
 	"blob/internal/provider"
+	repairpkg "blob/internal/repair"
 	"blob/internal/rpc"
 	"blob/internal/vmanager"
 )
@@ -54,6 +59,9 @@ func main() {
 		compactBps = flag.Int64("compact-rate", 0, "compaction I/O throttle for -data-dir in bytes/sec (0 = unthrottled)")
 		syncWrites = flag.Bool("sync-writes", false, "fsync every page append to -data-dir")
 		repair     = flag.Duration("repair", 30*time.Second, "version manager dead-writer repair timeout (0 disables)")
+		repairBps  = flag.Int64("repair-rate", 0, "replica repair pull throttle in bytes/sec (0 = unthrottled; provider role)")
+		repairEvr  = flag.Duration("repair-interval", time.Minute, "replica repair sweep period (repairer role)")
+		vmAddr     = flag.String("vm", "", "version manager address (repairer role)")
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "data provider heartbeat interval")
 		strategy   = flag.String("strategy", "round-robin", "placement strategy: round-robin|least-loaded|power-of-two")
 		checkpoint = flag.String("checkpoint", "", "version manager checkpoint file (loaded on start, saved periodically and on shutdown)")
@@ -158,13 +166,65 @@ func main() {
 				dataStore = provider.NewStore(*capacity)
 			}
 			dataSvc = provider.NewService(dataStore)
+			// Peer pulls (MPullPages) dial other providers through the
+			// node's shared TCP pool, throttled by -repair-rate.
+			dataSvc.EnableRepair(pool, *repairBps)
 			dataSvc.RegisterHandlers(srv)
 			id, err := pmanager.RegisterProvider(ctx, pool, *pmAddr, adv, *capacity)
 			if err != nil {
 				log.Fatalf("provider: register with %s: %v", *pmAddr, err)
 			}
 			providerID = id
-			log.Printf("role provider (id %d, capacity %d, persistence %q)", id, *capacity, *dataDir)
+			log.Printf("role provider (id %d, capacity %d, persistence %q, repair rate %d B/s)",
+				id, *capacity, *dataDir, *repairBps)
+
+		case "repairer":
+			// The replica repair agent: periodically walks every blob's
+			// metadata and directs degraded providers to pull missing
+			// pages from healthy peers (docs/replication.md). Needs both
+			// managers: -vm for the blob list and versions, -pm for
+			// placement and the metadata directory.
+			if *pmAddr == "" || *vmAddr == "" {
+				log.Fatal("repairer role needs -pm and -vm")
+			}
+			if *repairEvr <= 0 {
+				log.Fatal("repairer role needs -repair-interval > 0")
+			}
+			client, err := core.NewClient(ctx, core.Options{
+				Network:      rpc.TCP{},
+				VManagerAddr: *vmAddr,
+				PManagerAddr: *pmAddr,
+				MetaDirAddr:  *pmAddr,
+			})
+			if err != nil {
+				log.Fatalf("repairer: connect: %v", err)
+			}
+			agent := repairpkg.New(client)
+			agent.Log = log.Printf
+			interval := *repairEvr
+			go func() {
+				t := time.NewTicker(interval)
+				defer t.Stop()
+				for range t.C {
+					sctx, cancel := context.WithTimeout(ctx, interval*4)
+					blobs, err := client.VersionManager().Blobs(sctx)
+					if err != nil {
+						log.Printf("repairer: list blobs: %v", err)
+						cancel()
+						continue
+					}
+					rep, err := agent.RepairAll(sctx, blobs)
+					cancel()
+					if err != nil {
+						log.Printf("repairer: %v", err)
+					}
+					if rep.PagesMissing > 0 {
+						log.Printf("repairer: %d slots degraded, %d repaired (%d bytes), %d unrepairable",
+							rep.PagesMissing, rep.PagesRepaired, rep.BytesPulled, rep.Unrepairable)
+					}
+				}
+			}()
+			log.Printf("role repairer (interval %v)", interval)
 
 		case "metadata":
 			if *pmAddr == "" {

@@ -121,3 +121,19 @@ func TestSegmentOffsetsDisjointAcrossClients(t *testing.T) {
 		}
 	}
 }
+
+func TestAblateRepairRuns(t *testing.T) {
+	pts, err := AblateRepair(3, 3, 4, smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0].Value <= 0 {
+		t.Errorf("time to full redundancy = %v", pts[0].Value)
+	}
+	if pts[2].Value != 100 {
+		t.Errorf("healthy verify pass bloom-skip rate = %v%%, want 100", pts[2].Value)
+	}
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"blob/internal/cluster"
+	"blob/internal/netsim"
+	"blob/internal/repair"
+)
+
+// AblateRepair measures the repair subsystem of docs/replication.md:
+// a persistent 2-replica deployment loses one provider's entire data
+// directory, and the repair agent restores it provider-to-provider. The
+// reported points are the time to full redundancy, the volume moved,
+// the digest efficiency (fraction of replica slots settled from
+// MListWrites bloom digests without a page transfer — on the healthy
+// verify pass this is the protocol's steady-state cost), and the read
+// p99 while repair traffic competes with foreground reads, against the
+// undisturbed baseline.
+func AblateRepair(providers int, writes int, segPages uint64, sc Scale) ([]AblationPoint, error) {
+	dir, err := os.MkdirTemp("", "blob-bench-repair-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cl, err := cluster.Launch(cluster.Config{
+		DataProviders: providers,
+		MetaProviders: providers,
+		CoLocate:      true,
+		DataReplicas:  2,
+		DataDir:       dir,
+		Net:           netsim.Grid5000(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Shutdown()
+	ctx := context.Background()
+	c, err := cl.NewClient(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	b, err := c.CreateBlob(ctx, sc.PageSize, sc.BlobPages*sc.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	seg := make([]byte, segPages*sc.PageSize)
+	for i := 0; i < writes; i++ {
+		if _, err := b.Write(ctx, seg, uint64(i)*segPages*sc.PageSize); err != nil {
+			return nil, err
+		}
+	}
+	fullPages := cl.TotalDataPages()
+
+	readSeg := func() (time.Duration, error) {
+		buf := make([]byte, len(seg))
+		t0 := time.Now()
+		_, err := b.ReadLatest(ctx, buf, 0)
+		return time.Since(t0), err
+	}
+	p99 := func(ds []time.Duration) float64 {
+		if len(ds) == 0 {
+			return 0
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)*99/100].Seconds() * 1e3
+	}
+
+	// Baseline read latency, undisturbed.
+	var base []time.Duration
+	for i := 0; i < sc.Iterations*4; i++ {
+		d, err := readSeg()
+		if err != nil {
+			return nil, err
+		}
+		base = append(base, d)
+	}
+
+	// Total disk loss on provider 0, then repair while reads compete.
+	if err := cl.WipeDataProvider(0); err != nil {
+		return nil, err
+	}
+	c.InvalidateDigests()
+	var during []time.Duration
+	done := make(chan struct{})
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(readErr)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			d, err := readSeg()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			during = append(during, d)
+		}
+	}()
+
+	agent := repair.New(c)
+	t0 := time.Now()
+	rep, err := agent.RepairBlob(ctx, b.ID())
+	healTime := time.Since(t0)
+	close(done)
+	if err != nil {
+		return nil, err
+	}
+	if err := <-readErr; err != nil {
+		return nil, fmt.Errorf("bench: read during repair: %v", err)
+	}
+	if !rep.FullyRedundant() {
+		return nil, fmt.Errorf("bench: repair left slots degraded: %+v", rep)
+	}
+	if got := cl.TotalDataPages(); got != fullPages {
+		return nil, fmt.Errorf("bench: %d/%d pages after repair", got, fullPages)
+	}
+
+	// Verify pass over the healthy cluster: its bloom-skip rate is the
+	// digest protocol's steady-state efficiency.
+	verify, err := agent.RepairBlob(ctx, b.ID())
+	if err != nil {
+		return nil, err
+	}
+	if verify.PagesMissing != 0 {
+		return nil, fmt.Errorf("bench: verify pass found %d missing", verify.PagesMissing)
+	}
+	skipRate := 100 * float64(verify.BloomSkips) / float64(verify.PagesChecked)
+
+	return []AblationPoint{
+		{Name: fmt.Sprintf("time to full redundancy, %d pages repaired", rep.PagesRepaired),
+			Value: healTime.Seconds() * 1e3, Unit: "ms"},
+		{Name: "repair bytes pulled provider-to-provider",
+			Value: float64(rep.BytesPulled) / (1 << 20), Unit: "MB"},
+		{Name: "bloom-skip hit rate, healthy verify pass",
+			Value: skipRate, Unit: "%"},
+		{Name: fmt.Sprintf("read p99 during repair (%d reads)", len(during)),
+			Value: p99(during), Unit: "ms"},
+		{Name: "read p99 baseline",
+			Value: p99(base), Unit: "ms"},
+	}, nil
+}

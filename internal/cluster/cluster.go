@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 	"blob/internal/netsim"
 	"blob/internal/pmanager"
 	"blob/internal/provider"
+	"blob/internal/repair"
 	"blob/internal/rpc"
 	"blob/internal/vmanager"
 )
@@ -87,6 +89,18 @@ type Config struct {
 	// reclamation cannot starve foreground page traffic. Ignored without
 	// DataDir.
 	CompactRateBytes int64
+	// RepairInterval, when positive, runs a background replica-repair
+	// agent (internal/repair, protocol in docs/replication.md) over every
+	// blob with that period, so a replica set degraded by a provider
+	// crash or disk loss returns to full strength without client
+	// involvement. Provider-to-provider pulls are always served
+	// regardless; the interval only drives the in-process agent.
+	RepairInterval time.Duration
+	// RepairRateBytes, when positive, throttles each provider's repair
+	// page pulls to roughly that many bytes per second (token bucket,
+	// like CompactRateBytes for compaction) so repair traffic cannot
+	// starve foreground reads and writes.
+	RepairRateBytes int64
 }
 
 func (c *Config) fillDefaults() {
@@ -150,6 +164,27 @@ func (c *Cluster) dataService(i int) *provider.Service {
 	c.svcMu.RLock()
 	defer c.svcMu.RUnlock()
 	return c.DataServices[i]
+}
+
+// dataHostName names the simulated host of data provider i.
+func (c *Cluster) dataHostName(i int) string {
+	if c.cfg.CoLocate || (c.cfg.DataProviders == c.cfg.MetaProviders) {
+		return fmt.Sprintf("node%d", i)
+	}
+	return fmt.Sprintf("data%d", i)
+}
+
+// newDataService hosts a provider service over st with repair armed:
+// the service gets a connection pool dialing from its own host (the
+// vantage MPullPages pulls peers from) and the configured pull throttle.
+func (c *Cluster) newDataService(i int, st provider.PageStore) *provider.Service {
+	svc := provider.NewService(st)
+	pool := rpc.NewPool(hostDialer{c.fab.Host(c.dataHostName(i))})
+	c.svcMu.Lock()
+	c.pools = append(c.pools, pool)
+	c.svcMu.Unlock()
+	svc.EnableRepair(pool, c.cfg.RepairRateBytes)
+	return svc
 }
 
 // newDataStore builds data provider i's storage backend from the
@@ -226,12 +261,7 @@ func Launch(cfg Config) (*Cluster, error) {
 	c.PMAddr, c.DirAddr = addr, addr
 
 	// Storage nodes.
-	dataHost := func(i int) string {
-		if cfg.CoLocate || (cfg.DataProviders == cfg.MetaProviders) {
-			return fmt.Sprintf("node%d", i)
-		}
-		return fmt.Sprintf("data%d", i)
-	}
+	dataHost := c.dataHostName
 	metaHost := func(i int) string {
 		if cfg.CoLocate || (cfg.DataProviders == cfg.MetaProviders) {
 			return fmt.Sprintf("node%d", i)
@@ -244,7 +274,7 @@ func Launch(cfg Config) (*Cluster, error) {
 			c.Shutdown()
 			return nil, err
 		}
-		svc := provider.NewService(st)
+		svc := c.newDataService(i, st)
 		c.DataStores = append(c.DataStores, st)
 		c.DataServices = append(c.DataServices, svc)
 		c.dataHosts = append(c.dataHosts, dataHost(i))
@@ -296,7 +326,46 @@ func Launch(cfg Config) (*Cluster, error) {
 	if cfg.HeartbeatInterval > 0 {
 		c.startHeartbeats()
 	}
+	if cfg.RepairInterval > 0 {
+		go c.repairLoop()
+	}
 	return c, nil
+}
+
+// repairLoop periodically runs the replica repair agent over every blob
+// the version manager knows, so redundancy degraded by provider crashes
+// or disk loss converges back to full without client involvement.
+func (c *Cluster) repairLoop() {
+	t := time.NewTicker(c.cfg.RepairInterval)
+	defer t.Stop()
+	var client *core.Client
+	var agent *repair.Repairer
+	defer func() {
+		if client != nil {
+			client.Close()
+		}
+	}()
+	timeout := 4 * c.cfg.RepairInterval
+	if timeout < 30*time.Second {
+		timeout = 30 * time.Second
+	}
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-t.C:
+			if agent == nil {
+				cl, err := core.NewClient(context.Background(), c.ClientOptions("repair-agent"))
+				if err != nil {
+					continue // managers not reachable yet; retry next tick
+				}
+				client, agent = cl, repair.New(cl)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			_, _ = agent.RepairAll(ctx, c.VM.Blobs())
+			cancel()
+		}
+	}
 }
 
 // startHeartbeats runs one reporting loop per data provider.
@@ -379,7 +448,22 @@ func (c *Cluster) TotalMetaNodes() int {
 // this is where durability matters — a RAM provider comes back empty),
 // and a fresh store is opened over the same data directory and served at
 // the same address, so placements recorded in the metadata remain valid.
+// The fresh service starts with zeroed repair counters: post-restart
+// stats report only the new incarnation's repair work.
 func (c *Cluster) RestartDataProvider(i int) error {
+	return c.restartDataProvider(i, false)
+}
+
+// WipeDataProvider restarts data provider i with its data directory
+// destroyed first — the total-disk-loss scenario the repair protocol
+// exists for. The provider comes back empty at the same address; the
+// repair agent (or read-repair) must restore its replicas. For a
+// RAM-only provider this is identical to RestartDataProvider.
+func (c *Cluster) WipeDataProvider(i int) error {
+	return c.restartDataProvider(i, true)
+}
+
+func (c *Cluster) restartDataProvider(i int, wipe bool) error {
 	if i < 0 || i >= len(c.DataStores) {
 		return fmt.Errorf("cluster: no data provider %d", i)
 	}
@@ -392,11 +476,17 @@ func (c *Cluster) RestartDataProvider(i int) error {
 			return fmt.Errorf("cluster: close provider %d store: %w", i, err)
 		}
 	}
+	if wipe && c.cfg.DataDir != "" {
+		dir := filepath.Join(c.cfg.DataDir, fmt.Sprintf("provider-%d", i))
+		if err := os.RemoveAll(dir); err != nil {
+			return fmt.Errorf("cluster: wipe provider %d data dir: %w", i, err)
+		}
+	}
 	st, err := c.newDataStore(i)
 	if err != nil {
 		return fmt.Errorf("cluster: reopen provider %d store: %w", i, err)
 	}
-	svc := provider.NewService(st)
+	svc := c.newDataService(i, st)
 	srv := rpc.NewServer()
 	svc.RegisterHandlers(srv)
 	l, err := c.fab.Host(c.dataHosts[i]).Listen("data")
@@ -424,13 +514,14 @@ func (c *Cluster) Shutdown() {
 	if c.VM != nil {
 		c.VM.Close()
 	}
-	for _, p := range c.pools {
-		p.Close()
-	}
 	c.svcMu.RLock()
+	pools := append([]*rpc.Pool(nil), c.pools...)
 	servers := append([]*rpc.Server(nil), c.servers...)
 	stores := append([]provider.PageStore(nil), c.DataStores...)
 	c.svcMu.RUnlock()
+	for _, p := range pools {
+		p.Close()
+	}
 	for _, s := range servers {
 		s.Close()
 	}

@@ -23,6 +23,7 @@ import (
 	"blob/internal/meta"
 	"blob/internal/mstore"
 	"blob/internal/pmanager"
+	"blob/internal/provider"
 	"blob/internal/rpc"
 	"blob/internal/stats"
 	"blob/internal/vmanager"
@@ -76,6 +77,19 @@ type Client struct {
 	provMu    sync.RWMutex
 	providers map[uint32]string
 
+	// Bloom-hinted replica routing (docs/replication.md §6): per-provider
+	// holdings digests fetched after a definite page miss. A fresh digest
+	// lets later fetches skip replicas that definitely lack a page before
+	// paying the RPC round trip; entries expire after digestTTL so a
+	// repaired provider is probed again.
+	digestMu sync.RWMutex
+	digests  map[uint32]digestEntry
+
+	// repairSem bounds concurrent background read-repair pushes; when it
+	// is saturated further repairs are dropped (the repair agent or a
+	// later read retries them).
+	repairSem chan struct{}
+
 	// Metrics for the experiment harness.
 	Writes        stats.Counter
 	Reads         stats.Counter
@@ -85,6 +99,26 @@ type Client struct {
 	ReadLatency   stats.Histogram
 	MetaReadTime  stats.Histogram
 	MetaWriteTime stats.Histogram
+	// ReadRepairs counts page replicas this client re-pushed to degraded
+	// providers after a read served them from a healthy replica;
+	// BloomSkips counts replica probes avoided by digest routing.
+	ReadRepairs stats.Counter
+	BloomSkips  stats.Counter
+}
+
+// digestTTL bounds how long a fetched provider digest steers replica
+// routing. Short enough that a provider healed behind the client's back
+// is probed again promptly; long enough to keep a dead replica from
+// being re-probed on every page of a large read.
+const digestTTL = 5 * time.Second
+
+// digestEntry caches one provider's MListWrites digest. ok records
+// whether the provider produced a digest at all — a provider that
+// cannot summarize its holdings is never skipped.
+type digestEntry struct {
+	d  provider.Digest
+	ok bool
+	at time.Time
 }
 
 // NewClient connects to a deployment.
@@ -112,6 +146,8 @@ func NewClient(ctx context.Context, opts Options) (*Client, error) {
 		vm:        vmanager.NewClient(pool, opts.VManagerAddr),
 		ms:        ms,
 		providers: make(map[uint32]string),
+		digests:   make(map[uint32]digestEntry),
+		repairSem: make(chan struct{}, 4),
 	}
 	if err := c.refreshProviders(ctx); err != nil {
 		pool.Close()

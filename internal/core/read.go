@@ -98,11 +98,19 @@ func (b *Blob) ReadMeta(ctx context.Context, offset, length uint64, v meta.Versi
 }
 
 // fetchPages downloads every non-zero leaf's page into buf, zero-filling
-// zero pages, with replica failover and checksum verification.
+// zero pages, with replica failover, checksum verification, bloom-hinted
+// replica routing and read-repair (docs/replication.md §6): a replica
+// whose cached digest definitely lacks a page is skipped without an RPC,
+// a definite miss refreshes that replica's digest, and a page a later
+// replica serves is re-pushed in the background to every replica that
+// missed it, restoring redundancy as a side effect of reading.
 func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, leaves []mstore.PageLeaf) error {
 	type item struct {
 		leaf mstore.PageLeaf
 		dst  []byte
+		// missed collects providers that definitively lacked the page
+		// (absent response or digest-ruled-out) — the read-repair targets.
+		missed []uint32
 	}
 	remaining := make([]item, 0, len(leaves))
 	for _, l := range leaves {
@@ -114,6 +122,8 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 		remaining = append(remaining, item{leaf: l, dst: dst})
 	}
 
+	var repairs []readRepair
+
 	// Replica tiers: try everyone's first replica in one parallel wave,
 	// then the second replica for whatever failed, and so on. A page
 	// whose replica list is exhausted is unrecoverable.
@@ -123,6 +133,7 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 			items []item
 		}
 		groups := make(map[uint32]*group)
+		var next []item
 		for _, it := range remaining {
 			provs := it.leaf.Leaf.Providers
 			if tier >= len(provs) {
@@ -130,6 +141,18 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 					ErrPageUnavailable, it.leaf.Page, it.leaf.Leaf.Write, len(provs))
 			}
 			id := provs[tier]
+			// Bloom routing: skip a replica whose fresh digest rules the
+			// page out — but never the last one, so a stale digest can
+			// cost extra hops yet never fail a read by itself.
+			if tier < len(provs)-1 {
+				if d, ok := b.c.cachedDigest(id); ok &&
+					!d.MightContain(b.id, it.leaf.Leaf.Write, it.leaf.Leaf.RelPage) {
+					b.c.BloomSkips.Inc()
+					it.missed = append(it.missed, id)
+					next = append(next, it)
+					continue
+				}
+			}
 			g := groups[id]
 			if g == nil {
 				g = &group{}
@@ -143,7 +166,7 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 
 		pend := make([]*rpc.Pending, 0, len(groups))
 		gs := make([]*group, 0, len(groups))
-		var next []item
+		ids := make([]uint32, 0, len(groups))
 		for id, g := range groups {
 			addr, err := b.c.providerAddr(ctx, id)
 			if err != nil {
@@ -153,7 +176,12 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 			}
 			pend = append(pend, b.c.pool.Go(addr, provider.MGetPages, provider.EncodeGetPages(g.refs)))
 			gs = append(gs, g)
+			ids = append(ids, id)
 		}
+		// missedWrites gathers, per definitively-missing provider, the
+		// writes probed there — the digest refresh below scopes its
+		// MListWrites to them.
+		missedWrites := make(map[uint32][]uint64)
 		for i, p := range pend {
 			resp, err := p.Wait(ctx)
 			if err != nil {
@@ -169,15 +197,42 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 			}
 			for j, data := range datas {
 				it := gs[i].items[j]
-				if data == nil || uint64(len(data)) != b.pageSize ||
+				if data == nil {
+					// Definite miss: the provider answered and lacks the
+					// page — a read-repair target.
+					it.missed = append(it.missed, ids[i])
+					missedWrites[ids[i]] = append(missedWrites[ids[i]], it.leaf.Leaf.Write)
+					next = append(next, it)
+					continue
+				}
+				if uint64(len(data)) != b.pageSize ||
 					wire.Checksum64(data) != it.leaf.Leaf.Checksum {
-					next = append(next, it) // missing or corrupt: other replica
+					// Corrupt copy: fail over, but don't re-push — the
+					// provider holds a (bad) record and first-wins puts
+					// would not replace it.
+					next = append(next, it)
 					continue
 				}
 				copy(it.dst, data)
+				if len(it.missed) > 0 {
+					repairs = append(repairs, readRepair{
+						write:     it.leaf.Leaf.Write,
+						rel:       it.leaf.Leaf.RelPage,
+						data:      append([]byte(nil), data...),
+						providers: it.missed,
+					})
+				}
 			}
 		}
+		// Refresh the digests of providers that just missed, so the rest
+		// of this failover (and the next digestTTL of reads) skips them
+		// without paying their round trip again.
+		b.c.refreshDigests(ctx, b.id, missedWrites)
 		remaining = next
+	}
+
+	if len(repairs) > 0 {
+		b.c.scheduleReadRepair(b.id, repairs)
 	}
 	return nil
 }

@@ -45,6 +45,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"blob/internal/throttle"
+	"blob/internal/wire"
 )
 
 // Options configures a Store.
@@ -133,8 +136,8 @@ type Store struct {
 	segsReplayed   int64 // segments that took the replay path
 	sidecarsLoaded int64 // segments absorbed from their sidecar
 
-	throttle     *tokenBucket // nil when CompactRateBytes == 0
-	throttleWait atomic.Int64 // nanoseconds the compactor slept throttled
+	compactTB    *throttle.TokenBucket // nil when CompactRateBytes == 0
+	throttleWait atomic.Int64          // nanoseconds the compactor slept throttled
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -202,7 +205,7 @@ func Open(opts Options) (*Store, error) {
 		stop:    make(chan struct{}),
 	}
 	if opts.CompactRateBytes > 0 {
-		s.throttle = newTokenBucket(opts.CompactRateBytes)
+		s.compactTB = throttle.New(opts.CompactRateBytes)
 	}
 	ids, err := listSegmentIDs(opts.Dir)
 	if err != nil {
@@ -340,9 +343,9 @@ func (s *Store) writeSidecarFor(seg *segment) {
 	}
 	seg.idx = nil // sealed: no further records; entries move to the file
 	sc.dataSize = seg.size
-	sc.bloom = newBloom(len(sc.puts))
+	sc.bloom = wire.NewBloom(len(sc.puts))
 	for _, p := range sc.puts {
-		sc.bloom.add(p.blob, p.write, p.rel)
+		sc.bloom.Add(p.blob, p.write, p.rel)
 	}
 	seg.bloom = sc.bloom // valid regardless of the file write's fate
 	data := sc.encode()
@@ -765,7 +768,7 @@ func (s *Store) MightContain(blob, write uint64, rel uint32) bool {
 			}
 			continue
 		}
-		if seg.bloom.mightContain(blob, write, rel) {
+		if seg.bloom.MightContain(blob, write, rel) {
 			return true
 		}
 	}
@@ -774,6 +777,73 @@ func (s *Store) MightContain(blob, write uint64, rel uint32) bool {
 		return ok
 	}
 	return false
+}
+
+// BloomDigest exports the store's holdings summary for the repair
+// protocol (docs/replication.md): one bloom filter per segment —
+// verbatim the filters the index sidecars maintain for sealed segments,
+// and a filter built from the active segment's in-memory sidecar
+// accumulator. The union is conservative the same way MightContain is:
+// a key answering false on every filter is definitely not held live; a
+// key answering true may be live, dead-but-unreclaimed, or a false
+// positive. The returned filters are shared immutable snapshots; callers
+// must not mutate them.
+func (s *Store) BloomDigest() []*wire.Bloom {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil
+	}
+	var out []*wire.Bloom
+	covered := true
+	for _, seg := range s.segs {
+		switch {
+		case seg.bloom != nil:
+			out = append(out, seg.bloom)
+		case seg.idx != nil:
+			b := wire.NewBloom(len(seg.idx.puts))
+			for _, p := range seg.idx.puts {
+				b.Add(p.blob, p.write, p.rel)
+			}
+			out = append(out, b)
+		case seg.size > 0:
+			covered = false
+		}
+	}
+	if !covered {
+		// A non-empty segment with neither filter nor accumulator has no
+		// per-segment summary; cover the whole live index instead so the
+		// digest never yields a false negative.
+		b := wire.NewBloom(int(s.pageCount))
+		for k, wm := range s.index {
+			for rel := range wm {
+				b.Add(k.blob, k.write, rel)
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// ForEachWrite visits every (blob, write) holding at least one live page
+// together with its live page count. Unlike ForEachPage this touches
+// only the in-memory index — no segment data is read — so it is cheap
+// enough for the repair protocol's holdings enumeration. Iteration order
+// is unspecified.
+func (s *Store) ForEachWrite(fn func(blob, write uint64, pages int)) {
+	type entry struct {
+		blob, write uint64
+		pages       int
+	}
+	s.mu.RLock()
+	entries := make([]entry, 0, len(s.index))
+	for k, wm := range s.index {
+		entries = append(entries, entry{k.blob, k.write, len(wm)})
+	}
+	s.mu.RUnlock()
+	for _, e := range entries {
+		fn(e.blob, e.write, e.pages)
+	}
 }
 
 // Stats returns a usage snapshot.

@@ -77,7 +77,7 @@ type sidecar struct {
 	puts      []sidecarPut
 	delPages  []sidecarDelPages
 	delWrites []sidecarDelWrite
-	bloom     *bloomFilter
+	bloom     *wire.Bloom
 }
 
 // encode returns the sidecar's file bytes: fixed-width little-endian
@@ -111,7 +111,7 @@ func (sc *sidecar) encode() []byte {
 		w.Uint64(d.write)
 		w.Uint64(d.seq)
 	}
-	sc.bloom.encode(w)
+	sc.bloom.Encode(w)
 	w.Uint64(wire.Checksum64(w.Bytes()))
 	return w.Bytes()
 }
@@ -171,7 +171,7 @@ func decodeSidecar(buf []byte) (*sidecar, error) {
 			blob: r.Uint64(), write: r.Uint64(), seq: r.Uint64(),
 		}
 	}
-	sc.bloom = decodeBloom(r)
+	sc.bloom = wire.DecodeBloom(r)
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("%w: sidecar body: %v", ErrCorrupt, err)
 	}

@@ -6,7 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-	"time"
+
+	"blob/internal/wire"
 )
 
 // fillSealed writes enough pages (with some cross-segment deletes) to
@@ -263,7 +264,7 @@ func TestCompactionRemovesSidecar(t *testing.T) {
 // with a future segment that reuses the id.
 func TestOrphanSidecarRemovedAtOpen(t *testing.T) {
 	dir := t.TempDir()
-	sc := &sidecar{id: 9, dataSize: 0, bloom: newBloom(0)}
+	sc := &sidecar{id: 9, dataSize: 0, bloom: wire.NewBloom(0)}
 	if err := writeSidecarFile(dir, sc); err != nil {
 		t.Fatal(err)
 	}
@@ -293,10 +294,10 @@ func TestSidecarRoundTrip(t *testing.T) {
 		},
 		delPages:  []sidecarDelPages{{blob: 1, write: 9, rel: 0, seq: 12}},
 		delWrites: []sidecarDelWrite{{blob: 2, write: 1, seq: 13}},
-		bloom:     newBloom(2),
+		bloom:     wire.NewBloom(2),
 	}
-	sc.bloom.add(1, 2, 3)
-	sc.bloom.add(1, 2, 4)
+	sc.bloom.Add(1, 2, 3)
+	sc.bloom.Add(1, 2, 4)
 	buf := sc.encode()
 	got, err := decodeSidecar(buf)
 	if err != nil {
@@ -308,7 +309,7 @@ func TestSidecarRoundTrip(t *testing.T) {
 		len(got.delWrites) != 1 || got.delWrites[0] != sc.delWrites[0] {
 		t.Errorf("round trip mismatch: %+v", got)
 	}
-	if !got.bloom.mightContain(1, 2, 3) {
+	if !got.bloom.MightContain(1, 2, 3) {
 		t.Error("bloom lost an entry in the round trip")
 	}
 	for _, mutate := range []func([]byte) []byte{
@@ -328,7 +329,7 @@ func TestSidecarRoundTrip(t *testing.T) {
 	evil := &sidecar{
 		id: 4, dataSize: 4096,
 		puts:  []sidecarPut{{blob: 1, write: 2, rel: 3, seq: 10, off: 1 << 62, size: 1 << 62}},
-		bloom: newBloom(1),
+		bloom: wire.NewBloom(1),
 	}
 	if _, err := decodeSidecar(evil.encode()); err == nil {
 		t.Error("overflowing put entry accepted")
@@ -339,18 +340,18 @@ func TestSidecarRoundTrip(t *testing.T) {
 // at the configured 10 bits/entry.
 func TestBloomFilter(t *testing.T) {
 	const n = 2000
-	b := newBloom(n)
+	b := wire.NewBloom(n)
 	for i := 0; i < n; i++ {
-		b.add(uint64(i), uint64(i*31), uint32(i%7))
+		b.Add(uint64(i), uint64(i*31), uint32(i%7))
 	}
 	for i := 0; i < n; i++ {
-		if !b.mightContain(uint64(i), uint64(i*31), uint32(i%7)) {
+		if !b.MightContain(uint64(i), uint64(i*31), uint32(i%7)) {
 			t.Fatalf("false negative for entry %d", i)
 		}
 	}
 	fp := 0
 	for i := 0; i < n; i++ {
-		if b.mightContain(uint64(i+1000000), uint64(i), uint32(i%5)) {
+		if b.MightContain(uint64(i+1000000), uint64(i), uint32(i%5)) {
 			fp++
 		}
 	}
@@ -382,41 +383,15 @@ func TestMightContain(t *testing.T) {
 	}
 }
 
-// TestTokenBucket drives the bucket with a fake clock: a full bucket
-// absorbs a burst, debt is repaid at the configured rate, and refill
-// caps at the burst size.
-func TestTokenBucket(t *testing.T) {
-	now := time.Unix(0, 0)
-	b := newTokenBucket(1000) // 1000 bytes/sec, 1000 burst
-	b.now = func() time.Time { return now }
-	b.tokens, b.last = b.burst, now
-
-	if d := b.reserve(1000); d != 0 {
-		t.Errorf("burst-covered reserve waits %v", d)
-	}
-	// Bucket empty: 500 more bytes cost 0.5s of debt.
-	if d := b.reserve(500); d != 500*time.Millisecond {
-		t.Errorf("debt wait = %v, want 500ms", d)
-	}
-	// After 2s the debt is repaid and 1000 tokens (cap) are banked —
-	// not 2000-500.
-	now = now.Add(2 * time.Second)
-	if d := b.reserve(1500); d != 500*time.Millisecond {
-		t.Errorf("capped refill wait = %v, want 500ms", d)
-	}
-}
-
 // TestCompactThrottleCharges asserts a throttled compaction still
 // completes correctly and accounts its sleeps. The bucket is reconfigured
 // to a tiny burst with a fast refill so waits are recorded without
-// slowing the test down.
+// slowing the test down. (The bucket itself is unit-tested in
+// internal/throttle.)
 func TestCompactThrottleCharges(t *testing.T) {
 	dir := t.TempDir()
 	s := openTest(t, dir, Options{SegmentSize: 512, CompactRateBytes: 64 << 20})
-	s.throttle.mu.Lock()
-	s.throttle.burst = 1
-	s.throttle.tokens = 0
-	s.throttle.mu.Unlock()
+	s.compactTB.SetBurst(1)
 	want := fillSealed(t, s)
 	for {
 		again, err := s.CompactOnce()

@@ -1,6 +1,8 @@
 package diskstore
 
 import (
+	"blob/internal/wire"
+
 	"fmt"
 	"os"
 	"path/filepath"
@@ -26,7 +28,7 @@ type segment struct {
 	// segment is sealed (sidecar written) or its sidecar is loaded; nil
 	// for the active segment and for sealed segments whose sidecar write
 	// failed. Immutable once set — sealed segments never gain records.
-	bloom *bloomFilter
+	bloom *wire.Bloom
 
 	// idx accumulates the segment's sidecar entries as records are
 	// appended (or replayed at open), so sealing writes the sidecar from

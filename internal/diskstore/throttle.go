@@ -1,62 +1,17 @@
 package diskstore
 
-import (
-	"sync"
-	"time"
-)
-
-// tokenBucket meters the compactor's I/O. Tokens are bytes; they refill
-// continuously at rate per second up to burst. reserve always succeeds
-// immediately and may drive the balance negative (a compactor read can
-// exceed the burst), returning how long the caller must sleep before
-// doing more I/O — the debt-repayment model keeps accounting exact even
-// when charges arrive after the I/O they cover (record rewrites are
-// post-paid so the sleep happens outside the store's writer lock).
-type tokenBucket struct {
-	mu     sync.Mutex
-	rate   float64 // tokens (bytes) per second
-	burst  float64
-	tokens float64
-	last   time.Time
-	now    func() time.Time // test hook
-}
-
-// newTokenBucket creates a bucket refilling rate bytes/sec with one
-// second of burst, starting full.
-func newTokenBucket(rate int64) *tokenBucket {
-	b := &tokenBucket{rate: float64(rate), burst: float64(rate), now: time.Now}
-	b.tokens = b.burst
-	b.last = b.now()
-	return b
-}
-
-// reserve consumes n tokens and returns how long the caller must wait
-// for the balance to return to zero (0 when the bucket covers n).
-func (b *tokenBucket) reserve(n int64) time.Duration {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	now := b.now()
-	b.tokens += now.Sub(b.last).Seconds() * b.rate
-	if b.tokens > b.burst {
-		b.tokens = b.burst
-	}
-	b.last = now
-	b.tokens -= float64(n)
-	if b.tokens >= 0 {
-		return 0
-	}
-	return time.Duration(-b.tokens / b.rate * float64(time.Second))
-}
+import "time"
 
 // compactThrottle charges n bytes of compaction I/O against the
-// CompactRateBytes budget, sleeping off any debt. It returns ErrClosed
-// if the store closes during the wait so a throttled compaction never
-// delays shutdown. Must not be called with the store lock held.
+// CompactRateBytes budget (a shared throttle.TokenBucket), sleeping off
+// any debt. It returns ErrClosed if the store closes during the wait so
+// a throttled compaction never delays shutdown. Must not be called with
+// the store lock held.
 func (s *Store) compactThrottle(n int64) error {
-	if s.throttle == nil || n <= 0 {
+	if s.compactTB == nil || n <= 0 {
 		return nil
 	}
-	d := s.throttle.reserve(n)
+	d := s.compactTB.Reserve(n)
 	if d <= 0 {
 		return nil
 	}

@@ -194,6 +194,33 @@ func (c *CachedStore) Snapshot() Stats {
 	return st
 }
 
+// BloomDigest implements the optional BloomSummary capability by
+// delegating to the authoritative backend (the cache holds a subset of
+// it, so the backend's digest covers every cached page too).
+func (c *CachedStore) BloomDigest() (Digest, bool) {
+	if bs, ok := c.inner.(BloomSummary); ok {
+		return bs.BloomDigest()
+	}
+	return Digest{}, false
+}
+
+// ForEachWrite implements the optional WriteLister capability by
+// delegating to the authoritative backend when it has the capability;
+// otherwise it falls back to a (data-reading) page walk.
+func (c *CachedStore) ForEachWrite(fn func(blob, write uint64, pages int)) {
+	if wl, ok := c.inner.(WriteLister); ok {
+		wl.ForEachWrite(fn)
+		return
+	}
+	counts := make(map[writeKey]int)
+	c.inner.ForEachPage(func(blob, write uint64, _ uint32, _ []byte) {
+		counts[writeKey{blob, write}]++
+	})
+	for k, n := range counts {
+		fn(k.blob, k.write, n)
+	}
+}
+
 // Close closes the backend if it is closeable.
 func (c *CachedStore) Close() error {
 	if cl, ok := c.inner.(io.Closer); ok {

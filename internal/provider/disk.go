@@ -108,6 +108,19 @@ func (d *DiskStore) Snapshot() Stats {
 	}
 }
 
+// BloomDigest implements the optional BloomSummary capability with the
+// per-segment filters the diskstore's index sidecars already maintain —
+// no page data is read and no filter is rebuilt.
+func (d *DiskStore) BloomDigest() (Digest, bool) {
+	return Digest{Filters: d.ds.BloomDigest()}, true
+}
+
+// ForEachWrite implements the optional WriteLister capability from the
+// diskstore's in-memory index; no segment data is read.
+func (d *DiskStore) ForEachWrite(fn func(blob, write uint64, pages int)) {
+	d.ds.ForEachWrite(fn)
+}
+
 // CompactOnce exposes the underlying compactor for operational tooling
 // and tests; background compaction is configured through
 // diskstore.Options.CompactEvery.

@@ -31,6 +31,10 @@ const (
 	MDeleteWrite = 0x0303
 	MStats       = 0x0304
 	MDeletePages = 0x0305
+	// Repair protocol (docs/replication.md): enumerate holdings with a
+	// bloom digest; pull missing pages from a named healthy peer.
+	MListWrites = 0x0306
+	MPullPages  = 0x0307
 )
 
 // ErrFull is returned when a put would exceed the provider's capacity.
@@ -238,6 +242,51 @@ func (s *Store) ForEachPage(fn func(blob, write uint64, rel uint32, data []byte)
 	}
 }
 
+// BloomDigest implements the optional BloomSummary capability: one
+// filter built over the live index. Unlike the diskstore's per-segment
+// filters this is computed per call; the shard walk touches keys only,
+// never page data. Pages put concurrently with the walk may be missing
+// from the digest — consumers must treat a digest as a point-in-time
+// snapshot (docs/replication.md §3).
+func (s *Store) BloomDigest() (Digest, bool) {
+	b := wire.NewBloom(int(s.PageCount.Value()))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, wm := range sh.m {
+			for rel := range wm {
+				b.Add(k.blob, k.write, rel)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if s.PageCount.Value() == 0 {
+		return Digest{}, true // empty store: zero filters, holds nothing
+	}
+	return Digest{Filters: []*wire.Bloom{b}}, true
+}
+
+// ForEachWrite implements the optional WriteLister capability without
+// touching page data. Iteration order is unspecified.
+func (s *Store) ForEachWrite(fn func(blob, write uint64, pages int)) {
+	type entry struct {
+		k     writeKey
+		pages int
+	}
+	var entries []entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, wm := range sh.m {
+			entries = append(entries, entry{k, len(wm)})
+		}
+		sh.mu.RUnlock()
+	}
+	for _, e := range entries {
+		fn(e.k.blob, e.k.write, e.pages)
+	}
+}
+
 // Stats is the load/usage snapshot served over MStats and piggybacked on
 // heartbeats to the provider manager. The disk and cache fields are zero
 // for backends without the corresponding tier.
@@ -270,6 +319,17 @@ type Stats struct {
 	// reads served from it.
 	CacheBytes int64
 	CacheHits  int64
+
+	// Repair tier (docs/replication.md): pages this provider pulled from
+	// peers over MPullPages since its service started, the page payload
+	// bytes transferred for them, and lookups the provider resolved from
+	// its bloom digest / local index instead of transferring data (pull
+	// candidates it already held). Counters belong to the running
+	// service: a restarted provider reports only its own repair work,
+	// never its predecessor's.
+	RepairedPages int64
+	RepairBytes   int64
+	BloomSkips    int64
 }
 
 // LiveRatio is the fraction of on-disk bytes still live (1 when the

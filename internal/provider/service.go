@@ -6,6 +6,7 @@ import (
 
 	"blob/internal/rpc"
 	"blob/internal/stats"
+	"blob/internal/throttle"
 	"blob/internal/wire"
 )
 
@@ -19,6 +20,17 @@ type Service struct {
 	// ActiveOps counts RPCs in flight, merged into Snapshot for the
 	// provider manager's load-based placement.
 	ActiveOps stats.Gauge
+
+	// Repair plumbing (EnableRepair): peers dials other providers for
+	// MPullPages, pullTB throttles pulled page bytes. Repair counters
+	// are owned here, not by the store, so a restarted provider reports
+	// only its own repair work (a fresh Service starts from zero).
+	peers  Caller
+	pullTB *throttle.TokenBucket
+
+	repairedPages stats.Counter
+	repairBytes   stats.Counter
+	bloomSkips    stats.Counter
 }
 
 // NewService creates a Service serving ps.
@@ -32,6 +44,9 @@ func (sv *Service) Store() PageStore { return sv.store }
 func (sv *Service) Snapshot() Stats {
 	st := sv.store.Snapshot()
 	st.ActiveOps = sv.ActiveOps.Value()
+	st.RepairedPages = sv.repairedPages.Value()
+	st.RepairBytes = sv.repairBytes.Value()
+	st.BloomSkips = sv.bloomSkips.Value()
 	return st
 }
 
@@ -42,6 +57,8 @@ func (sv *Service) RegisterHandlers(srv *rpc.Server) {
 	srv.Handle(MDeleteWrite, sv.handleDeleteWrite)
 	srv.Handle(MDeletePages, sv.handleDeletePages)
 	srv.Handle(MStats, sv.handleStats)
+	srv.Handle(MListWrites, sv.handleListWrites)
+	srv.Handle(MPullPages, sv.handlePullPages)
 }
 
 // Wire formats.
@@ -141,6 +158,9 @@ func (sv *Service) handleStats(_ context.Context, _ []byte) ([]byte, error) {
 	w.Varint(st.SidecarBytes)
 	w.Varint(st.SegmentsReplayed)
 	w.Varint(st.SidecarsLoaded)
+	w.Varint(st.RepairedPages)
+	w.Varint(st.RepairBytes)
+	w.Varint(st.BloomSkips)
 	return w.Bytes(), nil
 }
 
@@ -165,6 +185,10 @@ func DecodeStats(body []byte) (Stats, error) {
 		SidecarBytes:     r.Varint(),
 		SegmentsReplayed: r.Varint(),
 		SidecarsLoaded:   r.Varint(),
+
+		RepairedPages: r.Varint(),
+		RepairBytes:   r.Varint(),
+		BloomSkips:    r.Varint(),
 	}
 	return st, r.Err()
 }

@@ -1,0 +1,44 @@
+package throttle
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucket drives the bucket with a fake clock: a full bucket
+// absorbs a burst, debt is repaid at the configured rate, and refill
+// caps at the burst size.
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := New(1000) // 1000 bytes/sec, 1000 burst
+	b.SetClock(func() time.Time { return now })
+
+	if d := b.Reserve(1000); d != 0 {
+		t.Errorf("burst-covered reserve waits %v", d)
+	}
+	// Bucket empty: 500 more bytes cost 0.5s of debt.
+	if d := b.Reserve(500); d != 500*time.Millisecond {
+		t.Errorf("debt wait = %v, want 500ms", d)
+	}
+	// After 2s the debt is repaid and 1000 tokens (cap) are banked —
+	// not 2000-500.
+	now = now.Add(2 * time.Second)
+	if d := b.Reserve(1500); d != 500*time.Millisecond {
+		t.Errorf("capped refill wait = %v, want 500ms", d)
+	}
+}
+
+// TestWaitStops pins that a stop channel cuts a debt sleep short.
+func TestWaitStops(t *testing.T) {
+	b := New(1) // 1 byte/sec: any charge creates a long debt
+	b.SetBurst(0)
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	if b.Wait(1<<20, stop) {
+		t.Error("Wait ignored a closed stop channel")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Wait slept through the stop signal")
+	}
+}

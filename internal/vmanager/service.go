@@ -19,6 +19,7 @@ const (
 	MLatest      = 0x0506
 	MVersionInfo = 0x0507
 	MHistory     = 0x0508
+	MBlobs       = 0x0509
 )
 
 // RegisterHandlers wires the manager's RPC methods onto srv.
@@ -31,6 +32,15 @@ func (m *Manager) RegisterHandlers(srv *rpc.Server) {
 	srv.Handle(MLatest, m.handleLatest)
 	srv.Handle(MVersionInfo, m.handleVersionInfo)
 	srv.Handle(MHistory, m.handleHistory)
+	srv.Handle(MBlobs, m.handleBlobs)
+}
+
+// handleBlobs serves the blob ID list (the repair agent's work list).
+func (m *Manager) handleBlobs(_ context.Context, _ []byte) ([]byte, error) {
+	ids := m.Blobs()
+	w := wire.NewWriter(8 + 8*len(ids))
+	w.Uint64Slice(ids)
+	return w.Bytes(), nil
 }
 
 func (m *Manager) handleCreate(_ context.Context, body []byte) ([]byte, error) {
@@ -325,6 +335,18 @@ func (c *Client) VersionInfo(ctx context.Context, blob uint64, v meta.Version) (
 	published = r.Bool()
 	size = r.Uint64()
 	return published, size, r.Err()
+}
+
+// Blobs lists every blob ID the manager knows — the work list of the
+// replica repair agent (and diagnostics).
+func (c *Client) Blobs(ctx context.Context) ([]uint64, error) {
+	resp, err := c.pool.Call(ctx, c.addr, MBlobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	ids := r.Uint64Slice()
+	return ids, r.Err()
 }
 
 // History fetches write records for versions in (from, to].

@@ -1,0 +1,99 @@
+package wire
+
+// Bloom is the fixed-size bloom filter over page keys shared by the
+// diskstore's index sidecars and the repair protocol's holdings digests
+// (docs/diskstore-format.md §4, docs/replication.md §3). Both exchange
+// the same wire form, so a sealed segment's filter can be served to a
+// remote peer verbatim. False positives are possible; false negatives
+// are not: MightContain returning false is a definitive "this key was
+// never added".
+//
+// Sizing: BloomBitsPerEntry bits per expected entry with BloomHashes
+// probe positions gives a false-positive rate under 1%. Probe positions
+// use double hashing over the page key's dispersal hash (HashFields);
+// the stride is forced odd so it is coprime with the power-of-two bit
+// count and never degenerates to a single position.
+
+// Bloom filter sizing parameters (see docs/diskstore-format.md §4).
+const (
+	BloomBitsPerEntry = 10
+	BloomHashes       = 7
+)
+
+// Bloom is a bloom filter over (blob, write, rel) page keys.
+type Bloom struct {
+	k    uint32
+	bits []uint64
+}
+
+// NewBloom sizes a filter for n expected entries.
+func NewBloom(n int) *Bloom {
+	words := (n*BloomBitsPerEntry + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	return &Bloom{k: BloomHashes, bits: make([]uint64, words)}
+}
+
+// hashPageKey derives the two double-hashing bases for one page key.
+func hashPageKey(blob, write uint64, rel uint32) (h1, h2 uint64) {
+	h1 = HashFields(blob, write, uint64(rel))
+	h2 = Mix64(h1) | 1
+	return h1, h2
+}
+
+func (b *Bloom) nbits() uint64 { return uint64(len(b.bits)) * 64 }
+
+// Add records one page key.
+func (b *Bloom) Add(blob, write uint64, rel uint32) {
+	h1, h2 := hashPageKey(blob, write, rel)
+	m := b.nbits()
+	for i := uint64(0); i < uint64(b.k); i++ {
+		bit := (h1 + i*h2) % m
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// MightContain reports whether the key may have been added: false means
+// definitely absent, true means possibly present.
+func (b *Bloom) MightContain(blob, write uint64, rel uint32) bool {
+	h1, h2 := hashPageKey(blob, write, rel)
+	m := b.nbits()
+	for i := uint64(0); i < uint64(b.k); i++ {
+		bit := (h1 + i*h2) % m
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodedLen returns the filter's encoded size in bytes.
+func (b *Bloom) EncodedLen() int { return 8 + 8*len(b.bits) }
+
+// Encode appends the filter's wire form (hash count, word count, words).
+func (b *Bloom) Encode(w *Writer) {
+	w.Uint32(b.k)
+	w.Uint32(uint32(len(b.bits)))
+	for _, word := range b.bits {
+		w.Uint64(word)
+	}
+}
+
+// DecodeBloom reads a filter written by Encode. Structural errors poison
+// the reader and return nil (callers treat that as "no filter").
+func DecodeBloom(r *Reader) *Bloom {
+	k := r.Uint32()
+	words := int(r.Uint32())
+	if r.Err() != nil || k == 0 || words <= 0 || words > r.Remaining()/8+1 {
+		return nil
+	}
+	b := &Bloom{k: k, bits: make([]uint64, words)}
+	for i := range b.bits {
+		b.bits[i] = r.Uint64()
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return b
+}
