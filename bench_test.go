@@ -205,3 +205,18 @@ func metricName(p bench.AblationPoint) string {
 	}
 	return string(out) + "-" + p.Unit
 }
+
+func BenchmarkAblationErasure(b *testing.B) {
+	sc := figScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.AblateErasure(8, 16, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range pts {
+				b.ReportMetric(p.Value, metricName(p))
+			}
+		}
+	}
+}

@@ -173,6 +173,13 @@ func ablations(sc bench.Scale, quick bool) error {
 			}
 			return bench.AblateRepair(prov, w, seg, sc)
 		}},
+		{"erasure coding vs 2x replication (docs/erasure.md)", func() ([]bench.AblationPoint, error) {
+			w := 8
+			if quick {
+				w = 4
+			}
+			return bench.AblateErasure(w, seg, sc)
+		}},
 	}
 	for _, g := range groups {
 		fmt.Printf("-- %s\n", g.name)

@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"blob"
+	"blob/internal/erasure"
 	"blob/internal/provider"
 )
 
@@ -30,10 +31,15 @@ func main() {
 	vmAddr := flag.String("vm", "127.0.0.1:4001", "version manager address")
 	pmAddr := flag.String("pm", "127.0.0.1:4000", "provider manager / metadata directory address")
 	replicas := flag.Int("replicas", 1, "data replication factor for writes")
+	redundancy := flag.String("redundancy", "", `redundancy mode for created blobs: "replicate" or "rs(k,m)" (default: the cluster's advertised mode)`)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|repair|stats [subflags]")
 		os.Exit(2)
+	}
+	red, err := erasure.ParseRedundancy(*redundancy)
+	if err != nil {
+		log.Fatalf("-redundancy: %v", err)
 	}
 
 	ctx := context.Background()
@@ -43,6 +49,7 @@ func main() {
 		PManagerAddr: *pmAddr,
 		MetaDirAddr:  *pmAddr,
 		DataReplicas: *replicas,
+		Redundancy:   red,
 		CacheNodes:   -1,
 	})
 	if err != nil {
@@ -61,7 +68,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("create: %v", err)
 		}
-		fmt.Printf("blob %d created: pagesize %d, capacity %d\n", b.ID(), b.PageSize(), b.CapacityBytes())
+		fmt.Printf("blob %d created: pagesize %d, capacity %d, redundancy %s\n",
+			b.ID(), b.PageSize(), b.CapacityBytes(), b.Redundancy())
 
 	case "write", "append":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -135,8 +143,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("latest: %v", err)
 		}
-		fmt.Printf("blob %d: pagesize %d, capacity %d, latest version %d, size %d bytes\n",
-			b.ID(), b.PageSize(), b.CapacityBytes(), v, size)
+		fmt.Printf("blob %d: pagesize %d, capacity %d, redundancy %s, latest version %d, size %d bytes\n",
+			b.ID(), b.PageSize(), b.CapacityBytes(), b.Redundancy(), v, size)
 
 	case "gc":
 		fs := flag.NewFlagSet("gc", flag.ExitOnError)
@@ -168,9 +176,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("repair: %v", err)
 		}
-		fmt.Printf("checked %d replica slots over %d blob(s): %d degraded, %d repaired (%d bytes pulled, %d already held), %d settled by digests, %d unrepairable\n",
+		fmt.Printf("checked %d replica slots over %d blob(s): %d degraded, %d repaired (%d bytes pulled, %d already held), %d reconstructed (%d bytes pushed, %d survivor bytes read), %d settled by digests, %d unrepairable\n",
 			rep.PagesChecked, len(blobs), rep.PagesMissing, rep.PagesRepaired,
-			rep.BytesPulled, rep.PagesSkipped, rep.BloomSkips, rep.Unrepairable)
+			rep.BytesPulled, rep.PagesSkipped,
+			rep.PagesReconstructed, rep.ReconstructedBytes, rep.SurvivorBytes,
+			rep.BloomSkips, rep.Unrepairable)
 		if !rep.FullyRedundant() {
 			os.Exit(1)
 		}
@@ -180,18 +190,25 @@ func main() {
 		if err != nil {
 			log.Fatalf("list providers: %v", err)
 		}
+		fmt.Printf("cluster redundancy: %s\n", client.ClusterRedundancy())
 		fmt.Printf("%-4s %-22s %10s %12s %12s %12s %8s %6s %10s %9s %10s %5s %8s %10s %7s\n",
 			"id", "addr", "pages", "bytes", "capacity", "disk", "segs", "live%", "cache", "hits", "replayB", "idx",
 			"repairP", "pullB", "bskip")
+		// A provider that cannot be queried fails the command: printing
+		// a zero-value row would read as "provider is empty", which an
+		// operator can mistake for data loss.
+		failed := 0
 		for _, p := range provs {
 			resp, err := client.Pool().Call(ctx, p.Addr, provider.MStats, nil)
 			if err != nil {
-				fmt.Printf("%-4d %-22s unreachable: %v\n", p.ID, p.Addr, err)
+				fmt.Fprintf(os.Stderr, "error: provider %d (%s) unreachable: %v\n", p.ID, p.Addr, err)
+				failed++
 				continue
 			}
 			st, err := provider.DecodeStats(resp)
 			if err != nil {
-				fmt.Printf("%-4d %-22s bad stats response: %v\n", p.ID, p.Addr, err)
+				fmt.Fprintf(os.Stderr, "error: provider %d (%s) returned a bad stats response: %v\n", p.ID, p.Addr, err)
+				failed++
 				continue
 			}
 			fmt.Printf("%-4d %-22s %10d %12d %12d %12d %8d %5.1f%% %10d %9d %10d %5d %8d %10d %7d\n",
@@ -199,6 +216,9 @@ func main() {
 				st.DiskBytes, st.Segments, 100*st.LiveRatio(), st.CacheBytes, st.CacheHits,
 				st.ReplayedBytes, st.SidecarsLoaded,
 				st.RepairedPages, st.RepairBytes, st.BloomSkips)
+		}
+		if failed > 0 {
+			log.Fatalf("stats incomplete: %d of %d providers did not answer", failed, len(provs))
 		}
 
 	default:

@@ -37,6 +37,7 @@ import (
 	"blob/internal/core"
 	"blob/internal/dht"
 	"blob/internal/diskstore"
+	"blob/internal/erasure"
 	"blob/internal/mstore"
 	"blob/internal/pmanager"
 	"blob/internal/provider"
@@ -64,6 +65,7 @@ func main() {
 		vmAddr     = flag.String("vm", "", "version manager address (repairer role)")
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "data provider heartbeat interval")
 		strategy   = flag.String("strategy", "round-robin", "placement strategy: round-robin|least-loaded|power-of-two")
+		redundancy = flag.String("redundancy", "replicate", `advertised redundancy mode: "replicate" or "rs(k,m)" (pmanager role; clients adopt it for new blobs)`)
 		checkpoint = flag.String("checkpoint", "", "version manager checkpoint file (loaded on start, saved periodically and on shutdown)")
 		ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint interval")
 	)
@@ -79,15 +81,25 @@ func main() {
 		adv = *listen
 	}
 
+	red, err := erasure.ParseRedundancy(*redundancy)
+	if err != nil {
+		log.Fatalf("-redundancy: %v", err)
+	}
+
 	srv := rpc.NewServer()
 	pool := rpc.NewPool(rpc.TCP{})
 	defer pool.Close()
 	ctx := context.Background()
 
 	var vm *vmanager.Manager
+	var pm *pmanager.Manager
 	var dataSvc *provider.Service
 	var dataStore provider.PageStore
 	var providerID uint32
+	// repairNow wakes a co-hosted repairer role ahead of its sweep timer
+	// when the co-hosted pmanager detects a heartbeat death.
+	repairNow := make(chan struct{}, 1)
+	hasRepairer := false
 
 	for _, role := range strings.Split(*roles, ",") {
 		switch strings.TrimSpace(role) {
@@ -99,15 +111,16 @@ func main() {
 			case "power-of-two":
 				strat = pmanager.PowerOfTwo
 			}
-			pm := pmanager.New(pmanager.Config{
+			pm = pmanager.New(pmanager.Config{
 				Strategy:         strat,
 				HeartbeatTimeout: 4 * *heartbeat,
+				Redundancy:       red,
 			})
 			pm.RegisterHandlers(srv)
 			// The metadata directory co-habits the provider manager node.
 			dir := dht.NewDirectory()
 			dir.RegisterHandlers(srv)
-			log.Printf("role pmanager+directory (strategy %s)", strat)
+			log.Printf("role pmanager+directory (strategy %s, redundancy %s)", strat, red)
 
 		case "vmanager":
 			cfg := vmanager.Config{}
@@ -180,13 +193,16 @@ func main() {
 
 		case "repairer":
 			// The replica repair agent: periodically walks every blob's
-			// metadata and directs degraded providers to pull missing
-			// pages from healthy peers (docs/replication.md). Needs both
-			// managers: -vm for the blob list and versions, -pm for
-			// placement and the metadata directory.
+			// metadata, directs degraded providers to pull missing
+			// pages from healthy peers (docs/replication.md), and
+			// reconstructs missing erasure-coded shards from stripe
+			// survivors (docs/erasure.md). Needs both managers: -vm for
+			// the blob list and versions, -pm for placement and the
+			// metadata directory.
 			if *pmAddr == "" || *vmAddr == "" {
 				log.Fatal("repairer role needs -pm and -vm")
 			}
+			hasRepairer = true
 			if *repairEvr <= 0 {
 				log.Fatal("repairer role needs -repair-interval > 0")
 			}
@@ -205,7 +221,15 @@ func main() {
 			go func() {
 				t := time.NewTicker(interval)
 				defer t.Stop()
-				for range t.C {
+				for {
+					select {
+					case <-t.C:
+					case <-repairNow:
+						// A co-hosted pmanager detected a heartbeat
+						// death: repair immediately instead of waiting
+						// out the sweep timer.
+						log.Printf("repairer: provider death detected, sweeping now")
+					}
 					sctx, cancel := context.WithTimeout(ctx, interval*4)
 					blobs, err := client.VersionManager().Blobs(sctx)
 					if err != nil {
@@ -219,8 +243,9 @@ func main() {
 						log.Printf("repairer: %v", err)
 					}
 					if rep.PagesMissing > 0 {
-						log.Printf("repairer: %d slots degraded, %d repaired (%d bytes), %d unrepairable",
-							rep.PagesMissing, rep.PagesRepaired, rep.BytesPulled, rep.Unrepairable)
+						log.Printf("repairer: %d slots degraded, %d repaired (%d bytes pulled), %d reconstructed (%d bytes), %d unrepairable",
+							rep.PagesMissing, rep.PagesRepaired, rep.BytesPulled,
+							rep.PagesReconstructed, rep.ReconstructedBytes, rep.Unrepairable)
 					}
 				}
 			}()
@@ -252,6 +277,18 @@ func main() {
 
 	// Heartbeat loop for the data provider role.
 	stop := make(chan struct{})
+
+	// When the pmanager and repairer roles co-habit this process, a
+	// detected heartbeat death triggers an immediate repair pass.
+	if pm != nil && hasRepairer {
+		go pm.DeathWatch(stop, func(id uint32) {
+			log.Printf("pmanager: provider %d stopped heartbeating", id)
+			select {
+			case repairNow <- struct{}{}:
+			default:
+			}
+		})
+	}
 	if dataSvc != nil {
 		go func() {
 			t := time.NewTicker(*heartbeat)

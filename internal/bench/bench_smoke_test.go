@@ -137,3 +137,25 @@ func TestAblateRepairRuns(t *testing.T) {
 		t.Errorf("healthy verify pass bloom-skip rate = %v%%, want 100", pts[2].Value)
 	}
 }
+
+// TestAblateErasureRuns verifies the erasure-vs-replication ablation
+// harness end to end at smoke scale, including its two acceptance
+// assertions: rs(4,2) stores less and its repair pushes fewer bytes
+// into the degraded provider than 2x replication.
+func TestAblateErasureRuns(t *testing.T) {
+	pts, err := AblateErasure(4, 8, smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, p := range pts {
+		byName[p.Name] = p.Value
+	}
+	if o := byName["rs(4,2): storage overhead"]; o >= byName["2x replication: storage overhead"] {
+		t.Errorf("rs overhead %v not below replication %v", o, byName["2x replication: storage overhead"])
+	}
+	if r := byName["rs(4,2): repair bytes into degraded provider"]; r >= byName["2x replication: repair bytes into degraded provider"] {
+		t.Errorf("rs repair ingest %v MB not below replication %v MB",
+			r, byName["2x replication: repair bytes into degraded provider"])
+	}
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"blob/internal/cluster"
+	"blob/internal/erasure"
+	"blob/internal/netsim"
+	"blob/internal/repair"
+)
+
+// AblateErasure compares the two redundancy modes of docs/erasure.md on
+// the same fault: a 6-provider persistent deployment stores the same
+// logical data under 2x replication and under rs(4,2), loses one
+// provider's entire data directory, and heals. Reported per mode:
+//
+//   - storage overhead: stored bytes / logical bytes (2.0 vs 1.5);
+//   - repair ingest: bytes pushed into the degraded provider to restore
+//     it (a replica share vs the smaller parity-amortized shard share) —
+//     the acceptance metric;
+//   - total repair traffic: ingest plus, for rs, the survivor shards the
+//     agent read to decode (reconstruction trades extra reads for the
+//     storage savings);
+//   - time to full redundancy.
+//
+// Both runs end with a clean verify pass, and the rs run asserts that
+// reconstruction (not replica pulls) did the healing.
+func AblateErasure(writes int, segPages uint64, sc Scale) ([]AblationPoint, error) {
+	logical := int64(writes) * int64(segPages) * int64(sc.PageSize)
+	var out []AblationPoint
+	for _, mode := range []struct {
+		name string
+		cfg  cluster.Config
+	}{
+		{"2x replication", cluster.Config{DataReplicas: 2}},
+		{"rs(4,2)", cluster.Config{Redundancy: erasure.Redundancy{K: 4, M: 2}}},
+	} {
+		dir, err := os.MkdirTemp("", "blob-bench-erasure-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg := mode.cfg
+		cfg.DataProviders = 6
+		cfg.MetaProviders = 6
+		cfg.CoLocate = true
+		cfg.DataDir = dir
+		cfg.Net = netsim.Grid5000()
+		cl, err := cluster.Launch(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := erasureRun(cl, mode.name, writes, segPages, sc, logical)
+		cl.Shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", mode.name, err)
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+func erasureRun(cl *cluster.Cluster, name string, writes int, segPages uint64, sc Scale, logical int64) ([]AblationPoint, error) {
+	ctx := context.Background()
+	c, err := cl.NewClient(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	b, err := c.CreateBlob(ctx, sc.PageSize, sc.BlobPages*sc.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	seg := make([]byte, segPages*sc.PageSize)
+	for i := range seg {
+		seg[i] = byte(i * 31)
+	}
+	for i := 0; i < writes; i++ {
+		if _, err := b.Write(ctx, seg, uint64(i)*segPages*sc.PageSize); err != nil {
+			return nil, err
+		}
+	}
+	var stored int64
+	for _, st := range cl.DataStores {
+		stored += st.Snapshot().BytesUsed
+	}
+	fullPages := cl.TotalDataPages()
+
+	if err := cl.WipeDataProvider(0); err != nil {
+		return nil, err
+	}
+	agent := repair.New(c)
+	t0 := time.Now()
+	rep, err := agent.RepairBlob(ctx, b.ID())
+	healTime := time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.FullyRedundant() {
+		return nil, fmt.Errorf("repair left slots degraded: %+v", rep)
+	}
+	if got := cl.TotalDataPages(); got != fullPages {
+		return nil, fmt.Errorf("%d/%d pages after repair", got, fullPages)
+	}
+	verify, err := agent.RepairBlob(ctx, b.ID())
+	if err != nil {
+		return nil, err
+	}
+	if verify.PagesMissing != 0 {
+		return nil, fmt.Errorf("verify pass found %d missing", verify.PagesMissing)
+	}
+	ingest := rep.BytesPulled + rep.ReconstructedBytes
+	total := ingest + rep.SurvivorBytes
+	if b.Redundancy().IsRS() {
+		if rep.PagesReconstructed == 0 || rep.PagesRepaired != 0 {
+			return nil, fmt.Errorf("rs healing used replica pulls: %+v", rep)
+		}
+	}
+	// Prove the healed deployment still reads.
+	buf := make([]byte, len(seg))
+	if _, err := b.ReadLatest(ctx, buf, 0); err != nil {
+		return nil, fmt.Errorf("read after heal: %w", err)
+	}
+
+	return []AblationPoint{
+		{Name: name + ": storage overhead", Value: float64(stored) / float64(logical), Unit: "x"},
+		{Name: name + ": repair bytes into degraded provider", Value: float64(ingest) / (1 << 20), Unit: "MB"},
+		{Name: name + ": total repair traffic", Value: float64(total) / (1 << 20), Unit: "MB"},
+		{Name: name + ": time to full redundancy", Value: healTime.Seconds() * 1e3, Unit: "ms"},
+	}, nil
+}

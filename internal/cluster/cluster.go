@@ -24,6 +24,7 @@ import (
 	"blob/internal/core"
 	"blob/internal/dht"
 	"blob/internal/diskstore"
+	"blob/internal/erasure"
 	"blob/internal/mstore"
 	"blob/internal/netsim"
 	"blob/internal/pmanager"
@@ -43,8 +44,16 @@ type Config struct {
 	// simulated host, sharing its NIC — the paper's topology (default
 	// true when DataProviders == MetaProviders).
 	CoLocate bool
-	// DataReplicas is the page replication factor (default 1).
+	// DataReplicas is the page replication factor (default 1). Ignored
+	// when Redundancy selects erasure coding.
 	DataReplicas int
+	// Redundancy is the deployment's redundancy mode (docs/erasure.md):
+	// the zero value keeps full replication at DataReplicas copies;
+	// rs(k,m) stripes every new blob over k+m distinct providers with m
+	// parity pages per stripe. The provider manager advertises the mode
+	// and every cluster client (including the repair agent) adopts it.
+	// Requires DataProviders >= k+m.
+	Redundancy erasure.Redundancy
 	// MetaReplicas is the tree node replication factor (default 1).
 	MetaReplicas int
 	// Net is the simulated fabric configuration (latency/bandwidth);
@@ -150,6 +159,13 @@ type Cluster struct {
 	pools     []*rpc.Pool
 	hbStop    chan struct{}
 	clientSeq atomic.Int64
+	// repairNow wakes the repair loop ahead of its ticker when the
+	// provider manager detects a heartbeat death (capacity 1: coalesces
+	// a burst of deaths into one immediate pass).
+	repairNow chan struct{}
+	// hbProvStop lets tests kill one provider's heartbeat loop
+	// (StopProviderHeartbeat) to simulate a silent node death.
+	hbProvStop []chan struct{}
 
 	// svcMu guards the Data* slice elements against RestartDataProvider
 	// racing the heartbeat loops and the aggregate accessors. Tests that
@@ -218,10 +234,18 @@ func (d hostDialer) Dial(addr string) (net.Conn, error) { return d.h.Dial(addr) 
 // Launch starts a deployment.
 func Launch(cfg Config) (*Cluster, error) {
 	cfg.fillDefaults()
+	if err := cfg.Redundancy.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Redundancy.IsRS() && cfg.DataProviders < cfg.Redundancy.Shards() {
+		return nil, fmt.Errorf("cluster: %s needs at least %d data providers, config has %d",
+			cfg.Redundancy, cfg.Redundancy.Shards(), cfg.DataProviders)
+	}
 	c := &Cluster{
-		cfg:    cfg,
-		fab:    netsim.New(cfg.Net),
-		hbStop: make(chan struct{}),
+		cfg:       cfg,
+		fab:       netsim.New(cfg.Net),
+		hbStop:    make(chan struct{}),
+		repairNow: make(chan struct{}, 1),
 	}
 
 	var lastServer *rpc.Server
@@ -247,6 +271,7 @@ func Launch(cfg Config) (*Cluster, error) {
 		Strategy:         cfg.Strategy,
 		HeartbeatTimeout: hbTimeout,
 		Replicas:         cfg.DataReplicas,
+		Redundancy:       cfg.Redundancy,
 	})
 	c.Dir = dht.NewDirectory()
 	pmHost := c.fab.Host("pm")
@@ -328,6 +353,16 @@ func Launch(cfg Config) (*Cluster, error) {
 	}
 	if cfg.RepairInterval > 0 {
 		go c.repairLoop()
+		if cfg.HeartbeatInterval > 0 {
+			// Heartbeat-death detection triggers an immediate repair
+			// pass instead of waiting out the RepairInterval timer.
+			go c.PM.DeathWatch(c.hbStop, func(uint32) {
+				select {
+				case c.repairNow <- struct{}{}:
+				default:
+				}
+			})
+		}
 	}
 	return c, nil
 }
@@ -354,16 +389,38 @@ func (c *Cluster) repairLoop() {
 		case <-c.hbStop:
 			return
 		case <-t.C:
-			if agent == nil {
-				cl, err := core.NewClient(context.Background(), c.ClientOptions("repair-agent"))
-				if err != nil {
-					continue // managers not reachable yet; retry next tick
-				}
-				client, agent = cl, repair.New(cl)
+		case <-c.repairNow:
+			// Provider-manager death detection: repair immediately
+			// rather than letting the degradation window run out the
+			// ticker (a second loss inside that window is the data-loss
+			// scenario repair exists to shrink).
+		}
+		if agent == nil {
+			cl, err := core.NewClient(context.Background(), c.ClientOptions("repair-agent"))
+			if err != nil {
+				continue // managers not reachable yet; retry next tick
 			}
-			ctx, cancel := context.WithTimeout(context.Background(), timeout)
-			_, _ = agent.RepairAll(ctx, c.VM.Blobs())
-			cancel()
+			client, agent = cl, repair.New(cl)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		_, _ = agent.RepairAll(ctx, c.VM.Blobs())
+		cancel()
+	}
+}
+
+// StopProviderHeartbeat kills data provider i's heartbeat loop — the
+// fault-injection hook for "the node silently died": the provider
+// manager stops hearing from it, excludes it from placement, and (when
+// a repair loop is armed) DeathWatch triggers an immediate repair pass.
+// A no-op without Config.HeartbeatInterval; the loop does not restart.
+func (c *Cluster) StopProviderHeartbeat(i int) {
+	c.svcMu.RLock()
+	defer c.svcMu.RUnlock()
+	if i >= 0 && i < len(c.hbProvStop) {
+		select {
+		case <-c.hbProvStop[i]:
+		default:
+			close(c.hbProvStop[i])
 		}
 	}
 }
@@ -375,12 +432,16 @@ func (c *Cluster) startHeartbeats() {
 	for i := range c.DataServices {
 		id := uint32(i + 1) // registration order matches IDs
 		i := i
+		stop := make(chan struct{})
+		c.hbProvStop = append(c.hbProvStop, stop)
 		go func() {
 			t := time.NewTicker(c.cfg.HeartbeatInterval)
 			defer t.Stop()
 			for {
 				select {
 				case <-c.hbStop:
+					return
+				case <-stop:
 					return
 				case <-t.C:
 					// Re-resolve each tick: RestartDataProvider swaps
@@ -405,6 +466,7 @@ func (c *Cluster) ClientOptions(hostName string) core.Options {
 		PManagerAddr:     c.PMAddr,
 		MetaDirAddr:      c.DirAddr,
 		DataReplicas:     c.cfg.DataReplicas,
+		Redundancy:       c.cfg.Redundancy,
 		MetaReplicas:     c.cfg.MetaReplicas,
 		CacheNodes:       c.cfg.CacheNodes,
 		MetaProcessDelay: c.cfg.MetaProcessDelay,

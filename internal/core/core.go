@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"blob/internal/dht"
+	"blob/internal/erasure"
 	"blob/internal/meta"
 	"blob/internal/mstore"
 	"blob/internal/pmanager"
@@ -53,7 +54,15 @@ type Options struct {
 	// MetaDirAddr is the metadata directory's RPC address (DHT membership).
 	MetaDirAddr string
 	// DataReplicas is the number of copies of each page (default 1).
+	// Ignored for blobs in rs(k,m) mode, whose redundancy is parity.
 	DataReplicas int
+	// Redundancy selects the redundancy mode for blobs this client
+	// creates (docs/erasure.md): the zero value defers to the mode the
+	// provider manager advertises for the deployment (falling back to
+	// full replication), rs(k,m) forces erasure-coded stripes. Blobs
+	// opened with OpenBlob always use the mode recorded at their
+	// creation.
+	Redundancy erasure.Redundancy
 	// MetaReplicas is the DHT replication factor for tree nodes (default 1).
 	MetaReplicas int
 	// CacheNodes bounds the client metadata cache; 0 disables it,
@@ -104,6 +113,19 @@ type Client struct {
 	// BloomSkips counts replica probes avoided by digest routing.
 	ReadRepairs stats.Counter
 	BloomSkips  stats.Counter
+	// Erasure-coding counters (docs/erasure.md): DegradedReads counts
+	// stripe decodes the read path performed because a data shard was
+	// unreachable; ReconstructedPages the pages those decodes produced;
+	// ParityBytes the parity payload this client computed and uploaded
+	// on writes.
+	DegradedReads      stats.Counter
+	ReconstructedPages stats.Counter
+	ParityBytes        stats.Counter
+
+	// clusterRed is the redundancy mode the provider manager advertises,
+	// captured at connect; the effective creation mode when
+	// Options.Redundancy is zero.
+	clusterRed erasure.Redundancy
 }
 
 // digestTTL bounds how long a fetched provider digest steers replica
@@ -172,20 +194,41 @@ func (c *Client) Pool() *rpc.Pool { return c.pool }
 // AllProviders lists every registered data provider (used by the GC to
 // broadcast deletions).
 func (c *Client) AllProviders(ctx context.Context) ([]pmanager.ProviderInfo, error) {
-	_, infos, err := pmanager.FetchProviders(ctx, c.pool, c.opts.PManagerAddr)
-	return infos, err
+	d, err := pmanager.FetchProviders(ctx, c.pool, c.opts.PManagerAddr)
+	return d.Providers, err
 }
 
-// refreshProviders refetches the provider ID -> address map.
+// ClusterRedundancy returns the redundancy mode the provider manager
+// advertised when this client connected (diagnostics; blobctl stats
+// prints it).
+func (c *Client) ClusterRedundancy() erasure.Redundancy {
+	c.provMu.RLock()
+	defer c.provMu.RUnlock()
+	return c.clusterRed
+}
+
+// creationRedundancy is the mode CreateBlob uses: the client's explicit
+// option (an rs geometry, or a pinned "replicate" overriding an
+// advertised rs default), else the deployment's advertised mode.
+func (c *Client) creationRedundancy() erasure.Redundancy {
+	if c.opts.Redundancy.IsRS() || c.opts.Redundancy.Pinned {
+		return erasure.Redundancy{K: c.opts.Redundancy.K, M: c.opts.Redundancy.M}
+	}
+	return c.ClusterRedundancy()
+}
+
+// refreshProviders refetches the provider ID -> address map and the
+// advertised redundancy mode.
 func (c *Client) refreshProviders(ctx context.Context) error {
-	_, infos, err := pmanager.FetchProviders(ctx, c.pool, c.opts.PManagerAddr)
+	d, err := pmanager.FetchProviders(ctx, c.pool, c.opts.PManagerAddr)
 	if err != nil {
 		return fmt.Errorf("core: fetch providers: %w", err)
 	}
 	c.provMu.Lock()
-	for _, p := range infos {
+	for _, p := range d.Providers {
 		c.providers[p.ID] = p.Addr
 	}
+	c.clusterRed = d.Redundancy
 	c.provMu.Unlock()
 	return nil
 }
@@ -225,25 +268,30 @@ func newWriteID() (uint64, error) {
 }
 
 // CreateBlob allocates a new blob (ALLOC): capacityBytes of virtual,
-// allocate-on-write storage in pageSize pages.
+// allocate-on-write storage in pageSize pages, in the client's
+// effective redundancy mode (Options.Redundancy, else the deployment's
+// advertised mode). The mode is recorded in the blob's metadata and
+// fixed for its lifetime.
 func (c *Client) CreateBlob(ctx context.Context, pageSize, capacityBytes uint64) (*Blob, error) {
-	id, err := c.vm.CreateBlob(ctx, pageSize, capacityBytes)
+	red := c.creationRedundancy()
+	id, err := c.vm.CreateBlob(ctx, pageSize, capacityBytes, red)
 	if err != nil {
 		return nil, err
 	}
 	return &Blob{
-		c: c, id: id, pageSize: pageSize, totalPages: capacityBytes / pageSize,
+		c: c, id: id, pageSize: pageSize, totalPages: capacityBytes / pageSize, red: red,
 	}, nil
 }
 
-// OpenBlob binds to an existing blob.
+// OpenBlob binds to an existing blob; its redundancy mode comes from
+// the metadata recorded at creation, never from this client's options.
 func (c *Client) OpenBlob(ctx context.Context, id uint64) (*Blob, error) {
 	info, err := c.vm.Info(ctx, id)
 	if err != nil {
 		return nil, err
 	}
 	return &Blob{
-		c: c, id: id, pageSize: info.PageSize, totalPages: info.TotalPages,
+		c: c, id: id, pageSize: info.PageSize, totalPages: info.TotalPages, red: info.Redundancy,
 	}, nil
 }
 
@@ -253,7 +301,11 @@ type Blob struct {
 	id         uint64
 	pageSize   uint64
 	totalPages uint64
+	red        erasure.Redundancy
 }
+
+// Redundancy returns the blob's fixed redundancy mode.
+func (b *Blob) Redundancy() erasure.Redundancy { return b.red }
 
 // ID returns the blob's globally unique identifier.
 func (b *Blob) ID() uint64 { return b.id }

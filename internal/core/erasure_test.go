@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"blob/internal/cluster"
+	"blob/internal/core"
+	"blob/internal/erasure"
+	"blob/internal/meta"
+)
+
+// TestErasureCounters pins the client-side erasure telemetry: writes
+// account parity bytes, healthy reads never decode, and a degraded
+// read counts one stripe decode plus the pages it served — then heals
+// the missing shard back to its provider via the background re-push.
+func TestErasureCounters(t *testing.T) {
+	cl, c := launch(t, cluster.Config{
+		DataProviders: 6,
+		MetaProviders: 6,
+		Redundancy:    erasure.Redundancy{K: 4, M: 2},
+		CacheNodes:    0,
+	})
+	ctx := context.Background()
+	b, err := c.CreateBlob(ctx, pageSize, 64*pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := pattern(3, 4*pageSize) // exactly one rs(4,2) stripe
+	v, err := b.Write(ctx, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ParityBytes.Value(); got != 2*pageSize {
+		t.Fatalf("ParityBytes = %d, want %d (2 parity pages)", got, 2*pageSize)
+	}
+
+	got := make([]byte, len(data))
+	if _, err := b.Read(ctx, got, 0, v); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("healthy read mismatch")
+	}
+	if c.DegradedReads.Value() != 0 || c.ReconstructedPages.Value() != 0 {
+		t.Fatalf("healthy read decoded: %d/%d", c.DegradedReads.Value(), c.ReconstructedPages.Value())
+	}
+
+	// Drop page 0's shard from its home provider and read it back: one
+	// stripe decode serving one page.
+	write, home := leafPlacement(t, b, v)
+	cl.DataStores[home-1].DeleteWrite(b.ID(), write)
+	one := make([]byte, pageSize)
+	if _, err := b.Read(ctx, one, 0, v); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, data[:pageSize]) {
+		t.Fatal("degraded read mismatch")
+	}
+	if c.DegradedReads.Value() != 1 || c.ReconstructedPages.Value() != 1 {
+		t.Fatalf("degraded counters = %d/%d, want 1/1",
+			c.DegradedReads.Value(), c.ReconstructedPages.Value())
+	}
+
+	// The reconstructed page is re-pushed to its home provider in the
+	// background, so redundancy returns without the repair agent.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := cl.DataStores[home-1].GetPage(b.ID(), write, 0); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reconstructed shard never re-pushed to its home provider")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// leafPlacement resolves page 0's write identity and home provider ID.
+func leafPlacement(t *testing.T, b *core.Blob, v meta.Version) (uint64, uint32) {
+	t.Helper()
+	leaves, err := b.ReadMeta(context.Background(), 0, pageSize, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 1 || leaves[0].Leaf.Stripe == nil {
+		t.Fatalf("unexpected leaves: %+v", leaves)
+	}
+	return leaves[0].Leaf.Write, leaves[0].Leaf.Providers[0]
+}
+
+// TestPinnedReplicateOverridesAdvertisedRS pins the mode-precedence
+// rule: a client that explicitly chose "replicate" (ParseRedundancy
+// pins it) creates replicated blobs even on a cluster advertising
+// rs(k,m); an unset option defers to the advertisement.
+func TestPinnedReplicateOverridesAdvertisedRS(t *testing.T) {
+	cl, _ := launch(t, cluster.Config{
+		DataProviders: 6,
+		MetaProviders: 6,
+		Redundancy:    erasure.Redundancy{K: 4, M: 2},
+	})
+	ctx := context.Background()
+
+	opts := cl.ClientOptions("pinned-client")
+	var err error
+	opts.Redundancy, err = erasure.ParseRedundancy("replicate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := core.NewClient(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pinned.Close()
+	b, err := pinned.CreateBlob(ctx, pageSize, 64*pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Redundancy().IsRS() {
+		t.Fatalf("pinned replicate produced %v", b.Redundancy())
+	}
+
+	// Unset defers to the advertisement.
+	def, err := cl.NewClient(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer def.Close()
+	b2, err := def.CreateBlob(ctx, pageSize, 64*pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b2.Redundancy(); got != (erasure.Redundancy{K: 4, M: 2}) {
+		t.Fatalf("default client created %v, want rs(4,2)", got)
+	}
+}

@@ -113,13 +113,25 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 		missed []uint32
 	}
 	remaining := make([]item, 0, len(leaves))
+	var striped []stripedItem
 	for _, l := range leaves {
 		dst := buf[(l.Page-pr.First)*b.pageSize : (l.Page-pr.First+1)*b.pageSize]
 		if l.Leaf.Write == 0 {
 			clear(dst)
 			continue
 		}
+		if l.Leaf.Stripe != nil {
+			// Erasure-coded page: single data provider, failover is
+			// stripe reconstruction, not replica hopping (striped.go).
+			striped = append(striped, stripedItem{leaf: l, dst: dst})
+			continue
+		}
 		remaining = append(remaining, item{leaf: l, dst: dst})
+	}
+	if len(striped) > 0 {
+		if err := b.fetchStriped(ctx, striped); err != nil {
+			return err
+		}
 	}
 
 	var repairs []readRepair

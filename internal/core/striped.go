@@ -1,0 +1,306 @@
+package core
+
+// Erasure-coded stripe paths (docs/erasure.md): the write side cuts a
+// write into rs(k,m) stripes, encodes parity and fans all k+m shards
+// out to distinct providers; the read side serves degraded reads by
+// pulling any k surviving shards of a failed page's stripe and
+// decoding inline. Parity pages are ordinary provider pages keyed in
+// the high (ParityFlag) half of the write's rel-page space, so every
+// PageStore backend and the whole repair protocol handle them
+// untouched.
+
+import (
+	"context"
+	"fmt"
+
+	"blob/internal/erasure"
+	"blob/internal/meta"
+	"blob/internal/mstore"
+	"blob/internal/provider"
+	"blob/internal/rpc"
+	"blob/internal/wire"
+)
+
+// putStriped implements the rs(k,m) write fan-out: one allocation of
+// k+m distinct providers per stripe, parity encoding, and a single
+// batched MPutPages per provider covering both data and parity pages.
+// It returns one StripeRef per stripe for the metadata build.
+func (b *Blob) putStriped(ctx context.Context, writeID uint64, buf []byte) ([]*meta.StripeRef, error) {
+	k, m := b.red.K, b.red.M
+	npages := uint64(len(buf)) / b.pageSize
+	nStripes := erasure.NumStripes(npages, k)
+
+	alloc, err := b.allocateProviders(ctx, int(nStripes), k+m)
+	if err != nil {
+		return nil, err
+	}
+	group := len(alloc.IDs) / int(nStripes)
+	if group < k+m {
+		// The manager caps group size at the live provider count; a
+		// stripe spread over fewer providers than shards would silently
+		// lose the fault-tolerance the mode promises, so fail loudly.
+		return nil, fmt.Errorf("core: rs(%d,%d) needs %d distinct live providers per stripe, placement yielded %d",
+			k, m, k+m, group)
+	}
+
+	type batch struct {
+		rels  []uint32
+		datas [][]byte
+	}
+	batches := make(map[uint32]*batch)
+	add := func(id uint32, rel uint32, data []byte) {
+		bt := batches[id]
+		if bt == nil {
+			bt = &batch{}
+			batches[id] = bt
+		}
+		bt.rels = append(bt.rels, rel)
+		bt.datas = append(bt.datas, data)
+	}
+
+	refs := make([]*meta.StripeRef, nStripes)
+	var parityBytes int64
+	for s := uint64(0); s < nStripes; s++ {
+		width := erasure.StripeWidth(s, npages, k)
+		code, err := erasure.Cached(width, m)
+		if err != nil {
+			return nil, err
+		}
+		data := make([][]byte, width)
+		for i := range data {
+			p := s*uint64(k) + uint64(i)
+			data[i] = buf[p*b.pageSize : (p+1)*b.pageSize]
+		}
+		parity, err := code.Encode(data)
+		if err != nil {
+			return nil, err
+		}
+		provs := alloc.IDs[int(s)*group : int(s)*group+width+m]
+		ref := &meta.StripeRef{
+			K:          uint8(width),
+			M:          uint8(m),
+			FirstRel:   uint32(s) * uint32(k),
+			ParityRel0: erasure.ParityRel(uint32(s), 0, m),
+			Provs:      provs,
+			Sums:       make([]uint64, width+m),
+		}
+		for i, d := range data {
+			ref.Sums[i] = wire.Checksum64(d)
+			add(provs[i], ref.FirstRel+uint32(i), d)
+		}
+		for j, p := range parity {
+			ref.Sums[width+j] = wire.Checksum64(p)
+			add(provs[width+j], erasure.ParityRel(uint32(s), j, m), p)
+			parityBytes += int64(len(p))
+		}
+		refs[s] = ref
+	}
+
+	pend := make([]*rpc.Pending, 0, len(batches))
+	for id, bt := range batches {
+		addr, err := b.c.providerAddr(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		body := provider.EncodePutPages(b.id, writeID, bt.rels, bt.datas)
+		pend = append(pend, b.c.pool.Go(addr, provider.MPutPages, body))
+	}
+	for _, p := range pend {
+		if _, err := p.Wait(ctx); err != nil {
+			return nil, fmt.Errorf("core: store stripe shards: %w", err)
+		}
+	}
+	b.c.ParityBytes.Add(parityBytes)
+	return refs, nil
+}
+
+// stripedItem is one erasure-coded page a read must fill.
+type stripedItem struct {
+	leaf mstore.PageLeaf
+	dst  []byte
+}
+
+// fetchStriped downloads erasure-coded pages: a first wave fetches
+// every page from its single data provider; pages that fail (provider
+// down, definite miss, corrupt bytes) degrade to stripe reconstruction
+// — pull any k surviving shards, decode, serve, and re-push the
+// reconstructed page to its home provider in the background.
+func (b *Blob) fetchStriped(ctx context.Context, items []stripedItem) error {
+	type group struct {
+		refs  []provider.PageRef
+		items []stripedItem
+	}
+	groups := make(map[uint32]*group)
+	for _, it := range items {
+		id := it.leaf.Leaf.Providers[0]
+		g := groups[id]
+		if g == nil {
+			g = &group{}
+			groups[id] = g
+		}
+		g.refs = append(g.refs, provider.PageRef{
+			Blob: b.id, Write: it.leaf.Leaf.Write, RelPage: it.leaf.Leaf.RelPage,
+		})
+		g.items = append(g.items, it)
+	}
+
+	var failed []stripedItem
+	pend := make([]*rpc.Pending, 0, len(groups))
+	gs := make([]*group, 0, len(groups))
+	for id, g := range groups {
+		addr, err := b.c.providerAddr(ctx, id)
+		if err != nil {
+			failed = append(failed, g.items...)
+			continue
+		}
+		pend = append(pend, b.c.pool.Go(addr, provider.MGetPages, provider.EncodeGetPages(g.refs)))
+		gs = append(gs, g)
+	}
+	for i, p := range pend {
+		resp, err := p.Wait(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			failed = append(failed, gs[i].items...)
+			continue
+		}
+		datas, err := provider.DecodeGetPages(resp, len(gs[i].refs))
+		if err != nil {
+			return err
+		}
+		for j, data := range datas {
+			it := gs[i].items[j]
+			if data == nil || uint64(len(data)) != b.pageSize ||
+				wire.Checksum64(data) != it.leaf.Leaf.Checksum {
+				failed = append(failed, it)
+				continue
+			}
+			copy(it.dst, data)
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+
+	// Degraded path: group the failures by stripe so each stripe is
+	// decoded once however many of its pages this read needs.
+	type stripeKey struct {
+		write uint64
+		first uint32
+	}
+	byStripe := make(map[stripeKey][]stripedItem)
+	for _, it := range failed {
+		k := stripeKey{it.leaf.Leaf.Write, it.leaf.Leaf.Stripe.FirstRel}
+		byStripe[k] = append(byStripe[k], it)
+	}
+	for _, its := range byStripe {
+		if err := b.reconstructStripe(ctx, its); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reconstructStripe serves the given pages (all members of one stripe)
+// by pulling the stripe's surviving shards and decoding. Any k verified
+// shards suffice; fewer fails the read with ErrPageUnavailable.
+func (b *Blob) reconstructStripe(ctx context.Context, items []stripedItem) error {
+	ref := items[0].leaf.Leaf.Stripe
+	write := items[0].leaf.Leaf.Write
+	n := int(ref.K) + int(ref.M)
+
+	// Slots that already failed their direct fetch are not re-probed.
+	skip := make([]bool, n)
+	for _, it := range items {
+		if s := ref.SlotOf(it.leaf.Leaf.RelPage); s >= 0 {
+			skip[s] = true
+		}
+	}
+
+	type group struct {
+		refs  []provider.PageRef
+		slots []int
+	}
+	groups := make(map[uint32]*group)
+	for s := 0; s < n; s++ {
+		if skip[s] {
+			continue
+		}
+		id := ref.Provs[s]
+		g := groups[id]
+		if g == nil {
+			g = &group{}
+			groups[id] = g
+		}
+		g.refs = append(g.refs, provider.PageRef{Blob: b.id, Write: write, RelPage: ref.SlotRel(s)})
+		g.slots = append(g.slots, s)
+	}
+
+	shards := make([][]byte, n)
+	pend := make([]*rpc.Pending, 0, len(groups))
+	gs := make([]*group, 0, len(groups))
+	for id, g := range groups {
+		addr, err := b.c.providerAddr(ctx, id)
+		if err != nil {
+			continue // unreachable survivor: maybe enough others remain
+		}
+		pend = append(pend, b.c.pool.Go(addr, provider.MGetPages, provider.EncodeGetPages(g.refs)))
+		gs = append(gs, g)
+	}
+	for i, p := range pend {
+		resp, err := p.Wait(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			continue
+		}
+		datas, err := provider.DecodeGetPages(resp, len(gs[i].refs))
+		if err != nil {
+			return err
+		}
+		for j, data := range datas {
+			slot := gs[i].slots[j]
+			if data == nil || uint64(len(data)) != b.pageSize ||
+				wire.Checksum64(data) != ref.Sums[slot] {
+				continue // absent or corrupt shard: not a survivor
+			}
+			shards[slot] = data
+		}
+	}
+
+	code, err := erasure.Cached(int(ref.K), int(ref.M))
+	if err != nil {
+		return err
+	}
+	if err := code.Reconstruct(shards); err != nil {
+		return fmt.Errorf("%w: stripe at rel %d of write %d: %v",
+			ErrPageUnavailable, ref.FirstRel, write, err)
+	}
+	b.c.DegradedReads.Inc()
+
+	var repairs []readRepair
+	for _, it := range items {
+		slot := ref.SlotOf(it.leaf.Leaf.RelPage)
+		data := shards[slot]
+		if wire.Checksum64(data) != it.leaf.Leaf.Checksum {
+			return fmt.Errorf("%w: page %d reconstructed from stripe", ErrChecksum, it.leaf.Page)
+		}
+		copy(it.dst, data)
+		b.c.ReconstructedPages.Inc()
+		// Re-push the reconstructed shard to its home provider in the
+		// background: a degraded read restores redundancy as a side
+		// effect, exactly like replication's read-repair.
+		repairs = append(repairs, readRepair{
+			write:     write,
+			rel:       it.leaf.Leaf.RelPage,
+			data:      append([]byte(nil), data...),
+			providers: []uint32{ref.Provs[slot]},
+		})
+	}
+	if len(repairs) > 0 {
+		b.c.scheduleReadRepair(b.id, repairs)
+	}
+	return nil
+}

@@ -69,15 +69,51 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 	}
 
 	// Phase 1 (paper §III.B): get providers from the provider manager,
-	// then push all pages in parallel, batched per provider.
+	// then push all pages in parallel, batched per provider. The two
+	// redundancy modes differ only in what lands where: replication
+	// pushes r copies of each page, rs(k,m) pushes each page once plus
+	// m parity pages per stripe (docs/erasure.md). Both produce a
+	// leafAt function the metadata build below consumes.
 	t0 := time.Now()
-	alloc, err := b.allocateProviders(ctx, int(npages))
-	if err != nil {
-		return res, err
-	}
-	checksums, err := b.putPages(ctx, writeID, buf, alloc)
-	if err != nil {
-		return res, err
+	var leafAt func(rel uint64) meta.LeafData
+	if b.red.IsRS() {
+		refs, err := b.putStriped(ctx, writeID, buf)
+		if err != nil {
+			return res, err
+		}
+		k := uint64(b.red.K)
+		leafAt = func(rel uint64) meta.LeafData {
+			ref := refs[rel/k]
+			slot := int(uint32(rel) - ref.FirstRel)
+			return meta.LeafData{
+				Write:     writeID,
+				RelPage:   uint32(rel),
+				Providers: []uint32{ref.Provs[slot]},
+				Checksum:  ref.Sums[slot],
+				Stripe:    ref,
+			}
+		}
+	} else {
+		alloc, err := b.allocateProviders(ctx, int(npages), b.c.opts.DataReplicas)
+		if err != nil {
+			return res, err
+		}
+		checksums, err := b.putPages(ctx, writeID, buf, alloc)
+		if err != nil {
+			return res, err
+		}
+		r := b.c.opts.DataReplicas
+		if r > len(alloc.IDs)/int(npages) {
+			r = len(alloc.IDs) / int(npages)
+		}
+		leafAt = func(rel uint64) meta.LeafData {
+			return meta.LeafData{
+				Write:     writeID,
+				RelPage:   uint32(rel),
+				Providers: alloc.IDs[int(rel)*r : (int(rel)+1)*r],
+				Checksum:  checksums[rel],
+			}
+		}
 	}
 	res.DataTime = time.Since(t0)
 
@@ -93,23 +129,13 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 	res.Offset = asg.Offset
 	firstPage := asg.Offset / b.pageSize
 	wr := meta.PageRange{First: firstPage, Count: npages}
-	r := b.c.opts.DataReplicas
-	if r > len(alloc.IDs)/int(npages) {
-		r = len(alloc.IDs) / int(npages)
-	}
 
 	// Phase 3: build the partial tree in complete isolation and store it.
 	t0 = time.Now()
 	nodes, err := meta.Build(b.id, asg.Version, b.totalPages, wr,
 		meta.BorderResolver(asg.Borders),
 		func(page uint64) (meta.LeafData, error) {
-			rel := page - firstPage
-			return meta.LeafData{
-				Write:     writeID,
-				RelPage:   uint32(rel),
-				Providers: alloc.IDs[int(rel)*r : int(rel+1)*r],
-				Checksum:  checksums[rel],
-			}, nil
+			return leafAt(page - firstPage), nil
 		})
 	if err != nil {
 		return res, err
@@ -135,9 +161,11 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 	return res, nil
 }
 
-// allocateProviders asks the provider manager for page placement.
-func (b *Blob) allocateProviders(ctx context.Context, npages int) (pmanager.Allocation, error) {
-	body := pmanager.EncodeAllocate(npages, b.c.opts.DataReplicas)
+// allocateProviders asks the provider manager for placement: r distinct
+// providers for each of npages groups (pages under replication, whole
+// stripes under rs).
+func (b *Blob) allocateProviders(ctx context.Context, npages, r int) (pmanager.Allocation, error) {
+	body := pmanager.EncodeAllocate(npages, r)
 	resp, err := b.c.pool.Call(ctx, b.c.opts.PManagerAddr, pmanager.MAllocate, body)
 	if err != nil {
 		return pmanager.Allocation{}, fmt.Errorf("core: allocate providers: %w", err)

@@ -1,0 +1,382 @@
+// Package erasure implements Reed-Solomon erasure coding of page groups
+// — the storage-efficient alternative to full page replication
+// (normative spec: docs/erasure.md). A blob in rs(k,m) mode groups each
+// k consecutive page slots of a write into a stripe, computes m parity
+// pages over them, and spreads the k+m shards over k+m distinct data
+// providers. Any k surviving shards reconstruct the rest, so the stripe
+// tolerates m provider losses at a storage overhead of (k+m)/k — e.g.
+// rs(4,2) matches 2-replication's fault tolerance at 1.5x instead of 2x.
+//
+// The codec is a systematic Vandermonde-style construction over GF(2^8)
+// built from a Cauchy matrix: the first k rows of the encode matrix are
+// the identity (data shards are stored verbatim — reads in the healthy
+// path never touch the codec), and the m parity rows are
+// inv(x_i XOR y_j) with distinct field points x_i = k+i, y_j = j. Every
+// square submatrix of a Cauchy matrix is invertible, which combined
+// with the identity rows makes the construction MDS: any k of the k+m
+// shards recover the stripe.
+//
+// Parity pages are ordinary pages to the provider layer: they are keyed
+// (blob, write, rel) like data pages, with parity slots carved out of
+// the high half of the rel-page space (ParityFlag). Every PageStore
+// backend therefore stores, serves, repairs and garbage-collects parity
+// without knowing it exists.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"sync"
+)
+
+// Shard-count limits: GF(2^8) gives 256 distinct evaluation points, so
+// k+m may not exceed 256.
+const maxShards = 256
+
+// Errors returned by the codec.
+var (
+	// ErrTooFewShards is returned by Reconstruct when fewer than k
+	// shards survive — the stripe is lost.
+	ErrTooFewShards = errors.New("erasure: fewer than k shards survive")
+	// ErrShardSize is returned when shards have mismatched or zero sizes.
+	ErrShardSize = errors.New("erasure: shard size mismatch")
+)
+
+// gfExp and gfLog are the exponential and logarithm tables of GF(2^8)
+// under the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11d). gfExp is
+// doubled so products of two logs index without a modulo.
+var (
+	gfExp [512]byte
+	gfLog [256]int32
+	// gfMulTable[c][x] = c*x in GF(2^8); 64 KB, built once, makes the
+	// encode/decode inner loops a single table lookup per byte.
+	gfMulTable [256][256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = int32(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+	for c := 1; c < 256; c++ {
+		for x := 1; x < 256; x++ {
+			gfMulTable[c][x] = gfExp[gfLog[c]+gfLog[x]]
+		}
+	}
+}
+
+// gfMul multiplies in GF(2^8).
+func gfMul(a, b byte) byte { return gfMulTable[a][b] }
+
+// gfInv returns the multiplicative inverse of a non-zero element.
+func gfInv(a byte) byte { return gfExp[255-gfLog[a]] }
+
+// Code is an RS(k,m) codec: k data shards, m parity shards. It is
+// immutable and safe for concurrent use.
+type Code struct {
+	k, m int
+	// matrix is the (k+m)xk systematic encode matrix: shard i is the
+	// dot product of row i with the k data shards. Rows [0,k) are the
+	// identity, rows [k,k+m) the Cauchy parity rows.
+	matrix [][]byte
+}
+
+// New builds an RS(k,m) codec. 1 <= k, 1 <= m, k+m <= 256.
+func New(k, m int) (*Code, error) {
+	if k < 1 || m < 1 || k+m > maxShards {
+		return nil, fmt.Errorf("erasure: invalid geometry rs(%d,%d): need k>=1, m>=1, k+m<=%d", k, m, maxShards)
+	}
+	mat := make([][]byte, k+m)
+	for i := range mat {
+		mat[i] = make([]byte, k)
+	}
+	for i := 0; i < k; i++ {
+		mat[i][i] = 1
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			mat[k+i][j] = gfInv(byte(k+i) ^ byte(j))
+		}
+	}
+	return &Code{k: k, m: m, matrix: mat}, nil
+}
+
+var (
+	codecMu    sync.Mutex
+	codecCache = make(map[[2]int]*Code)
+)
+
+// Cached returns a shared codec for the geometry; codecs are immutable,
+// so the read/write/repair hot paths reuse one matrix per (k,m) instead
+// of rebuilding it per stripe.
+func Cached(k, m int) (*Code, error) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if c, ok := codecCache[[2]int{k, m}]; ok {
+		return c, nil
+	}
+	c, err := New(k, m)
+	if err != nil {
+		return nil, err
+	}
+	codecCache[[2]int{k, m}] = c
+	return c, nil
+}
+
+// K returns the data shard count.
+func (c *Code) K() int { return c.k }
+
+// M returns the parity shard count.
+func (c *Code) M() int { return c.m }
+
+// MatrixRow exposes one encode-matrix row (tests pin the golden matrix
+// so the construction can never silently change).
+func (c *Code) MatrixRow(i int) []byte {
+	return append([]byte(nil), c.matrix[i]...)
+}
+
+// mulAdd accumulates dst ^= coef*src bytewise.
+func mulAdd(dst, src []byte, coef byte) {
+	switch coef {
+	case 0:
+	case 1:
+		for i, s := range src {
+			dst[i] ^= s
+		}
+	default:
+		tbl := &gfMulTable[coef]
+		for i, s := range src {
+			dst[i] ^= tbl[s]
+		}
+	}
+}
+
+// Encode computes the m parity shards of k equal-length data shards.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("erasure: encode got %d data shards, codec is rs(%d,%d)", len(data), c.k, c.m)
+	}
+	size := len(data[0])
+	for _, d := range data {
+		if len(d) != size || size == 0 {
+			return nil, ErrShardSize
+		}
+	}
+	parity := make([][]byte, c.m)
+	for i := range parity {
+		parity[i] = make([]byte, size)
+		row := c.matrix[c.k+i]
+		for j, src := range data {
+			mulAdd(parity[i], src, row[j])
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct fills in the missing (nil) entries of a full shard slice:
+// shards[0:k] are data, shards[k:k+m] parity. Any k present shards
+// recover all the rest; fewer returns ErrTooFewShards. Present shards
+// are never modified; reconstructed ones are freshly allocated.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.k+c.m {
+		return fmt.Errorf("erasure: reconstruct got %d shards, codec is rs(%d,%d)", len(shards), c.k, c.m)
+	}
+	size, present := 0, 0
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == 0 {
+			size = len(s)
+		}
+		if len(s) != size || size == 0 {
+			return ErrShardSize
+		}
+		present++
+	}
+	if present < c.k {
+		return fmt.Errorf("%w: %d of %d present, need %d", ErrTooFewShards, present, c.k+c.m, c.k)
+	}
+
+	dataMissing := false
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			dataMissing = true
+			break
+		}
+	}
+	if dataMissing {
+		// Decode: take the encode-matrix rows of the first k present
+		// shards, invert them, and multiply the present shards back
+		// through the inverse to recover every data shard.
+		rows := make([]int, 0, c.k)
+		for i := 0; i < c.k+c.m && len(rows) < c.k; i++ {
+			if shards[i] != nil {
+				rows = append(rows, i)
+			}
+		}
+		sub := make([][]byte, c.k)
+		for i, r := range rows {
+			sub[i] = append([]byte(nil), c.matrix[r]...)
+		}
+		inv, err := invert(sub)
+		if err != nil {
+			return err // unreachable for a Cauchy construction
+		}
+		for i := 0; i < c.k; i++ {
+			if shards[i] != nil {
+				continue
+			}
+			out := make([]byte, size)
+			for j, r := range rows {
+				mulAdd(out, shards[r], inv[i][j])
+			}
+			shards[i] = out
+		}
+	}
+	// Data is complete: recompute any missing parity directly.
+	for i := 0; i < c.m; i++ {
+		if shards[c.k+i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.matrix[c.k+i]
+		for j := 0; j < c.k; j++ {
+			mulAdd(out, shards[j], row[j])
+		}
+		shards[c.k+i] = out
+	}
+	return nil
+}
+
+// invert returns the inverse of a square matrix over GF(2^8) by
+// Gauss-Jordan elimination. The input is consumed.
+func invert(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	inv := make([][]byte, n)
+	for i := range inv {
+		inv[i] = make([]byte, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, errors.New("erasure: singular decode matrix")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if d := m[col][col]; d != 1 {
+			di := gfInv(d)
+			for j := 0; j < n; j++ {
+				m[col][j] = gfMul(m[col][j], di)
+				inv[col][j] = gfMul(inv[col][j], di)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			for j := 0; j < n; j++ {
+				m[r][j] ^= gfMul(f, m[col][j])
+				inv[r][j] ^= gfMul(f, inv[col][j])
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Redundancy names a deployment's (or blob's) page redundancy scheme:
+// the zero value is full replication (the paper's mode, copy count set
+// by the data replication factor); K > 0 selects rs(K,M) erasure-coded
+// stripes.
+type Redundancy struct {
+	K int // data shards per stripe; 0 = full replication
+	M int // parity shards per stripe
+	// Pinned marks a mode the user chose explicitly (ParseRedundancy
+	// sets it for every non-empty input). Only consultation points that
+	// fall back to an advertised default care: an unpinned zero value
+	// means "defer to the deployment", a pinned one means "replicate,
+	// even if the deployment advertises rs". Pinned is client-side
+	// intent only — it is never stored or sent on the wire.
+	Pinned bool
+}
+
+// IsRS reports whether the mode is erasure coding.
+func (r Redundancy) IsRS() bool { return r.K > 0 }
+
+// Shards returns K+M, the provider group size of one stripe.
+func (r Redundancy) Shards() int { return r.K + r.M }
+
+// Overhead returns the storage expansion factor: (K+M)/K for RS, or
+// float64(replicas) for replication.
+func (r Redundancy) Overhead(replicas int) float64 {
+	if r.IsRS() {
+		return float64(r.K+r.M) / float64(r.K)
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	return float64(replicas)
+}
+
+// Validate checks the geometry.
+func (r Redundancy) Validate() error {
+	if !r.IsRS() {
+		if r.M != 0 {
+			return fmt.Errorf("erasure: parity %d without data shards", r.M)
+		}
+		return nil
+	}
+	_, err := New(r.K, r.M)
+	return err
+}
+
+// String renders the mode in the form ParseRedundancy accepts.
+func (r Redundancy) String() string {
+	if !r.IsRS() {
+		return "replicate"
+	}
+	return fmt.Sprintf("rs(%d,%d)", r.K, r.M)
+}
+
+var rsModeRE = regexp.MustCompile(`^rs\((\d+),(\d+)\)$`)
+
+// ParseRedundancy parses "replicate" or "rs(k,m)" (e.g. "rs(4,2)").
+// Any non-empty input returns a Pinned mode: an explicit "replicate"
+// overrides an advertised rs default instead of deferring to it.
+func ParseRedundancy(s string) (Redundancy, error) {
+	if s == "" {
+		return Redundancy{}, nil
+	}
+	if s == "replicate" {
+		return Redundancy{Pinned: true}, nil
+	}
+	m := rsModeRE.FindStringSubmatch(s)
+	if m == nil {
+		return Redundancy{}, fmt.Errorf("erasure: bad redundancy mode %q (want \"replicate\" or \"rs(k,m)\")", s)
+	}
+	k, _ := strconv.Atoi(m[1])
+	p, _ := strconv.Atoi(m[2])
+	r := Redundancy{K: k, M: p, Pinned: true}
+	if err := r.Validate(); err != nil {
+		return Redundancy{}, err
+	}
+	return r, nil
+}

@@ -1,0 +1,278 @@
+package erasure
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestGFAxioms sanity-checks the field tables: multiplicative inverses
+// and distributivity over a sample of elements.
+func TestGFAxioms(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a*inv(a) = %d for a=%d", got, a)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity fails for %d,%d,%d", a, b, c)
+		}
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("commutativity fails for %d,%d", a, b)
+		}
+	}
+}
+
+// TestRoundTripAllLossPatterns drops every subset of up to m shards of
+// an rs(4,2) and an rs(3,3) stripe and reconstructs, byte-comparing the
+// result against the originals.
+func TestRoundTripAllLossPatterns(t *testing.T) {
+	for _, geom := range []struct{ k, m int }{{4, 2}, {3, 3}, {1, 1}, {2, 1}} {
+		c, err := New(geom.k, geom.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := geom.k + geom.m
+		rng := rand.New(rand.NewSource(42))
+		data := make([][]byte, geom.k)
+		for i := range data {
+			data[i] = make([]byte, 64)
+			rng.Read(data[i])
+		}
+		parity, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := append(append([][]byte{}, data...), parity...)
+
+		// Every loss mask with <= m bits set must reconstruct.
+		for mask := 0; mask < 1<<n; mask++ {
+			lost := 0
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					lost++
+				}
+			}
+			if lost == 0 || lost > geom.m {
+				continue
+			}
+			shards := make([][]byte, n)
+			for i := range shards {
+				if mask&(1<<i) == 0 {
+					shards[i] = full[i]
+				}
+			}
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("rs(%d,%d) mask %b: %v", geom.k, geom.m, mask, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(shards[i], full[i]) {
+					t.Fatalf("rs(%d,%d) mask %b: shard %d differs", geom.k, geom.m, mask, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTooFewShards pins the failure mode past the MDS limit.
+func TestTooFewShards(t *testing.T) {
+	c, _ := New(4, 2)
+	shards := make([][]byte, 6)
+	shards[0] = make([]byte, 8)
+	shards[1] = make([]byte, 8)
+	shards[2] = make([]byte, 8)
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruct with 3 of 6 shards should fail")
+	}
+}
+
+// TestGoldenMatrix pins the rs(4,2) encode matrix byte-for-byte: the
+// stripe layout on disk depends on it, so it must never silently change
+// (a different matrix would make existing parity undecodable).
+func TestGoldenMatrix(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+	}
+	// Parity rows: inv((k+i) ^ j) for i in [0,2), j in [0,4).
+	for i := 0; i < 2; i++ {
+		row := make([]byte, 4)
+		for j := 0; j < 4; j++ {
+			row[j] = gfInv(byte(4+i) ^ byte(j))
+		}
+		want = append(want, row)
+	}
+	for i := range want {
+		if got := c.MatrixRow(i); !bytes.Equal(got, want[i]) {
+			t.Fatalf("matrix row %d = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+// TestGoldenEncoding pins an end-to-end parity vector: a fixed rs(4,2)
+// stripe must always encode to these exact parity bytes. If the field
+// polynomial, the table construction, or the matrix ever changes, this
+// fails before any on-disk stripe becomes undecodable.
+func TestGoldenEncoding(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := [][]byte{
+		{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07},
+		{0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17},
+		{0xf0, 0xe1, 0xd2, 0xc3, 0xb4, 0xa5, 0x96, 0x87},
+		{0xde, 0xad, 0xbe, 0xef, 0x00, 0xff, 0x55, 0xaa},
+	}
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := hex.EncodeToString(parity[0]) + "|" + hex.EncodeToString(parity[1])
+	const want = "19b3b4a933ad47d9|6e3614439f0e62f3"
+	if got != want {
+		t.Fatalf("golden rs(4,2) parity drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestShortStripeGeometry exercises the per-stripe width helper and a
+// short stripe round trip (k'=2 under nominal rs(4,2)).
+func TestShortStripeGeometry(t *testing.T) {
+	if n := NumStripes(10, 4); n != 3 {
+		t.Fatalf("NumStripes(10,4) = %d", n)
+	}
+	if w := StripeWidth(2, 10, 4); w != 2 {
+		t.Fatalf("StripeWidth(2,10,4) = %d", w)
+	}
+	if w := StripeWidth(1, 10, 4); w != 4 {
+		t.Fatalf("StripeWidth(1,10,4) = %d", w)
+	}
+	c, err := New(2, 2) // the short stripe's own geometry
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := [][]byte{{1, 2, 3}, {4, 5, 6}}
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{nil, nil, parity[0], parity[1]}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[0], data[0]) || !bytes.Equal(shards[1], data[1]) {
+		t.Fatal("short stripe reconstruct mismatch")
+	}
+}
+
+// TestParityRelSpace pins the rel-page carving for parity slots.
+func TestParityRelSpace(t *testing.T) {
+	if r := ParityRel(0, 0, 2); r != ParityFlag {
+		t.Fatalf("ParityRel(0,0,2) = %#x", r)
+	}
+	if r := ParityRel(3, 1, 2); r != ParityFlag|7 {
+		t.Fatalf("ParityRel(3,1,2) = %#x", r)
+	}
+	if IsParityRel(7) || !IsParityRel(ParityFlag|7) {
+		t.Fatal("IsParityRel misclassifies")
+	}
+	if s := StripeOf(11, 4); s != 2 {
+		t.Fatalf("StripeOf(11,4) = %d", s)
+	}
+}
+
+// TestParseRedundancy covers the mode grammar.
+func TestParseRedundancy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Redundancy
+		ok   bool
+	}{
+		{"", Redundancy{}, true}, // unset: defer to the advertised mode
+		{"replicate", Redundancy{Pinned: true}, true},
+		{"rs(4,2)", Redundancy{K: 4, M: 2, Pinned: true}, true},
+		{"rs(1,1)", Redundancy{K: 1, M: 1, Pinned: true}, true},
+		{"rs(0,2)", Redundancy{}, false},
+		{"rs(4,0)", Redundancy{}, false},
+		{"rs(200,100)", Redundancy{}, false}, // k+m > 256
+		{"rs(4;2)", Redundancy{}, false},
+		{"raid5", Redundancy{}, false},
+	} {
+		got, err := ParseRedundancy(tc.in)
+		if tc.ok != (err == nil) {
+			t.Fatalf("ParseRedundancy(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if tc.ok && got != tc.want {
+			t.Fatalf("ParseRedundancy(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	if s := (Redundancy{K: 4, M: 2}).String(); s != "rs(4,2)" {
+		t.Fatalf("String() = %q", s)
+	}
+	if s := (Redundancy{}).String(); s != "replicate" {
+		t.Fatalf("String() = %q", s)
+	}
+	if o := (Redundancy{K: 4, M: 2}).Overhead(0); o != 1.5 {
+		t.Fatalf("Overhead = %v", o)
+	}
+}
+
+// BenchmarkEncode measures parity throughput at the default page size.
+func BenchmarkEncode(b *testing.B) {
+	c, _ := New(4, 2)
+	data := make([][]byte, 4)
+	for i := range data {
+		data[i] = make([]byte, 64<<10)
+	}
+	b.SetBytes(4 * 64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconstruct measures the degraded-read decode cost: two data
+// shards lost from an rs(4,2) stripe of 64 KB pages.
+func BenchmarkReconstruct(b *testing.B) {
+	c, _ := New(4, 2)
+	data := make([][]byte, 4)
+	for i := range data {
+		data[i] = make([]byte, 64<<10)
+		for j := range data[i] {
+			data[i][j] = byte(i * j)
+		}
+	}
+	parity, _ := c.Encode(data)
+	b.SetBytes(4 * 64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := [][]byte{nil, data[1], nil, data[3], parity[0], parity[1]}
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleCode() {
+	c, _ := New(4, 2)
+	data := [][]byte{{1}, {2}, {3}, {4}}
+	parity, _ := c.Encode(data)
+	// Lose two shards — any four survivors recover the stripe.
+	shards := [][]byte{nil, data[1], data[2], nil, parity[0], parity[1]}
+	_ = c.Reconstruct(shards)
+	fmt.Println(shards[0][0], shards[3][0])
+	// Output: 1 4
+}

@@ -39,6 +39,7 @@ import (
 	"fmt"
 
 	"blob/internal/core"
+	"blob/internal/erasure"
 	"blob/internal/meta"
 	"blob/internal/mstore"
 	"blob/internal/provider"
@@ -136,6 +137,28 @@ func (g *Collector) Collect(ctx context.Context, blobID uint64, keepFrom meta.Ve
 		for rel := uint32(0); uint64(rel) < rec.Range.Count; rel++ {
 			if !markedPages[pageRef{write: rec.WriteID, rel: rel}] {
 				deadRels = append(deadRels, rel)
+			}
+		}
+		// Erasure-coded blobs (docs/erasure.md): parity pages live in
+		// the high half of the rel space and are referenced by no leaf,
+		// so sweep them explicitly — a stripe whose every data page
+		// died takes its parity along. Partially-dead stripes keep
+		// parity, or their surviving pages would lose reconstructability.
+		if red := info.Redundancy; red.IsRS() {
+			k := uint64(red.K)
+			for s := uint64(0); s < erasure.NumStripes(rec.Range.Count, red.K); s++ {
+				allDead := true
+				for rel := s * k; rel < (s+1)*k && rel < rec.Range.Count; rel++ {
+					if markedPages[pageRef{write: rec.WriteID, rel: uint32(rel)}] {
+						allDead = false
+						break
+					}
+				}
+				if allDead {
+					for j := 0; j < red.M; j++ {
+						deadRels = append(deadRels, erasure.ParityRel(uint32(s), j, red.M))
+					}
+				}
 			}
 		}
 		if len(deadRels) == 0 {

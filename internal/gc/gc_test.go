@@ -7,6 +7,7 @@ import (
 
 	"blob/internal/cluster"
 	"blob/internal/core"
+	"blob/internal/erasure"
 	"blob/internal/gc"
 	"blob/internal/meta"
 )
@@ -247,5 +248,61 @@ func TestCollectAfterAbortedWrite(t *testing.T) {
 	got := make([]byte, 4*pageSize)
 	if _, err := b.Read(ctx, got, 0, 2); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCollectErasureParity pins the parity sweep for erasure-coded
+// blobs: collecting a fully superseded write removes its parity pages
+// along with its data pages — parity lives outside the logical rel
+// space and no leaf references it, so the GC must delete it explicitly
+// (docs/erasure.md §6).
+func TestCollectErasureParity(t *testing.T) {
+	cl, c := launch(t, cluster.Config{
+		DataProviders: 6,
+		MetaProviders: 6,
+		Redundancy:    erasure.Redundancy{K: 4, M: 2},
+		CacheNodes:    0,
+	})
+	ctx := context.Background()
+	b, err := c.CreateBlob(ctx, pageSize, 64*pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// v1: 8 pages = 2 full stripes (8 data + 4 parity shards).
+	// v2 fully supersedes it with the same shard footprint.
+	d1 := pattern(1, 8*pageSize)
+	d2 := pattern(2, 8*pageSize)
+	if _, err := b.Write(ctx, d1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write(ctx, d2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.TotalDataPages(); got != 24 {
+		t.Fatalf("setup: stored shards = %d, want 24", got)
+	}
+
+	rep, err := gc.New(c).Collect(ctx, b.ID(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 data + 4 parity pages of v1's write must be gone.
+	if rep.PagesDeleted != 12 {
+		t.Fatalf("pages deleted = %d, want 12 (8 data + 4 parity)", rep.PagesDeleted)
+	}
+	if got := cl.TotalDataPages(); got != 12 {
+		t.Fatalf("stored shards after GC = %d, want 12 (parity leak?)", got)
+	}
+
+	// The surviving version still reads, including after a provider
+	// stop (its stripes kept their parity).
+	cl.DataServers[0].Close()
+	got := make([]byte, len(d2))
+	if _, err := b.Read(ctx, got, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, d2) {
+		t.Fatal("post-GC degraded read mismatch")
 	}
 }

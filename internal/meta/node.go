@@ -12,11 +12,54 @@ import (
 // number exists — paper §III.B), and RelPage the page's index relative to
 // the write's first page. Providers lists the replica provider IDs.
 // Checksum is the FNV-1a hash of the page content, verified on read.
+//
+// Under rs(k,m) redundancy (docs/erasure.md) Providers holds the single
+// provider of the page's data shard and Stripe describes the rest of
+// the page's stripe — everything a degraded read or the repair agent
+// needs to reconstruct any shard from k survivors without further
+// metadata fetches.
 type LeafData struct {
 	Write     uint64
 	RelPage   uint32
 	Providers []uint32
 	Checksum  uint64
+	Stripe    *StripeRef
+}
+
+// StripeRef is one stripe's full layout, embedded in each of its data
+// leaves (stripe members share a write, so the duplication is a few
+// dozen bytes per leaf and keeps reconstruction single-fetch). Slot i
+// of [0,K) is the data page at rel FirstRel+i; slot K+j the parity
+// page at rel ParityRel0+j. K is the stripe's own width — a short
+// final stripe records its actual data count, making every stripe
+// self-describing.
+type StripeRef struct {
+	K, M       uint8
+	FirstRel   uint32
+	ParityRel0 uint32
+	// Provs holds the K+M provider IDs of the stripe's slots; Sums the
+	// matching shard checksums (verified on every reconstruction pull).
+	Provs []uint32
+	Sums  []uint64
+}
+
+// SlotRel returns the rel-page of stripe slot i (data then parity).
+func (s *StripeRef) SlotRel(i int) uint32 {
+	if i < int(s.K) {
+		return s.FirstRel + uint32(i)
+	}
+	return s.ParityRel0 + uint32(i-int(s.K))
+}
+
+// SlotOf returns the stripe slot index of a rel-page, or -1.
+func (s *StripeRef) SlotOf(rel uint32) int {
+	if rel >= s.FirstRel && rel < s.FirstRel+uint32(s.K) {
+		return int(rel - s.FirstRel)
+	}
+	if rel >= s.ParityRel0 && rel < s.ParityRel0+uint32(s.M) {
+		return int(s.K) + int(rel-s.ParityRel0)
+	}
+	return -1
 }
 
 // Node is one segment tree node: its key plus either child versions
@@ -37,7 +80,8 @@ type Node struct {
 func (n *Node) IsLeaf() bool { return n.Key.Range.IsLeaf() }
 
 const (
-	nodeFlagLeaf = 1 << 0
+	nodeFlagLeaf   = 1 << 0
+	nodeFlagStripe = 1 << 1
 )
 
 // Encode serializes the node. The key is embedded in the value so a
@@ -49,11 +93,23 @@ func (n *Node) Encode() []byte {
 	w.Uvarint(n.Key.Range.Start)
 	w.Uvarint(n.Key.Range.Size)
 	if n.Leaf != nil {
-		w.Uint8(nodeFlagLeaf)
+		flags := uint8(nodeFlagLeaf)
+		if n.Leaf.Stripe != nil {
+			flags |= nodeFlagStripe
+		}
+		w.Uint8(flags)
 		w.Uvarint(n.Leaf.Write)
 		w.Uvarint(uint64(n.Leaf.RelPage))
 		w.Uint64(n.Leaf.Checksum)
 		w.Uint32Slice(n.Leaf.Providers)
+		if s := n.Leaf.Stripe; s != nil {
+			w.Uint8(s.K)
+			w.Uint8(s.M)
+			w.Uint32(s.FirstRel)
+			w.Uint32(s.ParityRel0)
+			w.Uint32Slice(s.Provs)
+			w.Uint64Slice(s.Sums)
+		}
 	} else {
 		w.Uint8(0)
 		w.Uvarint(n.LeftVer)
@@ -85,6 +141,23 @@ func DecodeNode(body []byte, want NodeKey) (*Node, error) {
 		}
 		leaf.Checksum = r.Uint64()
 		leaf.Providers = r.Uint32Slice()
+		if flags&nodeFlagStripe != 0 {
+			s := &StripeRef{
+				K:          r.Uint8(),
+				M:          r.Uint8(),
+				FirstRel:   r.Uint32(),
+				ParityRel0: r.Uint32(),
+			}
+			s.Provs = r.Uint32Slice()
+			s.Sums = r.Uint64Slice()
+			if r.Err() == nil {
+				if want := int(s.K) + int(s.M); len(s.Provs) != want || len(s.Sums) != want {
+					return nil, fmt.Errorf("meta: stripe ref shape %d provs/%d sums for rs(%d,%d)",
+						len(s.Provs), len(s.Sums), s.K, s.M)
+				}
+			}
+			leaf.Stripe = s
+		}
 		n.Leaf = leaf
 	} else {
 		n.LeftVer = r.Uvarint()

@@ -335,3 +335,39 @@ func BenchmarkBuild128PageWrite(b *testing.B) {
 		}
 	}
 }
+
+func TestNodeStripeRefRoundTrip(t *testing.T) {
+	leaf := Node{
+		Key: NodeKey{Blob: 3, Version: 9, Range: NodeRange{5, 1}},
+		Leaf: &LeafData{
+			Write: 77, RelPage: 5, Providers: []uint32{2}, Checksum: 0xfeed,
+			Stripe: &StripeRef{
+				K: 4, M: 2, FirstRel: 4, ParityRel0: 1<<31 | 2,
+				Provs: []uint32{2, 3, 4, 5, 6, 7},
+				Sums:  []uint64{1, 2, 3, 4, 5, 6},
+			},
+		},
+	}
+	got, err := DecodeNode(leaf.Encode(), leaf.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got.Leaf.Stripe
+	if s == nil || s.K != 4 || s.M != 2 || s.FirstRel != 4 || s.ParityRel0 != 1<<31|2 ||
+		len(s.Provs) != 6 || s.Provs[5] != 7 || len(s.Sums) != 6 || s.Sums[5] != 6 {
+		t.Fatalf("stripe round-trip = %+v", s)
+	}
+	// Slot addressing both ways.
+	if s.SlotRel(1) != 5 || s.SlotRel(4) != 1<<31|2 || s.SlotRel(5) != 1<<31|3 {
+		t.Errorf("SlotRel = %d, %d, %d", s.SlotRel(1), s.SlotRel(4), s.SlotRel(5))
+	}
+	if s.SlotOf(5) != 1 || s.SlotOf(1<<31|3) != 5 || s.SlotOf(99) != -1 {
+		t.Errorf("SlotOf = %d, %d, %d", s.SlotOf(5), s.SlotOf(1<<31|3), s.SlotOf(99))
+	}
+
+	// A ref whose slice lengths disagree with its geometry is rejected.
+	leaf.Leaf.Stripe.Provs = leaf.Leaf.Stripe.Provs[:5]
+	if _, err := DecodeNode(leaf.Encode(), leaf.Key); err == nil {
+		t.Error("short Provs slice not rejected")
+	}
+}

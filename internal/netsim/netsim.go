@@ -172,8 +172,27 @@ func (h *Host) Dial(addr string) (net.Conn, error) {
 		h.nic, remoteNIC,
 		simAddr(h.name+":0"), simAddr(addr),
 	)
+	// The backlog send and the done channel can both be ready (the
+	// backlog is buffered), and a buffered conn on a dead listener
+	// would strand its dialer forever — a crashed node must refuse, not
+	// black-hole. Check done around the send; Close additionally drains
+	// whatever a racing dial still deposited.
+	select {
+	case <-l.done:
+		cliEnd.Close()
+		srvEnd.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
+	default:
+	}
 	select {
 	case l.backlog <- srvEnd:
+		select {
+		case <-l.done:
+			cliEnd.Close()
+			srvEnd.Close()
+			return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
+		default:
+		}
 		return cliEnd, nil
 	case <-l.done:
 		cliEnd.Close()
@@ -205,6 +224,18 @@ func (l *listener) Close() error {
 		l.net.mu.Lock()
 		delete(l.net.listeners, string(l.addr))
 		l.net.mu.Unlock()
+		// Drain connections stranded in the backlog so their dialers
+		// see a reset instead of waiting on an accept that will never
+		// come (Dial rechecks done after its send, so nothing new can
+		// land here once the drain finishes).
+		for {
+			select {
+			case c := <-l.backlog:
+				c.Close()
+			default:
+				return
+			}
+		}
 	})
 	return nil
 }

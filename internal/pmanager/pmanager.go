@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"blob/internal/erasure"
 	"blob/internal/rpc"
 	"blob/internal/wire"
 )
@@ -75,6 +76,9 @@ type provider struct {
 	bytesUsed int64
 	activeOps int64
 	lastSeen  time.Time
+	// deadNotified marks that a DeathWatch pass already reported this
+	// provider silent; a heartbeat or re-registration re-arms it.
+	deadNotified bool
 }
 
 // Manager is the provider manager service.
@@ -82,6 +86,7 @@ type Manager struct {
 	strategy   Strategy
 	hbTimeout  time.Duration // 0 disables liveness filtering
 	replicas   int
+	red        erasure.Redundancy
 	rrCounter  uint64
 	rng        *rand.Rand
 	mu         sync.Mutex
@@ -101,6 +106,13 @@ type Config struct {
 	HeartbeatTimeout time.Duration
 	// Replicas is the number of copies of each page (default 1).
 	Replicas int
+	// Redundancy is the deployment's advertised redundancy mode
+	// (docs/erasure.md): the zero value advertises full replication;
+	// rs(k,m) tells connecting clients to erasure-code new blobs unless
+	// they override it. The manager itself only advertises the mode —
+	// placement always yields distinct providers per group, which is
+	// exactly what a stripe needs.
+	Redundancy erasure.Redundancy
 	// Seed seeds the randomized strategies (0 uses a fixed seed, keeping
 	// placement reproducible in experiments).
 	Seed int64
@@ -119,6 +131,7 @@ func New(cfg Config) *Manager {
 		strategy:  cfg.Strategy,
 		hbTimeout: cfg.HeartbeatTimeout,
 		replicas:  cfg.Replicas,
+		red:       cfg.Redundancy,
 		rng:       rand.New(rand.NewSource(seed)),
 		byID:      make(map[uint32]*provider),
 		nextID:    1,
@@ -128,6 +141,9 @@ func New(cfg Config) *Manager {
 // Replicas returns the configured replication factor for data pages.
 func (m *Manager) Replicas() int { return m.replicas }
 
+// Redundancy returns the deployment's advertised redundancy mode.
+func (m *Manager) Redundancy() erasure.Redundancy { return m.red }
+
 // Register adds (or re-registers) a provider, returning its ID.
 func (m *Manager) Register(addr string, capacity int64) uint32 {
 	m.mu.Lock()
@@ -136,6 +152,7 @@ func (m *Manager) Register(addr string, capacity int64) uint32 {
 		if p.info.Addr == addr {
 			p.capacity = capacity
 			p.lastSeen = time.Now()
+			p.deadNotified = false
 			return p.info.ID
 		}
 	}
@@ -162,7 +179,49 @@ func (m *Manager) Heartbeat(id uint32, bytesUsed, activeOps int64) bool {
 	p.bytesUsed = bytesUsed
 	p.activeOps = activeOps
 	p.lastSeen = time.Now()
+	p.deadNotified = false
 	return true
+}
+
+// DeathWatch scans for providers that stopped heartbeating and calls
+// onDeath once per detected death (a provider that resumes heartbeats
+// re-arms). It blocks until stop closes, so callers run it in a
+// goroutine; a manager without a heartbeat timeout has no liveness
+// signal and returns immediately. The repair pipeline hangs off this:
+// the cluster (and blobnode's pmanager role) wire onDeath to trigger an
+// immediate repair pass instead of waiting out the RepairInterval
+// timer, cutting the window a second failure could widen into data
+// loss.
+func (m *Manager) DeathWatch(stop <-chan struct{}, onDeath func(id uint32)) {
+	if m.hbTimeout <= 0 || onDeath == nil {
+		return
+	}
+	scan := m.hbTimeout / 4
+	if scan <= 0 {
+		scan = m.hbTimeout
+	}
+	t := time.NewTicker(scan)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		var dead []uint32
+		m.mu.Lock()
+		cutoff := time.Now().Add(-m.hbTimeout)
+		for _, p := range m.byID {
+			if !p.deadNotified && p.lastSeen.Before(cutoff) {
+				p.deadNotified = true
+				dead = append(dead, p.info.ID)
+			}
+		}
+		m.mu.Unlock()
+		for _, id := range dead {
+			onDeath(id)
+		}
+	}
 }
 
 // live returns providers considered alive, under the lock.
@@ -343,8 +402,10 @@ func (m *Manager) handleAllocate(_ context.Context, body []byte) ([]byte, error)
 
 func (m *Manager) handleList(_ context.Context, _ []byte) ([]byte, error) {
 	epoch, infos := m.List()
-	w := wire.NewWriter(16 + 24*len(infos))
+	w := wire.NewWriter(24 + 24*len(infos))
 	w.Uint64(epoch)
+	w.Uint8(uint8(m.red.K))
+	w.Uint8(uint8(m.red.M))
 	w.Uvarint(uint64(len(infos)))
 	for _, p := range infos {
 		w.Uint32(p.ID)
@@ -409,18 +470,28 @@ func SendHeartbeat(ctx context.Context, pool *rpc.Pool, pmAddr string, id uint32
 	return err
 }
 
-// FetchProviders retrieves the full provider list.
-func FetchProviders(ctx context.Context, pool *rpc.Pool, pmAddr string) (uint64, []ProviderInfo, error) {
+// Directory is a decoded MList response: the registration epoch, the
+// deployment's advertised redundancy mode, and every registered
+// provider.
+type Directory struct {
+	Epoch      uint64
+	Redundancy erasure.Redundancy
+	Providers  []ProviderInfo
+}
+
+// FetchProviders retrieves the provider directory.
+func FetchProviders(ctx context.Context, pool *rpc.Pool, pmAddr string) (Directory, error) {
 	resp, err := pool.Call(ctx, pmAddr, MList, nil)
 	if err != nil {
-		return 0, nil, fmt.Errorf("pmanager: list: %w", err)
+		return Directory{}, fmt.Errorf("pmanager: list: %w", err)
 	}
 	r := wire.NewReader(resp)
-	epoch := r.Uint64()
+	d := Directory{Epoch: r.Uint64()}
+	d.Redundancy = erasure.Redundancy{K: int(r.Uint8()), M: int(r.Uint8())}
 	n := int(r.Uvarint())
-	infos := make([]ProviderInfo, 0, n)
+	d.Providers = make([]ProviderInfo, 0, n)
 	for i := 0; i < n; i++ {
-		infos = append(infos, ProviderInfo{ID: r.Uint32(), Addr: r.String()})
+		d.Providers = append(d.Providers, ProviderInfo{ID: r.Uint32(), Addr: r.String()})
 	}
-	return epoch, infos, r.Err()
+	return d, r.Err()
 }

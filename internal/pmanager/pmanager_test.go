@@ -200,12 +200,15 @@ func TestRPCEndToEnd(t *testing.T) {
 		t.Errorf("addr map = %v", alloc.Addrs)
 	}
 
-	epoch, infos, err := FetchProviders(ctx, pool, "pm:rpc")
+	dir, err := FetchProviders(ctx, pool, "pm:rpc")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if epoch == 0 || len(infos) != 1 || infos[0].Addr != "prov0:rpc" {
-		t.Errorf("list = epoch %d, %v", epoch, infos)
+	if dir.Epoch == 0 || len(dir.Providers) != 1 || dir.Providers[0].Addr != "prov0:rpc" {
+		t.Errorf("list = %+v", dir)
+	}
+	if dir.Redundancy.IsRS() {
+		t.Errorf("default deployment advertises %v, want replicate", dir.Redundancy)
 	}
 }
 
@@ -237,5 +240,62 @@ func BenchmarkAllocate256Pages(b *testing.B) {
 		if _, _, err := m.Allocate(256, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestDeathWatch pins the heartbeat-death notification protocol: one
+// callback per detected death, re-armed by a later heartbeat.
+func TestDeathWatch(t *testing.T) {
+	m := New(Config{HeartbeatTimeout: 40 * time.Millisecond})
+	id := m.Register("prov0:rpc", 0)
+
+	deaths := make(chan uint32, 8)
+	stop := make(chan struct{})
+	defer close(stop)
+	go m.DeathWatch(stop, func(id uint32) { deaths <- id })
+
+	// Silence past the timeout: exactly one notification.
+	select {
+	case got := <-deaths:
+		if got != id {
+			t.Fatalf("death of %d, want %d", got, id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no death notification")
+	}
+	select {
+	case got := <-deaths:
+		t.Fatalf("duplicate death notification for %d", got)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	// A heartbeat revives the provider and re-arms the watch.
+	if !m.Heartbeat(id, 0, 0) {
+		t.Fatal("heartbeat rejected")
+	}
+	select {
+	case got := <-deaths:
+		if got != id {
+			t.Fatalf("death of %d, want %d", got, id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no death notification after revival lapse")
+	}
+}
+
+// TestDeathWatchDisabled pins that the watch is inert without a
+// heartbeat timeout (no liveness signal exists to judge death by).
+func TestDeathWatchDisabled(t *testing.T) {
+	m := New(Config{})
+	m.Register("prov0:rpc", 0)
+	done := make(chan struct{})
+	go func() {
+		m.DeathWatch(make(chan struct{}), func(uint32) { t.Error("death reported without timeout") })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("DeathWatch did not return immediately")
 	}
 }

@@ -62,6 +62,15 @@ type Report struct {
 	// no page data RPC — either ruled healthy (counts and digest agree)
 	// or ruled definitely-missing by the digest.
 	BloomSkips int64
+	// Erasure-coded stripes (docs/erasure.md): PagesReconstructed counts
+	// shards the agent rebuilt by decoding k survivors and re-pushed to
+	// their providers; ReconstructedBytes is the payload pushed for
+	// them (the bytes the degraded providers had to ingest — compare
+	// with BytesPulled for replication); SurvivorBytes the shard bytes
+	// the agent read to feed the decodes.
+	PagesReconstructed int64
+	ReconstructedBytes int64
+	SurvivorBytes      int64
 	// Unrepairable counts slots that stayed degraded: no healthy peer
 	// holds the page, or the degraded provider is unreachable.
 	Unrepairable int64
@@ -125,6 +134,7 @@ func (r *Repairer) RepairBlob(ctx context.Context, blobID uint64) (Report, error
 		rel   uint32
 	}
 	needs := make(map[pageKey]pageNeed)
+	stripes := make(map[stripeKey]*stripeState)
 walk:
 	for v := latest; v >= 1; v-- {
 		for _, ext := range extents {
@@ -148,6 +158,20 @@ walk:
 				if l.Leaf.Write == 0 {
 					continue // never-written page: nothing stored anywhere
 				}
+				if s := l.Leaf.Stripe; s != nil {
+					// Erasure-coded page: repaired per stripe, by
+					// reconstruction rather than replica pulls.
+					sk := stripeKey{l.Leaf.Write, s.FirstRel}
+					st := stripes[sk]
+					if st == nil {
+						st = &stripeState{write: l.Leaf.Write, ref: s, refd: make(map[int]bool)}
+						stripes[sk] = st
+					}
+					if slot := s.SlotOf(l.Leaf.RelPage); slot >= 0 {
+						st.refd[slot] = true
+					}
+					continue
+				}
 				k := pageKey{l.Leaf.Write, l.Leaf.RelPage}
 				if _, ok := needs[k]; !ok {
 					needs[k] = pageNeed{
@@ -158,7 +182,7 @@ walk:
 			}
 		}
 	}
-	if len(needs) == 0 {
+	if len(needs) == 0 && len(stripes) == 0 {
 		return rep, nil
 	}
 
@@ -185,13 +209,36 @@ walk:
 		}
 	}
 
+	// The MListWrites scope: every (provider, write) replication needs,
+	// plus every (provider, write) an erasure stripe's checked slots
+	// touch.
+	wantWrites := make(map[uint32]map[uint64]bool)
+	addWant := func(id uint32, w uint64) {
+		wm := wantWrites[id]
+		if wm == nil {
+			wm = make(map[uint64]bool)
+			wantWrites[id] = wm
+		}
+		wm[w] = true
+	}
+	for id, wm := range perProv {
+		for w := range wm {
+			addWant(id, w)
+		}
+	}
+	for _, st := range stripes {
+		for _, slot := range st.checkedSlots() {
+			addWant(st.ref.Provs[slot], st.write)
+		}
+	}
+
 	// Ask every involved provider what it holds (one RPC each). heldBy
 	// indexes each response's write list for O(1) lookups in the
 	// diagnosis loops below.
 	holdings := make(map[uint32]provider.Holdings)
 	heldBy := make(map[uint32]map[uint64]int64)
 	reachable := make(map[uint32]bool)
-	for id, wm := range perProv {
+	for id, wm := range wantWrites {
 		addr, ok := addrs[id]
 		if !ok {
 			rep.ProviderErrors++
@@ -301,9 +348,13 @@ walk:
 			}
 		}
 	}
+	// Erasure-coded stripes: reconstruction plans (reconstruct.go).
+	r.repairStripes(ctx, &rep, blobID, stripes, addrs, holdings, heldBy, reachable)
+
 	if rep.PagesMissing > 0 {
-		r.logf("repair: blob %d: %d/%d replica slots degraded, %d repaired (%d bytes), %d unrepairable",
-			blobID, rep.PagesMissing, rep.PagesChecked, rep.PagesRepaired, rep.BytesPulled, rep.Unrepairable)
+		r.logf("repair: blob %d: %d/%d replica slots degraded, %d repaired (%d bytes pulled), %d reconstructed (%d bytes pushed), %d unrepairable",
+			blobID, rep.PagesMissing, rep.PagesChecked, rep.PagesRepaired, rep.BytesPulled,
+			rep.PagesReconstructed, rep.ReconstructedBytes, rep.Unrepairable)
 	}
 	return rep, nil
 }
@@ -423,6 +474,9 @@ func (r *Repairer) RepairAll(ctx context.Context, blobs []uint64) (Report, error
 		total.BytesPulled += rep.BytesPulled
 		total.PagesSkipped += rep.PagesSkipped
 		total.BloomSkips += rep.BloomSkips
+		total.PagesReconstructed += rep.PagesReconstructed
+		total.ReconstructedBytes += rep.ReconstructedBytes
+		total.SurvivorBytes += rep.SurvivorBytes
 		total.Unrepairable += rep.Unrepairable
 		total.ProviderErrors += rep.ProviderErrors
 		if err != nil {

@@ -64,6 +64,10 @@ func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		// Close the listener here: a Close that ran before this Serve
+		// registered l never saw it, and leaving it open would leak a
+		// zombie listener that accepts connections nobody serves.
+		l.Close()
 		return ErrClosed
 	}
 	s.lis = append(s.lis, l)

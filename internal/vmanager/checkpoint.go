@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"blob/internal/erasure"
 	"blob/internal/meta"
 	"blob/internal/wire"
 )
@@ -20,8 +21,16 @@ import (
 // history in version order. Data and metadata live on the providers and
 // the DHT and need no recovery.
 
-// checkpointMagic identifies the stream format.
-const checkpointMagic = 0x424c4f42564d4731 // "BLOBVMG1"
+// checkpointMagic identifies the stream format. G2 added the per-blob
+// redundancy mode (docs/erasure.md); new checkpoints are written as G2,
+// and G1 streams from pre-erasure builds still restore (every blob in
+// them predates rs modes, so they decode as replicated) — the
+// checkpoint is the version manager's only durable state, and an
+// upgrade must never strand it.
+const (
+	checkpointMagic   = 0x424c4f42564d4732 // "BLOBVMG2"
+	checkpointMagicG1 = 0x424c4f42564d4731 // "BLOBVMG1"
+)
 
 // Checkpoint writes the manager's full state to w. It holds the manager
 // lock for the duration, so writes pause briefly; state sizes are small
@@ -38,6 +47,8 @@ func (m *Manager) Checkpoint(w io.Writer) error {
 		enc.Uint64(id)
 		enc.Uint64(b.pageSize)
 		enc.Uint64(b.totalPages)
+		enc.Uint8(uint8(b.red.K))
+		enc.Uint8(uint8(b.red.M))
 		enc.Uint64(b.latestAssigned)
 		enc.Uint64(b.latestPublished)
 		enc.Uint64Slice(b.sizes)
@@ -76,9 +87,11 @@ func Restore(r io.Reader, cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("vmanager: restore: %w", err)
 	}
 	dec := wire.NewReader(raw)
-	if magic := dec.Uint64(); magic != checkpointMagic {
+	magic := dec.Uint64()
+	if magic != checkpointMagic && magic != checkpointMagicG1 {
 		return nil, fmt.Errorf("vmanager: restore: bad magic %#x", magic)
 	}
+	hasRed := magic == checkpointMagic
 	m := New(cfg)
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -87,15 +100,20 @@ func Restore(r io.Reader, cfg Config) (*Manager, error) {
 	for i := 0; i < nblobs; i++ {
 		id := dec.Uint64()
 		b := &blobState{
-			id:              id,
-			pageSize:        dec.Uint64(),
-			totalPages:      dec.Uint64(),
-			latestAssigned:  dec.Uint64(),
-			latestPublished: dec.Uint64(),
-			sizes:           dec.Uint64Slice(),
-			pending:         make(map[meta.Version]*pendingWrite),
-			changed:         make(chan struct{}),
+			id:         id,
+			pageSize:   dec.Uint64(),
+			totalPages: dec.Uint64(),
+			pending:    make(map[meta.Version]*pendingWrite),
+			changed:    make(chan struct{}),
 		}
+		if hasRed {
+			// A G1 blob predates erasure coding: replicated by
+			// definition, so red stays the zero value.
+			b.red = erasure.Redundancy{K: int(dec.Uint8()), M: int(dec.Uint8())}
+		}
+		b.latestAssigned = dec.Uint64()
+		b.latestPublished = dec.Uint64()
+		b.sizes = dec.Uint64Slice()
 		nhist := int(dec.Uvarint())
 		for j := 0; j < nhist; j++ {
 			b.history = append(b.history, WriteRecord{

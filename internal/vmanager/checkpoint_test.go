@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"blob/internal/meta"
+	"blob/internal/wire"
 )
 
 func TestCheckpointRestoreRoundTrip(t *testing.T) {
@@ -179,5 +180,54 @@ func TestCheckpointMultipleBlobs(t *testing.T) {
 		if err != nil || size != pageSize*uint64(i+1) {
 			t.Errorf("blob %d: size %d err %v", id, size, err)
 		}
+	}
+}
+
+// TestRestoreG1Checkpoint pins upgrade compatibility: a BLOBVMG1 stream
+// from a pre-erasure build (no per-blob redundancy bytes) must restore,
+// with every blob replicated — the checkpoint is the version manager's
+// only durable state, and an upgrade must never strand it.
+func TestRestoreG1Checkpoint(t *testing.T) {
+	// Hand-encode a G1 stream: one blob, one published write.
+	enc := wire.NewWriter(256)
+	enc.Uint64(checkpointMagicG1)
+	enc.Uint64(2) // nextID
+	enc.Uvarint(1)
+	enc.Uint64(1)        // blob id
+	enc.Uint64(pageSize) // pageSize
+	enc.Uint64(64)       // totalPages (no redundancy bytes in G1)
+	enc.Uint64(1)        // latestAssigned
+	enc.Uint64(1)        // latestPublished
+	enc.Uint64Slice([]uint64{0, 4 * pageSize})
+	enc.Uvarint(1) // history
+	enc.Uvarint(1)
+	enc.Uvarint(0)
+	enc.Uvarint(4)
+	enc.Uint64(77)
+	enc.Bool(false)
+	enc.Uvarint(0) // pending
+
+	m, err := Restore(bytes.NewReader(enc.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	info, err := m.Info(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Redundancy.IsRS() {
+		t.Fatalf("G1 blob restored as %v, want replicate", info.Redundancy)
+	}
+	if info.LatestPublished != 1 || info.SizeBytes != 4*pageSize {
+		t.Fatalf("info = %+v", info)
+	}
+	// And the restored manager re-checkpoints as G2, round-tripping.
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(&buf, Config{}); err != nil {
+		t.Fatal(err)
 	}
 }

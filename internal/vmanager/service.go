@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"blob/internal/erasure"
 	"blob/internal/meta"
 	"blob/internal/rpc"
 	"blob/internal/wire"
@@ -47,10 +48,11 @@ func (m *Manager) handleCreate(_ context.Context, body []byte) ([]byte, error) {
 	r := wire.NewReader(body)
 	pageSize := r.Uint64()
 	capacity := r.Uint64()
+	red := erasure.Redundancy{K: int(r.Uint8()), M: int(r.Uint8())}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("vmanager create: %w", err)
 	}
-	id, err := m.CreateBlob(pageSize, capacity)
+	id, err := m.CreateBlobMode(pageSize, capacity, red)
 	if err != nil {
 		return nil, err
 	}
@@ -69,12 +71,14 @@ func (m *Manager) handleInfo(_ context.Context, body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := wire.NewWriter(40)
+	w := wire.NewWriter(48)
 	w.Uint64(info.ID)
 	w.Uint64(info.PageSize)
 	w.Uint64(info.TotalPages)
 	w.Uint64(info.LatestPublished)
 	w.Uint64(info.SizeBytes)
+	w.Uint8(uint8(info.Redundancy.K))
+	w.Uint8(uint8(info.Redundancy.M))
 	return w.Bytes(), nil
 }
 
@@ -235,11 +239,14 @@ func NewClient(pool *rpc.Pool, addr string) *Client {
 	return &Client{pool: pool, addr: addr}
 }
 
-// CreateBlob allocates a blob.
-func (c *Client) CreateBlob(ctx context.Context, pageSize, capacityBytes uint64) (uint64, error) {
-	w := wire.NewWriter(16)
+// CreateBlob allocates a blob with the given redundancy mode (zero
+// value = full replication).
+func (c *Client) CreateBlob(ctx context.Context, pageSize, capacityBytes uint64, red erasure.Redundancy) (uint64, error) {
+	w := wire.NewWriter(18)
 	w.Uint64(pageSize)
 	w.Uint64(capacityBytes)
+	w.Uint8(uint8(red.K))
+	w.Uint8(uint8(red.M))
 	resp, err := c.pool.Call(ctx, c.addr, MCreate, w.Bytes())
 	if err != nil {
 		return 0, err
@@ -265,6 +272,7 @@ func (c *Client) Info(ctx context.Context, blob uint64) (BlobInfo, error) {
 		LatestPublished: r.Uint64(),
 		SizeBytes:       r.Uint64(),
 	}
+	info.Redundancy = erasure.Redundancy{K: int(r.Uint8()), M: int(r.Uint8())}
 	return info, r.Err()
 }
 

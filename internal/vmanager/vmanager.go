@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"blob/internal/erasure"
 	"blob/internal/meta"
 	"blob/internal/stats"
 )
@@ -58,6 +59,11 @@ type blobState struct {
 	id         uint64
 	pageSize   uint64
 	totalPages uint64
+	// red is the blob's redundancy mode, fixed at ALLOC: zero value =
+	// full replication, K>0 = rs(K,M) erasure-coded stripes
+	// (docs/erasure.md). Readers, writers and the repair agent all
+	// learn it from Info.
+	red erasure.Redundancy
 
 	latestAssigned  meta.Version
 	latestPublished meta.Version
@@ -160,10 +166,21 @@ func (m *Manager) Close() {
 	m.repairWG.Wait()
 }
 
-// CreateBlob allocates a new blob (the paper's ALLOC primitive): a
-// globally unique id for a string of capacityBytes bytes in pageSize
-// pages. capacityBytes/pageSize must be a power of two.
+// CreateBlob allocates a new blob (the paper's ALLOC primitive) in the
+// default full-replication mode. See CreateBlobMode.
 func (m *Manager) CreateBlob(pageSize, capacityBytes uint64) (uint64, error) {
+	return m.CreateBlobMode(pageSize, capacityBytes, erasure.Redundancy{})
+}
+
+// CreateBlobMode allocates a new blob: a globally unique id for a
+// string of capacityBytes bytes in pageSize pages, with the given
+// redundancy mode fixed for the blob's lifetime (the mode shapes every
+// write's metadata, so it cannot change once pages exist).
+// capacityBytes/pageSize must be a power of two.
+func (m *Manager) CreateBlobMode(pageSize, capacityBytes uint64, red erasure.Redundancy) (uint64, error) {
+	if err := red.Validate(); err != nil {
+		return 0, err
+	}
 	if !meta.IsPowerOfTwo(pageSize) {
 		return 0, fmt.Errorf("vmanager: page size %d not a power of two", pageSize)
 	}
@@ -183,6 +200,7 @@ func (m *Manager) CreateBlob(pageSize, capacityBytes uint64) (uint64, error) {
 		id:         id,
 		pageSize:   pageSize,
 		totalPages: totalPages,
+		red:        red,
 		sizes:      []uint64{0},
 		ivm:        ivm,
 		pending:    make(map[meta.Version]*pendingWrite),
@@ -198,6 +216,8 @@ type BlobInfo struct {
 	TotalPages      uint64
 	LatestPublished meta.Version
 	SizeBytes       uint64
+	// Redundancy is the blob's fixed redundancy mode (zero = replication).
+	Redundancy erasure.Redundancy
 }
 
 // Info returns a blob's current info.
@@ -214,6 +234,7 @@ func (m *Manager) Info(blob uint64) (BlobInfo, error) {
 		TotalPages:      b.totalPages,
 		LatestPublished: b.latestPublished,
 		SizeBytes:       b.sizes[b.latestPublished],
+		Redundancy:      b.red,
 	}, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"blob/internal/erasure"
 	"blob/internal/meta"
 	"blob/internal/netsim"
 	"blob/internal/rpc"
@@ -501,7 +502,7 @@ func TestServiceOverRPC(t *testing.T) {
 	c := NewClient(pool, "vm:rpc")
 	ctx := context.Background()
 
-	blob, err := c.CreateBlob(ctx, pageSize, capBytes)
+	blob, err := c.CreateBlob(ctx, pageSize, capBytes, erasure.Redundancy{})
 	if err != nil {
 		t.Fatal(err)
 	}
