@@ -206,6 +206,23 @@ func metricName(p bench.AblationPoint) string {
 	return string(out) + "-" + p.Unit
 }
 
+func BenchmarkAblationHotPath(b *testing.B) {
+	sc := figScale()
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.AblateHotPath(8, 64, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rep.WriteAllocReductionPct, "write-alloc-reduction-%")
+			b.ReportMetric(rep.ReadAllocReductionPct, "read-alloc-reduction-%")
+			b.ReportMetric(rep.WriteBytesReductionPct, "write-bytes-reduction-%")
+			b.ReportMetric(rep.ReadBytesReductionPct, "read-bytes-reduction-%")
+			b.ReportMetric(rep.WriteMeanSpeedupPct, "write-mean-speedup-%")
+		}
+	}
+}
+
 func BenchmarkAblationErasure(b *testing.B) {
 	sc := figScale()
 	for i := 0; i < b.N; i++ {

@@ -8,7 +8,11 @@
 //	blobbench -exp fig3b            # metadata write overhead (Figure 3b)
 //	blobbench -exp fig3c            # concurrent throughput   (Figure 3c)
 //	blobbench -exp ablations        # design-choice ablations
+//	blobbench -exp hotpath          # zero-copy data path vs legacy codec
 //	blobbench -exp all
+//
+// -json FILE additionally writes the hotpath report as JSON (the
+// BENCH_5.json perf-trajectory artifact, see docs/perf.md).
 //
 // Reported durations divide by the time scale for comparison with the
 // paper; bandwidths multiply. The normalized (paper-comparable) value is
@@ -16,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,9 +32,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3a|fig3b|fig3c|ablations|all")
+	exp := flag.String("exp", "all", "experiment: fig3a|fig3b|fig3c|ablations|hotpath|all")
 	iters := flag.Int("iters", 3, "iterations per measured point")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	jsonPath := flag.String("json", "", "write the hotpath report to this file as JSON")
 	flag.Parse()
 
 	sc := bench.DefaultScale()
@@ -59,11 +65,43 @@ func main() {
 	run("fig3b", func() error { return fig3Meta(false, providers, segments, sc) })
 	run("fig3c", func() error { return fig3c(clients, sc, *quick) })
 	run("ablations", func() error { return ablations(sc, *quick) })
+	run("hotpath", func() error { return hotpath(sc, *quick, *jsonPath) })
 
-	if *exp != "all" && *exp != "fig3a" && *exp != "fig3b" && *exp != "fig3c" && *exp != "ablations" {
+	if *exp != "all" && *exp != "fig3a" && *exp != "fig3b" && *exp != "fig3c" && *exp != "ablations" && *exp != "hotpath" {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// hotpath runs the zero-copy data path ablation (docs/perf.md) and
+// optionally writes the BENCH_5.json perf-trajectory artifact.
+func hotpath(sc bench.Scale, quick bool, jsonPath string) error {
+	writes, seg := 24, uint64(64)
+	if quick {
+		writes = 8
+	}
+	rep, err := bench.AblateHotPath(writes, seg, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Zero-copy vectored data path vs legacy codec (%d-page segments, %d writes/mode)\n",
+		rep.SegPages, rep.Writes)
+	fmt.Printf("latencies carry the 1/%d simulation time scale; round trips verified: %v\n\n",
+		netsim.TimeScale, rep.RoundTripsVerified)
+	for _, p := range rep.Points() {
+		fmt.Printf("   %-32s %10.2f %s\n", p.Name, p.Value, p.Unit)
+	}
+	if jsonPath != "" {
+		j, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(j, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 func fig3Meta(read bool, providers []int, segments []uint64, sc bench.Scale) error {

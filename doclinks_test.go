@@ -55,10 +55,11 @@ func TestDocLinks(t *testing.T) {
 // architecture overview, so a reader landing anywhere finds them.
 func TestDocCrossReferences(t *testing.T) {
 	wants := map[string][]string{
-		"README.md":            {"docs/architecture.md", "docs/diskstore-format.md", "docs/replication.md", "docs/erasure.md"},
-		"docs/architecture.md": {"diskstore-format.md", "replication.md", "erasure.md"},
+		"README.md":            {"docs/architecture.md", "docs/diskstore-format.md", "docs/replication.md", "docs/erasure.md", "docs/perf.md"},
+		"docs/architecture.md": {"diskstore-format.md", "replication.md", "erasure.md", "perf.md"},
 		"docs/erasure.md":      {"replication.md", "architecture.md"},
 		"docs/replication.md":  {"erasure.md", "architecture.md"},
+		"docs/perf.md":         {"architecture.md"},
 	}
 	for file, targets := range wants {
 		body, err := os.ReadFile(file)

@@ -159,3 +159,19 @@ func TestAblateErasureRuns(t *testing.T) {
 			r, byName["2x replication: repair bytes into degraded provider"])
 	}
 }
+
+func TestAblateHotPathRuns(t *testing.T) {
+	rep, err := AblateHotPath(3, 8, smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RoundTripsVerified {
+		t.Error("hot-path round trips not verified byte-identical")
+	}
+	if rep.Legacy.WriteAllocsPerOp <= 0 || rep.Vectored.WriteAllocsPerOp <= 0 {
+		t.Errorf("degenerate alloc measurements: %+v", rep)
+	}
+	if len(rep.Points()) == 0 {
+		t.Error("no ablation points")
+	}
+}

@@ -1,0 +1,231 @@
+package bench
+
+// Hot-path ablation (docs/perf.md): the zero-copy vectored data path +
+// pipelined write protocol versus the legacy codec, on the same
+// simulated Grid'5000 fabric. This is the measurement behind the perf
+// trajectory seeded by BENCH_5.json: write/read latency (mean and p99),
+// process-wide allocations and allocated bytes per operation, with
+// every read verified byte-identical against what was written.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"blob/internal/cluster"
+	"blob/internal/core"
+)
+
+// HotPathStats is one mode's measurement.
+type HotPathStats struct {
+	Mode             string  `json:"mode"`
+	WriteMeanMs      float64 `json:"write_mean_ms"`
+	WriteP99Ms       float64 `json:"write_p99_ms"`
+	ReadMeanMs       float64 `json:"read_mean_ms"`
+	ReadP99Ms        float64 `json:"read_p99_ms"`
+	WriteAllocsPerOp float64 `json:"write_allocs_per_op"`
+	WriteKBPerOp     float64 `json:"write_kb_per_op"`
+	ReadAllocsPerOp  float64 `json:"read_allocs_per_op"`
+	ReadKBPerOp      float64 `json:"read_kb_per_op"`
+}
+
+// HotPathReport is the full before/after comparison, serialized to
+// BENCH_5.json by cmd/blobbench.
+type HotPathReport struct {
+	SegPages  uint64 `json:"seg_pages"`
+	PageSize  uint64 `json:"page_size"`
+	Providers int    `json:"providers"`
+	Writes    int    `json:"writes"`
+
+	Legacy   HotPathStats `json:"legacy"`
+	Vectored HotPathStats `json:"vectored"`
+
+	// Reductions are (legacy - vectored) / legacy, in percent.
+	WriteAllocReductionPct float64 `json:"write_alloc_reduction_pct"`
+	WriteBytesReductionPct float64 `json:"write_bytes_reduction_pct"`
+	ReadAllocReductionPct  float64 `json:"read_alloc_reduction_pct"`
+	ReadBytesReductionPct  float64 `json:"read_bytes_reduction_pct"`
+	WriteMeanSpeedupPct    float64 `json:"write_mean_speedup_pct"`
+	ReadMeanSpeedupPct     float64 `json:"read_mean_speedup_pct"`
+
+	// RoundTripsVerified is true when every read in both modes returned
+	// exactly the bytes its write stored.
+	RoundTripsVerified bool `json:"round_trips_verified"`
+}
+
+// Points flattens the report for the text-table printers.
+func (r HotPathReport) Points() []AblationPoint {
+	pts := make([]AblationPoint, 0, 16)
+	for _, st := range []HotPathStats{r.Legacy, r.Vectored} {
+		pts = append(pts,
+			AblationPoint{Name: st.Mode + " write mean", Value: st.WriteMeanMs, Unit: "ms"},
+			AblationPoint{Name: st.Mode + " write p99", Value: st.WriteP99Ms, Unit: "ms"},
+			AblationPoint{Name: st.Mode + " read mean", Value: st.ReadMeanMs, Unit: "ms"},
+			AblationPoint{Name: st.Mode + " read p99", Value: st.ReadP99Ms, Unit: "ms"},
+			AblationPoint{Name: st.Mode + " write allocs/op", Value: st.WriteAllocsPerOp, Unit: "allocs"},
+			AblationPoint{Name: st.Mode + " write KB/op", Value: st.WriteKBPerOp, Unit: "KB"},
+			AblationPoint{Name: st.Mode + " read allocs/op", Value: st.ReadAllocsPerOp, Unit: "allocs"},
+			AblationPoint{Name: st.Mode + " read KB/op", Value: st.ReadKBPerOp, Unit: "KB"},
+		)
+	}
+	pts = append(pts,
+		AblationPoint{Name: "write alloc reduction", Value: r.WriteAllocReductionPct, Unit: "%"},
+		AblationPoint{Name: "write bytes reduction", Value: r.WriteBytesReductionPct, Unit: "%"},
+		AblationPoint{Name: "read alloc reduction", Value: r.ReadAllocReductionPct, Unit: "%"},
+		AblationPoint{Name: "read bytes reduction", Value: r.ReadBytesReductionPct, Unit: "%"},
+		AblationPoint{Name: "write mean speedup", Value: r.WriteMeanSpeedupPct, Unit: "%"},
+		AblationPoint{Name: "read mean speedup", Value: r.ReadMeanSpeedupPct, Unit: "%"},
+	)
+	return pts
+}
+
+// AblateHotPath measures the data hot path end to end in both codec
+// modes. writes is the operation count per mode; each operation moves a
+// segment of segPages pages. The metadata backend/processing delay
+// models are disabled so the measurement isolates the data path the
+// ablation is about; the fabric is the paper's Grid'5000 simulation, so
+// latency numbers carry netsim.TimeScale like every other experiment.
+func AblateHotPath(writes int, segPages uint64, sc Scale) (HotPathReport, error) {
+	rep := HotPathReport{SegPages: segPages, PageSize: sc.PageSize, Providers: 4, Writes: writes}
+	scHot := sc
+	scHot.MetaPutDelay = 0
+	scHot.MetaProcessDelay = 0
+	rep.RoundTripsVerified = true
+
+	// Both modes run against one cluster instance (disjoint blobs), so
+	// the comparison never carries fabric-instantiation variance.
+	cl, err := grid5000Cluster(rep.Providers, scHot, -1)
+	if err != nil {
+		return rep, err
+	}
+	defer cl.Shutdown()
+
+	for _, legacy := range []bool{true, false} {
+		st, ok, err := hotPathMode(cl, legacy, writes, segPages, scHot)
+		if err != nil {
+			return rep, err
+		}
+		if !ok {
+			rep.RoundTripsVerified = false
+		}
+		if legacy {
+			rep.Legacy = st
+		} else {
+			rep.Vectored = st
+		}
+	}
+
+	pct := func(legacy, vec float64) float64 {
+		if legacy <= 0 {
+			return 0
+		}
+		return (legacy - vec) / legacy * 100
+	}
+	rep.WriteAllocReductionPct = pct(rep.Legacy.WriteAllocsPerOp, rep.Vectored.WriteAllocsPerOp)
+	rep.WriteBytesReductionPct = pct(rep.Legacy.WriteKBPerOp, rep.Vectored.WriteKBPerOp)
+	rep.ReadAllocReductionPct = pct(rep.Legacy.ReadAllocsPerOp, rep.Vectored.ReadAllocsPerOp)
+	rep.ReadBytesReductionPct = pct(rep.Legacy.ReadKBPerOp, rep.Vectored.ReadKBPerOp)
+	rep.WriteMeanSpeedupPct = pct(rep.Legacy.WriteMeanMs, rep.Vectored.WriteMeanMs)
+	rep.ReadMeanSpeedupPct = pct(rep.Legacy.ReadMeanMs, rep.Vectored.ReadMeanMs)
+	return rep, nil
+}
+
+// hotPathMode runs one mode's write+read sweep and returns its stats
+// and whether all round trips were byte-identical.
+func hotPathMode(cl *cluster.Cluster, legacy bool, writes int, segPages uint64, sc Scale) (HotPathStats, bool, error) {
+	st := HotPathStats{Mode: "vectored"}
+	if legacy {
+		st.Mode = "legacy"
+	}
+	ctx := context.Background()
+	opts := cl.ClientOptions("hotpath-" + st.Mode)
+	opts.LegacyDataPath = legacy
+	c, err := core.NewClient(ctx, opts)
+	if err != nil {
+		return st, false, err
+	}
+	defer c.Close()
+	b, err := c.CreateBlob(ctx, sc.PageSize, sc.BlobPages*sc.PageSize)
+	if err != nil {
+		return st, false, err
+	}
+
+	segBytes := segPages * sc.PageSize
+	rng := rand.New(rand.NewSource(42))
+	segments := make([][]byte, writes)
+	for i := range segments {
+		segments[i] = make([]byte, segBytes)
+		rng.Read(segments[i])
+	}
+	offset := func(i int) uint64 { return uint64(i) * 2 * segBytes }
+
+	// Warm-up op (connections, pools, provider directory) outside the
+	// measured window.
+	warm := make([]byte, segBytes)
+	if _, err := b.Write(ctx, warm, uint64(writes)*2*segBytes); err != nil {
+		return st, false, err
+	}
+
+	var ms runtime.MemStats
+	lat := make([]time.Duration, writes)
+
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	m0, b0 := ms.Mallocs, ms.TotalAlloc
+	for i := 0; i < writes; i++ {
+		t0 := time.Now()
+		if _, err := b.Write(ctx, segments[i], offset(i)); err != nil {
+			return st, false, err
+		}
+		lat[i] = time.Since(t0)
+	}
+	runtime.ReadMemStats(&ms)
+	st.WriteAllocsPerOp = float64(ms.Mallocs-m0) / float64(writes)
+	st.WriteKBPerOp = float64(ms.TotalAlloc-b0) / float64(writes) / 1024
+	st.WriteMeanMs, st.WriteP99Ms = latStats(lat)
+
+	verified := true
+	got := make([]byte, segBytes)
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	m0, b0 = ms.Mallocs, ms.TotalAlloc
+	for i := 0; i < writes; i++ {
+		t0 := time.Now()
+		if _, err := b.ReadLatest(ctx, got, offset(i)); err != nil {
+			return st, false, err
+		}
+		lat[i] = time.Since(t0)
+		if !bytes.Equal(got, segments[i]) {
+			verified = false
+		}
+	}
+	runtime.ReadMemStats(&ms)
+	st.ReadAllocsPerOp = float64(ms.Mallocs-m0) / float64(writes)
+	st.ReadKBPerOp = float64(ms.TotalAlloc-b0) / float64(writes) / 1024
+	st.ReadMeanMs, st.ReadP99Ms = latStats(lat)
+	if !verified {
+		return st, false, fmt.Errorf("bench: %s mode served bytes differing from what was written", st.Mode)
+	}
+	return st, true, nil
+}
+
+// latStats returns mean and p99 in milliseconds.
+func latStats(lat []time.Duration) (mean, p99 float64) {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	mean = total.Seconds() / float64(len(sorted)) * 1e3
+	idx := len(sorted) * 99 / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	p99 = sorted[idx].Seconds() * 1e3
+	return mean, p99
+}

@@ -72,6 +72,13 @@ type Options struct {
 	// fetched metadata node (simulation knob for the experiment
 	// harness; zero disables it). See mstore.Client.ProcessDelay.
 	MetaProcessDelay time.Duration
+	// LegacyDataPath selects the pre-vectored data path: contiguous
+	// request encoding, copying response decode, and strictly sequential
+	// write phases. It exists for the hot-path ablation
+	// (bench.AblateHotPath, docs/perf.md) — production clients leave it
+	// false and get the zero-copy codec plus the pipelined write
+	// protocol.
+	LegacyDataPath bool
 }
 
 // Client talks to one deployment of the service. It is safe for
@@ -162,6 +169,7 @@ func NewClient(ctx context.Context, opts Options) (*Client, error) {
 	}
 	ms := mstore.New(kv, opts.CacheNodes)
 	ms.ProcessDelay = opts.MetaProcessDelay
+	ms.Vectored = !opts.LegacyDataPath
 	c := &Client{
 		opts:      opts,
 		pool:      pool,

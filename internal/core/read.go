@@ -32,18 +32,27 @@ func (b *Blob) Read(ctx context.Context, buf []byte, offset uint64, v meta.Versi
 	return res.Latest, err
 }
 
-// ReadLatest reads the newest published snapshot and returns its version.
+// ReadLatest reads the newest published snapshot and returns its
+// version. The version learned from the version manager is passed down
+// as already-validated, so the whole read costs a single centralized
+// interaction (ReadDetailed would otherwise re-fetch it).
 func (b *Blob) ReadLatest(ctx context.Context, buf []byte, offset uint64) (meta.Version, error) {
 	latest, _, err := b.c.vm.Latest(ctx, b.id)
 	if err != nil {
 		return 0, err
 	}
-	_, err = b.Read(ctx, buf, offset, latest)
+	_, err = b.readDetailed(ctx, buf, offset, latest, true)
 	return latest, err
 }
 
 // ReadDetailed is Read with phase timings.
 func (b *Blob) ReadDetailed(ctx context.Context, buf []byte, offset uint64, v meta.Version) (ReadResult, error) {
+	return b.readDetailed(ctx, buf, offset, v, false)
+}
+
+// readDetailed implements READ; vKnownPublished skips the freshness
+// round trip when the caller just learned v from the version manager.
+func (b *Blob) readDetailed(ctx context.Context, buf []byte, offset uint64, v meta.Version, vKnownPublished bool) (ReadResult, error) {
 	var res ReadResult
 	start := time.Now()
 	if len(buf) == 0 || uint64(len(buf))%b.pageSize != 0 {
@@ -55,14 +64,17 @@ func (b *Blob) ReadDetailed(ctx context.Context, buf []byte, offset uint64, v me
 
 	// Step 1 (paper §III.B): learn the latest published version — the
 	// only centralized interaction of the whole read.
-	latest, _, err := b.c.vm.Latest(ctx, b.id)
-	if err != nil {
-		return res, err
+	res.Latest = v
+	if !vKnownPublished {
+		latest, _, err := b.c.vm.Latest(ctx, b.id)
+		if err != nil {
+			return res, err
+		}
+		if v > latest {
+			return res, fmt.Errorf("%w: requested v%d, latest published v%d", ErrNotPublished, v, latest)
+		}
+		res.Latest = latest
 	}
-	if v > latest {
-		return res, fmt.Errorf("%w: requested v%d, latest published v%d", ErrNotPublished, v, latest)
-	}
-	res.Latest = latest
 
 	// Step 2: resolve the segment through the metadata tree.
 	t0 := time.Now()
@@ -135,6 +147,7 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 	}
 
 	var repairs []readRepair
+	legacy := b.c.opts.LegacyDataPath
 
 	// Replica tiers: try everyone's first replica in one parallel wave,
 	// then the second replica for whatever failed, and so on. A page
@@ -143,8 +156,19 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 		type group struct {
 			refs  []provider.PageRef
 			items []item
+			dsts  [][]byte
 		}
-		groups := make(map[uint32]*group)
+		// Pre-count the fan-out so each group's slices allocate exactly
+		// once (incremental append growth was a measurable slice of the
+		// read path, docs/perf.md). The count ignores bloom skips, so a
+		// skip merely leaves a little slack capacity.
+		counts := make(map[uint32]int, 8)
+		for _, it := range remaining {
+			if provs := it.leaf.Leaf.Providers; tier < len(provs) {
+				counts[provs[tier]]++
+			}
+		}
+		groups := make(map[uint32]*group, len(counts))
 		var next []item
 		for _, it := range remaining {
 			provs := it.leaf.Leaf.Providers
@@ -167,13 +191,19 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 			}
 			g := groups[id]
 			if g == nil {
-				g = &group{}
+				n := counts[id]
+				g = &group{
+					refs:  make([]provider.PageRef, 0, n),
+					items: make([]item, 0, n),
+					dsts:  make([][]byte, 0, n),
+				}
 				groups[id] = g
 			}
 			g.refs = append(g.refs, provider.PageRef{
 				Blob: b.id, Write: it.leaf.Leaf.Write, RelPage: it.leaf.Leaf.RelPage,
 			})
 			g.items = append(g.items, it)
+			g.dsts = append(g.dsts, it.dst)
 		}
 
 		pend := make([]*rpc.Pending, 0, len(groups))
@@ -192,8 +222,43 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 		}
 		// missedWrites gathers, per definitively-missing provider, the
 		// writes probed there — the digest refresh below scopes its
-		// MListWrites to them.
-		missedWrites := make(map[uint32][]uint64)
+		// MListWrites to them. Allocated only when a miss happens.
+		var missedWrites map[uint32][]uint64
+		miss := func(it item, id uint32) item {
+			it.missed = append(it.missed, id)
+			if missedWrites == nil {
+				missedWrites = make(map[uint32][]uint64)
+			}
+			missedWrites[id] = append(missedWrites[id], it.leaf.Leaf.Write)
+			return it
+		}
+		// served records a verified page, queueing a read-repair when
+		// earlier replicas definitively missed it. The repair references
+		// the page bytes in place (it.dst or the decoded copy);
+		// scheduleReadRepair materializes its own copy only for repairs
+		// it actually schedules.
+		served := func(it item, data []byte) {
+			if len(it.missed) > 0 {
+				repairs = append(repairs, readRepair{
+					write:     it.leaf.Leaf.Write,
+					rel:       it.leaf.Leaf.RelPage,
+					data:      data,
+					providers: it.missed,
+				})
+			}
+		}
+		// One status scratch serves every group: the wait loop decodes
+		// sequentially.
+		var status []provider.PageStatus
+		if !legacy {
+			maxGroup := 0
+			for _, g := range gs {
+				if len(g.refs) > maxGroup {
+					maxGroup = len(g.refs)
+				}
+			}
+			status = make([]provider.PageStatus, maxGroup)
+		}
 		for i, p := range pend {
 			resp, err := p.Wait(ctx)
 			if err != nil {
@@ -203,36 +268,50 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 				next = append(next, gs[i].items...)
 				continue
 			}
-			datas, err := provider.DecodeGetPages(resp, len(gs[i].refs))
+			if legacy {
+				datas, err := provider.DecodeGetPages(resp, len(gs[i].refs))
+				if err != nil {
+					return err
+				}
+				for j, data := range datas {
+					it := gs[i].items[j]
+					switch {
+					case data == nil:
+						// Definite miss: the provider answered and lacks
+						// the page — a read-repair target.
+						next = append(next, miss(it, ids[i]))
+					case uint64(len(data)) != b.pageSize ||
+						wire.Checksum64(data) != it.leaf.Leaf.Checksum:
+						// Corrupt copy: fail over, but don't re-push — the
+						// provider holds a (bad) record and first-wins puts
+						// would not replace it.
+						next = append(next, it)
+					default:
+						copy(it.dst, data)
+						served(it, data)
+					}
+				}
+				continue
+			}
+			// Zero-copy path: pages land straight in their destination
+			// slices; the pooled response frame goes back immediately.
+			err = provider.DecodeGetPagesInto(resp, gs[i].dsts, status[:len(gs[i].refs)])
+			p.Release()
 			if err != nil {
 				return err
 			}
-			for j, data := range datas {
+			for j, st := range status[:len(gs[i].refs)] {
 				it := gs[i].items[j]
-				if data == nil {
-					// Definite miss: the provider answered and lacks the
-					// page — a read-repair target.
-					it.missed = append(it.missed, ids[i])
-					missedWrites[ids[i]] = append(missedWrites[ids[i]], it.leaf.Leaf.Write)
+				switch {
+				case st == provider.PageMissing:
+					next = append(next, miss(it, ids[i]))
+				case st == provider.PageBad ||
+					wire.Checksum64(it.dst) != it.leaf.Leaf.Checksum:
+					// Wrong size or corrupt: fail over; the next tier
+					// overwrites whatever landed in dst.
 					next = append(next, it)
-					continue
-				}
-				if uint64(len(data)) != b.pageSize ||
-					wire.Checksum64(data) != it.leaf.Leaf.Checksum {
-					// Corrupt copy: fail over, but don't re-push — the
-					// provider holds a (bad) record and first-wins puts
-					// would not replace it.
-					next = append(next, it)
-					continue
-				}
-				copy(it.dst, data)
-				if len(it.missed) > 0 {
-					repairs = append(repairs, readRepair{
-						write:     it.leaf.Leaf.Write,
-						rel:       it.leaf.Leaf.RelPage,
-						data:      append([]byte(nil), data...),
-						providers: it.missed,
-					})
+				default:
+					served(it, it.dst)
 				}
 			}
 		}

@@ -13,6 +13,9 @@ import (
 )
 
 // readRepair is one page to re-push to the replicas that missed it.
+// data may alias the caller's read buffer (or a decode scratch buffer)
+// when handed to scheduleReadRepair, which copies it — only for repairs
+// it actually schedules — before returning.
 type readRepair struct {
 	write     uint64
 	rel       uint32
@@ -98,6 +101,13 @@ func (c *Client) scheduleReadRepair(blob uint64, repairs []readRepair) {
 	case c.repairSem <- struct{}{}:
 	default:
 		return // saturated: shed this batch
+	}
+	// Materialize owned copies only now that the batch is definitely
+	// going out — a shed batch costs nothing, and pages served straight
+	// into the caller's buffer are captured before Read returns and the
+	// caller may reuse it.
+	for i := range repairs {
+		repairs[i].data = append([]byte(nil), repairs[i].data...)
 	}
 	go func() {
 		defer func() { <-c.repairSem }()

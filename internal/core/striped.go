@@ -22,9 +22,14 @@ import (
 )
 
 // putStriped implements the rs(k,m) write fan-out: one allocation of
-// k+m distinct providers per stripe, parity encoding, and a single
-// batched MPutPages per provider covering both data and parity pages.
-// It returns one StripeRef per stripe for the metadata build.
+// k+m distinct providers per stripe, parity encoding, and per-stripe
+// MPutPages dispatch. The dispatch is pipelined: stripe s's shard
+// messages are handed to the rpc layer (whose writer loops flush them
+// in the background, coalescing messages to the same provider into
+// shared frames) before stripe s+1 starts encoding, so the CPU-bound
+// parity encode of one stripe overlaps the network push of the
+// previous one. It returns one StripeRef per stripe for the metadata
+// build.
 func (b *Blob) putStriped(ctx context.Context, writeID uint64, buf []byte) ([]*meta.StripeRef, error) {
 	k, m := b.red.K, b.red.M
 	npages := uint64(len(buf)) / b.pageSize
@@ -43,27 +48,26 @@ func (b *Blob) putStriped(ctx context.Context, writeID uint64, buf []byte) ([]*m
 			k, m, k+m, group)
 	}
 
-	type batch struct {
-		rels  []uint32
-		datas [][]byte
-	}
-	batches := make(map[uint32]*batch)
-	add := func(id uint32, rel uint32, data []byte) {
-		bt := batches[id]
-		if bt == nil {
-			bt = &batch{}
-			batches[id] = bt
-		}
-		bt.rels = append(bt.rels, rel)
-		bt.datas = append(bt.datas, data)
-	}
-
 	refs := make([]*meta.StripeRef, nStripes)
 	var parityBytes int64
+	pend := make([]*rpc.Pending, 0, int(nStripes)*(k+m))
+	// Every early error return must drain the already-dispatched calls:
+	// their segments alias buf (data shards) and must stay untouched
+	// until flushed.
+	push := func(id uint32, rel uint32, data []byte) error {
+		addr, err := b.c.providerAddr(ctx, id)
+		if err != nil {
+			return err
+		}
+		segs := provider.EncodePutPagesVec(b.id, writeID, []uint32{rel}, [][]byte{data})
+		pend = append(pend, b.c.pool.GoVec(addr, provider.MPutPages, segs))
+		return nil
+	}
 	for s := uint64(0); s < nStripes; s++ {
 		width := erasure.StripeWidth(s, npages, k)
 		code, err := erasure.Cached(width, m)
 		if err != nil {
+			drainPending(pend)
 			return nil, err
 		}
 		data := make([][]byte, width)
@@ -73,6 +77,7 @@ func (b *Blob) putStriped(ctx context.Context, writeID uint64, buf []byte) ([]*m
 		}
 		parity, err := code.Encode(data)
 		if err != nil {
+			drainPending(pend)
 			return nil, err
 		}
 		provs := alloc.IDs[int(s)*group : int(s)*group+width+m]
@@ -86,29 +91,28 @@ func (b *Blob) putStriped(ctx context.Context, writeID uint64, buf []byte) ([]*m
 		}
 		for i, d := range data {
 			ref.Sums[i] = wire.Checksum64(d)
-			add(provs[i], ref.FirstRel+uint32(i), d)
+			if err := push(provs[i], ref.FirstRel+uint32(i), d); err != nil {
+				drainPending(pend)
+				return nil, err
+			}
 		}
 		for j, p := range parity {
 			ref.Sums[width+j] = wire.Checksum64(p)
-			add(provs[width+j], erasure.ParityRel(uint32(s), j, m), p)
+			if err := push(provs[width+j], erasure.ParityRel(uint32(s), j, m), p); err != nil {
+				drainPending(pend)
+				return nil, err
+			}
 			parityBytes += int64(len(p))
 		}
 		refs[s] = ref
 	}
 
-	pend := make([]*rpc.Pending, 0, len(batches))
-	for id, bt := range batches {
-		addr, err := b.c.providerAddr(ctx, id)
-		if err != nil {
-			return nil, err
-		}
-		body := provider.EncodePutPages(b.id, writeID, bt.rels, bt.datas)
-		pend = append(pend, b.c.pool.Go(addr, provider.MPutPages, body))
-	}
-	for _, p := range pend {
+	for i, p := range pend {
 		if _, err := p.Wait(ctx); err != nil {
+			drainPending(pend[i:])
 			return nil, fmt.Errorf("core: store stripe shards: %w", err)
 		}
+		p.Release()
 	}
 	b.c.ParityBytes.Add(parityBytes)
 	return refs, nil
@@ -129,6 +133,7 @@ func (b *Blob) fetchStriped(ctx context.Context, items []stripedItem) error {
 	type group struct {
 		refs  []provider.PageRef
 		items []stripedItem
+		dsts  [][]byte
 	}
 	groups := make(map[uint32]*group)
 	for _, it := range items {
@@ -142,6 +147,7 @@ func (b *Blob) fetchStriped(ctx context.Context, items []stripedItem) error {
 			Blob: b.id, Write: it.leaf.Leaf.Write, RelPage: it.leaf.Leaf.RelPage,
 		})
 		g.items = append(g.items, it)
+		g.dsts = append(g.dsts, it.dst)
 	}
 
 	var failed []stripedItem
@@ -165,18 +171,21 @@ func (b *Blob) fetchStriped(ctx context.Context, items []stripedItem) error {
 			failed = append(failed, gs[i].items...)
 			continue
 		}
-		datas, err := provider.DecodeGetPages(resp, len(gs[i].refs))
+		// Shards land straight in their destination slices; failures
+		// degrade to reconstruction, which overwrites dst.
+		status := make([]provider.PageStatus, len(gs[i].refs))
+		err = provider.DecodeGetPagesInto(resp, gs[i].dsts, status)
+		p.Release()
 		if err != nil {
 			return err
 		}
-		for j, data := range datas {
+		for j, st := range status {
 			it := gs[i].items[j]
-			if data == nil || uint64(len(data)) != b.pageSize ||
-				wire.Checksum64(data) != it.leaf.Leaf.Checksum {
+			if st != provider.PageOK ||
+				wire.Checksum64(it.dst) != it.leaf.Leaf.Checksum {
 				failed = append(failed, it)
 				continue
 			}
-			copy(it.dst, data)
 		}
 	}
 	if len(failed) == 0 {
@@ -292,10 +301,11 @@ func (b *Blob) reconstructStripe(ctx context.Context, items []stripedItem) error
 		// Re-push the reconstructed shard to its home provider in the
 		// background: a degraded read restores redundancy as a side
 		// effect, exactly like replication's read-repair.
+		// scheduleReadRepair copies data if (and only if) it schedules.
 		repairs = append(repairs, readRepair{
 			write:     write,
 			rel:       it.leaf.Leaf.RelPage,
-			data:      append([]byte(nil), data...),
+			data:      data,
 			providers: []uint32{ref.Provs[slot]},
 		})
 	}

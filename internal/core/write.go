@@ -9,6 +9,7 @@ import (
 	"blob/internal/pmanager"
 	"blob/internal/provider"
 	"blob/internal/rpc"
+	"blob/internal/vmanager"
 	"blob/internal/wire"
 )
 
@@ -68,6 +69,28 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 		return res, err
 	}
 
+	// Phases 1 and 2 are independent — the page push is keyed by the
+	// client-generated write identity, not the version number — so the
+	// pipelined protocol runs the version-manager round trip (Phase 2)
+	// concurrently with the page/parity fan-out (Phase 1) and the write
+	// pays max(push, assign) instead of their sum. The legacy path keeps
+	// the paper's strictly sequential ordering for the ablation.
+	type assignResult struct {
+		asg vmanager.Assignment
+		err error
+		dur time.Duration
+	}
+	assign := func() assignResult {
+		t := time.Now()
+		asg, err := b.c.vm.AssignVersion(ctx, b.id, writeID, offset, uint64(len(buf)), isAppend)
+		return assignResult{asg, err, time.Since(t)}
+	}
+	pipelined := !b.c.opts.LegacyDataPath
+	assignCh := make(chan assignResult, 1)
+	if pipelined {
+		go func() { assignCh <- assign() }()
+	}
+
 	// Phase 1 (paper §III.B): get providers from the provider manager,
 	// then push all pages in parallel, batched per provider. The two
 	// redundancy modes differ only in what lands where: replication
@@ -76,55 +99,74 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 	// leafAt function the metadata build below consumes.
 	t0 := time.Now()
 	var leafAt func(rel uint64) meta.LeafData
+	var pushErr error
 	if b.red.IsRS() {
 		refs, err := b.putStriped(ctx, writeID, buf)
 		if err != nil {
-			return res, err
-		}
-		k := uint64(b.red.K)
-		leafAt = func(rel uint64) meta.LeafData {
-			ref := refs[rel/k]
-			slot := int(uint32(rel) - ref.FirstRel)
-			return meta.LeafData{
-				Write:     writeID,
-				RelPage:   uint32(rel),
-				Providers: []uint32{ref.Provs[slot]},
-				Checksum:  ref.Sums[slot],
-				Stripe:    ref,
+			pushErr = err
+		} else {
+			k := uint64(b.red.K)
+			leafAt = func(rel uint64) meta.LeafData {
+				ref := refs[rel/k]
+				slot := int(uint32(rel) - ref.FirstRel)
+				return meta.LeafData{
+					Write:     writeID,
+					RelPage:   uint32(rel),
+					Providers: []uint32{ref.Provs[slot]},
+					Checksum:  ref.Sums[slot],
+					Stripe:    ref,
+				}
 			}
 		}
 	} else {
 		alloc, err := b.allocateProviders(ctx, int(npages), b.c.opts.DataReplicas)
 		if err != nil {
-			return res, err
-		}
-		checksums, err := b.putPages(ctx, writeID, buf, alloc)
-		if err != nil {
-			return res, err
-		}
-		r := b.c.opts.DataReplicas
-		if r > len(alloc.IDs)/int(npages) {
-			r = len(alloc.IDs) / int(npages)
-		}
-		leafAt = func(rel uint64) meta.LeafData {
-			return meta.LeafData{
-				Write:     writeID,
-				RelPage:   uint32(rel),
-				Providers: alloc.IDs[int(rel)*r : (int(rel)+1)*r],
-				Checksum:  checksums[rel],
+			pushErr = err
+		} else if checksums, err := b.putPages(ctx, writeID, buf, alloc); err != nil {
+			pushErr = err
+		} else {
+			r := b.c.opts.DataReplicas
+			if r > len(alloc.IDs)/int(npages) {
+				r = len(alloc.IDs) / int(npages)
+			}
+			leafAt = func(rel uint64) meta.LeafData {
+				return meta.LeafData{
+					Write:     writeID,
+					RelPage:   uint32(rel),
+					Providers: alloc.IDs[int(rel)*r : (int(rel)+1)*r],
+					Checksum:  checksums[rel],
+				}
 			}
 		}
 	}
+	if pushErr != nil {
+		if pipelined {
+			// The concurrently assigned version will never commit; abort
+			// it so the version manager need not wait out the dead-writer
+			// deadline before publishing later writes.
+			if ar := <-assignCh; ar.err == nil {
+				abortCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_ = b.c.vm.Abort(abortCtx, b.id, ar.asg.Version)
+				cancel()
+			}
+		}
+		return res, pushErr
+	}
 	res.DataTime = time.Since(t0)
 
-	// Phase 2: request a version number; the reply carries the
-	// precomputed border versions.
-	t0 = time.Now()
-	asg, err := b.c.vm.AssignVersion(ctx, b.id, writeID, offset, uint64(len(buf)), isAppend)
-	if err != nil {
-		return res, err
+	// Phase 2: the version number and precomputed border versions
+	// (already in flight on the pipelined path).
+	var ar assignResult
+	if pipelined {
+		ar = <-assignCh
+	} else {
+		ar = assign()
 	}
-	res.AssignTime = time.Since(t0)
+	if ar.err != nil {
+		return res, ar.err
+	}
+	asg := ar.asg
+	res.AssignTime = ar.dur
 	res.Version = asg.Version
 	res.Offset = asg.Offset
 	firstPage := asg.Offset / b.pageSize
@@ -184,25 +226,45 @@ func (b *Blob) allocateProviders(ctx context.Context, npages, r int) (pmanager.A
 }
 
 // putPages uploads all pages in parallel, one batched request per
-// provider, and returns the per-page checksums.
+// provider, and returns the per-page checksums. On the default path the
+// request bodies are scatter-gather segments aliasing buf (zero copies
+// on the client; buf stays immutable until the Waits below return) and
+// the checksums are computed by parallel workers; the legacy path keeps
+// the contiguous-encode codec for the ablation.
 func (b *Blob) putPages(ctx context.Context, writeID uint64, buf []byte, alloc pmanager.Allocation) ([]uint64, error) {
 	npages := uint64(len(buf)) / b.pageSize
 	r := len(alloc.IDs) / int(npages)
-	checksums := make([]uint64, npages)
+	legacy := b.c.opts.LegacyDataPath
+
+	var checksums []uint64
+	if legacy {
+		checksums = make([]uint64, npages)
+		for p := uint64(0); p < npages; p++ {
+			checksums[p] = wire.Checksum64(buf[p*b.pageSize : (p+1)*b.pageSize])
+		}
+	} else {
+		checksums = checksumPages(buf, b.pageSize)
+	}
 
 	type batch struct {
 		rels  []uint32
 		datas [][]byte
 	}
-	batches := make(map[uint32]*batch)
+	// Pre-count each provider's share so the batch slices allocate
+	// exactly once instead of growing append by append.
+	counts := make(map[uint32]int, 8)
+	for _, id := range alloc.IDs[:int(npages)*r] {
+		counts[id]++
+	}
+	batches := make(map[uint32]*batch, len(counts))
 	for p := uint64(0); p < npages; p++ {
 		data := buf[p*b.pageSize : (p+1)*b.pageSize]
-		checksums[p] = wire.Checksum64(data)
 		for j := 0; j < r; j++ {
 			id := alloc.IDs[int(p)*r+j]
 			bt := batches[id]
 			if bt == nil {
-				bt = &batch{}
+				n := counts[id]
+				bt = &batch{rels: make([]uint32, 0, n), datas: make([][]byte, 0, n)}
 				batches[id] = bt
 			}
 			bt.rels = append(bt.rels, uint32(p))
@@ -216,13 +278,36 @@ func (b *Blob) putPages(ctx context.Context, writeID uint64, buf []byte, alloc p
 		if err != nil {
 			return nil, err
 		}
-		body := provider.EncodePutPages(b.id, writeID, bt.rels, bt.datas)
-		pend = append(pend, b.c.pool.Go(addr, provider.MPutPages, body))
+		if legacy {
+			body := provider.EncodePutPages(b.id, writeID, bt.rels, bt.datas)
+			pend = append(pend, b.c.pool.Go(addr, provider.MPutPages, body))
+		} else {
+			segs := provider.EncodePutPagesVec(b.id, writeID, bt.rels, bt.datas)
+			pend = append(pend, b.c.pool.GoVec(addr, provider.MPutPages, segs))
+		}
 	}
-	for _, p := range pend {
+	for i, p := range pend {
 		if _, err := p.Wait(ctx); err != nil {
+			// Drain from i, not i+1: a ctx-derived error means this very
+			// call may still be queued with segments aliasing buf.
+			drainPending(pend[i:])
 			return nil, fmt.Errorf("core: store pages: %w", err)
+		}
+		if !legacy {
+			p.Release()
 		}
 	}
 	return checksums, nil
+}
+
+// drainPending waits out vectored calls whose body segments alias the
+// caller's buffer before an error return hands that buffer back to the
+// caller. Waiting detached from the request context is deliberate: a
+// frame sitting in a connection's send queue is flushed (or failed)
+// regardless of the caller's deadline, and returning earlier would let
+// the caller mutate memory the writer goroutine is still reading.
+func drainPending(pend []*rpc.Pending) {
+	for _, p := range pend {
+		_, _ = p.Wait(context.Background())
+	}
 }

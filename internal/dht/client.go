@@ -2,6 +2,7 @@ package dht
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -254,6 +255,70 @@ func (c *Client) MultiPut(ctx context.Context, kvs []KV) error {
 	return nil
 }
 
+// MultiPutVec is the scatter-gather MultiPut: the same per-replica
+// aggregation, but each node's request body is assembled as vectored
+// segments whose value payloads alias the callers' buffers — no group
+// encode buffer, no contiguous re-copy. The values must stay immutable
+// until MultiPutVec returns. Used by the metadata write path
+// (mstore.StoreNodes) on the zero-copy client configuration.
+func (c *Client) MultiPutVec(ctx context.Context, kvs []KV) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	ring := c.Ring()
+	if ring.Size() == 0 {
+		return ErrNoNodes
+	}
+	type group struct {
+		vw       wire.VecWriter
+		countSeg int
+		n        int
+	}
+	groups := make(map[string]*group)
+	var reps []NodeInfo
+	for _, kv := range kvs {
+		reps = ring.ReplicasForAppend(kv.Key, c.replicas, reps)
+		for _, rep := range reps {
+			g := groups[rep.Addr]
+			if g == nil {
+				g = &group{vw: wire.NewVec(16*len(kvs), 2+2*len(kvs))}
+				g.countSeg = g.vw.ReserveSeg() // batch count, known at dispatch
+				groups[rep.Addr] = g
+			}
+			g.vw.Uint64(kv.Key)
+			g.vw.Uvarint(uint64(len(kv.Value)))
+			g.vw.Alias(kv.Value)
+			g.n++
+		}
+	}
+	pend := make([]*rpc.Pending, 0, len(groups))
+	for addr, g := range groups {
+		g.vw.SetSeg(g.countSeg, binary.AppendUvarint(make([]byte, 0, 10), uint64(g.n)))
+		pend = append(pend, c.pool.GoVec(addr, MMultiPut, g.vw.Segs()))
+	}
+	var firstErr error
+	acked := 0
+	for _, p := range pend {
+		if _, err := p.Wait(ctx); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		p.Release()
+		acked++
+	}
+	if acked == 0 && firstErr != nil {
+		return fmt.Errorf("dht: multiput failed everywhere: %w", firstErr)
+	}
+	if firstErr != nil && acked < len(groups) && c.replicas == 1 {
+		// Partial failure: with replicas >= 2 the surviving copies serve
+		// reads; with replicas == 1 some keys may be lost, so report.
+		return fmt.Errorf("dht: multiput partial failure: %w", firstErr)
+	}
+	return nil
+}
+
 // MultiGet fetches a batch of keys, one aggregated request per node
 // (primary replicas), with per-key fallback to other replicas for keys
 // the primary missed. The result maps key to value; absent keys are
@@ -269,11 +334,12 @@ func (c *Client) MultiGet(ctx context.Context, keys []uint64) (map[uint64][]byte
 	}
 
 	remaining := keys
+	var reps []NodeInfo
 	// Try replica tiers in order: tier 0 = primary, tier 1 = secondary...
 	for tier := 0; tier < c.replicas && len(remaining) > 0; tier++ {
 		groups := make(map[string][]uint64)
 		for _, k := range remaining {
-			reps := ring.ReplicasFor(k, c.replicas)
+			reps = ring.ReplicasForAppend(k, c.replicas, reps)
 			if tier >= len(reps) {
 				continue
 			}

@@ -77,6 +77,15 @@ func (r *Ring) Nodes() []NodeInfo { return r.nodes }
 // preference order (primary first). If fewer than k nodes exist, all
 // nodes are returned.
 func (r *Ring) ReplicasFor(key uint64, k int) []NodeInfo {
+	return r.ReplicasForAppend(key, k, nil)
+}
+
+// ReplicasForAppend is ReplicasFor writing into dst[:0] — batched
+// callers (MultiPut, MultiGet) resolve replicas for every key of a
+// batch, and a fresh slice plus dedup map per key was a measurable
+// slice of the metadata write path (docs/perf.md). Replication factors
+// are tiny, so duplicates are weeded with a linear scan of the result.
+func (r *Ring) ReplicasForAppend(key uint64, k int, dst []NodeInfo) []NodeInfo {
 	if len(r.nodes) == 0 || k <= 0 {
 		return nil
 	}
@@ -87,15 +96,17 @@ func (r *Ring) ReplicasFor(key uint64, k int) []NodeInfo {
 	i := sort.Search(len(r.points), func(i int) bool {
 		return r.points[i].pos >= key
 	})
-	out := make([]NodeInfo, 0, k)
-	seen := make(map[int]struct{}, k)
+	out := dst[:0]
+next:
 	for n := 0; n < len(r.points) && len(out) < k; n++ {
 		p := r.points[(i+n)%len(r.points)]
-		if _, dup := seen[p.node]; dup {
-			continue
+		cand := r.nodes[p.node]
+		for _, have := range out {
+			if have.Addr == cand.Addr {
+				continue next
+			}
 		}
-		seen[p.node] = struct{}{}
-		out = append(out, r.nodes[p.node])
+		out = append(out, cand)
 	}
 	return out
 }

@@ -88,6 +88,14 @@ const (
 // decoder can detect hash collisions or routing mistakes.
 func (n *Node) Encode() []byte {
 	w := wire.NewWriter(64 + 4*len(nProviders(n)))
+	n.EncodeTo(w)
+	return w.Bytes()
+}
+
+// EncodeTo appends the node's encoding to w, so batched callers
+// (mstore.StoreNodes) can pack a whole write's nodes into one shared
+// arena instead of allocating an encode buffer per node.
+func (n *Node) EncodeTo(w *wire.Writer) {
 	w.Uint64(n.Key.Blob)
 	w.Uvarint(n.Key.Version)
 	w.Uvarint(n.Key.Range.Start)
@@ -115,7 +123,6 @@ func (n *Node) Encode() []byte {
 		w.Uvarint(n.LeftVer)
 		w.Uvarint(n.RightVer)
 	}
-	return w.Bytes()
 }
 
 func nProviders(n *Node) []uint32 {

@@ -1,7 +1,6 @@
 package mstore
 
 import (
-	"container/list"
 	"sync"
 
 	"blob/internal/meta"
@@ -13,6 +12,12 @@ import (
 // needs no invalidation protocol — exactly why the paper reports that
 // "client-side caching of metadata tree nodes results in optimizing out a
 // large amount of RPC calls" (§V.D; their cache held 2^20 nodes).
+//
+// The LRU list is intrusive: each entry embeds its own links, so an
+// insert costs one allocation instead of the entry-plus-list-element
+// pair container/list would allocate — metadata writes insert every
+// stored node, which made that second allocation a measurable slice of
+// the write hot path (docs/perf.md).
 type nodeCache struct {
 	shards   [cacheShards]cacheShard
 	capShard int
@@ -24,14 +29,17 @@ type nodeCache struct {
 const cacheShards = 16
 
 type cacheShard struct {
-	mu sync.Mutex
-	m  map[meta.NodeKey]*list.Element
-	ll *list.List
+	mu   sync.Mutex
+	m    map[meta.NodeKey]*cacheEntry
+	head *cacheEntry // most recently used
+	tail *cacheEntry // least recently used
+	n    int
 }
 
 type cacheEntry struct {
-	key  meta.NodeKey
-	node *meta.Node
+	key        meta.NodeKey
+	node       *meta.Node
+	prev, next *cacheEntry
 }
 
 // newNodeCache creates a cache holding up to capacity nodes in total.
@@ -42,14 +50,40 @@ func newNodeCache(capacity int) *nodeCache {
 		c.capShard = 1
 	}
 	for i := range c.shards {
-		c.shards[i].m = make(map[meta.NodeKey]*list.Element)
-		c.shards[i].ll = list.New()
+		c.shards[i].m = make(map[meta.NodeKey]*cacheEntry)
 	}
 	return c
 }
 
 func (c *nodeCache) shard(k meta.NodeKey) *cacheShard {
 	return &c.shards[k.Hash()&(cacheShards-1)]
+}
+
+// unlink removes e from the shard's LRU list (e must be linked).
+func (sh *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront links e as the most recently used entry.
+func (sh *cacheShard) pushFront(e *cacheEntry) {
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
 }
 
 // get returns the cached node, if present.
@@ -60,9 +94,10 @@ func (c *nodeCache) get(k meta.NodeKey) (*meta.Node, bool) {
 	}
 	sh := c.shard(k)
 	sh.mu.Lock()
-	el, ok := sh.m[k]
-	if ok {
-		sh.ll.MoveToFront(el)
+	e, ok := sh.m[k]
+	if ok && sh.head != e {
+		sh.unlink(e)
+		sh.pushFront(e)
 	}
 	sh.mu.Unlock()
 	if !ok {
@@ -70,7 +105,7 @@ func (c *nodeCache) get(k meta.NodeKey) (*meta.Node, bool) {
 		return nil, false
 	}
 	c.hits.Inc()
-	return el.Value.(*cacheEntry).node, true
+	return e.node, true
 }
 
 // put inserts a node, evicting the least recently used entry if full.
@@ -81,15 +116,22 @@ func (c *nodeCache) put(k meta.NodeKey, n *meta.Node) {
 	sh := c.shard(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if el, dup := sh.m[k]; dup {
-		sh.ll.MoveToFront(el)
+	if e, dup := sh.m[k]; dup {
+		if sh.head != e {
+			sh.unlink(e)
+			sh.pushFront(e)
+		}
 		return
 	}
-	sh.m[k] = sh.ll.PushFront(&cacheEntry{key: k, node: n})
-	if sh.ll.Len() > c.capShard {
-		oldest := sh.ll.Back()
-		sh.ll.Remove(oldest)
-		delete(sh.m, oldest.Value.(*cacheEntry).key)
+	e := &cacheEntry{key: k, node: n}
+	sh.m[k] = e
+	sh.pushFront(e)
+	sh.n++
+	if sh.n > c.capShard {
+		oldest := sh.tail
+		sh.unlink(oldest)
+		delete(sh.m, oldest.key)
+		sh.n--
 	}
 }
 
@@ -100,9 +142,10 @@ func (c *nodeCache) remove(k meta.NodeKey) {
 	}
 	sh := c.shard(k)
 	sh.mu.Lock()
-	if el, ok := sh.m[k]; ok {
-		sh.ll.Remove(el)
+	if e, ok := sh.m[k]; ok {
+		sh.unlink(e)
 		delete(sh.m, k)
+		sh.n--
 	}
 	sh.mu.Unlock()
 }
@@ -112,7 +155,7 @@ func (c *nodeCache) len() int {
 	n := 0
 	for i := range c.shards {
 		c.shards[i].mu.Lock()
-		n += c.shards[i].ll.Len()
+		n += c.shards[i].n
 		c.shards[i].mu.Unlock()
 	}
 	return n

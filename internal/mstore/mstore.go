@@ -13,11 +13,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"blob/internal/dht"
 	"blob/internal/meta"
+	"blob/internal/wire"
 )
 
 // ErrMissingNode is returned when a tree node cannot be found on any
@@ -37,6 +37,13 @@ type Client struct {
 	// it, so it also drives the cached-vs-uncached gap of Figure 3c.
 	// Zero (the default) disables the model.
 	ProcessDelay time.Duration
+
+	// Vectored selects the zero-copy store path: a write's nodes are
+	// encoded into one shared arena and dispatched with scatter-gather
+	// MultiPutVec requests whose value segments alias that arena. Off,
+	// the legacy per-node encode + contiguous MultiPut path runs (the
+	// hot-path ablation's baseline, core.Options.LegacyDataPath).
+	Vectored bool
 }
 
 // DefaultCacheNodes mirrors the paper's experimental setup: the client
@@ -54,13 +61,30 @@ func New(kv *dht.Client, cacheNodes int) *Client {
 
 // StoreNodes writes a batch of tree nodes to the metadata providers.
 // Nodes are also inserted into the local cache: a writer frequently
-// re-reads its own recent versions.
+// re-reads its own recent versions. On the vectored path the whole
+// batch encodes into one arena whose slices ride the scatter-gather
+// MultiPutVec untouched; a sealed arena slice stays valid even when
+// later encodes grow the arena into fresh memory.
 func (c *Client) StoreNodes(ctx context.Context, nodes []meta.Node) error {
 	kvs := make([]dht.KV, len(nodes))
-	for i := range nodes {
-		kvs[i] = dht.KV{Key: nodes[i].Key.Hash(), Value: nodes[i].Encode()}
+	var err error
+	if c.Vectored {
+		arena := wire.NewWriter(96 * len(nodes))
+		start := 0
+		for i := range nodes {
+			nodes[i].EncodeTo(arena)
+			end := arena.Len()
+			kvs[i] = dht.KV{Key: nodes[i].Key.Hash(), Value: arena.Bytes()[start:end:end]}
+			start = end
+		}
+		err = c.kv.MultiPutVec(ctx, kvs)
+	} else {
+		for i := range nodes {
+			kvs[i] = dht.KV{Key: nodes[i].Key.Hash(), Value: nodes[i].Encode()}
+		}
+		err = c.kv.MultiPut(ctx, kvs)
 	}
-	if err := c.kv.MultiPut(ctx, kvs); err != nil {
+	if err != nil {
 		return fmt.Errorf("mstore: store %d nodes: %w", len(nodes), err)
 	}
 	for i := range nodes {
@@ -154,6 +178,12 @@ type PageLeaf struct {
 // sorted by page index and cover every page of pr (zero pages included,
 // with Leaf.Write == 0).
 //
+// The plan covers a contiguous page range, so every resolved leaf's
+// slot is its page offset within pr: leaves are placed directly into a
+// pre-sized slice in O(n), with no comparison sort. A coverage bitmap
+// keeps the old integrity check's strength — a tree that resolves a
+// page twice or not at all is reported, never silently accepted.
+//
 // Per the paper's read protocol, the traversal needs no locks and no
 // interaction with the version manager: the sub-forest reachable from a
 // published version's root is immutable.
@@ -161,12 +191,26 @@ func (c *Client) ReadPlan(ctx context.Context, blob uint64, v meta.Version, tota
 	if err := meta.ValidateGeometry(totalPages, pr); err != nil {
 		return nil, err
 	}
-	leaves := make([]PageLeaf, 0, pr.Count)
+	// Pre-fill the plan with zero pages in order; resolving a leaf (or
+	// absorbing a zero subtree) then only touches its own slots.
+	leaves := make([]PageLeaf, pr.Count)
+	for i := range leaves {
+		leaves[i].Page = pr.First + uint64(i)
+	}
 	if v == meta.ZeroVersion {
-		for p := pr.First; p < pr.End(); p++ {
-			leaves = append(leaves, PageLeaf{Page: p})
-		}
 		return leaves, nil
+	}
+	covered := make([]bool, pr.Count)
+	placed := uint64(0)
+	cover := func(lo, hi uint64) error { // [lo,hi) absolute page indexes
+		for p := lo; p < hi; p++ {
+			if covered[p-pr.First] {
+				return fmt.Errorf("mstore: read plan resolved page %d twice (corrupt tree?)", p)
+			}
+			covered[p-pr.First] = true
+		}
+		placed += hi - lo
+		return nil
 	}
 
 	frontier := []meta.NodeKey{meta.RootKey(blob, v, totalPages)}
@@ -179,7 +223,14 @@ func (c *Client) ReadPlan(ctx context.Context, blob uint64, v meta.Version, tota
 		for _, key := range frontier {
 			n := nodes[key]
 			if n.IsLeaf() {
-				leaves = append(leaves, PageLeaf{Page: n.Key.Range.Start, Leaf: *n.Leaf})
+				p := n.Key.Range.Start
+				if p < pr.First || p >= pr.End() {
+					return nil, fmt.Errorf("mstore: read plan leaf %d outside segment [%d,%d) (corrupt tree?)", p, pr.First, pr.End())
+				}
+				if err := cover(p, p+1); err != nil {
+					return nil, err
+				}
+				leaves[p-pr.First].Leaf = *n.Leaf
 				continue
 			}
 			left, right := n.Key.Range.Children()
@@ -191,7 +242,16 @@ func (c *Client) ReadPlan(ctx context.Context, blob uint64, v meta.Version, tota
 					continue
 				}
 				if side.ver == meta.ZeroVersion {
-					appendZeroPages(&leaves, side.r, pr)
+					lo, hi := side.r.Start, side.r.End()
+					if lo < pr.First {
+						lo = pr.First
+					}
+					if hi > pr.End() {
+						hi = pr.End()
+					}
+					if err := cover(lo, hi); err != nil {
+						return nil, err
+					}
 					continue
 				}
 				next = append(next, meta.NodeKey{Blob: blob, Version: side.ver, Range: side.r})
@@ -199,25 +259,10 @@ func (c *Client) ReadPlan(ctx context.Context, blob uint64, v meta.Version, tota
 		}
 		frontier = next
 	}
-	sort.Slice(leaves, func(i, j int) bool { return leaves[i].Page < leaves[j].Page })
-	if uint64(len(leaves)) != pr.Count {
-		return nil, fmt.Errorf("mstore: read plan resolved %d pages, want %d (corrupt tree?)", len(leaves), pr.Count)
+	if placed != pr.Count {
+		return nil, fmt.Errorf("mstore: read plan resolved %d pages, want %d (corrupt tree?)", placed, pr.Count)
 	}
 	return leaves, nil
-}
-
-// appendZeroPages records the pages of r∩pr as zero pages.
-func appendZeroPages(leaves *[]PageLeaf, r meta.NodeRange, pr meta.PageRange) {
-	lo, hi := r.Start, r.End()
-	if lo < pr.First {
-		lo = pr.First
-	}
-	if hi > pr.End() {
-		hi = pr.End()
-	}
-	for p := lo; p < hi; p++ {
-		*leaves = append(*leaves, PageLeaf{Page: p})
-	}
 }
 
 // CacheStats returns local cache effectiveness counters.

@@ -42,6 +42,13 @@ func (b *pipeBuf) close() {
 func (b *pipeBuf) write(p []byte, at time.Time) error {
 	data := make([]byte, len(p))
 	copy(data, p)
+	return b.writeOwned(data, at)
+}
+
+// writeOwned enqueues a segment whose backing slice the caller hands
+// over (no defensive copy) — the vectored-write path coalesces a whole
+// frame into one owned buffer and delivers it as a single segment.
+func (b *pipeBuf) writeOwned(data []byte, at time.Time) error {
 	select {
 	case b.ch <- segment{data: data, at: at}:
 		return nil
@@ -164,6 +171,40 @@ func (c *conn) Write(p []byte) (int, error) {
 		return 0, err
 	}
 	return len(p), nil
+}
+
+// WriteBuffers implements the rpc layer's vectored-write fast path
+// (rpc.BuffersWriter): the whole scatter-gather frame is coalesced into
+// one owned segment, charged to both NICs once and delivered after one
+// link latency — exactly what a writev on a real socket would cost,
+// without a per-segment pass through the simulated pipe.
+func (c *conn) WriteBuffers(bufs *net.Buffers) (int64, error) {
+	total := 0
+	for _, b := range *bufs {
+		total += len(b)
+	}
+	if total == 0 {
+		*bufs = nil
+		return 0, nil
+	}
+	data := make([]byte, 0, total)
+	for _, b := range *bufs {
+		data = append(data, b...)
+	}
+	*bufs = nil
+	w1 := c.srcNIC.reserve(total)
+	w2 := c.dstNIC.reserve(total)
+	wait := w1
+	if w2 > wait {
+		wait = w2
+	}
+	if wait >= minMaterializedSleep {
+		time.Sleep(wait)
+	}
+	if err := c.wr.writeOwned(data, time.Now().Add(c.latency)); err != nil {
+		return 0, err
+	}
+	return int64(total), nil
 }
 
 func (c *conn) Close() error {

@@ -24,7 +24,15 @@ func (f fakePeer) Call(ctx context.Context, addr string, method uint32, body []b
 	if method != MGetPages {
 		return nil, fmt.Errorf("fakePeer: unexpected method %#x", method)
 	}
-	return sv.handleGetPages(ctx, body)
+	segs, err := sv.handleGetPages(ctx, body)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, s := range segs {
+		out = append(out, s...)
+	}
+	return out, nil
 }
 
 func put(t *testing.T, ps PageStore, blob, write uint64, rel uint32, data []byte) {

@@ -53,7 +53,7 @@ func (sv *Service) Snapshot() Stats {
 // RegisterHandlers wires the provider's RPC methods onto srv.
 func (sv *Service) RegisterHandlers(srv *rpc.Server) {
 	srv.Handle(MPutPages, sv.handlePutPages)
-	srv.Handle(MGetPages, sv.handleGetPages)
+	srv.HandleVec(MGetPages, sv.handleGetPages)
 	srv.Handle(MDeleteWrite, sv.handleDeleteWrite)
 	srv.Handle(MDeletePages, sv.handleDeletePages)
 	srv.Handle(MStats, sv.handleStats)
@@ -89,13 +89,25 @@ func (sv *Service) handlePutPages(_ context.Context, body []byte) ([]byte, error
 	return nil, nil
 }
 
-func (sv *Service) handleGetPages(_ context.Context, body []byte) ([]byte, error) {
+// handleGetPages answers MGetPages as scatter-gather segments: flag and
+// length headers accumulate in a small arena, page payloads alias the
+// slices the PageStore hands back (immutable — pages are never updated
+// in place, and a slice outlives even a concurrent GC delete of its map
+// entry), so fetched pages travel from store memory to the socket
+// without intermediate assembly.
+func (sv *Service) handleGetPages(_ context.Context, body []byte) ([][]byte, error) {
 	sv.ActiveOps.Add(1)
 	defer sv.ActiveOps.Add(-1)
 	r := wire.NewReader(body)
 	n := int(r.Uvarint())
-	w := wire.NewWriter(1 << 12)
-	w.Uvarint(uint64(n))
+	// Each ref occupies exactly 20 request bytes, so any claimed count
+	// beyond len(body)/20 is garbage — reject it before sizing the
+	// response arena, or a small hostile body could demand gigabytes.
+	if n < 0 || n > len(body)/20 {
+		return nil, fmt.Errorf("provider get: request count %d exceeds body", n)
+	}
+	vw := wire.NewVec(10+11*n, 1+2*n) // count varint + per page flag + length varint
+	vw.Uvarint(uint64(n))
 	for i := 0; i < n; i++ {
 		blob := r.Uint64()
 		write := r.Uint64()
@@ -104,12 +116,15 @@ func (sv *Service) handleGetPages(_ context.Context, body []byte) ([]byte, error
 			return nil, fmt.Errorf("provider get: request %d: %w", i, err)
 		}
 		data, ok := sv.store.GetPage(blob, write, rel)
-		w.Bool(ok)
-		if ok {
-			w.BytesField(data)
+		if !ok {
+			vw.Uint8(0)
+			continue
 		}
+		vw.Uint8(1)
+		vw.Uvarint(uint64(len(data)))
+		vw.Alias(data)
 	}
-	return w.Bytes(), nil
+	return vw.Segs(), nil
 }
 
 func (sv *Service) handleDeleteWrite(_ context.Context, body []byte) ([]byte, error) {

@@ -1,0 +1,87 @@
+package rpc
+
+// Pooled message-body buffers for the inbound half of the framework.
+// Every request body a server reads and every response body a client
+// reads lands in a size-classed sync.Pool buffer instead of a fresh
+// allocation, so a busy connection recycles a small working set of
+// buffers instead of churning the garbage collector — the client-CPU
+// half of the paper's §V.C observation that processing power, not the
+// network, bounds fine-grain throughput.
+//
+// Ownership protocol:
+//
+//   - The reader that filled a Buf owns it until it hands it off (to the
+//     handler goroutine on a server, to the completed call on a client).
+//   - Exactly one Release returns the buffer to its pool. Release is
+//     guarded by an atomic swap, so a double release can never insert
+//     the same buffer into the pool twice (no aliased reuse — impossible
+//     by construction); the second Release panics to make the bug loud.
+//   - Bytes panics after Release, so use-after-release fails fast
+//     instead of silently reading recycled memory.
+//   - Never calling Release is always safe: the buffer is simply
+//     garbage-collected and the pool refills on demand.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// bufClasses are the pooled capacity classes. Bodies above the largest
+// class fall back to plain allocation (MaxBody-sized messages are rare
+// enough that pinning them in pools would waste memory).
+var bufClasses = [...]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+// Buf is one pooled message body. The zero value is invalid; Bufs come
+// from getBuf only.
+type Buf struct {
+	data     []byte
+	ref      *[]byte // full-capacity backing slice, nil when unpooled
+	cls      int
+	released atomic.Bool
+}
+
+// getBuf returns a buffer holding n writable bytes, pooled when a size
+// class fits.
+func getBuf(n int) *Buf {
+	for cls, size := range bufClasses {
+		if n <= size {
+			ref, _ := bufPools[cls].Get().(*[]byte)
+			if ref == nil {
+				s := make([]byte, size)
+				ref = &s
+			}
+			return &Buf{data: (*ref)[:n], ref: ref, cls: cls}
+		}
+	}
+	return &Buf{data: make([]byte, n), cls: -1}
+}
+
+// Bytes returns the body. The slice is valid until Release.
+func (b *Buf) Bytes() []byte {
+	if b.released.Load() {
+		panic("rpc: Buf.Bytes after Release")
+	}
+	return b.data
+}
+
+// Len returns the body length without the release check (metrics).
+func (b *Buf) Len() int { return len(b.data) }
+
+// Release returns the buffer to its pool. It must be called at most
+// once, by the final owner, after the body bytes are no longer needed;
+// calling it twice panics, and the swap guarantee means even a
+// panicking double release cannot hand the buffer to two users.
+func (b *Buf) Release() {
+	if b.released.Swap(true) {
+		panic("rpc: Buf double Release")
+	}
+	if b.ref != nil {
+		ref := b.ref
+		b.ref, b.data = nil, nil
+		bufPools[b.cls].Put(ref)
+	} else {
+		b.data = nil
+	}
+}

@@ -89,14 +89,77 @@ func (p *Pool) Call(ctx context.Context, addr string, method uint32, body []byte
 	return c.Call(ctx, method, body)
 }
 
-// Go starts an asynchronous call to addr. Dial errors surface as an
-// already-failed Pending.
-func (p *Pool) Go(addr string, method uint32, body []byte) *Pending {
-	c, err := p.Get(addr)
-	if err != nil {
-		return &Pending{c: &call{err: err, done: closedChan}}
+// CallWith performs a synchronous RPC with Call's redial-once-and-retry
+// semantics, hands the response to decode, and then releases the pooled
+// response buffer. decode must not retain the body (or any sub-slice of
+// it) past its return — copy what it keeps. This is the hot-path shape:
+// callers get pooled-buffer reuse without giving up the transparent
+// redial Call provides.
+func (p *Pool) CallWith(ctx context.Context, addr string, method uint32, body []byte, decode func([]byte) error) error {
+	attempt := func() (err error, transported bool) {
+		c, err := p.Get(addr)
+		if err != nil {
+			return err, false
+		}
+		pd := c.Go(method, body)
+		resp, err := pd.Wait(ctx)
+		if err != nil {
+			return err, false
+		}
+		err = decode(resp)
+		pd.Release()
+		return err, true
 	}
-	return c.Go(method, body)
+	err, transported := attempt()
+	if transported || err == nil || IsServerError(err) || ctx.Err() != nil {
+		return err
+	}
+	// Transport failure: one redial attempt (decode errors never retry —
+	// the response arrived; re-asking would return the same bytes).
+	p.Invalidate(addr)
+	err, _ = attempt()
+	return err
+}
+
+// Go starts an asynchronous call to addr. Dial errors surface through
+// the returned Pending's Wait.
+func (p *Pool) Go(addr string, method uint32, body []byte) *Pending {
+	return p.GoVec(addr, method, [][]byte{body})
+}
+
+// GoVec starts an asynchronous scatter-gather call to addr (see
+// Client.GoVec for the segment aliasing rules). A warm address enqueues
+// on the cached connection immediately; a cold one dials in the
+// background, so a fan-out wave that touches a new provider is never
+// serialized behind that one dial on the calling goroutine.
+func (p *Pool) GoVec(addr string, method uint32, segs [][]byte) *Pending {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return &Pending{c: &call{err: ErrClosed, done: closedChan}}
+	}
+	c, warm := p.clients[addr]
+	p.mu.Unlock()
+	if warm && !c.Closed() {
+		return c.GoVec(method, segs)
+	}
+
+	// Cold address: complete the Pending from a dialing goroutine. The
+	// inner call's pooled response buffer transfers to the outer call,
+	// so Release keeps working through the indirection.
+	cl := &call{done: make(chan struct{})}
+	go func() {
+		defer close(cl.done)
+		c, err := p.Get(addr)
+		if err != nil {
+			cl.err = err
+			return
+		}
+		inner := c.GoVec(method, segs)
+		<-inner.c.done
+		cl.resp, cl.err = inner.c.resp, inner.c.err
+	}()
+	return &Pending{c: cl}
 }
 
 // Close closes every pooled connection.

@@ -12,9 +12,15 @@
 //   - A Client multiplexes concurrent calls over one connection using
 //     64-bit call identifiers.
 //   - Outgoing requests are queued; a writer goroutine drains the queue
-//     and writes everything available as one buffered frame (the
-//     aggregation the paper describes). Responses are batched the same
-//     way on the server side.
+//     and writes everything available as one frame (the aggregation the
+//     paper describes). Responses are batched the same way on the server
+//     side.
+//   - Message bodies are scatter-gather: a caller hands the framework a
+//     list of segments (GoVec) and the writer loop flushes header bytes
+//     and payload segments with a single vectored write (net.Buffers /
+//     writev), so page payloads are never copied into a contiguous
+//     encode buffer. Inbound bodies land in pooled buffers (see buf.go)
+//     released when the handler returns or the caller is done.
 //   - Handlers run in their own goroutines, so a slow request does not
 //     head-of-line-block the connection.
 //   - Transport is any net.Conn source: real TCP (Dialer) or the
@@ -28,6 +34,7 @@ package rpc
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -35,7 +42,6 @@ import (
 	"sync/atomic"
 
 	"blob/internal/stats"
-	"blob/internal/wire"
 )
 
 // Network abstracts connection establishment so the same stack runs over
@@ -52,8 +58,20 @@ func (TCP) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 
 // HandlerFunc processes one request body and returns the response body.
 // Returning an error sends a ServerError to the caller. The context is
-// cancelled when the server shuts down.
+// cancelled when the server shuts down. The body is a pooled buffer that
+// stays valid until the handler's response has been flushed — answering
+// with slices of the request is fine — but anything retained beyond that
+// (stored, captured by a goroutine) must be copied.
 type HandlerFunc func(ctx context.Context, body []byte) ([]byte, error)
+
+// VecHandlerFunc is the scatter-gather variant of HandlerFunc: the
+// returned segments are written to the connection back to back without
+// being copied into a contiguous response buffer, so a handler can
+// answer straight out of long-lived store memory. Segments must stay
+// immutable until flushed, which happens before the client's call
+// completes; the request-body lifetime rule is the same as
+// HandlerFunc's.
+type VecHandlerFunc func(ctx context.Context, body []byte) ([][]byte, error)
 
 // ServerError is an application-level error propagated from a remote
 // handler. It is distinguishable from transport failures so callers can
@@ -87,6 +105,9 @@ const (
 	statusErr = 1
 )
 
+// maxFrame bounds how many payload bytes one writer-loop flush coalesces.
+const maxFrame = 1 << 20
+
 // Metrics collects framework-level counters, shared process-wide so the
 // experiment harness can report how many physical frames carried how many
 // logical messages (the aggregation ratio).
@@ -106,9 +127,9 @@ var M Metrics
 type call struct {
 	id     uint64
 	method uint32
-	body   []byte
+	segs   [][]byte
 	done   chan struct{}
-	resp   []byte
+	resp   *Buf
 	err    error
 }
 
@@ -156,13 +177,25 @@ func Dial(n Network, addr string) (*Client, error) {
 // Go starts an asynchronous call. The returned call completes when a
 // response arrives or the connection fails; wait on it with Wait.
 func (c *Client) Go(method uint32, body []byte) *Pending {
-	if len(body) > MaxBody {
+	return c.GoVec(method, [][]byte{body})
+}
+
+// GoVec starts an asynchronous call whose body is the concatenation of
+// segs. The segments are not copied: they must stay immutable until the
+// call completes (Wait returns), at which point the frame has been
+// flushed to the connection.
+func (c *Client) GoVec(method uint32, segs [][]byte) *Pending {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	if total > MaxBody {
 		return &Pending{c: &call{err: ErrTooLarge, done: closedChan}}
 	}
 	cl := &call{
 		id:     c.nextID.Add(1),
 		method: method,
-		body:   body,
+		segs:   segs,
 		done:   make(chan struct{}),
 	}
 	c.mu.Lock()
@@ -201,21 +234,123 @@ var closedChan = func() chan struct{} {
 	return ch
 }()
 
-// Wait blocks until the call completes or ctx is done.
+// Wait blocks until the call completes or ctx is done. The returned body
+// sits in a pooled buffer: a caller that fully consumes it may hand the
+// buffer back with Release; a caller that retains it simply never
+// releases (the buffer is then garbage-collected as usual).
 func (p *Pending) Wait(ctx context.Context) ([]byte, error) {
 	select {
 	case <-p.c.done:
-		return p.c.resp, p.c.err
+		if p.c.resp == nil {
+			return nil, p.c.err
+		}
+		return p.c.resp.Bytes(), p.c.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 }
 
+// Release returns the response body's pooled buffer for reuse. Call it
+// only after Wait has returned and the body bytes (including any
+// sub-slices of them) are no longer referenced; calling it before the
+// call completed is a no-op. Never calling Release is always safe.
+func (p *Pending) Release() {
+	select {
+	case <-p.c.done:
+	default:
+		return
+	}
+	if b := p.c.resp; b != nil {
+		p.c.resp = nil
+		b.Release()
+	}
+}
+
+// frameEncoder assembles one outbound frame as scatter-gather segments:
+// header bytes accumulate in a reusable arena (consecutive headers share
+// one segment), payload segments alias the callers' buffers untouched.
+// Growing the arena is safe mid-frame: sealed segments keep referencing
+// the memory they were carved from, whose contents are final.
+type frameEncoder struct {
+	arena []byte
+	segs  [][]byte
+	start int // arena offset where the current unsealed header run began
+	total int // payload bytes accumulated (headers + bodies)
+}
+
+func newFrameEncoder() *frameEncoder {
+	return &frameEncoder{arena: make([]byte, 0, 16<<10), segs: make([][]byte, 0, 64)}
+}
+
+func (e *frameEncoder) reset() {
+	e.arena = e.arena[:0]
+	e.segs = e.segs[:0]
+	e.start = 0
+	e.total = 0
+}
+
+func (e *frameEncoder) hdrByte(v byte) { e.arena = append(e.arena, v) }
+
+func (e *frameEncoder) hdrUint32(v uint32) {
+	e.arena = binary.LittleEndian.AppendUint32(e.arena, v)
+}
+
+func (e *frameEncoder) hdrUint64(v uint64) {
+	e.arena = binary.LittleEndian.AppendUint64(e.arena, v)
+}
+
+func (e *frameEncoder) hdrUvarint(v uint64) {
+	e.arena = binary.AppendUvarint(e.arena, v)
+}
+
+// sealHeader closes the current header run into a segment.
+func (e *frameEncoder) sealHeader() {
+	if len(e.arena) > e.start {
+		e.segs = append(e.segs, e.arena[e.start:len(e.arena):len(e.arena)])
+		e.total += len(e.arena) - e.start
+		e.start = len(e.arena)
+	}
+}
+
+// bodySeg appends one payload segment (sealing any pending header run).
+func (e *frameEncoder) bodySeg(s []byte) {
+	if len(s) == 0 {
+		return
+	}
+	e.sealHeader()
+	e.segs = append(e.segs, s)
+	e.total += len(s)
+}
+
+// flush writes the frame with a single vectored write.
+func (e *frameEncoder) flush(conn net.Conn) error {
+	e.sealHeader()
+	bufs := net.Buffers(e.segs)
+	return writeBuffers(conn, &bufs)
+}
+
+// BuffersWriter is the fast path for conns that can accept a whole
+// scatter-gather frame at once (netsim implements it to coalesce the
+// frame into a single simulated segment). net.Conns without it go
+// through net.Buffers.WriteTo, which uses writev on TCP.
+type BuffersWriter interface {
+	WriteBuffers(*net.Buffers) (int64, error)
+}
+
+func writeBuffers(conn net.Conn, bufs *net.Buffers) error {
+	if bw, ok := conn.(BuffersWriter); ok {
+		_, err := bw.WriteBuffers(bufs)
+		return err
+	}
+	_, err := bufs.WriteTo(conn)
+	return err
+}
+
 // writeLoop drains the send queue, coalescing every queued request into a
-// single conn.Write — the paper's RPC aggregation.
+// single vectored write — the paper's RPC aggregation, minus the copies.
 func (c *Client) writeLoop() {
 	defer close(c.writerDone)
-	w := wire.NewWriter(64 << 10)
+	enc := newFrameEncoder()
 	for {
 		var cl *call
 		select {
@@ -223,20 +358,27 @@ func (c *Client) writeLoop() {
 		case <-c.done:
 			return
 		}
-		w.Reset()
+		enc.reset()
 		n := 0
 		appendReq := func(cl *call) {
-			w.Uint8(kindRequest)
-			w.Uint64(cl.id)
-			w.Uint32(cl.method)
-			w.BytesField(cl.body)
+			blen := 0
+			for _, s := range cl.segs {
+				blen += len(s)
+			}
+			enc.hdrByte(kindRequest)
+			enc.hdrUint64(cl.id)
+			enc.hdrUint32(cl.method)
+			enc.hdrUvarint(uint64(blen))
+			for _, s := range cl.segs {
+				enc.bodySeg(s)
+			}
 			n++
 		}
 		appendReq(cl)
 		// Opportunistically drain whatever else is queued right now:
 		// every message collected here travels in the same frame.
 	drain:
-		for w.Len() < 1<<20 {
+		for enc.total < maxFrame {
 			select {
 			case more := <-c.sendq:
 				appendReq(more)
@@ -244,10 +386,11 @@ func (c *Client) writeLoop() {
 				break drain
 			}
 		}
+		enc.sealHeader()
 		M.FramesSent.Inc()
 		M.MessagesCoaled.Add(int64(n))
-		M.BytesSent.Add(int64(w.Len()))
-		if _, err := c.conn.Write(w.Bytes()); err != nil {
+		M.BytesSent.Add(int64(enc.total))
+		if err := enc.flush(c.conn); err != nil {
 			c.failAll(fmt.Errorf("rpc: write: %w", err))
 			return
 		}
@@ -278,24 +421,26 @@ func (c *Client) readLoop() {
 			c.failAll(err)
 			return
 		}
-		body, err := br.readBytes()
+		body, err := br.readBody()
 		if err != nil {
 			c.failAll(err)
 			return
 		}
-		M.BytesReceived.Add(int64(len(body)))
+		M.BytesReceived.Add(int64(body.Len()))
 
 		c.mu.Lock()
 		cl := c.pending[id]
 		delete(c.pending, id)
 		c.mu.Unlock()
 		if cl == nil {
+			body.Release()
 			continue // cancelled or duplicate; drop
 		}
 		if status == statusOK {
 			cl.resp = body
 		} else {
-			cl.err = ServerError(body)
+			cl.err = ServerError(body.Bytes())
+			body.Release()
 		}
 		close(cl.done)
 	}

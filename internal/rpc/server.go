@@ -8,17 +8,16 @@ import (
 	"io"
 	"net"
 	"sync"
-
-	"blob/internal/wire"
 )
 
 // Server dispatches incoming requests to registered handlers. Responses
 // are coalesced per connection exactly like client requests: one response
 // writer goroutine per connection drains completed replies into single
-// frames.
+// vectored frames. Request bodies live in pooled buffers that are
+// released the moment the handler returns.
 type Server struct {
 	mu       sync.Mutex
-	handlers map[uint32]HandlerFunc
+	handlers map[uint32]handlerEntry
 	conns    map[net.Conn]struct{}
 	lis      []net.Listener
 	closed   bool
@@ -28,11 +27,17 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
+// handlerEntry holds one registered handler in either calling convention.
+type handlerEntry struct {
+	plain HandlerFunc
+	vec   VecHandlerFunc
+}
+
 // NewServer returns an empty server; register handlers before Serve.
 func NewServer() *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		handlers: make(map[uint32]HandlerFunc),
+		handlers: make(map[uint32]handlerEntry),
 		conns:    make(map[net.Conn]struct{}),
 		ctx:      ctx,
 		cancel:   cancel,
@@ -42,19 +47,31 @@ func NewServer() *Server {
 // Handle registers a handler for a method identifier. Registration after
 // Serve has started is allowed but must not race with itself.
 func (s *Server) Handle(method uint32, h HandlerFunc) {
+	s.register(method, handlerEntry{plain: h})
+}
+
+// HandleVec registers a scatter-gather handler: its response segments
+// are written to the connection without intermediate assembly (see
+// VecHandlerFunc for the aliasing rules).
+func (s *Server) HandleVec(method uint32, h VecHandlerFunc) {
+	s.register(method, handlerEntry{vec: h})
+}
+
+func (s *Server) register(method uint32, e handlerEntry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.handlers[method]; dup {
 		panic(fmt.Sprintf("rpc: duplicate handler for method %#x", method))
 	}
-	s.handlers[method] = h
+	s.handlers[method] = e
 }
 
 // lookup returns the handler for a method, if any.
-func (s *Server) lookup(method uint32) HandlerFunc {
+func (s *Server) lookup(method uint32) (handlerEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.handlers[method]
+	e, ok := s.handlers[method]
+	return e, ok
 }
 
 // Serve accepts connections until the listener is closed. It always
@@ -132,11 +149,15 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// reply is one completed response awaiting transmission.
+// reply is one completed response awaiting transmission. segs are the
+// body segments, written back to back. req is the pooled request body,
+// released once the response is flushed — not when the handler returns —
+// so a handler may answer with slices of the request itself.
 type reply struct {
 	id     uint64
 	status uint8
-	body   []byte
+	segs   [][]byte
+	req    *Buf
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -152,11 +173,15 @@ func (s *Server) serveConn(conn net.Conn) {
 	connDone := make(chan struct{})
 	defer close(connDone)
 
-	// Response writer: coalesce everything available into one frame.
+	// Response writer: coalesce everything available into one vectored
+	// frame. Handler output segments go to the connection untouched;
+	// request buffers are released once the frame carrying their
+	// response is on the wire.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		w := wire.NewWriter(64 << 10)
+		enc := newFrameEncoder()
+		reqs := make([]*Buf, 0, 64)
 		for {
 			var r reply
 			select {
@@ -164,18 +189,29 @@ func (s *Server) serveConn(conn net.Conn) {
 			case <-connDone:
 				return
 			}
-			w.Reset()
+			enc.reset()
+			reqs = reqs[:0]
 			n := 0
 			appendResp := func(r reply) {
-				w.Uint8(kindResponse)
-				w.Uint64(r.id)
-				w.Uint8(r.status)
-				w.BytesField(r.body)
+				blen := 0
+				for _, s := range r.segs {
+					blen += len(s)
+				}
+				enc.hdrByte(kindResponse)
+				enc.hdrUint64(r.id)
+				enc.hdrByte(r.status)
+				enc.hdrUvarint(uint64(blen))
+				for _, s := range r.segs {
+					enc.bodySeg(s)
+				}
+				if r.req != nil {
+					reqs = append(reqs, r.req)
+				}
 				n++
 			}
 			appendResp(r)
 		drain:
-			for w.Len() < 1<<20 {
+			for enc.total < maxFrame {
 				select {
 				case more := <-replies:
 					appendResp(more)
@@ -183,10 +219,15 @@ func (s *Server) serveConn(conn net.Conn) {
 					break drain
 				}
 			}
+			enc.sealHeader()
 			M.FramesSent.Inc()
 			M.MessagesCoaled.Add(int64(n))
-			M.BytesSent.Add(int64(w.Len()))
-			if _, err := conn.Write(w.Bytes()); err != nil {
+			M.BytesSent.Add(int64(enc.total))
+			err := enc.flush(conn)
+			for _, b := range reqs {
+				b.Release()
+			}
+			if err != nil {
 				conn.Close() // unblocks the read loop below
 				return
 			}
@@ -210,27 +251,41 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		body, err := br.readBytes()
+		body, err := br.readBody()
 		if err != nil {
 			return
 		}
-		M.BytesReceived.Add(int64(len(body)))
+		M.BytesReceived.Add(int64(body.Len()))
 
-		h := s.lookup(method)
+		h, ok := s.lookup(method)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			var r reply
-			r.id = id
-			if h == nil {
+			// The request body stays alive until its response is
+			// flushed (the reply carries it), so handlers may answer
+			// with slices of the request; anything retained beyond the
+			// response lifetime must still be copied.
+			segs, err := func() ([][]byte, error) {
+				switch {
+				case !ok:
+					return nil, fmt.Errorf("rpc: unknown method %#x", method)
+				case h.vec != nil:
+					return h.vec(s.ctx, body.Bytes())
+				default:
+					out, err := h.plain(s.ctx, body.Bytes())
+					if err != nil {
+						return nil, err
+					}
+					return [][]byte{out}, nil
+				}
+			}()
+			r := reply{id: id, req: body}
+			if err != nil {
 				r.status = statusErr
-				r.body = []byte(fmt.Sprintf("rpc: unknown method %#x", method))
-			} else if out, err := h(s.ctx, body); err != nil {
-				r.status = statusErr
-				r.body = []byte(err.Error())
+				r.segs = [][]byte{[]byte(err.Error())}
 			} else {
 				r.status = statusOK
-				r.body = out
+				r.segs = segs
 			}
 			M.CallsHandled.Inc()
 			select {
@@ -238,13 +293,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			case <-connDone:
 			case <-s.ctx.Done():
 			}
+			// A reply dropped on shutdown keeps its buffer; the pool
+			// refills on demand and the GC reclaims it.
 		}()
 	}
 }
 
 // frameReader incrementally parses the message stream from a connection.
-// Bodies are copied out of the buffered reader so handlers and callers
-// may retain them.
+// Bodies are copied out of the buffered reader into pooled buffers so
+// handlers and callers may retain them until release.
 type frameReader struct {
 	br *bufio.Reader
 }
@@ -273,7 +330,8 @@ func (f *frameReader) readUint64() (uint64, error) {
 	return binary.LittleEndian.Uint64(b[:]), nil
 }
 
-func (f *frameReader) readBytes() ([]byte, error) {
+// readBody reads one length-prefixed body into a pooled buffer.
+func (f *frameReader) readBody() (*Buf, error) {
 	n, err := binary.ReadUvarint(f.br)
 	if err != nil {
 		return nil, err
@@ -281,8 +339,9 @@ func (f *frameReader) readBytes() ([]byte, error) {
 	if n > MaxBody {
 		return nil, ErrTooLarge
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(f.br, body); err != nil {
+	body := getBuf(int(n))
+	if _, err := io.ReadFull(f.br, body.Bytes()); err != nil {
+		body.Release()
 		return nil, err
 	}
 	return body, nil

@@ -276,7 +276,9 @@ func (c *Client) Info(ctx context.Context, blob uint64) (BlobInfo, error) {
 	return info, r.Err()
 }
 
-// AssignVersion requests a version for a write.
+// AssignVersion requests a version for a write. On the write hot path:
+// the pooled response is released after decoding (the Assignment owns
+// its memory), with Pool.Call's redial-once resilience kept.
 func (c *Client) AssignVersion(ctx context.Context, blob, writeID, offset, length uint64, isAppend bool) (Assignment, error) {
 	w := wire.NewWriter(40)
 	w.Uint64(blob)
@@ -284,11 +286,16 @@ func (c *Client) AssignVersion(ctx context.Context, blob, writeID, offset, lengt
 	w.Uint64(offset)
 	w.Uint64(length)
 	w.Bool(isAppend)
-	resp, err := c.pool.Call(ctx, c.addr, MAssign, w.Bytes())
+	var asg Assignment
+	err := c.pool.CallWith(ctx, c.addr, MAssign, w.Bytes(), func(resp []byte) error {
+		var err error
+		asg, err = DecodeAssignment(resp)
+		return err
+	})
 	if err != nil {
 		return Assignment{}, err
 	}
-	return DecodeAssignment(resp)
+	return asg, nil
 }
 
 // Commit reports completion of a write; with block it waits for
@@ -298,13 +305,13 @@ func (c *Client) Commit(ctx context.Context, blob uint64, v meta.Version, block 
 	w.Uint64(blob)
 	w.Uint64(v)
 	w.Bool(block)
-	resp, err := c.pool.Call(ctx, c.addr, MCommit, w.Bytes())
-	if err != nil {
-		return 0, err
-	}
-	r := wire.NewReader(resp)
-	pub := r.Uint64()
-	return pub, r.Err()
+	var pub meta.Version
+	err := c.pool.CallWith(ctx, c.addr, MCommit, w.Bytes(), func(resp []byte) error {
+		r := wire.NewReader(resp)
+		pub = r.Uint64()
+		return r.Err()
+	})
+	return pub, err
 }
 
 // Abort withdraws an assigned version.
@@ -316,18 +323,20 @@ func (c *Client) Abort(ctx context.Context, blob uint64, v meta.Version) error {
 	return err
 }
 
-// Latest returns the newest published version and its byte size.
+// Latest returns the newest published version and its byte size. On
+// the read hot path: the pooled response is released after decoding.
 func (c *Client) Latest(ctx context.Context, blob uint64) (meta.Version, uint64, error) {
 	w := wire.NewWriter(8)
 	w.Uint64(blob)
-	resp, err := c.pool.Call(ctx, c.addr, MLatest, w.Bytes())
-	if err != nil {
-		return 0, 0, err
-	}
-	r := wire.NewReader(resp)
-	v := r.Uint64()
-	size := r.Uint64()
-	return v, size, r.Err()
+	var v meta.Version
+	var size uint64
+	err := c.pool.CallWith(ctx, c.addr, MLatest, w.Bytes(), func(resp []byte) error {
+		r := wire.NewReader(resp)
+		v = r.Uint64()
+		size = r.Uint64()
+		return r.Err()
+	})
+	return v, size, err
 }
 
 // VersionInfo reports publication state and size of a version.
