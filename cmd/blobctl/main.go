@@ -12,19 +12,29 @@
 //	blobctl -vm ... -pm ... stat   -blob 1
 //	blobctl -vm ... -pm ... gc     -blob 1 -keep 5
 //	blobctl -vm ... -pm ... repair -blob 1
-//	blobctl -vm ... -pm ... stats
+//	blobctl -vm ... -pm ... stats [-json]
+//	blobctl -vm ... -pm ... trace 0x1d8f3ab27c64e901
+//
+// The trace command queries every node's span ring buffer (the MSpans
+// RPC, see docs/observability.md) and reassembles one request's
+// cross-process span tree.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strconv"
 
 	"blob"
+	"blob/internal/dht"
 	"blob/internal/erasure"
 	"blob/internal/provider"
+	"blob/internal/trace"
 )
 
 func main() {
@@ -32,9 +42,10 @@ func main() {
 	pmAddr := flag.String("pm", "127.0.0.1:4000", "provider manager / metadata directory address")
 	replicas := flag.Int("replicas", 1, "data replication factor for writes")
 	redundancy := flag.String("redundancy", "", `redundancy mode for created blobs: "replicate" or "rs(k,m)" (default: the cluster's advertised mode)`)
+	traceOps := flag.Bool("trace", false, "trace this invocation's operations and print their trace ids (inspect with blobctl trace <id>)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|repair|stats [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|repair|stats|trace [subflags]")
 		os.Exit(2)
 	}
 	red, err := erasure.ParseRedundancy(*redundancy)
@@ -42,6 +53,10 @@ func main() {
 		log.Fatalf("-redundancy: %v", err)
 	}
 
+	var tracer *trace.Tracer
+	if *traceOps {
+		tracer = trace.New("blobctl", trace.DefaultRing, 1)
+	}
 	ctx := context.Background()
 	client, err := blob.NewClient(ctx, blob.Options{
 		Network:      blob.TCP,
@@ -51,11 +66,31 @@ func main() {
 		DataReplicas: *replicas,
 		Redundancy:   red,
 		CacheNodes:   -1,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		log.Fatalf("connect: %v", err)
 	}
 	defer client.Close()
+	// After a traced invocation, reassemble and print each root
+	// operation's full cross-process tree: the local ring supplies the
+	// client spans, every node's MSpans buffer the remote ones. The
+	// trace id is printed too — server-side spans outlive this process
+	// and stay queryable with blobctl trace <id>.
+	defer func() {
+		if tracer == nil {
+			return
+		}
+		for _, sp := range tracer.Spans() {
+			if sp.Parent != 0 {
+				continue
+			}
+			spans := gatherTrace(ctx, client, *vmAddr, *pmAddr, sp.TraceID, tracer)
+			fmt.Fprintf(os.Stderr, "trace %#x (%s): %d spans across %d process(es)\n",
+				sp.TraceID, sp.Name, len(spans), trace.Processes(spans))
+			fmt.Fprint(os.Stderr, trace.FormatTree(trace.BuildTree(spans)))
+		}
+	}()
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
@@ -186,9 +221,48 @@ func main() {
 		}
 
 	case "stats":
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "machine-readable output: one JSON document instead of the table")
+		fs.Parse(args)
 		provs, err := client.AllProviders(ctx)
 		if err != nil {
 			log.Fatalf("list providers: %v", err)
+		}
+		if *asJSON {
+			type provWithStats struct {
+				ID   uint32 `json:"id"`
+				Addr string `json:"addr"`
+				provider.Stats
+			}
+			doc := struct {
+				Redundancy string          `json:"redundancy"`
+				Providers  []provWithStats `json:"providers"`
+			}{Redundancy: client.ClusterRedundancy().String()}
+			failed := 0
+			for _, p := range provs {
+				resp, err := client.Pool().Call(ctx, p.Addr, provider.MStats, nil)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "error: provider %d (%s) unreachable: %v\n", p.ID, p.Addr, err)
+					failed++
+					continue
+				}
+				st, err := provider.DecodeStats(resp)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "error: provider %d (%s) returned a bad stats response: %v\n", p.ID, p.Addr, err)
+					failed++
+					continue
+				}
+				doc.Providers = append(doc.Providers, provWithStats{ID: p.ID, Addr: p.Addr, Stats: st})
+			}
+			if failed > 0 {
+				log.Fatalf("stats incomplete: %d of %d providers did not answer", failed, len(provs))
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				log.Fatalf("encode: %v", err)
+			}
+			return
 		}
 		fmt.Printf("cluster redundancy: %s\n", client.ClusterRedundancy())
 		fmt.Printf("%-4s %-22s %10s %12s %12s %12s %8s %6s %10s %9s %10s %5s %8s %10s %7s\n",
@@ -221,8 +295,74 @@ func main() {
 			log.Fatalf("stats incomplete: %d of %d providers did not answer", failed, len(provs))
 		}
 
+	case "trace":
+		// Reassemble one request's cross-process span tree: every node
+		// keeps the spans it recorded in a ring buffer served over
+		// MSpans; sweep the managers, every data provider and every
+		// metadata provider, then stitch by parent span id.
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		fs.Parse(args)
+		if fs.NArg() != 1 {
+			log.Fatal("usage: blobctl trace <trace-id> (decimal or 0x hex, from a slow-request log or traced client)")
+		}
+		id, err := strconv.ParseUint(fs.Arg(0), 0, 64)
+		if err != nil || id == 0 {
+			log.Fatalf("trace: bad trace id %q", fs.Arg(0))
+		}
+		spans := gatherTrace(ctx, client, *vmAddr, *pmAddr, id, nil)
+		if len(spans) == 0 {
+			log.Fatalf("trace %#x: no spans found — was the operation sampled, and do the rings still hold it?", id)
+		}
+		fmt.Printf("trace %#x: %d spans across %d process(es)\n", id, len(spans), trace.Processes(spans))
+		fmt.Print(trace.FormatTree(trace.BuildTree(spans)))
+
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
 		os.Exit(2)
 	}
+}
+
+// gatherTrace reassembles one trace: it sweeps every node's span ring
+// over the MSpans RPC — the managers, every data provider and every
+// metadata provider — and merges in the local tracer's spans when the
+// invocation itself was traced. Nodes running without a tracer (or
+// older builds) are noted and skipped; a partial tree is still useful.
+func gatherTrace(ctx context.Context, client *blob.Client, vmAddr, pmAddr string, id uint64, local *trace.Tracer) []trace.Span {
+	var spans []trace.Span
+	if local != nil {
+		spans = append(spans, local.SpansFor(id)...)
+	}
+	addrSet := map[string]bool{vmAddr: true, pmAddr: true}
+	if provs, err := client.AllProviders(ctx); err == nil {
+		for _, p := range provs {
+			addrSet[p.Addr] = true
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "note: could not list data providers: %v\n", err)
+	}
+	if resp, err := client.Pool().Call(ctx, pmAddr, dht.MDirMembers, nil); err == nil {
+		if _, members, err := dht.DecodeMembers(resp); err == nil {
+			for _, m := range members {
+				addrSet[m.Addr] = true
+			}
+		}
+	}
+	addrs := make([]string, 0, len(addrSet))
+	for a := range addrSet {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		resp, err := client.Pool().Call(ctx, addr, trace.MSpans, trace.EncodeSpansQuery(id))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "note: %s: no spans served: %v\n", addr, err)
+			continue
+		}
+		got, err := trace.DecodeSpans(resp)
+		if err != nil {
+			log.Fatalf("trace: %s: bad MSpans response: %v", addr, err)
+		}
+		spans = append(spans, got...)
+	}
+	return spans
 }

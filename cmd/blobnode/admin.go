@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+
+	"blob/internal/rpc"
+	"blob/internal/stats"
+)
+
+// startAdmin serves the node's observability plane on addr (see
+// docs/observability.md): Prometheus text exposition at /metrics, a
+// liveness probe at /healthz, and the runtime profiler under
+// /debug/pprof/ (delegated to the default mux the pprof import
+// populates).
+func startAdmin(addr string, reg *stats.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Printf("admin: write metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("admin: %v", err)
+		}
+	}()
+	log.Printf("admin plane on %s (/metrics, /healthz, /debug/pprof)", addr)
+}
+
+// registerRPCMetrics exports the process-wide RPC framework counters as
+// function-backed series evaluated at scrape time.
+func registerRPCMetrics(reg *stats.Registry) {
+	reg.CounterFunc("rpc_calls_sent_total", rpc.M.CallsSent.Value)
+	reg.CounterFunc("rpc_calls_handled_total", rpc.M.CallsHandled.Value)
+	reg.CounterFunc("rpc_frames_sent_total", rpc.M.FramesSent.Value)
+	reg.CounterFunc("rpc_messages_coalesced_total", rpc.M.MessagesCoaled.Value)
+	reg.CounterFunc("rpc_bytes_sent_total", rpc.M.BytesSent.Value)
+	reg.CounterFunc("rpc_bytes_received_total", rpc.M.BytesReceived.Value)
+}

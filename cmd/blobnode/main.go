@@ -43,6 +43,8 @@ import (
 	"blob/internal/provider"
 	repairpkg "blob/internal/repair"
 	"blob/internal/rpc"
+	"blob/internal/stats"
+	"blob/internal/trace"
 	"blob/internal/vmanager"
 )
 
@@ -68,6 +70,10 @@ func main() {
 		redundancy = flag.String("redundancy", "replicate", `advertised redundancy mode: "replicate" or "rs(k,m)" (pmanager role; clients adopt it for new blobs)`)
 		checkpoint = flag.String("checkpoint", "", "version manager checkpoint file (loaded on start, saved periodically and on shutdown)")
 		ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint interval")
+		adminAddr  = flag.String("admin", "", "admin HTTP listen address serving /metrics, /healthz and /debug/pprof (empty disables)")
+		traceEvery = flag.Int("trace-sample", 0, "record spans for 1-in-N root operations (0 disables tracing, 1 traces everything)")
+		traceRing  = flag.Int("trace-ring", trace.DefaultRing, "span ring buffer capacity (spans kept per process)")
+		slowThresh = flag.Duration("slow-threshold", 0, "log the span tree of client operations slower than this (repairer role; 0 disables)")
 	)
 	flag.Parse()
 
@@ -90,6 +96,21 @@ func main() {
 	pool := rpc.NewPool(rpc.TCP{})
 	defer pool.Close()
 	ctx := context.Background()
+
+	// Observability plane (docs/observability.md): a per-process span
+	// tracer served over MSpans, and a metrics registry exposed on the
+	// -admin HTTP listener.
+	var tracer *trace.Tracer
+	if *traceEvery > 0 {
+		tracer = trace.New(adv, *traceRing, *traceEvery)
+		srv.SetTracer(tracer)
+		log.Printf("tracing 1-in-%d operations (ring %d spans)", *traceEvery, *traceRing)
+	}
+	reg := stats.NewRegistry()
+	if *adminAddr != "" {
+		srv.EnableMetrics(reg)
+		registerRPCMetrics(reg)
+	}
 
 	var vm *vmanager.Manager
 	var pm *pmanager.Manager
@@ -183,6 +204,7 @@ func main() {
 			// node's shared TCP pool, throttled by -repair-rate.
 			dataSvc.EnableRepair(pool, *repairBps)
 			dataSvc.RegisterHandlers(srv)
+			dataSvc.RegisterMetrics(reg)
 			id, err := pmanager.RegisterProvider(ctx, pool, *pmAddr, adv, *capacity)
 			if err != nil {
 				log.Fatalf("provider: register with %s: %v", *pmAddr, err)
@@ -207,10 +229,12 @@ func main() {
 				log.Fatal("repairer role needs -repair-interval > 0")
 			}
 			client, err := core.NewClient(ctx, core.Options{
-				Network:      rpc.TCP{},
-				VManagerAddr: *vmAddr,
-				PManagerAddr: *pmAddr,
-				MetaDirAddr:  *pmAddr,
+				Network:       rpc.TCP{},
+				VManagerAddr:  *vmAddr,
+				PManagerAddr:  *pmAddr,
+				MetaDirAddr:   *pmAddr,
+				Tracer:        tracer,
+				SlowThreshold: *slowThresh,
 			})
 			if err != nil {
 				log.Fatalf("repairer: connect: %v", err)
@@ -274,6 +298,9 @@ func main() {
 	}
 	srv.Start(l)
 	log.Printf("listening on %s (advertised as %s)", *listen, adv)
+	if *adminAddr != "" {
+		startAdmin(*adminAddr, reg)
+	}
 
 	// Heartbeat loop for the data provider role.
 	stop := make(chan struct{})

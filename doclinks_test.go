@@ -55,11 +55,12 @@ func TestDocLinks(t *testing.T) {
 // architecture overview, so a reader landing anywhere finds them.
 func TestDocCrossReferences(t *testing.T) {
 	wants := map[string][]string{
-		"README.md":            {"docs/architecture.md", "docs/diskstore-format.md", "docs/replication.md", "docs/erasure.md", "docs/perf.md"},
-		"docs/architecture.md": {"diskstore-format.md", "replication.md", "erasure.md", "perf.md"},
-		"docs/erasure.md":      {"replication.md", "architecture.md"},
-		"docs/replication.md":  {"erasure.md", "architecture.md"},
-		"docs/perf.md":         {"architecture.md"},
+		"README.md":             {"docs/architecture.md", "docs/diskstore-format.md", "docs/replication.md", "docs/erasure.md", "docs/perf.md", "docs/observability.md"},
+		"docs/architecture.md":  {"diskstore-format.md", "replication.md", "erasure.md", "perf.md", "observability.md"},
+		"docs/erasure.md":       {"replication.md", "architecture.md"},
+		"docs/replication.md":   {"erasure.md", "architecture.md"},
+		"docs/perf.md":          {"architecture.md"},
+		"docs/observability.md": {"architecture.md", "perf.md"},
 	}
 	for file, targets := range wants {
 		body, err := os.ReadFile(file)

@@ -18,6 +18,7 @@ import (
 
 	"blob/internal/cluster"
 	"blob/internal/core"
+	"blob/internal/trace"
 )
 
 // HotPathStats is one mode's measurement.
@@ -43,6 +44,10 @@ type HotPathReport struct {
 
 	Legacy   HotPathStats `json:"legacy"`
 	Vectored HotPathStats `json:"vectored"`
+	// Traced is the vectored path with a 1-in-64 sampling span tracer
+	// attached (docs/observability.md) — the recommended production
+	// sampling rate, measured so the tracing tax stays visible.
+	Traced HotPathStats `json:"traced"`
 
 	// Reductions are (legacy - vectored) / legacy, in percent.
 	WriteAllocReductionPct float64 `json:"write_alloc_reduction_pct"`
@@ -52,6 +57,10 @@ type HotPathReport struct {
 	WriteMeanSpeedupPct    float64 `json:"write_mean_speedup_pct"`
 	ReadMeanSpeedupPct     float64 `json:"read_mean_speedup_pct"`
 
+	// TraceOverheadPct is (traced - vectored) / vectored write mean, in
+	// percent: what 1-in-64 span sampling costs on the write hot path.
+	TraceOverheadPct float64 `json:"trace_overhead_pct"`
+
 	// RoundTripsVerified is true when every read in both modes returned
 	// exactly the bytes its write stored.
 	RoundTripsVerified bool `json:"round_trips_verified"`
@@ -59,8 +68,8 @@ type HotPathReport struct {
 
 // Points flattens the report for the text-table printers.
 func (r HotPathReport) Points() []AblationPoint {
-	pts := make([]AblationPoint, 0, 16)
-	for _, st := range []HotPathStats{r.Legacy, r.Vectored} {
+	pts := make([]AblationPoint, 0, 32)
+	for _, st := range []HotPathStats{r.Legacy, r.Vectored, r.Traced} {
 		pts = append(pts,
 			AblationPoint{Name: st.Mode + " write mean", Value: st.WriteMeanMs, Unit: "ms"},
 			AblationPoint{Name: st.Mode + " write p99", Value: st.WriteP99Ms, Unit: "ms"},
@@ -79,6 +88,7 @@ func (r HotPathReport) Points() []AblationPoint {
 		AblationPoint{Name: "read bytes reduction", Value: r.ReadBytesReductionPct, Unit: "%"},
 		AblationPoint{Name: "write mean speedup", Value: r.WriteMeanSpeedupPct, Unit: "%"},
 		AblationPoint{Name: "read mean speedup", Value: r.ReadMeanSpeedupPct, Unit: "%"},
+		AblationPoint{Name: "trace overhead, write mean", Value: r.TraceOverheadPct, Unit: "%"},
 	)
 	return pts
 }
@@ -104,18 +114,21 @@ func AblateHotPath(writes int, segPages uint64, sc Scale) (HotPathReport, error)
 	}
 	defer cl.Shutdown()
 
-	for _, legacy := range []bool{true, false} {
-		st, ok, err := hotPathMode(cl, legacy, writes, segPages, scHot)
+	for _, mode := range []string{"legacy", "vectored", "traced"} {
+		st, ok, err := hotPathMode(cl, mode, writes, segPages, scHot)
 		if err != nil {
 			return rep, err
 		}
 		if !ok {
 			rep.RoundTripsVerified = false
 		}
-		if legacy {
+		switch mode {
+		case "legacy":
 			rep.Legacy = st
-		} else {
+		case "vectored":
 			rep.Vectored = st
+		case "traced":
+			rep.Traced = st
 		}
 	}
 
@@ -131,19 +144,24 @@ func AblateHotPath(writes int, segPages uint64, sc Scale) (HotPathReport, error)
 	rep.ReadBytesReductionPct = pct(rep.Legacy.ReadKBPerOp, rep.Vectored.ReadKBPerOp)
 	rep.WriteMeanSpeedupPct = pct(rep.Legacy.WriteMeanMs, rep.Vectored.WriteMeanMs)
 	rep.ReadMeanSpeedupPct = pct(rep.Legacy.ReadMeanMs, rep.Vectored.ReadMeanMs)
+	// Sign flipped versus the reductions: positive means tracing made
+	// writes slower.
+	rep.TraceOverheadPct = -pct(rep.Vectored.WriteMeanMs, rep.Traced.WriteMeanMs)
 	return rep, nil
 }
 
 // hotPathMode runs one mode's write+read sweep and returns its stats
-// and whether all round trips were byte-identical.
-func hotPathMode(cl *cluster.Cluster, legacy bool, writes int, segPages uint64, sc Scale) (HotPathStats, bool, error) {
-	st := HotPathStats{Mode: "vectored"}
-	if legacy {
-		st.Mode = "legacy"
-	}
+// and whether all round trips were byte-identical. Modes: "legacy"
+// (pre-vectored codec), "vectored" (the production path, tracing off),
+// "traced" (vectored + 1-in-64 span sampling).
+func hotPathMode(cl *cluster.Cluster, mode string, writes int, segPages uint64, sc Scale) (HotPathStats, bool, error) {
+	st := HotPathStats{Mode: mode}
 	ctx := context.Background()
 	opts := cl.ClientOptions("hotpath-" + st.Mode)
-	opts.LegacyDataPath = legacy
+	opts.LegacyDataPath = mode == "legacy"
+	if mode == "traced" {
+		opts.Tracer = trace.New("hotpath-traced", trace.DefaultRing, 64)
+	}
 	c, err := core.NewClient(ctx, opts)
 	if err != nil {
 		return st, false, err

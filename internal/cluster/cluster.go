@@ -31,6 +31,7 @@ import (
 	"blob/internal/provider"
 	"blob/internal/repair"
 	"blob/internal/rpc"
+	"blob/internal/trace"
 	"blob/internal/vmanager"
 )
 
@@ -110,6 +111,16 @@ type Config struct {
 	// like CompactRateBytes for compaction) so repair traffic cannot
 	// starve foreground reads and writes.
 	RepairRateBytes int64
+	// TraceSampleEvery, when positive, arms every node role and every
+	// cluster client with a span tracer sampling 1-in-N root operations
+	// (1 = trace everything). Spans land in per-process ring buffers;
+	// TraceSpans gathers one trace across all of them, like blobctl
+	// trace does over MSpans in a real deployment. Zero disables
+	// tracing entirely (the allocation-free path).
+	TraceSampleEvery int
+	// SlowThreshold is forwarded to each client's slow-request log (see
+	// core.Options.SlowThreshold). Only meaningful with tracing armed.
+	SlowThreshold time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -172,6 +183,38 @@ type Cluster struct {
 	// index the exported slices directly must not do so concurrently
 	// with RestartDataProvider.
 	svcMu sync.RWMutex
+
+	// traceMu guards tracers: one per node role and per client, created
+	// lazily when Config.TraceSampleEvery is set.
+	traceMu sync.Mutex
+	tracers []*trace.Tracer
+}
+
+// newTracer creates (and retains, for TraceSpans) a span tracer for the
+// named node, or returns nil when tracing is disabled.
+func (c *Cluster) newTracer(node string) *trace.Tracer {
+	if c.cfg.TraceSampleEvery <= 0 {
+		return nil
+	}
+	t := trace.New(node, trace.DefaultRing, c.cfg.TraceSampleEvery)
+	c.traceMu.Lock()
+	c.tracers = append(c.tracers, t)
+	c.traceMu.Unlock()
+	return t
+}
+
+// TraceSpans gathers every recorded span of one trace across all node
+// and client ring buffers — the in-process equivalent of blobctl trace
+// querying MSpans on each node.
+func (c *Cluster) TraceSpans(traceID uint64) []trace.Span {
+	c.traceMu.Lock()
+	tracers := append([]*trace.Tracer(nil), c.tracers...)
+	c.traceMu.Unlock()
+	var spans []trace.Span
+	for _, t := range tracers {
+		spans = append(spans, t.SpansFor(traceID)...)
+	}
+	return spans
 }
 
 // dataService returns the current RPC service of data provider i, which
@@ -251,6 +294,9 @@ func Launch(cfg Config) (*Cluster, error) {
 	var lastServer *rpc.Server
 	serve := func(host *netsim.Host, port string, register func(*rpc.Server)) (string, error) {
 		srv := rpc.NewServer()
+		if t := c.newTracer(host.Name() + ":" + port); t != nil {
+			srv.SetTracer(t)
+		}
 		register(srv)
 		l, err := host.Listen(port)
 		if err != nil {
@@ -470,6 +516,8 @@ func (c *Cluster) ClientOptions(hostName string) core.Options {
 		MetaReplicas:     c.cfg.MetaReplicas,
 		CacheNodes:       c.cfg.CacheNodes,
 		MetaProcessDelay: c.cfg.MetaProcessDelay,
+		Tracer:           c.newTracer(hostName),
+		SlowThreshold:    c.cfg.SlowThreshold,
 	}
 }
 
@@ -550,6 +598,9 @@ func (c *Cluster) restartDataProvider(i int, wipe bool) error {
 	}
 	svc := c.newDataService(i, st)
 	srv := rpc.NewServer()
+	if t := c.newTracer(c.dataHosts[i] + ":data"); t != nil {
+		srv.SetTracer(t)
+	}
 	svc.RegisterHandlers(srv)
 	l, err := c.fab.Host(c.dataHosts[i]).Listen("data")
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"blob/internal/provider"
 	"blob/internal/rpc"
 	"blob/internal/stats"
+	"blob/internal/trace"
 	"blob/internal/vmanager"
 )
 
@@ -79,6 +81,17 @@ type Options struct {
 	// false and get the zero-copy codec plus the pipelined write
 	// protocol.
 	LegacyDataPath bool
+	// Tracer records spans for this client's operations and propagates
+	// them to every service the operation touches (docs/observability.md).
+	// Nil disables tracing; the operation hot path then stays
+	// allocation-free. Sampling policy is the tracer's.
+	Tracer *trace.Tracer
+	// SlowThreshold, when positive and tracing is enabled, dumps the
+	// locally recorded span tree of any sampled operation slower than it
+	// through Logf — the slow-request log.
+	SlowThreshold time.Duration
+	// Logf receives slow-request reports (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // Client talks to one deployment of the service. It is safe for
@@ -199,6 +212,11 @@ func (c *Client) VersionManager() *vmanager.Client { return c.vm }
 // Pool exposes the RPC pool (shared by auxiliary agents like the GC).
 func (c *Client) Pool() *rpc.Pool { return c.pool }
 
+// Tracer returns the tracer this client was configured with (nil when
+// tracing is disabled). Auxiliary agents (repair, GC) root their own
+// operations on it.
+func (c *Client) Tracer() *trace.Tracer { return c.opts.Tracer }
+
 // AllProviders lists every registered data provider (used by the GC to
 // broadcast deletions).
 func (c *Client) AllProviders(ctx context.Context) ([]pmanager.ProviderInfo, error) {
@@ -260,6 +278,28 @@ func (c *Client) providerAddr(ctx context.Context, id uint32) (string, error) {
 		return "", fmt.Errorf("core: unknown provider id %d", id)
 	}
 	return addr, nil
+}
+
+// endRoot completes a traced operation's root span and, when the
+// operation crossed the slow threshold, dumps the locally recorded
+// span tree to the log with its byte counts and retry/degraded
+// annotations. All no-op for untraced (nil op) operations.
+func (c *Client) endRoot(op *trace.Op, d time.Duration, err error) {
+	op.EndErr(err)
+	if op == nil {
+		return
+	}
+	th := c.opts.SlowThreshold
+	if th <= 0 || d < th {
+		return
+	}
+	logf := c.opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	tree := trace.BuildTree(c.opts.Tracer.SpansFor(op.TraceID()))
+	logf("core: slow request: %v (threshold %v), trace %016x\n%s",
+		d, th, op.TraceID(), trace.FormatTree(tree))
 }
 
 // newWriteID generates a globally unique write identity.

@@ -9,6 +9,7 @@ import (
 	"blob/internal/mstore"
 	"blob/internal/provider"
 	"blob/internal/rpc"
+	"blob/internal/trace"
 	"blob/internal/wire"
 )
 
@@ -52,9 +53,13 @@ func (b *Blob) ReadDetailed(ctx context.Context, buf []byte, offset uint64, v me
 
 // readDetailed implements READ; vKnownPublished skips the freshness
 // round trip when the caller just learned v from the version manager.
-func (b *Blob) readDetailed(ctx context.Context, buf []byte, offset uint64, v meta.Version, vKnownPublished bool) (ReadResult, error) {
-	var res ReadResult
+func (b *Blob) readDetailed(ctx context.Context, buf []byte, offset uint64, v meta.Version, vKnownPublished bool) (res ReadResult, err error) {
 	start := time.Now()
+	ctx, root := b.c.opts.Tracer.Root(ctx, "core.ReadBlob")
+	if root != nil {
+		root.AddBytes(int64(len(buf)))
+		defer func() { b.c.endRoot(root, time.Since(start), err) }()
+	}
 	if len(buf) == 0 || uint64(len(buf))%b.pageSize != 0 {
 		return res, fmt.Errorf("core: read length %d not a positive multiple of page size %d", len(buf), b.pageSize)
 	}
@@ -66,7 +71,9 @@ func (b *Blob) readDetailed(ctx context.Context, buf []byte, offset uint64, v me
 	// only centralized interaction of the whole read.
 	res.Latest = v
 	if !vKnownPublished {
-		latest, _, err := b.c.vm.Latest(ctx, b.id)
+		vctx, vop := trace.Start(ctx, "read.version")
+		latest, _, err := b.c.vm.Latest(vctx, b.id)
+		vop.EndErr(err)
 		if err != nil {
 			return res, err
 		}
@@ -78,8 +85,10 @@ func (b *Blob) readDetailed(ctx context.Context, buf []byte, offset uint64, v me
 
 	// Step 2: resolve the segment through the metadata tree.
 	t0 := time.Now()
+	mctx, mop := trace.Start(ctx, "read.meta")
 	pr := meta.PageRange{First: offset / b.pageSize, Count: uint64(len(buf)) / b.pageSize}
-	leaves, err := b.c.ms.ReadPlan(ctx, b.id, v, b.totalPages, pr)
+	leaves, err := b.c.ms.ReadPlan(mctx, b.id, v, b.totalPages, pr)
+	mop.EndErr(err)
 	if err != nil {
 		return res, err
 	}
@@ -116,7 +125,13 @@ func (b *Blob) ReadMeta(ctx context.Context, offset, length uint64, v meta.Versi
 // a definite miss refreshes that replica's digest, and a page a later
 // replica serves is re-pushed in the background to every replica that
 // missed it, restoring redundancy as a side effect of reading.
-func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, leaves []mstore.PageLeaf) error {
+func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, leaves []mstore.PageLeaf) (err error) {
+	ctx, fop := trace.Start(ctx, "read.fetch")
+	if fop != nil {
+		fop.AddBytes(int64(len(buf)))
+		defer func() { fop.EndErr(err) }()
+	}
+	tc := trace.FromContext(ctx)
 	type item struct {
 		leaf mstore.PageLeaf
 		dst  []byte
@@ -153,6 +168,9 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 	// then the second replica for whatever failed, and so on. A page
 	// whose replica list is exhausted is unrecoverable.
 	for tier := 0; len(remaining) > 0; tier++ {
+		if tier > 0 {
+			fop.Notef("retry: tier %d, %d pages", tier, len(remaining))
+		}
 		type group struct {
 			refs  []provider.PageRef
 			items []item
@@ -184,6 +202,7 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 				if d, ok := b.c.cachedDigest(id); ok &&
 					!d.MightContain(b.id, it.leaf.Leaf.Write, it.leaf.Leaf.RelPage) {
 					b.c.BloomSkips.Inc()
+					fop.Notef("bloom-skip: provider %d", id)
 					it.missed = append(it.missed, id)
 					next = append(next, it)
 					continue
@@ -216,7 +235,7 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 				next = append(next, g.items...)
 				continue
 			}
-			pend = append(pend, b.c.pool.Go(addr, provider.MGetPages, provider.EncodeGetPages(g.refs)))
+			pend = append(pend, b.c.pool.GoT(addr, provider.MGetPages, provider.EncodeGetPages(g.refs), tc))
 			gs = append(gs, g)
 			ids = append(ids, id)
 		}

@@ -18,6 +18,7 @@ import (
 	"blob/internal/mstore"
 	"blob/internal/provider"
 	"blob/internal/rpc"
+	"blob/internal/trace"
 	"blob/internal/wire"
 )
 
@@ -129,7 +130,11 @@ type stripedItem struct {
 // down, definite miss, corrupt bytes) degrade to stripe reconstruction
 // — pull any k surviving shards, decode, serve, and re-push the
 // reconstructed page to its home provider in the background.
-func (b *Blob) fetchStriped(ctx context.Context, items []stripedItem) error {
+func (b *Blob) fetchStriped(ctx context.Context, items []stripedItem) (err error) {
+	ctx, sop := trace.Start(ctx, "read.stripe")
+	if sop != nil {
+		defer func() { sop.EndErr(err) }()
+	}
 	type group struct {
 		refs  []provider.PageRef
 		items []stripedItem
@@ -191,6 +196,7 @@ func (b *Blob) fetchStriped(ctx context.Context, items []stripedItem) error {
 	if len(failed) == 0 {
 		return nil
 	}
+	sop.Notef("degraded: %d pages", len(failed))
 
 	// Degraded path: group the failures by stripe so each stripe is
 	// decoded once however many of its pages this read needs.

@@ -9,6 +9,7 @@ import (
 	"blob/internal/pmanager"
 	"blob/internal/provider"
 	"blob/internal/rpc"
+	"blob/internal/trace"
 	"blob/internal/vmanager"
 	"blob/internal/wire"
 )
@@ -54,9 +55,13 @@ func (b *Blob) WriteDetailed(ctx context.Context, buf []byte, offset uint64) (Wr
 	return b.writeInternal(ctx, buf, offset, false)
 }
 
-func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isAppend bool) (WriteResult, error) {
-	var res WriteResult
+func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isAppend bool) (res WriteResult, err error) {
 	start := time.Now()
+	ctx, root := b.c.opts.Tracer.Root(ctx, "core.WriteBlob")
+	if root != nil {
+		root.AddBytes(int64(len(buf)))
+		defer func() { b.c.endRoot(root, time.Since(start), err) }()
+	}
 	if len(buf) == 0 || uint64(len(buf))%b.pageSize != 0 {
 		return res, fmt.Errorf("core: write length %d not a positive multiple of page size %d", len(buf), b.pageSize)
 	}
@@ -82,7 +87,9 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 	}
 	assign := func() assignResult {
 		t := time.Now()
-		asg, err := b.c.vm.AssignVersion(ctx, b.id, writeID, offset, uint64(len(buf)), isAppend)
+		actx, aop := trace.Start(ctx, "write.assign")
+		asg, err := b.c.vm.AssignVersion(actx, b.id, writeID, offset, uint64(len(buf)), isAppend)
+		aop.EndErr(err)
 		return assignResult{asg, err, time.Since(t)}
 	}
 	pipelined := !b.c.opts.LegacyDataPath
@@ -98,10 +105,12 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 	// m parity pages per stripe (docs/erasure.md). Both produce a
 	// leafAt function the metadata build below consumes.
 	t0 := time.Now()
+	pctx, pushOp := trace.Start(ctx, "write.push")
+	pushOp.AddBytes(int64(len(buf)))
 	var leafAt func(rel uint64) meta.LeafData
 	var pushErr error
 	if b.red.IsRS() {
-		refs, err := b.putStriped(ctx, writeID, buf)
+		refs, err := b.putStriped(pctx, writeID, buf)
 		if err != nil {
 			pushErr = err
 		} else {
@@ -119,10 +128,10 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 			}
 		}
 	} else {
-		alloc, err := b.allocateProviders(ctx, int(npages), b.c.opts.DataReplicas)
+		alloc, err := b.allocateProviders(pctx, int(npages), b.c.opts.DataReplicas)
 		if err != nil {
 			pushErr = err
-		} else if checksums, err := b.putPages(ctx, writeID, buf, alloc); err != nil {
+		} else if checksums, err := b.putPages(pctx, writeID, buf, alloc); err != nil {
 			pushErr = err
 		} else {
 			r := b.c.opts.DataReplicas
@@ -139,6 +148,7 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 			}
 		}
 	}
+	pushOp.EndErr(pushErr)
 	if pushErr != nil {
 		if pipelined {
 			// The concurrently assigned version will never commit; abort
@@ -174,17 +184,22 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 
 	// Phase 3: build the partial tree in complete isolation and store it.
 	t0 = time.Now()
+	mctx, metaOp := trace.Start(ctx, "write.meta")
 	nodes, err := meta.Build(b.id, asg.Version, b.totalPages, wr,
 		meta.BorderResolver(asg.Borders),
 		func(page uint64) (meta.LeafData, error) {
 			return leafAt(page - firstPage), nil
 		})
 	if err != nil {
+		metaOp.EndErr(err)
 		return res, err
 	}
-	if err := b.c.ms.StoreNodes(ctx, nodes); err != nil {
+	metaOp.Notef("%d nodes", len(nodes))
+	if err := b.c.ms.StoreNodes(mctx, nodes); err != nil {
+		metaOp.EndErr(err)
 		return res, err
 	}
+	metaOp.End()
 	res.MetaTime = time.Since(t0)
 	b.c.MetaWriteTime.Observe(res.MetaTime)
 
@@ -192,9 +207,12 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 	// version is immediately readable (the paper's liveness guarantee
 	// makes this wait finite).
 	t0 = time.Now()
-	if _, err := b.c.vm.Commit(ctx, b.id, asg.Version, true); err != nil {
+	cctx, commitOp := trace.Start(ctx, "write.commit")
+	if _, err := b.c.vm.Commit(cctx, b.id, asg.Version, true); err != nil {
+		commitOp.EndErr(err)
 		return res, err
 	}
+	commitOp.End()
 	res.CommitTime = time.Since(t0)
 
 	b.c.Writes.Inc()
@@ -272,6 +290,9 @@ func (b *Blob) putPages(ctx context.Context, writeID uint64, buf []byte, alloc p
 		}
 	}
 
+	// Async fan-out: the frame header carries whatever trace the write
+	// operation is running under (zero tc emits legacy frames).
+	tc := trace.FromContext(ctx)
 	pend := make([]*rpc.Pending, 0, len(batches))
 	for id, bt := range batches {
 		addr, err := b.c.providerAddr(ctx, id)
@@ -280,10 +301,10 @@ func (b *Blob) putPages(ctx context.Context, writeID uint64, buf []byte, alloc p
 		}
 		if legacy {
 			body := provider.EncodePutPages(b.id, writeID, bt.rels, bt.datas)
-			pend = append(pend, b.c.pool.Go(addr, provider.MPutPages, body))
+			pend = append(pend, b.c.pool.GoT(addr, provider.MPutPages, body, tc))
 		} else {
 			segs := provider.EncodePutPagesVec(b.id, writeID, bt.rels, bt.datas)
-			pend = append(pend, b.c.pool.GoVec(addr, provider.MPutPages, segs))
+			pend = append(pend, b.c.pool.GoVecT(addr, provider.MPutPages, segs, tc))
 		}
 	}
 	for i, p := range pend {

@@ -9,6 +9,7 @@ import (
 
 	"blob/internal/rpc"
 	"blob/internal/stats"
+	"blob/internal/trace"
 	"blob/internal/wire"
 )
 
@@ -98,9 +99,10 @@ func (c *Client) Put(ctx context.Context, key uint64, value []byte) error {
 	w.BytesField(value)
 	body := w.Bytes()
 
+	tc := trace.FromContext(ctx)
 	pend := make([]*rpc.Pending, len(reps))
 	for i, rep := range reps {
-		pend[i] = c.pool.Go(rep.Addr, MPut, body)
+		pend[i] = c.pool.GoT(rep.Addr, MPut, body, tc)
 	}
 	var firstErr error
 	acked := 0
@@ -220,6 +222,7 @@ func (c *Client) MultiPut(ctx context.Context, kvs []KV) error {
 		}
 	}
 	// Re-encode with the real counts (cheap: header only).
+	tc := trace.FromContext(ctx)
 	pend := make([]*rpc.Pending, 0, len(groups))
 	for addr, g := range groups {
 		hdr := wire.NewWriter(8)
@@ -229,7 +232,7 @@ func (c *Client) MultiPut(ctx context.Context, kvs []KV) error {
 		full := make([]byte, 0, len(payload)+hdr.Len())
 		full = append(full, hdr.Bytes()...)
 		full = append(full, payload...)
-		pend = append(pend, c.pool.Go(addr, MMultiPut, full))
+		pend = append(pend, c.pool.GoT(addr, MMultiPut, full, tc))
 	}
 	var firstErr error
 	acked := 0
@@ -291,10 +294,11 @@ func (c *Client) MultiPutVec(ctx context.Context, kvs []KV) error {
 			g.n++
 		}
 	}
+	tc := trace.FromContext(ctx)
 	pend := make([]*rpc.Pending, 0, len(groups))
 	for addr, g := range groups {
 		g.vw.SetSeg(g.countSeg, binary.AppendUvarint(make([]byte, 0, 10), uint64(g.n)))
-		pend = append(pend, c.pool.GoVec(addr, MMultiPut, g.vw.Segs()))
+		pend = append(pend, c.pool.GoVecT(addr, MMultiPut, g.vw.Segs(), tc))
 	}
 	var firstErr error
 	acked := 0

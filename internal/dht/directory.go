@@ -15,6 +15,11 @@ const (
 	MDirMembers  = 0x0202
 )
 
+func init() {
+	rpc.RegisterMethodName(MDirRegister, "dht.MDirRegister")
+	rpc.RegisterMethodName(MDirMembers, "dht.MDirMembers")
+}
+
 // Directory is the membership registry metadata providers join and
 // clients consult to build their ring view. Each membership change bumps
 // an epoch so clients can cheaply detect staleness.

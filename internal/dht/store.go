@@ -21,6 +21,15 @@ const (
 	MStats    = 0x0106
 )
 
+func init() {
+	rpc.RegisterMethodName(MPut, "dht.MPut")
+	rpc.RegisterMethodName(MGet, "dht.MGet")
+	rpc.RegisterMethodName(MDelete, "dht.MDelete")
+	rpc.RegisterMethodName(MMultiPut, "dht.MMultiPut")
+	rpc.RegisterMethodName(MMultiGet, "dht.MMultiGet")
+	rpc.RegisterMethodName(MStats, "dht.MStats")
+}
+
 // storeShards is the number of lock shards in a Store. A power of two so
 // shard selection is a mask.
 const storeShards = 64

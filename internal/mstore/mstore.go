@@ -17,6 +17,7 @@ import (
 
 	"blob/internal/dht"
 	"blob/internal/meta"
+	"blob/internal/trace"
 	"blob/internal/wire"
 )
 
@@ -66,6 +67,8 @@ func New(kv *dht.Client, cacheNodes int) *Client {
 // MultiPutVec untouched; a sealed arena slice stays valid even when
 // later encodes grow the arena into fresh memory.
 func (c *Client) StoreNodes(ctx context.Context, nodes []meta.Node) error {
+	ctx, op := trace.Start(ctx, "mstore.store")
+	op.Notef("%d nodes", len(nodes))
 	kvs := make([]dht.KV, len(nodes))
 	var err error
 	if c.Vectored {
@@ -84,6 +87,7 @@ func (c *Client) StoreNodes(ctx context.Context, nodes []meta.Node) error {
 		}
 		err = c.kv.MultiPut(ctx, kvs)
 	}
+	op.EndErr(err)
 	if err != nil {
 		return fmt.Errorf("mstore: store %d nodes: %w", len(nodes), err)
 	}
@@ -99,7 +103,9 @@ func (c *Client) FetchNode(ctx context.Context, key meta.NodeKey) (*meta.Node, e
 	if n, ok := c.cache.get(key); ok {
 		return n, nil
 	}
+	ctx, op := trace.Start(ctx, "mstore.fetch")
 	body, err := c.kv.Get(ctx, key.Hash())
+	op.EndErr(err)
 	if err != nil {
 		if errors.Is(err, dht.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %+v", ErrMissingNode, key)
@@ -135,7 +141,10 @@ func (c *Client) FetchNodes(ctx context.Context, keys []meta.NodeKey) (map[meta.
 	if len(missKeys) == 0 {
 		return out, nil
 	}
-	got, err := c.kv.MultiGet(ctx, missHashes)
+	fctx, op := trace.Start(ctx, "mstore.fetch")
+	op.Notef("%d/%d cached", len(keys)-len(missKeys), len(keys))
+	got, err := c.kv.MultiGet(fctx, missHashes)
+	op.EndErr(err)
 	if err != nil {
 		return nil, fmt.Errorf("mstore: fetch %d nodes: %w", len(missKeys), err)
 	}

@@ -33,6 +33,13 @@ const (
 	MList      = 0x0404
 )
 
+func init() {
+	rpc.RegisterMethodName(MRegister, "pmanager.MRegister")
+	rpc.RegisterMethodName(MHeartbeat, "pmanager.MHeartbeat")
+	rpc.RegisterMethodName(MAllocate, "pmanager.MAllocate")
+	rpc.RegisterMethodName(MList, "pmanager.MList")
+}
+
 // Strategy selects providers for new pages.
 type Strategy int
 

@@ -1,0 +1,50 @@
+package provider
+
+import "blob/internal/stats"
+
+// statsMetric binds one Stats field to its exported metric series. The
+// table drives RegisterMetrics and the coverage gate in metrics_test.go:
+// every field carried on the MStats wire must appear here exactly once,
+// so the RPC stats surface and the /metrics exposition cannot drift.
+type statsMetric struct {
+	field string // Stats struct field name, checked by reflection
+	name  string // Prometheus series name
+	gauge bool   // gauge (current level) vs counter (monotone total)
+	get   func(Stats) int64
+}
+
+var statsMetrics = []statsMetric{
+	{"BytesUsed", "provider_bytes_used", true, func(s Stats) int64 { return s.BytesUsed }},
+	{"PageCount", "provider_pages", true, func(s Stats) int64 { return s.PageCount }},
+	{"Capacity", "provider_capacity_bytes", true, func(s Stats) int64 { return s.Capacity }},
+	{"Puts", "provider_puts_total", false, func(s Stats) int64 { return s.Puts }},
+	{"Gets", "provider_gets_total", false, func(s Stats) int64 { return s.Gets }},
+	{"Misses", "provider_misses_total", false, func(s Stats) int64 { return s.Misses }},
+	{"ActiveOps", "provider_active_ops", true, func(s Stats) int64 { return s.ActiveOps }},
+	{"DiskBytes", "provider_disk_bytes", true, func(s Stats) int64 { return s.DiskBytes }},
+	{"DiskLive", "provider_disk_live_bytes", true, func(s Stats) int64 { return s.DiskLive }},
+	{"Segments", "provider_disk_segments", true, func(s Stats) int64 { return s.Segments }},
+	{"ReplayedBytes", "provider_restart_replayed_bytes_total", false, func(s Stats) int64 { return s.ReplayedBytes }},
+	{"SidecarBytes", "provider_restart_sidecar_bytes_total", false, func(s Stats) int64 { return s.SidecarBytes }},
+	{"SegmentsReplayed", "provider_restart_segments_replayed_total", false, func(s Stats) int64 { return s.SegmentsReplayed }},
+	{"SidecarsLoaded", "provider_restart_sidecars_loaded_total", false, func(s Stats) int64 { return s.SidecarsLoaded }},
+	{"CacheBytes", "provider_cache_bytes", true, func(s Stats) int64 { return s.CacheBytes }},
+	{"CacheHits", "provider_cache_hits_total", false, func(s Stats) int64 { return s.CacheHits }},
+	{"RepairedPages", "provider_repaired_pages_total", false, func(s Stats) int64 { return s.RepairedPages }},
+	{"RepairBytes", "provider_repair_bytes_total", false, func(s Stats) int64 { return s.RepairBytes }},
+	{"BloomSkips", "provider_bloom_skips_total", false, func(s Stats) int64 { return s.BloomSkips }},
+}
+
+// RegisterMetrics exports the service's statistics into reg as
+// function-backed series evaluated at scrape time, one per Stats field.
+func (sv *Service) RegisterMetrics(reg *stats.Registry) {
+	for _, m := range statsMetrics {
+		m := m
+		f := func() int64 { return m.get(sv.Snapshot()) }
+		if m.gauge {
+			reg.GaugeFunc(m.name, f)
+		} else {
+			reg.CounterFunc(m.name, f)
+		}
+	}
+}

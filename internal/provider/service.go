@@ -50,6 +50,16 @@ func (sv *Service) Snapshot() Stats {
 	return st
 }
 
+func init() {
+	rpc.RegisterMethodName(MPutPages, "provider.MPutPages")
+	rpc.RegisterMethodName(MGetPages, "provider.MGetPages")
+	rpc.RegisterMethodName(MDeleteWrite, "provider.MDeleteWrite")
+	rpc.RegisterMethodName(MDeletePages, "provider.MDeletePages")
+	rpc.RegisterMethodName(MStats, "provider.MStats")
+	rpc.RegisterMethodName(MListWrites, "provider.MListWrites")
+	rpc.RegisterMethodName(MPullPages, "provider.MPullPages")
+}
+
 // RegisterHandlers wires the provider's RPC methods onto srv.
 func (sv *Service) RegisterHandlers(srv *rpc.Server) {
 	srv.Handle(MPutPages, sv.handlePutPages)
@@ -155,7 +165,11 @@ func (sv *Service) handleDeletePages(_ context.Context, body []byte) ([]byte, er
 }
 
 func (sv *Service) handleStats(_ context.Context, _ []byte) ([]byte, error) {
-	st := sv.Snapshot()
+	return encodeStats(sv.Snapshot()), nil
+}
+
+// encodeStats is the MStats wire encoding; DecodeStats is its inverse.
+func encodeStats(st Stats) []byte {
 	w := wire.NewWriter(96)
 	w.Varint(st.BytesUsed)
 	w.Varint(st.PageCount)
@@ -176,7 +190,7 @@ func (sv *Service) handleStats(_ context.Context, _ []byte) ([]byte, error) {
 	w.Varint(st.RepairedPages)
 	w.Varint(st.RepairBytes)
 	w.Varint(st.BloomSkips)
-	return w.Bytes(), nil
+	return w.Bytes()
 }
 
 // DecodeStats parses an MStats response.

@@ -25,6 +25,7 @@ import (
 	"blob/internal/meta"
 	"blob/internal/mstore"
 	"blob/internal/provider"
+	"blob/internal/trace"
 	"blob/internal/vmanager"
 )
 
@@ -99,8 +100,11 @@ type pageNeed struct {
 // blob and returns what it found and fixed. A pass is idempotent;
 // callers needing a convergence proof run a second pass and check
 // Report.FullyRedundant with zero missing.
-func (r *Repairer) RepairBlob(ctx context.Context, blobID uint64) (Report, error) {
-	var rep Report
+func (r *Repairer) RepairBlob(ctx context.Context, blobID uint64) (rep Report, err error) {
+	ctx, op := r.c.Tracer().Root(ctx, "repair.RepairBlob")
+	if op != nil {
+		defer func() { op.EndErr(err) }()
+	}
 	b, err := r.c.OpenBlob(ctx, blobID)
 	if err != nil {
 		return rep, err
@@ -430,8 +434,11 @@ func diagnose(h provider.Holdings, held int64, blob, write uint64, ns []pageNeed
 // from srcAddr.
 func (r *Repairer) pull(ctx context.Context, targetAddr, srcAddr string,
 	blob, write uint64, refs []provider.PullRef) (provider.PullResult, error) {
+	pctx, op := trace.Start(ctx, "repair.pull")
+	op.Notef("%d pages from %s", len(refs), srcAddr)
 	body := provider.EncodePullPages(srcAddr, blob, write, refs)
-	resp, err := r.c.Pool().Call(ctx, targetAddr, provider.MPullPages, body)
+	resp, err := r.c.Pool().Call(pctx, targetAddr, provider.MPullPages, body)
+	op.EndErr(err)
 	if err != nil {
 		return provider.PullResult{}, err
 	}

@@ -3,6 +3,8 @@ package rpc
 import (
 	"context"
 	"sync"
+
+	"blob/internal/trace"
 )
 
 // Pool maintains one multiplexed client connection per remote address,
@@ -96,12 +98,13 @@ func (p *Pool) Call(ctx context.Context, addr string, method uint32, body []byte
 // callers get pooled-buffer reuse without giving up the transparent
 // redial Call provides.
 func (p *Pool) CallWith(ctx context.Context, addr string, method uint32, body []byte, decode func([]byte) error) error {
+	tc := trace.FromContext(ctx)
 	attempt := func() (err error, transported bool) {
 		c, err := p.Get(addr)
 		if err != nil {
 			return err, false
 		}
-		pd := c.Go(method, body)
+		pd := c.GoT(method, body, tc)
 		resp, err := pd.Wait(ctx)
 		if err != nil {
 			return err, false
@@ -127,12 +130,24 @@ func (p *Pool) Go(addr string, method uint32, body []byte) *Pending {
 	return p.GoVec(addr, method, [][]byte{body})
 }
 
+// GoT is Go with an explicit trace context for the frame header.
+func (p *Pool) GoT(addr string, method uint32, body []byte, tc trace.Ctx) *Pending {
+	return p.GoVecT(addr, method, [][]byte{body}, tc)
+}
+
 // GoVec starts an asynchronous scatter-gather call to addr (see
 // Client.GoVec for the segment aliasing rules). A warm address enqueues
 // on the cached connection immediately; a cold one dials in the
 // background, so a fan-out wave that touches a new provider is never
 // serialized behind that one dial on the calling goroutine.
 func (p *Pool) GoVec(addr string, method uint32, segs [][]byte) *Pending {
+	return p.GoVecT(addr, method, segs, trace.Ctx{})
+}
+
+// GoVecT is GoVec with an explicit trace context for the frame header —
+// the shape async fan-outs use, since they have no per-call context to
+// extract a trace from. A zero tc emits the legacy frame.
+func (p *Pool) GoVecT(addr string, method uint32, segs [][]byte, tc trace.Ctx) *Pending {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -141,7 +156,7 @@ func (p *Pool) GoVec(addr string, method uint32, segs [][]byte) *Pending {
 	c, warm := p.clients[addr]
 	p.mu.Unlock()
 	if warm && !c.Closed() {
-		return c.GoVec(method, segs)
+		return c.GoVecT(method, segs, tc)
 	}
 
 	// Cold address: complete the Pending from a dialing goroutine. The
@@ -155,7 +170,7 @@ func (p *Pool) GoVec(addr string, method uint32, segs [][]byte) *Pending {
 			cl.err = err
 			return
 		}
-		inner := c.GoVec(method, segs)
+		inner := c.GoVecT(method, segs, tc)
 		<-inner.c.done
 		cl.resp, cl.err = inner.c.resp, inner.c.err
 	}()

@@ -28,8 +28,14 @@
 //
 // Message wire format (both directions, little endian):
 //
-//	request:  0x01 | u64 id | u32 method | uvarint len | body
-//	response: 0x02 | u64 id | u8 status  | uvarint len | body-or-error
+//	request:        0x01 | u64 id | u32 method | uvarint len | body
+//	traced request: 0x03 | u64 id | u32 method | u64 traceID | u64 spanID | uvarint len | body
+//	response:       0x02 | u64 id | u8 status  | uvarint len | body-or-error
+//
+// The traced request kind is an optional extension (see
+// docs/observability.md): a call whose context carries no trace emits
+// the byte-identical legacy 0x01 frame, and a server that does not
+// trace still understands 0x03 and simply forwards the ids.
 package rpc
 
 import (
@@ -42,6 +48,7 @@ import (
 	"sync/atomic"
 
 	"blob/internal/stats"
+	"blob/internal/trace"
 )
 
 // Network abstracts connection establishment so the same stack runs over
@@ -98,8 +105,9 @@ var ErrTooLarge = errors.New("rpc: message too large")
 const MaxBody = 128 << 20
 
 const (
-	kindRequest  = 0x01
-	kindResponse = 0x02
+	kindRequest       = 0x01
+	kindResponse      = 0x02
+	kindRequestTraced = 0x03
 
 	statusOK  = 0
 	statusErr = 1
@@ -127,6 +135,7 @@ var M Metrics
 type call struct {
 	id     uint64
 	method uint32
+	tc     trace.Ctx // zero for untraced calls (the common case)
 	segs   [][]byte
 	done   chan struct{}
 	resp   *Buf
@@ -180,11 +189,24 @@ func (c *Client) Go(method uint32, body []byte) *Pending {
 	return c.GoVec(method, [][]byte{body})
 }
 
+// GoT starts an asynchronous call carrying an explicit trace context.
+// A zero tc emits the byte-identical legacy frame.
+func (c *Client) GoT(method uint32, body []byte, tc trace.Ctx) *Pending {
+	return c.GoVecT(method, [][]byte{body}, tc)
+}
+
 // GoVec starts an asynchronous call whose body is the concatenation of
 // segs. The segments are not copied: they must stay immutable until the
 // call completes (Wait returns), at which point the frame has been
 // flushed to the connection.
 func (c *Client) GoVec(method uint32, segs [][]byte) *Pending {
+	return c.GoVecT(method, segs, trace.Ctx{})
+}
+
+// GoVecT is GoVec with an explicit trace context stamped into the
+// frame header. A zero tc selects the legacy request kind, so untraced
+// traffic is byte-identical with pre-tracing builds.
+func (c *Client) GoVecT(method uint32, segs [][]byte, tc trace.Ctx) *Pending {
 	total := 0
 	for _, s := range segs {
 		total += len(s)
@@ -195,6 +217,7 @@ func (c *Client) GoVec(method uint32, segs [][]byte) *Pending {
 	cl := &call{
 		id:     c.nextID.Add(1),
 		method: method,
+		tc:     tc,
 		segs:   segs,
 		done:   make(chan struct{}),
 	}
@@ -218,9 +241,10 @@ func (c *Client) GoVec(method uint32, segs [][]byte) *Pending {
 	return &Pending{c: cl}
 }
 
-// Call performs a synchronous RPC.
+// Call performs a synchronous RPC. Any trace the context carries is
+// propagated in the frame header.
 func (c *Client) Call(ctx context.Context, method uint32, body []byte) ([]byte, error) {
-	return c.Go(method, body).Wait(ctx)
+	return c.GoT(method, body, trace.FromContext(ctx)).Wait(ctx)
 }
 
 // Pending represents an in-flight asynchronous call.
@@ -365,9 +389,17 @@ func (c *Client) writeLoop() {
 			for _, s := range cl.segs {
 				blen += len(s)
 			}
-			enc.hdrByte(kindRequest)
-			enc.hdrUint64(cl.id)
-			enc.hdrUint32(cl.method)
+			if cl.tc.Zero() {
+				enc.hdrByte(kindRequest)
+				enc.hdrUint64(cl.id)
+				enc.hdrUint32(cl.method)
+			} else {
+				enc.hdrByte(kindRequestTraced)
+				enc.hdrUint64(cl.id)
+				enc.hdrUint32(cl.method)
+				enc.hdrUint64(cl.tc.TraceID)
+				enc.hdrUint64(cl.tc.SpanID)
+			}
 			enc.hdrUvarint(uint64(blen))
 			for _, s := range cl.segs {
 				enc.bodySeg(s)

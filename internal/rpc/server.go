@@ -8,7 +8,38 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"blob/internal/stats"
+	"blob/internal/trace"
 )
+
+// methodNames maps method identifiers to human-readable names for span
+// labels and metric labels. Service packages register their methods
+// from init(); unknown ids render as hex.
+var methodNames sync.Map // uint32 -> string
+
+// RegisterMethodName associates a method id with a name like
+// "provider.MPutPages". Typically called from a service package's
+// init(); later registrations for the same id win.
+func RegisterMethodName(method uint32, name string) {
+	methodNames.Store(method, name)
+}
+
+func init() {
+	// trace cannot import rpc (rpc imports trace), so its one method id
+	// is named here.
+	RegisterMethodName(trace.MSpans, "trace.MSpans")
+}
+
+// MethodName returns the registered name for a method id, or a hex
+// rendering when none is known.
+func MethodName(method uint32) string {
+	if v, ok := methodNames.Load(method); ok {
+		return v.(string)
+	}
+	return fmt.Sprintf("m_0x%04x", method)
+}
 
 // Server dispatches incoming requests to registered handlers. Responses
 // are coalesced per connection exactly like client requests: one response
@@ -22,9 +53,31 @@ type Server struct {
 	lis      []net.Listener
 	closed   bool
 
+	tracer  *trace.Tracer
+	metrics *serverMetrics
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+}
+
+// serverMetrics accumulates per-method handler latency into a
+// long-lived registry (served over /metrics by the admin listener).
+type serverMetrics struct {
+	mu    sync.Mutex
+	reg   *stats.Registry
+	hists map[uint32]*stats.Histogram
+}
+
+func (m *serverMetrics) hist(method uint32) *stats.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[method]
+	if !ok {
+		h = m.reg.Histogram(stats.Label("rpc_handler_seconds", "method", MethodName(method)))
+		m.hists[method] = h
+	}
+	return h
 }
 
 // handlerEntry holds one registered handler in either calling convention.
@@ -66,12 +119,41 @@ func (s *Server) register(method uint32, e handlerEntry) {
 	s.handlers[method] = e
 }
 
-// lookup returns the handler for a method, if any.
-func (s *Server) lookup(method uint32) (handlerEntry, bool) {
+// lookup returns the handler for a method, if any, plus the server's
+// observability hooks (tracer, metrics) under one lock acquisition.
+func (s *Server) lookup(method uint32) (handlerEntry, bool, *trace.Tracer, *serverMetrics) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.handlers[method]
-	return e, ok
+	return e, ok, s.tracer, s.metrics
+}
+
+// SetTracer attaches a tracer: every incoming traced request gets a
+// server-side span named after its method, handlers run under a
+// context carrying the trace, and the trace.MSpans method is served
+// from the tracer's ring. Call at most once, before Serve.
+func (s *Server) SetTracer(t *trace.Tracer) {
+	if t == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tracer = t
+	s.mu.Unlock()
+	s.Handle(trace.MSpans, func(_ context.Context, body []byte) ([]byte, error) {
+		id, err := trace.DecodeSpansQuery(body)
+		if err != nil {
+			return nil, err
+		}
+		return trace.EncodeSpans(t.SpansFor(id)), nil
+	})
+}
+
+// EnableMetrics records per-method handler latency histograms into reg
+// (series rpc_handler_seconds{method="..."}). Call before Serve.
+func (s *Server) EnableMetrics(reg *stats.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = &serverMetrics{reg: reg, hists: make(map[uint32]*stats.Histogram)}
 }
 
 // Serve accepts connections until the listener is closed. It always
@@ -240,7 +322,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if kind != kindRequest {
+		if kind != kindRequest && kind != kindRequestTraced {
 			return
 		}
 		id, err := br.readUint64()
@@ -251,16 +333,43 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		var tc trace.Ctx
+		if kind == kindRequestTraced {
+			if tc.TraceID, err = br.readUint64(); err != nil {
+				return
+			}
+			if tc.SpanID, err = br.readUint64(); err != nil {
+				return
+			}
+		}
 		body, err := br.readBody()
 		if err != nil {
 			return
 		}
 		M.BytesReceived.Add(int64(body.Len()))
 
-		h, ok := s.lookup(method)
+		h, ok, tracer, metrics := s.lookup(method)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			// Observability around the handler: a server-side span when
+			// the request carries a trace (an untracered server still
+			// forwards the ids to any RPCs the handler makes), and a
+			// per-method latency observation when metrics are enabled.
+			hctx := s.ctx
+			var op *trace.Op
+			if !tc.Zero() {
+				if tracer != nil {
+					hctx, op = tracer.Resume(s.ctx, tc, MethodName(method))
+					op.AddBytes(int64(body.Len()))
+				} else {
+					hctx = trace.ContextWith(s.ctx, nil, tc)
+				}
+			}
+			var start time.Time
+			if metrics != nil {
+				start = time.Now()
+			}
 			// The request body stays alive until its response is
 			// flushed (the reply carries it), so handlers may answer
 			// with slices of the request; anything retained beyond the
@@ -270,15 +379,19 @@ func (s *Server) serveConn(conn net.Conn) {
 				case !ok:
 					return nil, fmt.Errorf("rpc: unknown method %#x", method)
 				case h.vec != nil:
-					return h.vec(s.ctx, body.Bytes())
+					return h.vec(hctx, body.Bytes())
 				default:
-					out, err := h.plain(s.ctx, body.Bytes())
+					out, err := h.plain(hctx, body.Bytes())
 					if err != nil {
 						return nil, err
 					}
 					return [][]byte{out}, nil
 				}
 			}()
+			if metrics != nil {
+				metrics.hist(method).Observe(time.Since(start))
+			}
+			op.EndErr(err)
 			r := reply{id: id, req: body}
 			if err != nil {
 				r.status = statusErr

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Label builds a metric name with Prometheus-style labels:
+// Label("rpc_calls_total", "method", "MPutPages") returns
+// `rpc_calls_total{method="MPutPages"}`. Values are escaped per the
+// text exposition format (backslash, quote, newline). kv must hold an
+// even number of strings; keys are emitted in the given order.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// family returns the metric family of a possibly-labeled series name:
+// everything before the first '{'.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// withLabel appends one more label to a possibly-labeled series name,
+// used to thread `le` into histogram bucket series.
+func withLabel(name, key, value string) string {
+	esc := escapeLabelValue(value)
+	if strings.IndexByte(name, '{') >= 0 {
+		return name[:len(name)-1] + "," + key + `="` + esc + `"}`
+	}
+	return name + "{" + key + `="` + esc + `"}`
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4). Output is sorted by family
+// then series name, so it is stable across runs and safe to pin with
+// golden tests. Histograms are exported with cumulative `_bucket`
+// series in seconds plus `_sum` and `_count`, matching native
+// Prometheus histogram conventions.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type series struct {
+		name string
+		kind string // counter | gauge
+		val  int64
+	}
+	var scalars []series
+	for n, c := range r.counters {
+		scalars = append(scalars, series{n, "counter", c.Value()})
+	}
+	for n, f := range r.counterFuncs {
+		scalars = append(scalars, series{n, "counter", f()})
+	}
+	for n, g := range r.gauges {
+		scalars = append(scalars, series{n, "gauge", g.Value()})
+	}
+	for n, f := range r.gaugeFuncs {
+		scalars = append(scalars, series{n, "gauge", f()})
+	}
+	type hseries struct {
+		name string
+		h    *Histogram
+	}
+	var hists []hseries
+	for n, h := range r.histograms {
+		hists = append(hists, hseries{n, h})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(scalars, func(i, j int) bool { return scalars[i].name < scalars[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	var lastFamily string
+	for _, s := range scalars {
+		if f := family(s.name); f != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f, s.kind); err != nil {
+				return err
+			}
+			lastFamily = f
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", s.name, s.val); err != nil {
+			return err
+		}
+	}
+	for _, hs := range hists {
+		if f := family(hs.name); f != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", f); err != nil {
+				return err
+			}
+			lastFamily = f
+		}
+		if err := writeHistogram(w, hs.name, hs.h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	fam := family(name)
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		cum += n
+		if n == 0 {
+			continue // keep the exposition compact; +Inf always closes the series
+		}
+		_, hi := bucketBounds(i)
+		le := fmt.Sprintf("%g", float64(hi)/1e6) // µs bound → seconds
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_bucket"+name[len(fam):], "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_bucket"+name[len(fam):], "le", "+Inf"), h.count.Load()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %g\n", fam+"_sum"+name[len(fam):], float64(h.sumUS.Load())/1e6); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", fam+"_count"+name[len(fam):], h.count.Load())
+	return err
+}

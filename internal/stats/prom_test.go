@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLabel(t *testing.T) {
+	if got := Label("x_total"); got != "x_total" {
+		t.Errorf("no labels: %q", got)
+	}
+	if got := Label("x_total", "a", "1", "b", "2"); got != `x_total{a="1",b="2"}` {
+		t.Errorf("two labels: %q", got)
+	}
+	if got := Label("x_total", "p", "a\"b\\c\nd"); got != `x_total{p="a\"b\\c\nd"}` {
+		t.Errorf("escaping: %q", got)
+	}
+}
+
+// TestQuantileInterpolation pins the satellite change: Quantile must
+// interpolate linearly inside its bucket rather than returning the
+// bare power-of-two upper bound.
+func TestQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	// 100 samples spread across bucket 10 ([1024µs, 2048µs)).
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(1024+i*10) * time.Microsecond)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 1024*time.Microsecond || p50 >= 2048*time.Microsecond {
+		t.Fatalf("p50 = %v, want strictly inside (1024µs, 2048µs)", p50)
+	}
+	// The old behavior returned the bucket's upper bound exactly.
+	if p50 == 2048*time.Microsecond {
+		t.Fatal("p50 is the raw bucket bound; interpolation missing")
+	}
+	// With uniform spread over [1024µs, 2014µs] the midpoint estimate
+	// should land near the true median (~1519µs under the clamped
+	// bucket model); allow generous slack for the bucket approximation.
+	if p50 < 1300*time.Microsecond || p50 > 1750*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1.5ms", p50)
+	}
+	if got, max := h.Quantile(1.0), h.Max(); got != max {
+		t.Fatalf("Quantile(1) = %v, want Max = %v", got, max)
+	}
+	if h.Quantile(0.25) >= h.Quantile(0.75) {
+		t.Fatal("quantiles must be monotone under interpolation")
+	}
+}
+
+func TestRegistryGaugesAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("depth").Set(5)
+	r.Histogram("lat").Observe(time.Millisecond)
+	if r.Gauge("depth").Value() != 5 {
+		t.Error("gauge not shared by name")
+	}
+	if r.Histogram("lat").Count() != 1 {
+		t.Error("histogram not shared by name")
+	}
+	live := int64(1)
+	r.CounterFunc("ops_total", func() int64 { return live })
+	r.GaugeFunc("temp", func() int64 { return 20 })
+	live = 9
+	snap := r.Snapshot()
+	if snap["depth"] != 5 || snap["ops_total"] != 9 || snap["temp"] != 20 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+}
+
+// TestWritePrometheusGolden pins the full text exposition: stable
+// sort order, one TYPE line per family, label escaping, and the
+// cumulative-seconds histogram encoding.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("blob_reads_total").Add(4)
+	r.Counter(Label("rpc_calls_total", "method", "MPutPages")).Add(7)
+	r.Counter(Label("rpc_calls_total", "method", "MGetPages")).Add(2)
+	r.Gauge("blob_pages").Set(12)
+	r.GaugeFunc("process_uptime", func() int64 { return 3 })
+	r.Counter(Label("weird_total", "path", "a\"b\\c\nd")).Inc()
+	h := r.Histogram(Label("op_latency_seconds", "op", "write"))
+	h.Observe(1500 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+
+	const want = `# TYPE blob_pages gauge
+blob_pages 12
+# TYPE blob_reads_total counter
+blob_reads_total 4
+# TYPE process_uptime gauge
+process_uptime 3
+# TYPE rpc_calls_total counter
+rpc_calls_total{method="MGetPages"} 2
+rpc_calls_total{method="MPutPages"} 7
+# TYPE weird_total counter
+weird_total{path="a\"b\\c\nd"} 1
+# TYPE op_latency_seconds histogram
+op_latency_seconds_bucket{op="write",le="0.002048"} 1
+op_latency_seconds_bucket{op="write",le="0.004096"} 3
+op_latency_seconds_bucket{op="write",le="+Inf"} 3
+op_latency_seconds_sum{op="write"} 0.0075
+op_latency_seconds_count{op="write"} 3
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+	// A second render must be byte-identical (stable ordering).
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Fatal("exposition not stable across renders")
+	}
+}

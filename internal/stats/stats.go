@@ -11,6 +11,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -61,23 +62,21 @@ func bucketOf(us int64) int {
 	if us < 1 {
 		return 0
 	}
-	b := 63 - leadingZeros64(uint64(us))
+	b := 63 - bits.LeadingZeros64(uint64(us))
 	if b > 31 {
 		b = 31
 	}
 	return b
 }
 
-func leadingZeros64(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
+// bucketBounds returns bucket i's value range [lo, hi) in microseconds.
+// Bucket 0 also absorbs zero; the last bucket is open-ended (hi is only
+// its nominal boundary).
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 2
 	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
+	return 1 << uint(i), 1 << uint(i+1)
 }
 
 // Observe records one duration.
@@ -114,8 +113,11 @@ func (h *Histogram) Max() time.Duration {
 	return time.Duration(h.maxUS.Load()) * time.Microsecond
 }
 
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1) from the
-// bucket boundaries; resolution is a factor of two.
+// Quantile estimates the q-quantile (0 < q <= 1) by locating the bucket
+// containing the target rank and interpolating linearly within its
+// value range, assuming observations spread uniformly inside a bucket.
+// The estimate is clamped to the observed maximum, so Quantile(1) ==
+// Max and the tail bucket (whose upper bound is open) stays honest.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	total := h.count.Load()
 	if total == 0 {
@@ -125,14 +127,27 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if rank < 1 {
 		rank = 1
 	}
+	max := h.Max()
 	var cum int64
 	for i := range h.buckets {
-		cum += h.buckets[i].Load()
-		if cum >= rank {
-			return time.Duration(int64(1)<<(uint(i)+1)) * time.Microsecond
+		n := h.buckets[i].Load()
+		cum += n
+		if cum < rank {
+			continue
 		}
+		lo, hi := bucketBounds(i)
+		if hiUS := max.Microseconds(); hiUS < hi {
+			hi = hiUS // the bucket holding the max cannot extend past it
+		}
+		// Position of the target rank within this bucket's n samples.
+		frac := float64(rank-(cum-n)) / float64(n)
+		est := time.Duration(float64(lo)+frac*float64(hi-lo)) * time.Microsecond
+		if est > max {
+			est = max
+		}
+		return est
 	}
-	return h.Max()
+	return max
 }
 
 // String summarizes the histogram for logs and experiment output.
@@ -165,16 +180,32 @@ func (r *Rate) PerSecond() float64 {
 	return float64(r.n.Load()) / el
 }
 
-// Registry is a named collection of counters, handy for snapshotting a
-// service's state over an RPC.
+// Registry is a named collection of metrics: counters, gauges,
+// histograms and function-backed series. Names may carry Prometheus
+// style labels ("rpc_calls_total{method=\"MPutPages\"}"); the part
+// before the first '{' is the metric family. Handy for snapshotting a
+// service's state over an RPC and for serving /metrics.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	// Function-backed series let a registry export values owned
+	// elsewhere (rpc.Metrics, provider.Stats) without double counting:
+	// the function is evaluated at scrape time.
+	counterFuncs map[string]func() int64
+	gaugeFuncs   map[string]func() int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*Counter)}
+	return &Registry{
+		counters:     make(map[string]*Counter),
+		gauges:       make(map[string]*Gauge),
+		histograms:   make(map[string]*Histogram),
+		counterFuncs: make(map[string]func() int64),
+		gaugeFuncs:   make(map[string]func() int64),
+	}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -189,13 +220,63 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot returns a copy of all counter values.
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// CounterFunc registers a counter series whose value comes from f at
+// read time. Re-registering a name replaces the previous function.
+func (r *Registry) CounterFunc(name string, f func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFuncs[name] = f
+}
+
+// GaugeFunc registers a gauge series whose value comes from f at read
+// time. Re-registering a name replaces the previous function.
+func (r *Registry) GaugeFunc(name string, f func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = f
+}
+
+// Snapshot returns a copy of all scalar values (counters, gauges and
+// function-backed series; histograms are omitted).
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.counters))
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+len(r.counterFuncs)+len(r.gaugeFuncs))
 	for k, v := range r.counters {
 		out[k] = v.Value()
+	}
+	for k, v := range r.gauges {
+		out[k] = v.Value()
+	}
+	for k, f := range r.counterFuncs {
+		out[k] = f()
+	}
+	for k, f := range r.gaugeFuncs {
+		out[k] = f()
 	}
 	return out
 }

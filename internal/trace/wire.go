@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+
+	"blob/internal/wire"
+)
+
+// MSpans is the RPC method every instrumented node serves (the rpc
+// server registers it when given a tracer): it returns the node's span
+// buffer, optionally filtered to one trace.
+//
+//	request:  u64 traceID (0 = all)
+//	response: uvarint n | n × span (see EncodeSpans)
+const MSpans = 0x0601
+
+// EncodeSpansQuery builds an MSpans request body.
+func EncodeSpansQuery(traceID uint64) []byte {
+	w := wire.NewWriter(8)
+	w.Uint64(traceID)
+	return w.Bytes()
+}
+
+// DecodeSpansQuery parses an MSpans request body. An empty body asks
+// for everything.
+func DecodeSpansQuery(body []byte) (uint64, error) {
+	if len(body) == 0 {
+		return 0, nil
+	}
+	r := wire.NewReader(body)
+	id := r.Uint64()
+	return id, r.Err()
+}
+
+// EncodeSpans serializes spans as an MSpans response.
+func EncodeSpans(spans []Span) []byte {
+	w := wire.NewWriter(64 * (1 + len(spans)))
+	w.Uvarint(uint64(len(spans)))
+	for _, sp := range spans {
+		w.Uint64(sp.TraceID)
+		w.Uint64(sp.ID)
+		w.Uint64(sp.Parent)
+		w.String(sp.Name)
+		w.String(sp.Node)
+		w.Varint(sp.Start)
+		w.Varint(sp.Dur)
+		w.Varint(sp.Bytes)
+		w.String(sp.Note)
+	}
+	return w.Bytes()
+}
+
+// DecodeSpans parses an MSpans response.
+func DecodeSpans(body []byte) ([]Span, error) {
+	r := wire.NewReader(body)
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("trace: decode spans: %w", err)
+	}
+	// Each span costs at least 28 bytes on the wire; reject counts a
+	// corrupt frame could not actually carry before allocating.
+	if n < 0 || n > r.Remaining()/28+1 {
+		return nil, fmt.Errorf("trace: span count %d exceeds body", n)
+	}
+	out := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		sp := Span{
+			TraceID: r.Uint64(),
+			ID:      r.Uint64(),
+			Parent:  r.Uint64(),
+			Name:    r.String(),
+			Node:    r.String(),
+			Start:   r.Varint(),
+			Dur:     r.Varint(),
+			Bytes:   r.Varint(),
+			Note:    r.String(),
+		}
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("trace: decode span %d: %w", i, err)
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}

@@ -23,6 +23,18 @@ const (
 	MBlobs       = 0x0509
 )
 
+func init() {
+	rpc.RegisterMethodName(MCreate, "vmanager.MCreate")
+	rpc.RegisterMethodName(MInfo, "vmanager.MInfo")
+	rpc.RegisterMethodName(MAssign, "vmanager.MAssign")
+	rpc.RegisterMethodName(MCommit, "vmanager.MCommit")
+	rpc.RegisterMethodName(MAbort, "vmanager.MAbort")
+	rpc.RegisterMethodName(MLatest, "vmanager.MLatest")
+	rpc.RegisterMethodName(MVersionInfo, "vmanager.MVersionInfo")
+	rpc.RegisterMethodName(MHistory, "vmanager.MHistory")
+	rpc.RegisterMethodName(MBlobs, "vmanager.MBlobs")
+}
+
 // RegisterHandlers wires the manager's RPC methods onto srv.
 func (m *Manager) RegisterHandlers(srv *rpc.Server) {
 	srv.Handle(MCreate, m.handleCreate)
