@@ -9,10 +9,13 @@
 //	blobbench -exp fig3c            # concurrent throughput   (Figure 3c)
 //	blobbench -exp ablations        # design-choice ablations
 //	blobbench -exp hotpath          # zero-copy data path vs legacy codec
+//	blobbench -exp vshards          # sharded version plane scaling
 //	blobbench -exp all
 //
-// -json FILE additionally writes the hotpath report as JSON (the
-// BENCH_5.json perf-trajectory artifact, see docs/perf.md).
+// -json FILE additionally writes the hotpath report (or, with -exp
+// vshards, the shard-scaling report — the BENCH_7.json artifact) as
+// JSON; BENCH_5.json is the hotpath perf-trajectory artifact (see
+// docs/perf.md).
 //
 // Reported durations divide by the time scale for comparison with the
 // paper; bandwidths multiply. The normalized (paper-comparable) value is
@@ -26,13 +29,14 @@ import (
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"blob/internal/bench"
 	"blob/internal/netsim"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3a|fig3b|fig3c|ablations|hotpath|all")
+	exp := flag.String("exp", "all", "experiment: fig3a|fig3b|fig3c|ablations|hotpath|vshards|all")
 	iters := flag.Int("iters", 3, "iterations per measured point")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	jsonPath := flag.String("json", "", "write the hotpath report to this file as JSON")
@@ -66,8 +70,13 @@ func main() {
 	run("fig3c", func() error { return fig3c(clients, sc, *quick) })
 	run("ablations", func() error { return ablations(sc, *quick) })
 	run("hotpath", func() error { return hotpath(sc, *quick, *jsonPath) })
+	vshardsJSON := ""
+	if *exp == "vshards" {
+		vshardsJSON = *jsonPath
+	}
+	run("vshards", func() error { return vshards(*quick, vshardsJSON) })
 
-	if *exp != "all" && *exp != "fig3a" && *exp != "fig3b" && *exp != "fig3c" && *exp != "ablations" && *exp != "hotpath" {
+	if *exp != "all" && *exp != "fig3a" && *exp != "fig3b" && *exp != "fig3c" && *exp != "ablations" && *exp != "hotpath" && *exp != "vshards" {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
@@ -90,6 +99,39 @@ func hotpath(sc bench.Scale, quick bool, jsonPath string) error {
 		netsim.TimeScale, rep.RoundTripsVerified)
 	for _, p := range rep.Points() {
 		fmt.Printf("   %-32s %10.2f %s\n", p.Name, p.Value, p.Unit)
+	}
+	if jsonPath != "" {
+		j, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(j, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// vshards sweeps the version-plane shard count under a fixed writer
+// population (docs/vmanager-group.md) and optionally writes the
+// BENCH_7.json shard-scaling artifact.
+func vshards(quick bool, jsonPath string) error {
+	shardCounts := []int{1, 2, 4}
+	replicas, writers, perWriter := 2, 8, 40
+	delay := 200 * time.Microsecond
+	if quick {
+		writers, perWriter = 4, 15
+	}
+	rep, err := bench.AblateVmanagerShards(shardCounts, replicas, writers, perWriter, delay)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Sharded version plane publish throughput (%d writers x %d publishes, %d replicas/shard, %.0f us append delay)\n\n",
+		rep.Writers, rep.PerWriter, replicas, rep.AppendDelayMicro)
+	for _, p := range rep.Points {
+		fmt.Printf("   %d shard(s): %8.0f publishes/s  (%.2fx vs 1 shard; blobs/shard %v)\n",
+			p.Shards, p.PublishesPerSec, p.SpeedupVsOne, p.BlobsPerShard)
 	}
 	if jsonPath != "" {
 		j, err := json.MarshalIndent(rep, "", "  ")

@@ -13,7 +13,14 @@
 //	blobctl -vm ... -pm ... gc     -blob 1 -keep 5
 //	blobctl -vm ... -pm ... repair -blob 1
 //	blobctl -vm ... -pm ... stats [-json]
+//	blobctl -vm ... -pm ... vmstatus [-json]
 //	blobctl -vm ... -pm ... trace 0x1d8f3ab27c64e901
+//
+// Against a sharded, replicated version plane (docs/vmanager-group.md)
+// -vm takes the group syntax: semicolon-separated shards,
+// comma-separated replicas — `-vm "h1:4001,h2:4001;h3:4001,h4:4001"`.
+// The vmstatus command prints every replica's role, term and log
+// position.
 //
 // The trace command queries every node's span ring buffer (the MSpans
 // RPC, see docs/observability.md) and reassembles one request's
@@ -35,22 +42,27 @@ import (
 	"blob/internal/erasure"
 	"blob/internal/provider"
 	"blob/internal/trace"
+	"blob/internal/vmanager"
 )
 
 func main() {
-	vmAddr := flag.String("vm", "127.0.0.1:4001", "version manager address")
+	vmAddr := flag.String("vm", "127.0.0.1:4001", `version manager address, or a shard group "a,b;c,d" (shards split by ';', replicas by ',')`)
 	pmAddr := flag.String("pm", "127.0.0.1:4000", "provider manager / metadata directory address")
 	replicas := flag.Int("replicas", 1, "data replication factor for writes")
 	redundancy := flag.String("redundancy", "", `redundancy mode for created blobs: "replicate" or "rs(k,m)" (default: the cluster's advertised mode)`)
 	traceOps := flag.Bool("trace", false, "trace this invocation's operations and print their trace ids (inspect with blobctl trace <id>)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|repair|stats|trace [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|repair|stats|vmstatus|trace [subflags]")
 		os.Exit(2)
 	}
 	red, err := erasure.ParseRedundancy(*redundancy)
 	if err != nil {
 		log.Fatalf("-redundancy: %v", err)
+	}
+	vmShards, err := vmanager.ParseGroupAddrs(*vmAddr)
+	if err != nil {
+		log.Fatalf("-vm: %v", err)
 	}
 
 	var tracer *trace.Tracer
@@ -59,14 +71,14 @@ func main() {
 	}
 	ctx := context.Background()
 	client, err := blob.NewClient(ctx, blob.Options{
-		Network:      blob.TCP,
-		VManagerAddr: *vmAddr,
-		PManagerAddr: *pmAddr,
-		MetaDirAddr:  *pmAddr,
-		DataReplicas: *replicas,
-		Redundancy:   red,
-		CacheNodes:   -1,
-		Tracer:       tracer,
+		Network:        blob.TCP,
+		VManagerShards: vmShards,
+		PManagerAddr:   *pmAddr,
+		MetaDirAddr:    *pmAddr,
+		DataReplicas:   *replicas,
+		Redundancy:     red,
+		CacheNodes:     -1,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		log.Fatalf("connect: %v", err)
@@ -85,7 +97,7 @@ func main() {
 			if sp.Parent != 0 {
 				continue
 			}
-			spans := gatherTrace(ctx, client, *vmAddr, *pmAddr, sp.TraceID, tracer)
+			spans := gatherTrace(ctx, client, vmShards, *pmAddr, sp.TraceID, tracer)
 			fmt.Fprintf(os.Stderr, "trace %#x (%s): %d spans across %d process(es)\n",
 				sp.TraceID, sp.Name, len(spans), trace.Processes(spans))
 			fmt.Fprint(os.Stderr, trace.FormatTree(trace.BuildTree(spans)))
@@ -265,6 +277,23 @@ func main() {
 			return
 		}
 		fmt.Printf("cluster redundancy: %s\n", client.ClusterRedundancy())
+		if len(vmShards) > 1 || len(vmShards[0]) > 1 {
+			// Sharded version plane: one summary line per shard.
+			for s, shard := range vmShards {
+				lead, term, loglen := -1, uint64(0), uint64(0)
+				for j := range shard {
+					if st, err := client.VersionManager().FetchStatus(ctx, s, j); err == nil && st.IsLeader && (lead < 0 || st.Term > term) {
+						lead, term, loglen = j, st.Term, st.LogLen
+					}
+				}
+				if lead < 0 {
+					fmt.Printf("vmanager shard %d: no leader (%d replicas)\n", s, len(shard))
+				} else {
+					fmt.Printf("vmanager shard %d: leader %s (replica %d, term %d, %d log records)\n",
+						s, shard[lead], lead, term, loglen)
+				}
+			}
+		}
 		fmt.Printf("%-4s %-22s %10s %12s %12s %12s %8s %6s %10s %9s %10s %5s %8s %10s %7s\n",
 			"id", "addr", "pages", "bytes", "capacity", "disk", "segs", "live%", "cache", "hits", "replayB", "idx",
 			"repairP", "pullB", "bskip")
@@ -295,6 +324,70 @@ func main() {
 			log.Fatalf("stats incomplete: %d of %d providers did not answer", failed, len(provs))
 		}
 
+	case "vmstatus":
+		// Per-replica view of the version plane: role, term and log
+		// position of every shard member. The primary operator check
+		// after a node failure — a shard is healthy when exactly one
+		// replica leads and the followers' log lengths track it.
+		fs := flag.NewFlagSet("vmstatus", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "machine-readable output: one JSON document instead of the table")
+		fs.Parse(args)
+		type replicaRow struct {
+			Shard   int    `json:"shard"`
+			Replica int    `json:"replica"`
+			Addr    string `json:"addr"`
+			Role    string `json:"role"`
+			Term    uint64 `json:"term"`
+			LogLen  uint64 `json:"logLen"`
+			LogBase uint64 `json:"logBase"`
+			Blobs   uint64 `json:"blobs"`
+			Error   string `json:"error,omitempty"`
+		}
+		var rows []replicaRow
+		down := 0
+		for s, shard := range vmShards {
+			for j, addr := range shard {
+				row := replicaRow{Shard: s, Replica: j, Addr: addr}
+				st, err := client.VersionManager().FetchStatus(ctx, s, j)
+				if err != nil {
+					row.Role, row.Error = "down", err.Error()
+					down++
+				} else {
+					row.Role = "follower"
+					if st.IsLeader {
+						row.Role = "leader"
+					}
+					row.Term, row.LogLen, row.LogBase, row.Blobs = st.Term, st.LogLen, st.LogBase, st.Blobs
+				}
+				rows = append(rows, row)
+			}
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(struct {
+				Shards   int          `json:"shards"`
+				Replicas []replicaRow `json:"replicas"`
+			}{Shards: len(vmShards), Replicas: rows}); err != nil {
+				log.Fatalf("encode: %v", err)
+			}
+		} else {
+			fmt.Printf("version plane: %d shard(s)\n", len(vmShards))
+			fmt.Printf("%-6s %-8s %-22s %-9s %6s %9s %9s %7s\n",
+				"shard", "replica", "addr", "role", "term", "loglen", "logbase", "blobs")
+			for _, r := range rows {
+				if r.Error != "" {
+					fmt.Printf("%-6d %-8d %-22s %-9s %s\n", r.Shard, r.Replica, r.Addr, r.Role, r.Error)
+					continue
+				}
+				fmt.Printf("%-6d %-8d %-22s %-9s %6d %9d %9d %7d\n",
+					r.Shard, r.Replica, r.Addr, r.Role, r.Term, r.LogLen, r.LogBase, r.Blobs)
+			}
+		}
+		if down > 0 {
+			os.Exit(1)
+		}
+
 	case "trace":
 		// Reassemble one request's cross-process span tree: every node
 		// keeps the spans it recorded in a ring buffer served over
@@ -309,7 +402,7 @@ func main() {
 		if err != nil || id == 0 {
 			log.Fatalf("trace: bad trace id %q", fs.Arg(0))
 		}
-		spans := gatherTrace(ctx, client, *vmAddr, *pmAddr, id, nil)
+		spans := gatherTrace(ctx, client, vmShards, *pmAddr, id, nil)
 		if len(spans) == 0 {
 			log.Fatalf("trace %#x: no spans found — was the operation sampled, and do the rings still hold it?", id)
 		}
@@ -327,12 +420,17 @@ func main() {
 // metadata provider — and merges in the local tracer's spans when the
 // invocation itself was traced. Nodes running without a tracer (or
 // older builds) are noted and skipped; a partial tree is still useful.
-func gatherTrace(ctx context.Context, client *blob.Client, vmAddr, pmAddr string, id uint64, local *trace.Tracer) []trace.Span {
+func gatherTrace(ctx context.Context, client *blob.Client, vmShards [][]string, pmAddr string, id uint64, local *trace.Tracer) []trace.Span {
 	var spans []trace.Span
 	if local != nil {
 		spans = append(spans, local.SpansFor(id)...)
 	}
-	addrSet := map[string]bool{vmAddr: true, pmAddr: true}
+	addrSet := map[string]bool{pmAddr: true}
+	for _, shard := range vmShards {
+		for _, addr := range shard {
+			addrSet[addr] = true
+		}
+	}
 	if provs, err := client.AllProviders(ctx); err == nil {
 		for _, p := range provs {
 			addrSet[p.Addr] = true

@@ -11,6 +11,14 @@
 //	# optional replica repair agent (docs/replication.md)
 //	blobnode -listen :4002 -roles repairer -pm host0:4000 -vm host1:4001
 //
+//	# or a sharded, replicated version plane (docs/vmanager-group.md):
+//	# one process per replica, each shard a -vpeers group. Replica 0 of
+//	# shard 0 looks like this; vary -vshard/-vreplica/-listen for the rest.
+//	blobnode -listen :4001 -roles vmanager -pm host0:4000 \
+//	         -vshards 2 -vshard 0 -vreplica 0 \
+//	         -vpeers host1:4001,host2:4001,host3:4001
+//	# a crashed replica restarts with the same flags plus -vrejoin
+//
 //	# each storage node (add -data-dir for a persistent, crash-recoverable
 //	# provider; omit it for the paper's RAM-only mode)
 //	blobnode -listen :4100 -roles provider,metadata \
@@ -62,6 +70,13 @@ func main() {
 		compactBps = flag.Int64("compact-rate", 0, "compaction I/O throttle for -data-dir in bytes/sec (0 = unthrottled)")
 		syncWrites = flag.Bool("sync-writes", false, "fsync every page append to -data-dir")
 		repair     = flag.Duration("repair", 30*time.Second, "version manager dead-writer repair timeout (0 disables)")
+		vshards    = flag.Int("vshards", 1, "total version-manager shard count of the deployment (vmanager role)")
+		vshard     = flag.Int("vshard", 0, "this node's version-manager shard index (vmanager role with -vpeers)")
+		vreplica   = flag.Int("vreplica", 0, "this node's replica index within its shard (vmanager role with -vpeers)")
+		vpeers     = flag.String("vpeers", "", "comma-separated replica addresses of this shard, including this node; enables replicated vmanager mode (docs/vmanager-group.md)")
+		vrejoin    = flag.Bool("vrejoin", false, "this replica is restarting after a crash: boot as a follower and catch up from the incumbent leader")
+		vbeat      = flag.Duration("vheartbeat", 500*time.Millisecond, "shard leader idle append interval (replicated vmanager mode)")
+		velection  = flag.Duration("velection", 0, "follower silence before campaigning (0 = 10x -vheartbeat)")
 		repairBps  = flag.Int64("repair-rate", 0, "replica repair pull throttle in bytes/sec (0 = unthrottled; provider role)")
 		repairEvr  = flag.Duration("repair-interval", time.Minute, "replica repair sweep period (repairer role)")
 		vmAddr     = flag.String("vm", "", "version manager address (repairer role)")
@@ -113,6 +128,7 @@ func main() {
 	}
 
 	var vm *vmanager.Manager
+	var vrep *vmanager.Replica
 	var pm *pmanager.Manager
 	var dataSvc *provider.Service
 	var dataStore provider.PageStore
@@ -155,6 +171,39 @@ func main() {
 				}
 				cfg.RepairTimeout = *repair
 				cfg.Store = mstore.New(kv, 0)
+			}
+			if *vpeers != "" {
+				// Replicated shard member (docs/vmanager-group.md): the
+				// replicated publish log is the durable state, so the
+				// file-checkpoint machinery does not apply.
+				if *checkpoint != "" {
+					log.Fatal("vmanager: -checkpoint is incompatible with -vpeers (the shard log is the durable state)")
+				}
+				peers := strings.Split(*vpeers, ",")
+				for i := range peers {
+					peers[i] = strings.TrimSpace(peers[i])
+				}
+				if *vreplica < 0 || *vreplica >= len(peers) {
+					log.Fatalf("vmanager: -vreplica %d out of range for %d peers", *vreplica, len(peers))
+				}
+				if *vshard < 0 || *vshard >= *vshards {
+					log.Fatalf("vmanager: -vshard %d out of range for -vshards %d", *vshard, *vshards)
+				}
+				vrep = vmanager.NewReplica(vmanager.ReplicaConfig{
+					Shard:           *vshard,
+					Shards:          *vshards,
+					Index:           *vreplica,
+					Peers:           peers,
+					Pool:            pool,
+					Heartbeat:       *vbeat,
+					ElectionTimeout: *velection,
+					Rejoin:          *vrejoin,
+					Manager:         cfg,
+				})
+				vrep.RegisterHandlers(srv)
+				log.Printf("role vmanager replica (shard %d/%d, replica %d of %d, rejoin %v, repair %v)",
+					*vshard, *vshards, *vreplica, len(peers), *vrejoin, *repair)
+				break
 			}
 			if *checkpoint != "" {
 				if f, err := os.Open(*checkpoint); err == nil {
@@ -375,6 +424,9 @@ func main() {
 			}
 		}
 		vm.Close()
+	}
+	if vrep != nil {
+		vrep.Close()
 	}
 }
 

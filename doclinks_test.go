@@ -55,12 +55,13 @@ func TestDocLinks(t *testing.T) {
 // architecture overview, so a reader landing anywhere finds them.
 func TestDocCrossReferences(t *testing.T) {
 	wants := map[string][]string{
-		"README.md":             {"docs/architecture.md", "docs/diskstore-format.md", "docs/replication.md", "docs/erasure.md", "docs/perf.md", "docs/observability.md"},
-		"docs/architecture.md":  {"diskstore-format.md", "replication.md", "erasure.md", "perf.md", "observability.md"},
-		"docs/erasure.md":       {"replication.md", "architecture.md"},
-		"docs/replication.md":   {"erasure.md", "architecture.md"},
-		"docs/perf.md":          {"architecture.md"},
-		"docs/observability.md": {"architecture.md", "perf.md"},
+		"README.md":              {"docs/architecture.md", "docs/diskstore-format.md", "docs/replication.md", "docs/erasure.md", "docs/perf.md", "docs/observability.md", "docs/vmanager-group.md"},
+		"docs/architecture.md":   {"diskstore-format.md", "replication.md", "erasure.md", "perf.md", "observability.md", "vmanager-group.md"},
+		"docs/erasure.md":        {"replication.md", "architecture.md"},
+		"docs/replication.md":    {"erasure.md", "architecture.md"},
+		"docs/perf.md":           {"architecture.md"},
+		"docs/observability.md":  {"architecture.md", "perf.md"},
+		"docs/vmanager-group.md": {"architecture.md", "replication.md"},
 	}
 	for file, targets := range wants {
 		body, err := os.ReadFile(file)

@@ -175,3 +175,28 @@ func TestAblateHotPathRuns(t *testing.T) {
 		t.Error("no ablation points")
 	}
 }
+
+func TestAblateVmanagerShardsRuns(t *testing.T) {
+	rep, err := AblateVmanagerShards([]int{1, 2}, 2, 2, 4, 50*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.PublishesPerSec <= 0 || p.Publishes != 8 {
+			t.Errorf("shards %d: %+v", p.Shards, p)
+		}
+		total := 0
+		for _, n := range p.BlobsPerShard {
+			total += n
+		}
+		if total != 2 {
+			t.Errorf("shards %d: blob spread %v does not cover 2 writers", p.Shards, p.BlobsPerShard)
+		}
+	}
+	if rep.Points[0].SpeedupVsOne != 1 {
+		t.Errorf("baseline speedup = %v, want 1", rep.Points[0].SpeedupVsOne)
+	}
+}

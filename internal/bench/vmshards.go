@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"blob/internal/cluster"
+	"blob/internal/erasure"
+	"blob/internal/netsim"
+	"blob/internal/vmanager"
+)
+
+// Version-plane sharding ablation (docs/vmanager-group.md): the paper's
+// single version manager serializes every publish; sharding the version
+// space across replicated leader groups is the horizontal-scale answer.
+// This experiment fixes the writer population and the per-record append
+// durability cost (VMAppendDelay, slept under each shard's serializing
+// lock) and sweeps the shard count — aggregate publish throughput
+// should rise with shards until writers, not leaders, are the
+// bottleneck.
+
+// VmshardsPoint is one shard-count measurement.
+type VmshardsPoint struct {
+	Shards          int     `json:"shards"`
+	Replicas        int     `json:"replicas"`
+	Publishes       int     `json:"publishes"`
+	ElapsedMs       float64 `json:"elapsed_ms"`
+	PublishesPerSec float64 `json:"publishes_per_sec"`
+	SpeedupVsOne    float64 `json:"speedup_vs_one_shard"`
+	// BlobsPerShard is how the writers' blobs spread over the shards —
+	// a lopsided spread explains a flat scaling curve.
+	BlobsPerShard []int `json:"blobs_per_shard"`
+}
+
+// VmshardsReport is the -exp vshards artifact (BENCH_7.json).
+type VmshardsReport struct {
+	Writers          int             `json:"writers"`
+	PerWriter        int             `json:"publishes_per_writer"`
+	AppendDelayMicro float64         `json:"append_delay_us"`
+	Points           []VmshardsPoint `json:"points"`
+}
+
+// AblateVmanagerShards measures aggregate publish throughput (assign +
+// commit through the group client) for each shard count, with `writers`
+// concurrent writers each publishing `perWriter` versions to its own
+// blob. Blobs are spread round-robin over the shards by CreateBlob, so
+// every shard carries traffic at every sweep point.
+func AblateVmanagerShards(shardCounts []int, replicas, writers, perWriter int, appendDelay time.Duration) (*VmshardsReport, error) {
+	rep := &VmshardsReport{
+		Writers:          writers,
+		PerWriter:        perWriter,
+		AppendDelayMicro: float64(appendDelay.Nanoseconds()) / 1e3,
+	}
+	for _, shards := range shardCounts {
+		pt, err := vmshardsPoint(shards, replicas, writers, perWriter, appendDelay)
+		if err != nil {
+			return nil, fmt.Errorf("vshards %d: %w", shards, err)
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	// Normalize against the slowest-is-one-shard baseline when present.
+	for i := range rep.Points {
+		if base := rep.Points[0]; base.Shards == 1 && base.PublishesPerSec > 0 {
+			rep.Points[i].SpeedupVsOne = rep.Points[i].PublishesPerSec / base.PublishesPerSec
+		}
+	}
+	return rep, nil
+}
+
+func vmshardsPoint(shards, replicas, writers, perWriter int, appendDelay time.Duration) (VmshardsPoint, error) {
+	cl, err := cluster.Launch(cluster.Config{
+		DataProviders: 2, MetaProviders: 2,
+		Net:           netsim.Fast(),
+		VShards:       shards,
+		VReplicas:     replicas,
+		VMAppendDelay: appendDelay,
+	})
+	if err != nil {
+		return VmshardsPoint{}, err
+	}
+	defer cl.Shutdown()
+	ctx := context.Background()
+	c, err := cl.NewClient(ctx)
+	if err != nil {
+		return VmshardsPoint{}, err
+	}
+	defer c.Close()
+	vm := c.VersionManager()
+
+	// One blob per writer, placed round-robin across shards.
+	blobs := make([]uint64, writers)
+	spread := make([]int, shards)
+	for w := range blobs {
+		if blobs[w], err = vm.CreateBlob(ctx, 64<<10, 64<<20, erasure.Redundancy{}); err != nil {
+			return VmshardsPoint{}, err
+		}
+		spread[vmanager.ShardOf(shards, blobs[w])]++
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	t0 := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				a, err := vm.AssignVersion(ctx, blobs[w], uint64(1000*w+i), 0, 64<<10, false)
+				if err == nil {
+					_, err = vm.Commit(ctx, blobs[w], a.Version, false)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("writer %d publish %d: %w", w, i, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if firstErr != nil {
+		return VmshardsPoint{}, firstErr
+	}
+	total := writers * perWriter
+	return VmshardsPoint{
+		Shards:          shards,
+		Replicas:        replicas,
+		Publishes:       total,
+		ElapsedMs:       elapsed.Seconds() * 1e3,
+		PublishesPerSec: float64(total) / elapsed.Seconds(),
+		BlobsPerShard:   spread,
+	}, nil
+}

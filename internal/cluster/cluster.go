@@ -111,6 +111,26 @@ type Config struct {
 	// like CompactRateBytes for compaction) so repair traffic cannot
 	// starve foreground reads and writes.
 	RepairRateBytes int64
+	// VShards is the number of version-manager shards (default 1). With
+	// VShards or VReplicas above 1 the deployment runs a sharded,
+	// replicated vmanager group (docs/vmanager-group.md) instead of the
+	// single Manager: blob ids place onto shards by ring hash, and each
+	// shard is a leader + followers replica set.
+	VShards int
+	// VReplicas is the replica count per vmanager shard (default 1).
+	// Mutations are acked by a follower quorum before returning.
+	VReplicas int
+	// VMHeartbeat is the shard leaders' idle append interval (default
+	// 25ms — simulation-fast).
+	VMHeartbeat time.Duration
+	// VMElectionTimeout is the base silence before a follower
+	// campaigns (default 8*VMHeartbeat).
+	VMElectionTimeout time.Duration
+	// VMAppendDelay simulates per-record log append durability cost at
+	// each shard leader, slept under the shard's serializing lock — the
+	// knob that makes publish throughput scale measurably with shard
+	// count (bench.AblateVmanagerShards).
+	VMAppendDelay time.Duration
 	// TraceSampleEvery, when positive, arms every node role and every
 	// cluster client with a span tracer sampling 1-in-N root operations
 	// (1 = trace everything). Spans land in per-process ring buffers;
@@ -136,16 +156,41 @@ func (c *Config) fillDefaults() {
 	if c.MetaReplicas < 1 {
 		c.MetaReplicas = 1
 	}
+	if c.VShards < 1 {
+		c.VShards = 1
+	}
+	if c.VReplicas < 1 {
+		c.VReplicas = 1
+	}
+	if c.VMHeartbeat <= 0 {
+		c.VMHeartbeat = 25 * time.Millisecond
+	}
+	if c.VMElectionTimeout <= 0 {
+		c.VMElectionTimeout = 8 * c.VMHeartbeat
+	}
 }
+
+// vmGrouped reports whether the deployment runs the sharded/replicated
+// vmanager plane rather than the single in-process Manager.
+func (c *Config) vmGrouped() bool { return c.VShards > 1 || c.VReplicas > 1 }
 
 // Cluster is a running deployment.
 type Cluster struct {
 	cfg Config
 	fab *netsim.Net
 
+	// VM is the single version manager (nil when the deployment runs a
+	// vmanager group — see VMReplicas).
 	VM  *vmanager.Manager
 	PM  *pmanager.Manager
 	Dir *dht.Directory
+
+	// VMReplicas[s][r] is replica r of vmanager shard s (group mode
+	// only); VMShardAddrs mirrors it with the replica RPC addresses and
+	// VMServers with the per-replica RPC servers (for kill injection).
+	VMReplicas   [][]*vmanager.Replica
+	VMShardAddrs [][]string
+	VMServers    [][]*rpc.Server
 
 	// DataStores holds each data provider's storage backend: in-RAM
 	// provider.Store by default, or a disk-backed (optionally cached)
@@ -268,6 +313,101 @@ func (c *Cluster) newDataStore(i int) (provider.PageStore, error) {
 	return ds, nil
 }
 
+// vmRepairStore builds the metadata client a version manager's repair
+// path writes no-op patches through, dialing from the given host. Nil
+// (and no error) when dead-writer repair is disabled.
+func (c *Cluster) vmRepairStore(host *netsim.Host) (vmanager.NodeStore, error) {
+	if c.cfg.RepairTimeout <= 0 {
+		return nil, nil
+	}
+	pool := rpc.NewPool(hostDialer{host})
+	c.svcMu.Lock()
+	c.pools = append(c.pools, pool)
+	c.svcMu.Unlock()
+	kv, err := dht.NewDirectoryClient(context.Background(), pool, c.DirAddr, c.cfg.MetaReplicas)
+	if err != nil {
+		return nil, err
+	}
+	return mstore.New(kv, 0), nil
+}
+
+// launchVMGroup boots the sharded, replicated version plane: VShards x
+// VReplicas Replica processes, each on its own simulated host
+// "vm-s<shard>r<replica>". Peer addresses are deterministic functions of
+// the shard layout, so every replica knows its shard-mates up front and
+// a restarted replica comes back at the same address
+// (docs/vmanager-group.md).
+func (c *Cluster) launchVMGroup() error {
+	c.VMReplicas = make([][]*vmanager.Replica, c.cfg.VShards)
+	c.VMShardAddrs = make([][]string, c.cfg.VShards)
+	c.VMServers = make([][]*rpc.Server, c.cfg.VShards)
+	for s := 0; s < c.cfg.VShards; s++ {
+		peers := make([]string, c.cfg.VReplicas)
+		for j := range peers {
+			peers[j] = fmt.Sprintf("vm-s%dr%d:rpc", s, j)
+		}
+		c.VMShardAddrs[s] = peers
+		c.VMReplicas[s] = make([]*vmanager.Replica, c.cfg.VReplicas)
+		c.VMServers[s] = make([]*rpc.Server, c.cfg.VReplicas)
+		for j := 0; j < c.cfg.VReplicas; j++ {
+			if err := c.startVMReplica(s, j, false); err != nil {
+				return err
+			}
+		}
+	}
+	// Legacy single-address fields point at shard 0 replica 0 so
+	// address-only consumers (logs, health checks) have something sane.
+	c.VMAddr = c.VMShardAddrs[0][0]
+	return nil
+}
+
+// startVMReplica builds and serves replica j of vmanager shard s on its
+// dedicated host. Used at launch (rejoin=false) and by RestartVMReplica
+// (rejoin=true: the replica boots follower even at index 0).
+func (c *Cluster) startVMReplica(s, j int, rejoin bool) error {
+	host := c.fab.Host(fmt.Sprintf("vm-s%dr%d", s, j))
+	repairStore, err := c.vmRepairStore(host)
+	if err != nil {
+		return err
+	}
+	pool := rpc.NewPool(hostDialer{host})
+	c.svcMu.Lock()
+	c.pools = append(c.pools, pool)
+	c.svcMu.Unlock()
+	rep := vmanager.NewReplica(vmanager.ReplicaConfig{
+		Shard:           s,
+		Shards:          c.cfg.VShards,
+		Index:           j,
+		Peers:           c.VMShardAddrs[s],
+		Pool:            pool,
+		Heartbeat:       c.cfg.VMHeartbeat,
+		ElectionTimeout: c.cfg.VMElectionTimeout,
+		AppendDelay:     c.cfg.VMAppendDelay,
+		Rejoin:          rejoin,
+		Manager: vmanager.Config{
+			RepairTimeout: c.cfg.RepairTimeout,
+			Store:         repairStore,
+		},
+	})
+	srv := rpc.NewServer()
+	if t := c.newTracer(host.Name() + ":rpc"); t != nil {
+		srv.SetTracer(t)
+	}
+	rep.RegisterHandlers(srv)
+	l, err := host.Listen("rpc")
+	if err != nil {
+		rep.Close()
+		return err
+	}
+	srv.Start(l)
+	c.svcMu.Lock()
+	c.servers = append(c.servers, srv)
+	c.VMReplicas[s][j] = rep
+	c.VMServers[s][j] = srv
+	c.svcMu.Unlock()
+	return nil
+}
+
 // hostDialer adapts a netsim host to rpc.Network.
 type hostDialer struct{ h *netsim.Host }
 
@@ -370,28 +510,30 @@ func Launch(cfg Config) (*Cluster, error) {
 		c.MetaServers = append(c.MetaServers, lastServer)
 	}
 
-	// Version manager on its own node; its repair path needs a metadata
-	// client dialing from the vm host.
-	vmHost := c.fab.Host("vm")
-	var repairStore vmanager.NodeStore
-	if cfg.RepairTimeout > 0 {
-		pool := rpc.NewPool(hostDialer{vmHost})
-		c.pools = append(c.pools, pool)
-		kv, err := dht.NewDirectoryClient(context.Background(), pool, c.DirAddr, cfg.MetaReplicas)
+	// Version plane. Legacy mode: one Manager on the "vm" node. Group
+	// mode: VShards x VReplicas Replica processes on their own nodes,
+	// each with its own repair-path metadata client.
+	if !cfg.vmGrouped() {
+		vmHost := c.fab.Host("vm")
+		repairStore, err := c.vmRepairStore(vmHost)
 		if err != nil {
 			c.Shutdown()
 			return nil, err
 		}
-		repairStore = mstore.New(kv, 0)
-	}
-	c.VM = vmanager.New(vmanager.Config{
-		RepairTimeout: cfg.RepairTimeout,
-		Store:         repairStore,
-	})
-	c.VMAddr, err = serve(vmHost, "rpc", c.VM.RegisterHandlers)
-	if err != nil {
-		c.Shutdown()
-		return nil, err
+		c.VM = vmanager.New(vmanager.Config{
+			RepairTimeout: cfg.RepairTimeout,
+			Store:         repairStore,
+		})
+		c.VMAddr, err = serve(vmHost, "rpc", c.VM.RegisterHandlers)
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+	} else {
+		if err := c.launchVMGroup(); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
 	}
 
 	if cfg.HeartbeatInterval > 0 {
@@ -449,7 +591,11 @@ func (c *Cluster) repairLoop() {
 			client, agent = cl, repair.New(cl)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		_, _ = agent.RepairAll(ctx, c.VM.Blobs())
+		// Enumerate blobs through the client's version-plane routing so
+		// the loop works in both single-manager and group mode.
+		if blobs, err := client.VersionManager().Blobs(ctx); err == nil {
+			_, _ = agent.RepairAll(ctx, blobs)
+		}
 		cancel()
 	}
 }
@@ -509,6 +655,7 @@ func (c *Cluster) ClientOptions(hostName string) core.Options {
 	return core.Options{
 		Network:          hostDialer{c.fab.Host(hostName)},
 		VManagerAddr:     c.VMAddr,
+		VManagerShards:   c.VMShardAddrs,
 		PManagerAddr:     c.PMAddr,
 		MetaDirAddr:      c.DirAddr,
 		DataReplicas:     c.cfg.DataReplicas,
@@ -626,6 +773,16 @@ func (c *Cluster) Shutdown() {
 	}
 	if c.VM != nil {
 		c.VM.Close()
+	}
+	c.svcMu.RLock()
+	replicas := append([][]*vmanager.Replica(nil), c.VMReplicas...)
+	c.svcMu.RUnlock()
+	for _, shard := range replicas {
+		for _, rep := range shard {
+			if rep != nil {
+				rep.Close()
+			}
+		}
 	}
 	c.svcMu.RLock()
 	pools := append([]*rpc.Pool(nil), c.pools...)

@@ -1,0 +1,126 @@
+// Fault injection for the sharded version plane (group mode only; see
+// docs/vmanager-group.md). The harness can kill, restart and partition
+// individual vmanager replicas and wait out leader handoff — the
+// primitives the kill-leader-mid-publish and partition/heal tests are
+// built from.
+
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"blob/internal/vmanager"
+)
+
+// VMReplica returns replica j of vmanager shard s, or nil after
+// KillVMReplica (until RestartVMReplica brings it back).
+func (c *Cluster) VMReplica(s, j int) *vmanager.Replica {
+	c.svcMu.RLock()
+	defer c.svcMu.RUnlock()
+	if s < 0 || s >= len(c.VMReplicas) || j < 0 || j >= len(c.VMReplicas[s]) {
+		return nil
+	}
+	return c.VMReplicas[s][j]
+}
+
+// VMShardLeader polls the live replicas of shard s and returns the index
+// of the one currently claiming leadership, or -1 if none does. When
+// several claim (a partitioned stale leader plus its replacement), the
+// highest term wins.
+func (c *Cluster) VMShardLeader(s int) int {
+	c.svcMu.RLock()
+	defer c.svcMu.RUnlock()
+	if s < 0 || s >= len(c.VMReplicas) {
+		return -1
+	}
+	best, bestTerm := -1, uint64(0)
+	for j, rep := range c.VMReplicas[s] {
+		if rep == nil {
+			continue
+		}
+		if st := rep.Status(); st.IsLeader && (best < 0 || st.Term > bestTerm) {
+			best, bestTerm = j, st.Term
+		}
+	}
+	return best
+}
+
+// KillVMReplica crash-stops replica j of shard s: its RPC server closes
+// (in-flight and future connections die) and the replica process stops.
+// All in-memory version state is lost — exactly a node crash. Restart
+// with RestartVMReplica. No-op if already killed.
+func (c *Cluster) KillVMReplica(s, j int) error {
+	c.svcMu.Lock()
+	if s < 0 || s >= len(c.VMReplicas) || j < 0 || j >= len(c.VMReplicas[s]) {
+		c.svcMu.Unlock()
+		return fmt.Errorf("cluster: no vmanager replica s%dr%d", s, j)
+	}
+	rep, srv := c.VMReplicas[s][j], c.VMServers[s][j]
+	c.VMReplicas[s][j] = nil
+	c.VMServers[s][j] = nil
+	c.svcMu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	if rep != nil {
+		rep.Close()
+	}
+	return nil
+}
+
+// RestartVMReplica relaunches a killed replica at its original address
+// with empty state. It boots as a follower (or as the deterministic
+// term-0 leader if it is replica 0 — a stale claim the incumbent's
+// higher term immediately deposes) and catches up by snapshot install
+// from the current leader.
+func (c *Cluster) RestartVMReplica(s, j int) error {
+	c.svcMu.RLock()
+	ok := s >= 0 && s < len(c.VMReplicas) && j >= 0 && j < len(c.VMReplicas[s])
+	var running bool
+	if ok {
+		running = c.VMReplicas[s][j] != nil
+	}
+	c.svcMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("cluster: no vmanager replica s%dr%d", s, j)
+	}
+	if running {
+		return fmt.Errorf("cluster: vmanager replica s%dr%d still running", s, j)
+	}
+	return c.startVMReplica(s, j, true)
+}
+
+// PartitionVMReplica cuts replica j of shard s off from the network in
+// both directions without stopping it — it keeps running (and a
+// partitioned leader keeps believing it leads until it fails to reach a
+// quorum). Heal with HealVMReplica.
+func (c *Cluster) PartitionVMReplica(s, j int) {
+	if rep := c.VMReplica(s, j); rep != nil {
+		rep.SetNetFault(true)
+	}
+}
+
+// HealVMReplica reconnects a partitioned replica.
+func (c *Cluster) HealVMReplica(s, j int) {
+	if rep := c.VMReplica(s, j); rep != nil {
+		rep.SetNetFault(false)
+	}
+}
+
+// WaitVMLeader blocks until shard s has a replica claiming leadership
+// whose index differs from `not` (pass -1 to accept any), returning the
+// leader index, or -1 on timeout. The usual call after killing a leader:
+// WaitVMLeader(shard, killed, timeout).
+func (c *Cluster) WaitVMLeader(s, not int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		if l := c.VMShardLeader(s); l >= 0 && l != not {
+			return l
+		}
+		if time.Now().After(deadline) {
+			return -1
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

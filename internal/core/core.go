@@ -51,6 +51,11 @@ type Options struct {
 	Network rpc.Network
 	// VManagerAddr is the version manager's RPC address.
 	VManagerAddr string
+	// VManagerShards, when set, addresses a sharded+replicated vmanager
+	// group instead of VManagerAddr: one replica address list per shard
+	// (docs/vmanager-group.md). Blobs route to shards by id hash with
+	// NotLeader redirect handling.
+	VManagerShards [][]string
 	// PManagerAddr is the provider manager's RPC address.
 	PManagerAddr string
 	// MetaDirAddr is the metadata directory's RPC address (DHT membership).
@@ -100,7 +105,7 @@ type Options struct {
 type Client struct {
 	opts Options
 	pool *rpc.Pool
-	vm   *vmanager.Client
+	vm   *vmanager.GroupClient
 	ms   *mstore.Client
 
 	provMu    sync.RWMutex
@@ -183,10 +188,16 @@ func NewClient(ctx context.Context, opts Options) (*Client, error) {
 	ms := mstore.New(kv, opts.CacheNodes)
 	ms.ProcessDelay = opts.MetaProcessDelay
 	ms.Vectored = !opts.LegacyDataPath
+	vmShards := opts.VManagerShards
+	if len(vmShards) == 0 {
+		// A single unsharded, unreplicated manager is the degenerate
+		// 1x1 group.
+		vmShards = [][]string{{opts.VManagerAddr}}
+	}
 	c := &Client{
 		opts:      opts,
 		pool:      pool,
-		vm:        vmanager.NewClient(pool, opts.VManagerAddr),
+		vm:        vmanager.NewGroupClient(pool, vmShards),
 		ms:        ms,
 		providers: make(map[uint32]string),
 		digests:   make(map[uint32]digestEntry),
@@ -206,8 +217,9 @@ func (c *Client) Close() { c.pool.Close() }
 // directly; the GC walks trees through it).
 func (c *Client) Meta() *mstore.Client { return c.ms }
 
-// VersionManager exposes the typed version manager client.
-func (c *Client) VersionManager() *vmanager.Client { return c.vm }
+// VersionManager exposes the typed version manager client (a
+// GroupClient; an unsharded deployment is its 1x1 degenerate case).
+func (c *Client) VersionManager() *vmanager.GroupClient { return c.vm }
 
 // Pool exposes the RPC pool (shared by auxiliary agents like the GC).
 func (c *Client) Pool() *rpc.Pool { return c.pool }

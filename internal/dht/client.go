@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"blob/internal/rpc"
 	"blob/internal/stats"
@@ -38,6 +39,39 @@ type Client struct {
 
 	mu   sync.RWMutex
 	ring *Ring
+
+	// refreshMu rate-limits empty-ring directory refetches.
+	refreshMu   sync.Mutex
+	lastRefresh time.Time
+}
+
+// emptyRefreshEvery bounds how often an empty-ring operation refetches
+// the directory membership.
+const emptyRefreshEvery = time.Second
+
+// ringOrRefresh returns the current ring, refetching the directory
+// membership first (rate-limited) when the snapshot is empty. A
+// long-lived embedded client — a vmanager's repair store, a repair
+// agent — may boot before any storage node has registered; without
+// this its boot-time empty snapshot would return ErrNoNodes forever,
+// while short-lived clients (one blobctl run) never notice the gap.
+func (c *Client) ringOrRefresh(ctx context.Context) *Ring {
+	ring := c.Ring()
+	if ring.Size() > 0 || c.dirAddr == "" {
+		return ring
+	}
+	c.refreshMu.Lock()
+	due := time.Since(c.lastRefresh) >= emptyRefreshEvery
+	if due {
+		c.lastRefresh = time.Now()
+	}
+	c.refreshMu.Unlock()
+	if due {
+		if err := c.Refresh(ctx); err != nil {
+			return ring
+		}
+	}
+	return c.Ring()
 }
 
 // NewClient creates a client with an explicit ring (tests, static
@@ -90,7 +124,7 @@ func (c *Client) Replicas() int { return c.replicas }
 // replica acknowledged; replica failures beyond that are tolerated
 // because values are write-once and repairable by re-put.
 func (c *Client) Put(ctx context.Context, key uint64, value []byte) error {
-	reps := c.Ring().ReplicasFor(key, c.replicas)
+	reps := c.ringOrRefresh(ctx).ReplicasFor(key, c.replicas)
 	if len(reps) == 0 {
 		return ErrNoNodes
 	}
@@ -123,7 +157,7 @@ func (c *Client) Put(ctx context.Context, key uint64, value []byte) error {
 
 // Get fetches the value for key, trying replicas in preference order.
 func (c *Client) Get(ctx context.Context, key uint64) ([]byte, error) {
-	reps := c.Ring().ReplicasFor(key, c.replicas)
+	reps := c.ringOrRefresh(ctx).ReplicasFor(key, c.replicas)
 	if len(reps) == 0 {
 		return nil, ErrNoNodes
 	}
@@ -157,7 +191,7 @@ func (c *Client) Get(ctx context.Context, key uint64) ([]byte, error) {
 
 // Delete removes key from all replicas (best effort).
 func (c *Client) Delete(ctx context.Context, key uint64) error {
-	reps := c.Ring().ReplicasFor(key, c.replicas)
+	reps := c.ringOrRefresh(ctx).ReplicasFor(key, c.replicas)
 	if len(reps) == 0 {
 		return ErrNoNodes
 	}
@@ -199,7 +233,7 @@ func (c *Client) MultiPut(ctx context.Context, kvs []KV) error {
 	if len(kvs) == 0 {
 		return nil
 	}
-	ring := c.Ring()
+	ring := c.ringOrRefresh(ctx)
 	if ring.Size() == 0 {
 		return ErrNoNodes
 	}
@@ -268,7 +302,7 @@ func (c *Client) MultiPutVec(ctx context.Context, kvs []KV) error {
 	if len(kvs) == 0 {
 		return nil
 	}
-	ring := c.Ring()
+	ring := c.ringOrRefresh(ctx)
 	if ring.Size() == 0 {
 		return ErrNoNodes
 	}
@@ -332,7 +366,7 @@ func (c *Client) MultiGet(ctx context.Context, keys []uint64) (map[uint64][]byte
 	if len(keys) == 0 {
 		return out, nil
 	}
-	ring := c.Ring()
+	ring := c.ringOrRefresh(ctx)
 	if ring.Size() == 0 {
 		return nil, ErrNoNodes
 	}
@@ -400,7 +434,7 @@ func (c *Client) MultiGet(ctx context.Context, keys []uint64) (map[uint64][]byte
 
 // Stats fetches storage statistics from every node in the ring.
 func (c *Client) Stats(ctx context.Context) (map[string]StoreStats, error) {
-	ring := c.Ring()
+	ring := c.ringOrRefresh(ctx)
 	out := make(map[string]StoreStats, ring.Size())
 	for _, n := range ring.Nodes() {
 		resp, err := c.pool.Call(ctx, n.Addr, MStats, nil)

@@ -114,8 +114,15 @@ func Restore(r io.Reader, cfg Config) (*Manager, error) {
 		b.latestAssigned = dec.Uint64()
 		b.latestPublished = dec.Uint64()
 		b.sizes = dec.Uint64Slice()
-		nhist := int(dec.Uvarint())
-		for j := 0; j < nhist; j++ {
+		nhist := dec.Uvarint()
+		// A history record is at least 12 encoded bytes; a forged count
+		// beyond what the stream can hold must fail here, not spin a
+		// 2^40-iteration loop of zero records (reader errors are sticky
+		// but do not break the loop).
+		if nhist > uint64(dec.Remaining())/12 {
+			return nil, fmt.Errorf("vmanager: restore blob %d: history count %d exceeds stream", id, nhist)
+		}
+		for j := uint64(0); j < nhist; j++ {
 			b.history = append(b.history, WriteRecord{
 				Version: dec.Uvarint(),
 				Range:   meta.PageRange{First: dec.Uvarint(), Count: dec.Uvarint()},
@@ -123,8 +130,11 @@ func Restore(r io.Reader, cfg Config) (*Manager, error) {
 				Aborted: dec.Bool(),
 			})
 		}
-		npend := int(dec.Uvarint())
-		for j := 0; j < npend; j++ {
+		npend := dec.Uvarint()
+		if npend > uint64(dec.Remaining())/13 {
+			return nil, fmt.Errorf("vmanager: restore blob %d: pending count %d exceeds stream", id, npend)
+		}
+		for j := uint64(0); j < npend; j++ {
 			v := dec.Uvarint()
 			p := &pendingWrite{
 				wr:        meta.PageRange{First: dec.Uvarint(), Count: dec.Uvarint()},
@@ -138,6 +148,13 @@ func Restore(r io.Reader, cfg Config) (*Manager, error) {
 			b.pending[v] = p
 		}
 		if err := dec.Err(); err != nil {
+			return nil, fmt.Errorf("vmanager: restore blob %d: %w", id, err)
+		}
+		// Validate the decoded state before replay: IntervalVersionMap
+		// panics on out-of-range or out-of-order assignments (its
+		// in-process callers guarantee both), so a corrupt stream must
+		// be rejected here, never replayed.
+		if err := validateBlobState(b); err != nil {
 			return nil, fmt.Errorf("vmanager: restore blob %d: %w", id, err)
 		}
 		// Rebuild the interval map by replaying history in order (the
@@ -156,4 +173,42 @@ func Restore(r io.Reader, cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("vmanager: restore: %w", err)
 	}
 	return m, nil
+}
+
+// validateBlobState checks a decoded blob's internal consistency so the
+// history replay cannot panic and the counters cannot index out of
+// bounds. Torn or bit-flipped checkpoints land here, not in a crash.
+func validateBlobState(b *blobState) error {
+	if err := b.red.Validate(); err != nil {
+		return err
+	}
+	if !meta.IsPowerOfTwo(b.pageSize) || !meta.IsPowerOfTwo(b.totalPages) {
+		return fmt.Errorf("geometry not a power of two (pageSize %d, totalPages %d)", b.pageSize, b.totalPages)
+	}
+	if b.latestPublished > b.latestAssigned {
+		return fmt.Errorf("published v%d beyond assigned v%d", b.latestPublished, b.latestAssigned)
+	}
+	if b.latestAssigned+1 == 0 || uint64(len(b.sizes)) != b.latestAssigned+1 {
+		return fmt.Errorf("%d sizes for %d assigned versions", len(b.sizes), b.latestAssigned)
+	}
+	prev := meta.ZeroVersion
+	for _, rec := range b.history {
+		if rec.Version <= prev || rec.Version > b.latestAssigned {
+			return fmt.Errorf("history version v%d out of order (prev v%d, assigned v%d)",
+				rec.Version, prev, b.latestAssigned)
+		}
+		if err := meta.ValidateGeometry(b.totalPages, rec.Range); err != nil {
+			return fmt.Errorf("history v%d: %w", rec.Version, err)
+		}
+		prev = rec.Version
+	}
+	for v, p := range b.pending {
+		if v <= b.latestPublished || v > b.latestAssigned {
+			return fmt.Errorf("pending v%d outside (%d, %d]", v, b.latestPublished, b.latestAssigned)
+		}
+		if err := meta.ValidateGeometry(b.totalPages, p.wr); err != nil {
+			return fmt.Errorf("pending v%d: %w", v, err)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,130 @@
+package vmanager
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLogRecordDecode asserts the publish-log record decoder never
+// panics, never accepts a frame that does not round-trip byte-for-byte,
+// and that RecoverLog's truncate-and-recover semantics hold on arbitrary
+// damage: the recovered prefix re-decodes cleanly and its length never
+// exceeds the input.
+func FuzzLogRecordDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(EncodeLogRecords(sampleRecords()))
+	whole := EncodeLogRecords(sampleRecords())
+	f.Add(whole[:len(whole)-3]) // torn tail
+	flipped := bytes.Clone(whole)
+	flipped[17] ^= 0x20
+	f.Add(flipped) // checksum-breaking bit flip
+	bigLen := bytes.Clone(whole)
+	bigLen[3] = 0xff
+	f.Add(bigLen) // absurd length field
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := DecodeLogRecord(data)
+		if err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("decoded size %d of %d input bytes", n, len(data))
+			}
+			// The checksummed frame leaves no slack: re-encoding must
+			// reproduce the consumed bytes exactly.
+			if re := AppendLogRecord(nil, rec); !bytes.Equal(re, data[:n]) {
+				t.Fatalf("record does not round-trip:\n got %x\nwant %x", re, data[:n])
+			}
+		}
+
+		recs, rn := RecoverLog(data)
+		if rn < 0 || rn > len(data) {
+			t.Fatalf("recovered %d bytes of %d", rn, len(data))
+		}
+		// The clean prefix is self-consistent: re-encoding it yields the
+		// recovered byte range, and sequence numbers are contiguous.
+		var re []byte
+		for i, rec := range recs {
+			if i > 0 && rec.Seq != recs[i-1].Seq+1 {
+				t.Fatalf("recovered gap: seq %d after %d", rec.Seq, recs[i-1].Seq)
+			}
+			re = AppendLogRecord(re, rec)
+		}
+		if !bytes.Equal(re, data[:rn]) {
+			t.Fatalf("recovered prefix does not round-trip")
+		}
+
+		// The strict batch decoder agrees with full-clean recovery.
+		if brecs, err := DecodeLogRecords(data); err == nil {
+			if len(data) != rn && len(brecs) != len(recs) {
+				t.Fatalf("batch decoded %d records where recovery got %d of %d bytes", len(brecs), len(recs), rn)
+			}
+		}
+	})
+}
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the checkpoint restorer:
+// whatever the input, Restore must reject or accept without panicking,
+// and an accepted state must survive a checkpoint/restore round trip
+// (i.e. Restore only admits states the Manager itself could have
+// written).
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint"))
+	// A real checkpoint with history, a pending write and an abort.
+	m := New(Config{})
+	blob, _ := m.CreateBlob(pageSize, capBytes)
+	a1, _ := m.AssignVersion(blob, 11, 0, 2*pageSize, false)
+	m.commitObserve(blob, a1.Version)
+	a2, _ := m.AssignVersion(blob, 22, 0, pageSize, true)
+	m.markAborted(blob, a2.Version)
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	m.Close()
+	whole := buf.Bytes()
+	f.Add(bytes.Clone(whole))
+	f.Add(bytes.Clone(whole[:len(whole)-4])) // torn
+	for _, off := range []int{8, 16, 24, len(whole) / 2, len(whole) - 2} {
+		if off < len(whole) {
+			flipped := bytes.Clone(whole)
+			flipped[off] ^= 0x01
+			f.Add(flipped)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Restore(bytes.NewReader(data), Config{})
+		if err != nil {
+			return // rejected: fine
+		}
+		defer r.Close()
+		// Accepted state must be internally consistent enough to
+		// checkpoint again and restore to the same blob set.
+		var out bytes.Buffer
+		if err := r.Checkpoint(&out); err != nil {
+			t.Fatalf("restored state cannot re-checkpoint: %v", err)
+		}
+		r2, err := Restore(&out, Config{})
+		if err != nil {
+			t.Fatalf("re-checkpointed state rejected: %v", err)
+		}
+		defer r2.Close()
+		b1, b2 := r.Blobs(), r2.Blobs()
+		if len(b1) != len(b2) {
+			t.Fatalf("round trip changed blob count: %d != %d", len(b1), len(b2))
+		}
+		// Exercise the read paths — they must not panic on any accepted
+		// state, and Latest/History must agree across the round trip.
+		for _, id := range b1 {
+			v1, s1, e1 := r.Latest(id)
+			v2, s2, e2 := r2.Latest(id)
+			if v1 != v2 || s1 != s2 || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("blob %d: latest diverged (%d,%d,%v) != (%d,%d,%v)", id, v1, s1, e1, v2, s2, e2)
+			}
+			h1, _ := r.History(id, 0, ^uint64(0))
+			h2, _ := r2.History(id, 0, ^uint64(0))
+			if len(h1) != len(h2) {
+				t.Fatalf("blob %d: history diverged", id)
+			}
+		}
+	})
+}

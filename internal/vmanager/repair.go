@@ -49,8 +49,13 @@ func (m *Manager) repairLoop() {
 	}
 }
 
-// scanExpired finds expired writes and repairs them.
+// scanExpired finds expired writes and repairs them. Passive replicas
+// skip the scan entirely: their leader repairs, and the resulting
+// OpAbort/OpRepaired records arrive through the log.
 func (m *Manager) scanExpired() {
+	if m.passive.Load() {
+		return
+	}
 	type target struct {
 		blob uint64
 		v    meta.Version
@@ -60,7 +65,12 @@ func (m *Manager) scanExpired() {
 	m.mu.Lock()
 	for id, b := range m.blobs {
 		for v, p := range b.pending {
-			if !p.committed && !p.aborted && !p.repairing && !p.deadline.IsZero() && p.deadline.Before(now) {
+			// Uncommitted past deadline — dead writer. Also aborted but
+			// never committed: an orphan whose repairing leader died
+			// between the abort mark and the fill (the new leader picks
+			// it up here).
+			expired := !p.deadline.IsZero() && p.deadline.Before(now)
+			if !p.committed && !p.repairing && expired {
 				p.repairing = true
 				targets = append(targets, target{blob: id, v: v})
 			}
@@ -130,21 +140,35 @@ func (m *Manager) repairVersion(ctx context.Context, blob uint64, v meta.Version
 	wr := p.wr
 	totalPages := b.totalPages
 	// Recompute the same borders the writer received: resolve against
-	// history below v.
+	// history below v. (History records below v are immutable, so this
+	// is stable no matter when it runs relative to newer writes.)
 	borders := meta.Borders(totalPages, wr)
 	for i := range borders {
 		borders[i].Ver = maxHistoryIntersecting(b.history, v, borders[i].Child)
 	}
 	prevVers := prevVersionsFor(b.history, v, wr)
-	// Mark aborted in history (the write did not take effect as issued).
-	p.aborted = true
-	for i := len(b.history) - 1; i >= 0; i-- {
-		if b.history[i].Version == v {
-			b.history[i].Aborted = true
-			break
+	needMark := !p.aborted
+	if needMark && m.cfg.Replicate == nil {
+		// Mark aborted in history (the write did not take effect as
+		// issued).
+		p.aborted = true
+		for i := len(b.history) - 1; i >= 0; i-- {
+			if b.history[i].Version == v {
+				b.history[i].Aborted = true
+				break
+			}
 		}
 	}
 	m.mu.Unlock()
+
+	if needMark && m.cfg.Replicate != nil {
+		// Replicated shard: the abort mark must reach the log before
+		// the fill, so a leader that dies mid-repair leaves followers
+		// an orphan they can finish, not a version they re-admit.
+		if err := m.cfg.Replicate(OpAbort, blob, v); err != nil {
+			return fmt.Errorf("vmanager: repair v%d: replicate abort: %w", v, err)
+		}
+	}
 
 	// Fetch the previous leaf for every page (outside the lock).
 	leaves := make(map[uint64]meta.LeafData, wr.Count)
@@ -173,7 +197,14 @@ func (m *Manager) repairVersion(ctx context.Context, blob uint64, v meta.Version
 		return fmt.Errorf("vmanager: repair v%d: store: %w", v, err)
 	}
 
-	// Publish the repaired version.
+	// Publish the repaired version — through the log on a replicated
+	// shard, directly otherwise.
+	if m.cfg.Replicate != nil {
+		if err := m.cfg.Replicate(OpRepaired, blob, v); err != nil {
+			return fmt.Errorf("vmanager: repair v%d: replicate publish: %w", v, err)
+		}
+		return nil
+	}
 	m.mu.Lock()
 	if p, ok := b.pending[v]; ok {
 		p.committed = true
@@ -182,6 +213,43 @@ func (m *Manager) repairVersion(ctx context.Context, blob uint64, v meta.Version
 	m.Repairs.Inc()
 	m.mu.Unlock()
 	return nil
+}
+
+// RepairOrphans immediately repairs every version that is aborted but
+// not committed — the holes a crashed leader left between its abort
+// mark and its fill. A freshly promoted leader calls this so blocked
+// blobs recover now rather than a repair-scan period later.
+func (m *Manager) RepairOrphans(ctx context.Context) {
+	if m.cfg.RepairTimeout <= 0 {
+		return
+	}
+	type target struct {
+		blob uint64
+		v    meta.Version
+	}
+	var targets []target
+	m.mu.Lock()
+	for id, b := range m.blobs {
+		for v, p := range b.pending {
+			if p.aborted && !p.committed && !p.repairing {
+				p.repairing = true
+				targets = append(targets, target{blob: id, v: v})
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, t := range targets {
+		if err := m.repairVersion(ctx, t.blob, t.v); err != nil {
+			m.mu.Lock()
+			if b, ok := m.blobs[t.blob]; ok {
+				if p, ok := b.pending[t.v]; ok {
+					p.repairing = false
+					p.deadline = time.Now().Add(m.cfg.RepairTimeout)
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
 }
 
 // maxHistoryIntersecting returns the highest version below v whose write

@@ -1,0 +1,1173 @@
+package vmanager
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blob/internal/erasure"
+	"blob/internal/meta"
+	"blob/internal/rpc"
+	"blob/internal/wire"
+)
+
+// Replica wraps a Manager as one member of a replicated vmanager shard
+// (docs/vmanager-group.md). Exactly one replica per shard acts as
+// leader: it executes client mutations against its Manager, appends a
+// LogRecord per mutation to the shard's publish log, and acks the
+// client only after a follower quorum has applied the record. Followers
+// replay the log; on leader death the deterministic handoff below
+// promotes the live replica with the freshest state.
+//
+// Lock order: Replica.mu before Manager.mu, never the reverse.
+
+// Replication RPC method identifiers (continuing the vmanager 0x05xx
+// block).
+const (
+	MVmAppend  = 0x0510
+	MVmStatus  = 0x0511
+	MVmState   = 0x0512
+	MVmInstall = 0x0513
+)
+
+func init() {
+	rpc.RegisterMethodName(MVmAppend, "vmanager.MVmAppend")
+	rpc.RegisterMethodName(MVmStatus, "vmanager.MVmStatus")
+	rpc.RegisterMethodName(MVmState, "vmanager.MVmState")
+	rpc.RegisterMethodName(MVmInstall, "vmanager.MVmInstall")
+}
+
+// Error vocabulary clients route on. NotLeader carries a redirect hint;
+// unavailable errors are transient (quorum loss, partitions, handoffs)
+// and worth retrying on another replica.
+const (
+	notLeaderPrefix   = "vmanager: not leader"
+	unavailablePrefix = "vmanager: unavailable"
+)
+
+// NotLeaderError builds the redirect error a non-leader replica returns
+// to client mutations. leader is the replica index to try next (may be
+// the replica's possibly-stale belief).
+func NotLeaderError(shard, leader int) error {
+	return fmt.Errorf("%s (shard %d, try replica %d)", notLeaderPrefix, shard, leader)
+}
+
+// ParseNotLeader recognizes a NotLeaderError (locally or over RPC) and
+// extracts the leader hint (-1 if none parsed).
+func ParseNotLeader(err error) (leader int, ok bool) {
+	if err == nil {
+		return 0, false
+	}
+	s := err.Error()
+	i := strings.Index(s, notLeaderPrefix)
+	if i < 0 {
+		return 0, false
+	}
+	leader = -1
+	if j := strings.Index(s[i:], "try replica "); j >= 0 {
+		fmt.Sscanf(s[i+j:], "try replica %d", &leader)
+	}
+	return leader, true
+}
+
+// IsUnavailable recognizes the transient replica errors (partitioned,
+// no quorum, handoff in progress) that a group client retries.
+func IsUnavailable(err error) bool {
+	return err != nil && strings.Contains(err.Error(), unavailablePrefix)
+}
+
+func unavailableErr(why string) error {
+	return fmt.Errorf("%s: %s", unavailablePrefix, why)
+}
+
+// Replica roles.
+const (
+	roleFollower = iota
+	roleLeader
+)
+
+// ReplicaConfig parameterizes one shard member.
+type ReplicaConfig struct {
+	// Shard is this shard's index; Shards is the group's shard count
+	// (blob ids are accepted only if the ring places them here).
+	Shard, Shards int
+	// Index is this replica's position in Peers; Peers lists every
+	// replica address of this shard, leader included.
+	Index int
+	Peers []string
+	// Pool carries the replication RPCs to peers.
+	Pool *rpc.Pool
+	// Heartbeat is the leader's idle append interval (default 100ms).
+	Heartbeat time.Duration
+	// ElectionTimeout is the base silence a follower tolerates before
+	// campaigning; replica i waits ElectionTimeout*(1+distance) where
+	// distance is its ring distance from the dead leader, so handoff is
+	// deterministic (default 10*Heartbeat).
+	ElectionTimeout time.Duration
+	// QuorumTimeout bounds how long a mutation waits for follower acks
+	// (default 2*ElectionTimeout).
+	QuorumTimeout time.Duration
+	// MaxLogRecords caps the in-memory publish log; beyond it the
+	// prefix is dropped and lagging followers catch up by checkpoint
+	// snapshot instead (default 4096).
+	MaxLogRecords int
+	// AppendDelay simulates per-record append durability cost, slept
+	// while holding the shard's serializing lock — the bench knob that
+	// makes per-shard throughput measurable (default 0).
+	AppendDelay time.Duration
+	// Rejoin marks a replica that is restarting into an existing shard:
+	// it boots as a follower even at Index 0, because the deterministic
+	// term-0 leadership only belongs to a cold-booting group — a
+	// restarted replica 0 claiming it could serve empty state to clients
+	// until the live leader's first message deposed it.
+	Rejoin bool
+	// Manager configures the wrapped Manager. Replicate is overwritten.
+	Manager Config
+	// Logf, if set, receives handoff/resync events.
+	Logf func(format string, args ...any)
+}
+
+func (c *ReplicaConfig) defaults() {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 100 * time.Millisecond
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 10 * c.Heartbeat
+	}
+	if c.QuorumTimeout <= 0 {
+		c.QuorumTimeout = 2 * c.ElectionTimeout
+	}
+	if c.MaxLogRecords <= 0 {
+		c.MaxLogRecords = 4096
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+}
+
+// Replica is one member of a replicated vmanager shard.
+type Replica struct {
+	cfg ReplicaConfig
+
+	mu       sync.Mutex
+	mgr      *Manager
+	log      []LogRecord // records (logBase, logBase+len]
+	logBase  uint64      // highest truncated-away sequence number
+	term     uint64
+	role     int
+	leader   int // believed leader index this term
+	lastBeat time.Time
+	// Leader-side per-peer replication state.
+	ackSeq     []uint64 // highest seq each follower confirmed applied
+	peerResync []bool   // follower asked for a snapshot
+	needResync bool     // our own state diverged; expect a snapshot
+	ackCh      chan struct{}
+	closed     bool
+
+	netFault atomic.Bool
+
+	kick []chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewReplica builds and starts a shard member. Replica 0 boots as
+// leader of term 0 (the deterministic initial assignment); everyone
+// else boots follower. A restarted replica also boots this way — a
+// stale claim to term 0 is deposed by the first message from the real
+// leader's higher term.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	cfg.defaults()
+	r := &Replica{
+		cfg:        cfg,
+		role:       roleFollower,
+		leader:     0,
+		lastBeat:   time.Now(),
+		ackSeq:     make([]uint64, len(cfg.Peers)),
+		peerResync: make([]bool, len(cfg.Peers)),
+		ackCh:      make(chan struct{}),
+		stop:       make(chan struct{}),
+	}
+	mcfg := cfg.Manager
+	mcfg.Replicate = r.replicateRepair
+	r.mgr = New(mcfg)
+	if cfg.Index == 0 && !cfg.Rejoin {
+		r.role = roleLeader
+	} else {
+		r.mgr.SetPassive(true)
+	}
+	r.kick = make([]chan struct{}, len(cfg.Peers))
+	for j := range cfg.Peers {
+		if j == cfg.Index {
+			continue
+		}
+		r.kick[j] = make(chan struct{}, 1)
+		r.wg.Add(1)
+		go r.sender(j)
+	}
+	if len(cfg.Peers) > 1 {
+		r.wg.Add(1)
+		go r.electionLoop()
+	}
+	return r
+}
+
+// Close stops replication and the wrapped manager.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	close(r.stop)
+	r.broadcastLocked()
+	mgr := r.mgr
+	r.mu.Unlock()
+	r.wg.Wait()
+	mgr.Close()
+}
+
+// SetNetFault cuts the replica off from its peers and clients (both
+// directions) without stopping it — the harness's partition primitive.
+func (r *Replica) SetNetFault(fault bool) {
+	r.netFault.Store(fault)
+	if !fault {
+		r.mu.Lock()
+		// Healing resets the election timer so the replica listens for
+		// the incumbent before campaigning.
+		r.lastBeat = time.Now()
+		r.mu.Unlock()
+	}
+}
+
+// Manager exposes the wrapped manager (tests, checkpointing).
+func (r *Replica) Manager() *Manager {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mgr
+}
+
+// ReplicaStatus is a replica's self-description (MVmStatus).
+type ReplicaStatus struct {
+	Shard, Index int
+	Term         uint64
+	IsLeader     bool
+	Leader       int
+	LogLen       uint64 // logBase + len(log): total records applied
+	LogBase      uint64
+	Blobs        uint64
+}
+
+// Status reports the replica's current role and log position.
+func (r *Replica) Status() ReplicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaStatus{
+		Shard:    r.cfg.Shard,
+		Index:    r.cfg.Index,
+		Term:     r.term,
+		IsLeader: r.role == roleLeader,
+		Leader:   r.leader,
+		LogLen:   r.logLenLocked(),
+		LogBase:  r.logBase,
+		Blobs:    uint64(len(r.mgr.Blobs())),
+	}
+}
+
+func (r *Replica) logLenLocked() uint64 { return r.logBase + uint64(len(r.log)) }
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf("vmanager s%dr%d: "+format, append([]any{r.cfg.Shard, r.cfg.Index}, args...)...)
+	}
+}
+
+// leaderLocked gates a client call on this replica being the live
+// leader.
+func (r *Replica) leaderLocked() error {
+	if r.netFault.Load() {
+		return unavailableErr("partitioned")
+	}
+	if r.role != roleLeader {
+		hint := r.leader
+		if hint == r.cfg.Index {
+			// A rejoined replica believes "itself" until it hears from
+			// the incumbent; don't send clients in a circle.
+			hint = -1
+		}
+		return NotLeaderError(r.cfg.Shard, hint)
+	}
+	return nil
+}
+
+// broadcastLocked wakes every quorum waiter.
+func (r *Replica) broadcastLocked() {
+	close(r.ackCh)
+	r.ackCh = make(chan struct{})
+}
+
+// appendLocked assigns the next sequence number, appends the record,
+// simulates append durability cost, truncates the log if oversized and
+// kicks the senders. Caller holds r.mu and has already executed the
+// mutation on the manager.
+func (r *Replica) appendLocked(rec LogRecord) LogRecord {
+	rec.Seq = r.logLenLocked() + 1
+	r.log = append(r.log, rec)
+	if r.cfg.AppendDelay > 0 {
+		time.Sleep(r.cfg.AppendDelay)
+	}
+	r.truncateLocked()
+	for j, ch := range r.kick {
+		if j == r.cfg.Index || ch == nil {
+			continue
+		}
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	return rec
+}
+
+// truncateLocked reuses the checkpoint machinery as log truncation:
+// once the in-memory log exceeds MaxLogRecords the older half is
+// dropped, and any follower that still needed it is resynced with a
+// full state snapshot instead.
+func (r *Replica) truncateLocked() {
+	if len(r.log) <= r.cfg.MaxLogRecords {
+		return
+	}
+	drop := len(r.log) - r.cfg.MaxLogRecords/2
+	r.logBase += uint64(drop)
+	r.log = append([]LogRecord(nil), r.log[drop:]...)
+}
+
+// stepDownLocked demotes a leader (or re-aims a follower) to follow
+// leaderIdx at term. A deposed leader may hold un-acked divergent
+// records, so it always asks for a snapshot resync.
+func (r *Replica) stepDownLocked(term uint64, leaderIdx int) {
+	wasLeader := r.role == roleLeader
+	r.term = term
+	r.role = roleFollower
+	r.leader = leaderIdx
+	r.lastBeat = time.Now()
+	if wasLeader {
+		r.needResync = true
+		r.mgr.SetPassive(true)
+		r.logf("stepping down to follower of r%d at term %d (resync pending)", leaderIdx, term)
+	}
+	r.broadcastLocked()
+}
+
+// waitQuorum blocks until ceil(n/2) of the shard's followers have
+// acknowledged seq (i.e. a majority of replicas, leader included, hold
+// the record), the replica loses leadership, or time runs out.
+func (r *Replica) waitQuorum(ctx context.Context, term, seq uint64) error {
+	need := len(r.cfg.Peers) / 2 // follower acks; self is the +1
+	if need == 0 {
+		return nil
+	}
+	timer := time.NewTimer(r.cfg.QuorumTimeout)
+	defer timer.Stop()
+	r.mu.Lock()
+	for {
+		if r.closed {
+			r.mu.Unlock()
+			return unavailableErr("replica closed")
+		}
+		if r.term != term || r.role != roleLeader {
+			r.mu.Unlock()
+			return unavailableErr("leadership lost during replication")
+		}
+		got := 0
+		for j, ack := range r.ackSeq {
+			if j != r.cfg.Index && ack >= seq {
+				got++
+			}
+		}
+		if got >= need {
+			r.mu.Unlock()
+			return nil
+		}
+		ch := r.ackCh
+		r.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
+			return unavailableErr(fmt.Sprintf("no follower quorum for seq %d (shard %d)", seq, r.cfg.Shard))
+		case <-r.stop:
+			return unavailableErr("replica closed")
+		}
+		r.mu.Lock()
+	}
+}
+
+// replicateRepair is the Manager's Config.Replicate hook: the repair
+// path's abort mark and repaired-publish flow through here so they
+// enter the log in execution order.
+func (r *Replica) replicateRepair(op uint8, blob uint64, v meta.Version) error {
+	r.mu.Lock()
+	if err := r.leaderLocked(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	term := r.term
+	var err error
+	switch op {
+	case OpAbort:
+		_, err = r.mgr.markAborted(blob, v)
+	case OpRepaired:
+		err = r.mgr.applyRepaired(blob, v)
+	default:
+		err = fmt.Errorf("vmanager: replicate: unexpected op %d", op)
+	}
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	rec := r.appendLocked(LogRecord{Op: op, Blob: blob, Version: v})
+	r.mu.Unlock()
+	return r.waitQuorum(context.Background(), term, rec.Seq)
+}
+
+// --- Client-facing mutations (leader only) ---
+
+// CreateBlob allocates a blob whose id this shard owns, replicated to
+// quorum before returning.
+func (r *Replica) CreateBlob(ctx context.Context, pageSize, capacityBytes uint64, red erasure.Redundancy) (uint64, error) {
+	r.mu.Lock()
+	if err := r.leaderLocked(); err != nil {
+		r.mu.Unlock()
+		return 0, err
+	}
+	term := r.term
+	id, err := r.mgr.CreateBlobOwned(pageSize, capacityBytes, red, r.owns)
+	if err != nil {
+		r.mu.Unlock()
+		return 0, err
+	}
+	rec := r.appendLocked(LogRecord{
+		Op: OpCreate, Blob: id, PageSize: pageSize, Capacity: capacityBytes,
+		K: uint8(red.K), M: uint8(red.M),
+	})
+	r.mu.Unlock()
+	if err := r.waitQuorum(ctx, term, rec.Seq); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// owns reports whether the group's ring places blob id on this shard.
+func (r *Replica) owns(id uint64) bool {
+	return ShardOf(r.cfg.Shards, id) == r.cfg.Shard
+}
+
+// AssignVersion serializes a write, quorum-replicating the (already
+// append-resolved) assignment.
+func (r *Replica) AssignVersion(ctx context.Context, blob, writeID, offset, length uint64, isAppend bool) (Assignment, error) {
+	r.mu.Lock()
+	if err := r.leaderLocked(); err != nil {
+		r.mu.Unlock()
+		return Assignment{}, err
+	}
+	term := r.term
+	a, err := r.mgr.AssignVersion(blob, writeID, offset, length, isAppend)
+	if err != nil {
+		r.mu.Unlock()
+		return Assignment{}, err
+	}
+	rec := r.appendLocked(LogRecord{
+		Op: OpAssign, Blob: blob, Version: a.Version,
+		WriteID: writeID, Offset: a.Offset, Length: length,
+	})
+	r.mu.Unlock()
+	if err := r.waitQuorum(ctx, term, rec.Seq); err != nil {
+		return Assignment{}, err
+	}
+	return a, nil
+}
+
+// Commit marks a version committed; the commit record is quorum-acked
+// before the call returns (and before the blocking wait, so an acked
+// commit survives leader death).
+func (r *Replica) Commit(ctx context.Context, blob uint64, v meta.Version, block bool) (meta.Version, error) {
+	r.mu.Lock()
+	if err := r.leaderLocked(); err != nil {
+		r.mu.Unlock()
+		return 0, err
+	}
+	term := r.term
+	pub, transitioned, err := r.mgr.commitObserve(blob, v)
+	if err != nil {
+		r.mu.Unlock()
+		return 0, err
+	}
+	var seq uint64
+	if transitioned {
+		seq = r.appendLocked(LogRecord{Op: OpCommit, Blob: blob, Version: v}).Seq
+	}
+	mgr := r.mgr
+	r.mu.Unlock()
+	if transitioned {
+		if err := r.waitQuorum(ctx, term, seq); err != nil {
+			return 0, err
+		}
+	}
+	if !block {
+		return pub, nil
+	}
+	return mgr.WaitPublished(ctx, blob, v)
+}
+
+// Abort withdraws a version. The abort mark is quorum-acked first; the
+// repair fill then runs on a background context so a slow metadata
+// store cannot wedge the client (and a leader crash mid-fill leaves an
+// orphan the next leader repairs — see RepairOrphans).
+func (r *Replica) Abort(ctx context.Context, blob uint64, v meta.Version) error {
+	r.mu.Lock()
+	if err := r.leaderLocked(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	term := r.term
+	changed, err := r.mgr.markAborted(blob, v)
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	var seq uint64
+	if changed {
+		seq = r.appendLocked(LogRecord{Op: OpAbort, Blob: blob, Version: v}).Seq
+	}
+	mgr := r.mgr
+	r.mu.Unlock()
+	if changed {
+		if err := r.waitQuorum(ctx, term, seq); err != nil {
+			return err
+		}
+	}
+	if mgr.cfg.RepairTimeout > 0 {
+		rctx, cancel := context.WithTimeout(context.Background(), 4*mgr.cfg.RepairTimeout)
+		defer cancel()
+		return mgr.repairVersion(rctx, blob, v)
+	}
+	return nil
+}
+
+// --- RPC wiring ---
+
+// RegisterHandlers wires both the client-facing vmanager methods and
+// the shard replication protocol onto srv.
+func (r *Replica) RegisterHandlers(srv *rpc.Server) {
+	srv.Handle(MCreate, r.handleCreate)
+	srv.Handle(MInfo, r.readHandler(func(m *Manager, ctx context.Context, b []byte) ([]byte, error) { return m.handleInfo(ctx, b) }))
+	srv.Handle(MAssign, r.handleAssign)
+	srv.Handle(MCommit, r.handleCommit)
+	srv.Handle(MAbort, r.handleAbort)
+	srv.Handle(MLatest, r.readHandler(func(m *Manager, ctx context.Context, b []byte) ([]byte, error) { return m.handleLatest(ctx, b) }))
+	srv.Handle(MVersionInfo, r.readHandler(func(m *Manager, ctx context.Context, b []byte) ([]byte, error) { return m.handleVersionInfo(ctx, b) }))
+	srv.Handle(MHistory, r.readHandler(func(m *Manager, ctx context.Context, b []byte) ([]byte, error) { return m.handleHistory(ctx, b) }))
+	srv.Handle(MBlobs, r.readHandler(func(m *Manager, ctx context.Context, b []byte) ([]byte, error) { return m.handleBlobs(ctx, b) }))
+	srv.Handle(MVmAppend, r.handleVmAppend)
+	srv.Handle(MVmStatus, r.handleVmStatus)
+	srv.Handle(MVmState, r.handleVmState)
+	srv.Handle(MVmInstall, r.handleVmInstall)
+}
+
+// readHandler serves a read from the local manager, leader-gated so
+// clients never observe a stale follower's state.
+func (r *Replica) readHandler(h func(*Manager, context.Context, []byte) ([]byte, error)) rpc.HandlerFunc {
+	return func(ctx context.Context, body []byte) ([]byte, error) {
+		r.mu.Lock()
+		err := r.leaderLocked()
+		mgr := r.mgr
+		r.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return h(mgr, ctx, body)
+	}
+}
+
+func (r *Replica) handleCreate(ctx context.Context, body []byte) ([]byte, error) {
+	rd := wire.NewReader(body)
+	pageSize := rd.Uint64()
+	capacity := rd.Uint64()
+	red := erasure.Redundancy{K: int(rd.Uint8()), M: int(rd.Uint8())}
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager create: %w", err)
+	}
+	id, err := r.CreateBlob(ctx, pageSize, capacity, red)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(8)
+	w.Uint64(id)
+	return w.Bytes(), nil
+}
+
+func (r *Replica) handleAssign(ctx context.Context, body []byte) ([]byte, error) {
+	rd := wire.NewReader(body)
+	blob := rd.Uint64()
+	writeID := rd.Uint64()
+	offset := rd.Uint64()
+	length := rd.Uint64()
+	isAppend := rd.Bool()
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager assign: %w", err)
+	}
+	a, err := r.AssignVersion(ctx, blob, writeID, offset, length, isAppend)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(32 + 24*len(a.Borders))
+	w.Uint64(a.Version)
+	w.Uint64(a.Offset)
+	w.Uvarint(uint64(len(a.Borders)))
+	for _, b := range a.Borders {
+		w.Uvarint(b.Child.Start)
+		w.Uvarint(b.Child.Size)
+		w.Uvarint(b.Ver)
+	}
+	return w.Bytes(), nil
+}
+
+func (r *Replica) handleCommit(ctx context.Context, body []byte) ([]byte, error) {
+	rd := wire.NewReader(body)
+	blob := rd.Uint64()
+	v := rd.Uint64()
+	block := rd.Bool()
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager commit: %w", err)
+	}
+	pub, err := r.Commit(ctx, blob, v, block)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(8)
+	w.Uint64(pub)
+	return w.Bytes(), nil
+}
+
+func (r *Replica) handleAbort(ctx context.Context, body []byte) ([]byte, error) {
+	rd := wire.NewReader(body)
+	blob := rd.Uint64()
+	v := rd.Uint64()
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager abort: %w", err)
+	}
+	if err := r.Abort(ctx, blob, v); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// --- Replication protocol ---
+
+// Append request: term u64, leader u8, prevSeq u64, framed records.
+// Append/install response: term u64, leader u8, logLen u64, flags u8.
+const (
+	respResync   = 1 << 0
+	respRejected = 1 << 1
+)
+
+func encodeAppendResp(term uint64, leader int, logLen uint64, flags uint8) []byte {
+	w := wire.NewWriter(18)
+	w.Uint64(term)
+	w.Uint8(uint8(leader))
+	w.Uint64(logLen)
+	w.Uint8(flags)
+	return w.Bytes()
+}
+
+type appendResp struct {
+	term   uint64
+	leader int
+	logLen uint64
+	flags  uint8
+}
+
+func decodeAppendResp(body []byte) (appendResp, error) {
+	rd := wire.NewReader(body)
+	resp := appendResp{
+		term:   rd.Uint64(),
+		leader: int(rd.Uint8()),
+		logLen: rd.Uint64(),
+		flags:  rd.Uint8(),
+	}
+	return resp, rd.Err()
+}
+
+// acceptLeaderLocked runs the term/leader admission shared by append
+// and install. It returns a rejection response if the sender is stale,
+// or nil if the sender is (now) our leader.
+func (r *Replica) acceptLeaderLocked(term uint64, leaderIdx int) []byte {
+	switch {
+	case term < r.term:
+		return encodeAppendResp(r.term, r.leader, r.logLenLocked(), respRejected)
+	case term > r.term:
+		r.stepDownLocked(term, leaderIdx)
+	default: // same term
+		if r.role == roleLeader || r.leader != leaderIdx {
+			// Two claimants in one term (possible only under extreme
+			// timer coincidence): the lowest replica index wins, the
+			// loser resyncs.
+			if leaderIdx < r.leaderClaimLocked() {
+				r.stepDownLocked(term, leaderIdx)
+			} else {
+				return encodeAppendResp(r.term, r.leaderClaimLocked(), r.logLenLocked(), respRejected)
+			}
+		}
+	}
+	r.lastBeat = time.Now()
+	return nil
+}
+
+// leaderClaimLocked is who we currently believe leads this term —
+// ourselves if we are leader.
+func (r *Replica) leaderClaimLocked() int {
+	if r.role == roleLeader {
+		return r.cfg.Index
+	}
+	return r.leader
+}
+
+func (r *Replica) handleVmAppend(_ context.Context, body []byte) ([]byte, error) {
+	if r.netFault.Load() {
+		return nil, unavailableErr("partitioned")
+	}
+	rd := wire.NewReader(body)
+	term := rd.Uint64()
+	leaderIdx := int(rd.Uint8())
+	prevSeq := rd.Uint64()
+	payload := rd.Raw(rd.Remaining())
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager append: %w", err)
+	}
+	recs, err := DecodeLogRecords(payload)
+	if err != nil {
+		return nil, fmt.Errorf("vmanager append: %w", err)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rej := r.acceptLeaderLocked(term, leaderIdx); rej != nil {
+		return rej, nil
+	}
+	if r.needResync {
+		return encodeAppendResp(r.term, r.leader, r.logLenLocked(), respResync), nil
+	}
+	if prevSeq > r.logLenLocked() {
+		// Gap: we are missing records before this batch. Report our
+		// length; the leader backs up (or snapshots us).
+		return encodeAppendResp(r.term, r.leader, r.logLenLocked(), 0), nil
+	}
+	for _, rec := range recs {
+		cur := r.logLenLocked()
+		if rec.Seq <= cur {
+			continue // duplicate delivery
+		}
+		if rec.Seq != cur+1 {
+			break // gap inside batch (cannot happen with a correct leader)
+		}
+		if err := r.mgr.ApplyRecord(rec); err != nil {
+			// Divergence: stop applying and ask for a snapshot.
+			r.needResync = true
+			r.logf("apply seq %d failed (%v); requesting resync", rec.Seq, err)
+			return encodeAppendResp(r.term, r.leader, cur, respResync), nil
+		}
+		r.log = append(r.log, rec)
+		r.truncateLocked()
+	}
+	return encodeAppendResp(r.term, r.leader, r.logLenLocked(), 0), nil
+}
+
+func (r *Replica) handleVmStatus(_ context.Context, _ []byte) ([]byte, error) {
+	if r.netFault.Load() {
+		return nil, unavailableErr("partitioned")
+	}
+	st := r.Status()
+	w := wire.NewWriter(64)
+	w.Uint32(uint32(st.Shard))
+	w.Uint32(uint32(st.Index))
+	w.Uint64(st.Term)
+	w.Bool(st.IsLeader)
+	w.Uint32(uint32(st.Leader))
+	w.Uint64(st.LogLen)
+	w.Uint64(st.LogBase)
+	w.Uint64(st.Blobs)
+	return w.Bytes(), nil
+}
+
+// DecodeReplicaStatus parses an MVmStatus response.
+func DecodeReplicaStatus(body []byte) (ReplicaStatus, error) {
+	rd := wire.NewReader(body)
+	st := ReplicaStatus{
+		Shard:    int(rd.Uint32()),
+		Index:    int(rd.Uint32()),
+		Term:     rd.Uint64(),
+		IsLeader: rd.Bool(),
+		Leader:   int(rd.Uint32()),
+		LogLen:   rd.Uint64(),
+		LogBase:  rd.Uint64(),
+		Blobs:    rd.Uint64(),
+	}
+	return st, rd.Err()
+}
+
+// handleVmState serves the full-state snapshot: term u64, logLen u64,
+// checkpoint stream. Candidates pull it to adopt the freshest state;
+// leaders push it (as MVmInstall) to lagging followers.
+func (r *Replica) handleVmState(_ context.Context, _ []byte) ([]byte, error) {
+	if r.netFault.Load() {
+		return nil, unavailableErr("partitioned")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var buf bytes.Buffer
+	if err := r.mgr.Checkpoint(&buf); err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(24 + buf.Len())
+	w.Uint64(r.term)
+	w.Uint64(r.logLenLocked())
+	w.Raw(buf.Bytes())
+	return w.Bytes(), nil
+}
+
+func (r *Replica) handleVmInstall(_ context.Context, body []byte) ([]byte, error) {
+	if r.netFault.Load() {
+		return nil, unavailableErr("partitioned")
+	}
+	rd := wire.NewReader(body)
+	term := rd.Uint64()
+	leaderIdx := int(rd.Uint8())
+	seq := rd.Uint64()
+	ckpt := rd.Raw(rd.Remaining())
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("vmanager install: %w", err)
+	}
+
+	r.mu.Lock()
+	if rej := r.acceptLeaderLocked(term, leaderIdx); rej != nil {
+		r.mu.Unlock()
+		return rej, nil
+	}
+	if err := r.installLocked(seq, ckpt); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	resp := encodeAppendResp(r.term, r.leader, r.logLenLocked(), 0)
+	r.mu.Unlock()
+	return resp, nil
+}
+
+// installLocked replaces the local manager with a restored snapshot at
+// log position seq. The old manager is closed asynchronously (Close
+// joins its repair loop, which may be lock-ordered behind us).
+func (r *Replica) installLocked(seq uint64, ckpt []byte) error {
+	mcfg := r.cfg.Manager
+	mcfg.Replicate = r.replicateRepair
+	mgr, err := Restore(bytes.NewReader(ckpt), mcfg)
+	if err != nil {
+		return fmt.Errorf("vmanager install: %w", err)
+	}
+	if r.role != roleLeader {
+		mgr.SetPassive(true)
+	}
+	old := r.mgr
+	r.mgr = mgr
+	r.log = nil
+	r.logBase = seq
+	r.needResync = false
+	r.logf("installed snapshot at seq %d", seq)
+	go old.Close()
+	return nil
+}
+
+// --- Leader-side replication senders ---
+
+// sender keeps one follower in sync: batched log appends when the
+// follower is within the log window, a checkpoint snapshot when it fell
+// behind the truncation horizon or asked to resync, and heartbeats
+// (empty appends) when idle.
+func (r *Replica) sender(peer int) {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		case <-r.kick[peer]:
+		}
+		// Drain until the follower is caught up (or we stop leading).
+		for r.syncPeer(peer) {
+		}
+	}
+}
+
+// syncPeer makes one replication RPC to the follower; it reports
+// whether more records remain to push.
+func (r *Replica) syncPeer(peer int) bool {
+	r.mu.Lock()
+	if r.closed || r.role != roleLeader || r.netFault.Load() {
+		r.mu.Unlock()
+		return false
+	}
+	term := r.term
+	method := uint32(MVmAppend)
+	var body []byte
+	fLen := r.ackSeq[peer]
+	switch {
+	case r.peerResync[peer] || fLen < r.logBase:
+		// Beyond the log window: push the whole state.
+		var buf bytes.Buffer
+		if err := r.mgr.Checkpoint(&buf); err != nil {
+			r.mu.Unlock()
+			return false
+		}
+		method = MVmInstall
+		w := wire.NewWriter(24 + buf.Len())
+		w.Uint64(term)
+		w.Uint8(uint8(r.cfg.Index))
+		w.Uint64(r.logLenLocked())
+		w.Raw(buf.Bytes())
+		body = w.Bytes()
+	default:
+		batch := r.log[fLen-r.logBase:]
+		const maxBatch = 256
+		if len(batch) > maxBatch {
+			batch = batch[:maxBatch]
+		}
+		w := wire.NewWriter(24 + 64*len(batch))
+		w.Uint64(term)
+		w.Uint8(uint8(r.cfg.Index))
+		w.Uint64(fLen)
+		w.Raw(EncodeLogRecords(batch))
+		body = w.Bytes()
+	}
+	addr := r.cfg.Peers[peer]
+	r.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*r.cfg.Heartbeat)
+	respBody, err := r.cfg.Pool.Call(ctx, addr, method, body)
+	cancel()
+	if err != nil {
+		return false // dead or partitioned peer; heartbeat retries
+	}
+	resp, err := decodeAppendResp(respBody)
+	if err != nil {
+		return false
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.term != term || r.role != roleLeader {
+		return false
+	}
+	if resp.flags&respRejected != 0 {
+		if resp.term > r.term {
+			r.stepDownLocked(resp.term, resp.leader)
+		} else if resp.term == r.term && resp.leader < r.cfg.Index {
+			// Same-term claimant with a lower index wins the tie.
+			r.stepDownLocked(resp.term, resp.leader)
+		}
+		return false
+	}
+	r.peerResync[peer] = resp.flags&respResync != 0
+	if resp.logLen > r.logLenLocked() {
+		// The follower holds a log tail we never saw: un-acked records
+		// a dead leader appended locally, on a replica our campaign did
+		// not reach (acked records always survive into the new leader —
+		// the campaign and ack quorums intersect). Overwrite it with a
+		// snapshot rather than letting a bogus ackSeq satisfy quorums.
+		r.peerResync[peer] = true
+		r.ackSeq[peer] = 0
+		return true
+	}
+	if resp.logLen > r.ackSeq[peer] || method == MVmInstall {
+		r.ackSeq[peer] = resp.logLen
+		r.broadcastLocked()
+	} else if resp.logLen < r.ackSeq[peer] {
+		// Follower went backwards (restarted empty): resend from its
+		// actual position.
+		r.ackSeq[peer] = resp.logLen
+	}
+	return !r.peerResync[peer] && r.ackSeq[peer] < r.logLenLocked()
+}
+
+// --- Elections ---
+
+// electionLoop watches for leader silence. The wait is staggered by
+// ring distance from the dead leader — the next replica in index order
+// fires a full ElectionTimeout before the one after it — making
+// handoff deterministic when timers are respected, while the campaign
+// quorum keeps it safe when they are not.
+func (r *Replica) electionLoop() {
+	defer r.wg.Done()
+	tick := r.cfg.ElectionTimeout / 8
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		r.mu.Lock()
+		if r.closed || r.role == roleLeader || r.netFault.Load() {
+			r.mu.Unlock()
+			continue
+		}
+		n := len(r.cfg.Peers)
+		distance := (r.cfg.Index - r.leader - 1 + n) % n
+		wait := r.cfg.ElectionTimeout * time.Duration(1+distance)
+		if time.Since(r.lastBeat) < wait {
+			r.mu.Unlock()
+			continue
+		}
+		startTerm := r.term
+		r.mu.Unlock()
+		r.campaign(startTerm)
+	}
+}
+
+// campaign polls the shard for the freshest state and promotes this
+// replica if it can reach a quorum and no live leader objects. The
+// candidate adopts the highest (term, logLen) state it sees before
+// promoting at maxTerm+1, so every quorum-acked record survives the
+// handoff: the ack quorum and the campaign quorum always intersect.
+func (r *Replica) campaign(startTerm uint64) {
+	n := len(r.cfg.Peers)
+	reached := 1 // self
+	maxTerm := startTerm
+	bestTerm, bestLen := startTerm, uint64(0)
+	r.mu.Lock()
+	bestLen = r.logLenLocked()
+	r.mu.Unlock()
+	bestPeer := -1
+
+	for j, addr := range r.cfg.Peers {
+		if j == r.cfg.Index {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 4*r.cfg.Heartbeat)
+		respBody, err := r.cfg.Pool.Call(ctx, addr, MVmStatus, nil)
+		cancel()
+		if err != nil {
+			continue
+		}
+		st, err := DecodeReplicaStatus(respBody)
+		if err != nil {
+			continue
+		}
+		reached++
+		if st.Term > maxTerm {
+			maxTerm = st.Term
+		}
+		if st.IsLeader && st.Term >= startTerm {
+			// A live leader at our term or newer: follow it.
+			r.mu.Lock()
+			if r.term <= st.Term {
+				r.term = st.Term
+				r.role = roleFollower
+				r.leader = st.Index
+				r.lastBeat = time.Now()
+			}
+			r.mu.Unlock()
+			return
+		}
+		if st.Term > bestTerm || (st.Term == bestTerm && st.LogLen > bestLen) {
+			bestTerm, bestLen, bestPeer = st.Term, st.LogLen, j
+		}
+	}
+
+	// Safety: the campaign set must intersect every possible ack set
+	// (ceil(n/2) replicas, self included).
+	if reached < n-n/2 {
+		r.logf("campaign reached %d/%d replicas; not enough for a safe takeover", reached, n)
+		return
+	}
+
+	// Adopt the freshest state seen, if it beats our own.
+	if bestPeer >= 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*r.cfg.Heartbeat)
+		respBody, err := r.cfg.Pool.Call(ctx, r.cfg.Peers[bestPeer], MVmState, nil)
+		cancel()
+		if err != nil {
+			return // retry next tick
+		}
+		rd := wire.NewReader(respBody)
+		rd.Uint64() // peer's term, already folded into maxTerm
+		seq := rd.Uint64()
+		ckpt := rd.Raw(rd.Remaining())
+		if err := rd.Err(); err != nil {
+			return
+		}
+		r.mu.Lock()
+		if r.term != startTerm || r.role != roleFollower || r.closed {
+			r.mu.Unlock()
+			return
+		}
+		if seq >= r.logLenLocked() {
+			if err := r.installLocked(seq, ckpt); err != nil {
+				r.mu.Unlock()
+				return
+			}
+		}
+		r.mu.Unlock()
+	}
+
+	r.mu.Lock()
+	if r.term != startTerm || r.role != roleFollower || r.closed || r.netFault.Load() {
+		r.mu.Unlock()
+		return
+	}
+	r.term = maxTerm + 1
+	r.role = roleLeader
+	r.leader = r.cfg.Index
+	r.needResync = false
+	for j := range r.ackSeq {
+		r.ackSeq[j] = 0
+		r.peerResync[j] = false
+	}
+	mgr := r.mgr
+	mgr.SetPassive(false)
+	r.broadcastLocked()
+	for j, ch := range r.kick {
+		if j == r.cfg.Index || ch == nil {
+			continue
+		}
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	term := r.term
+	r.mu.Unlock()
+	r.logf("promoted to leader at term %d", term)
+
+	// Finish what the dead leader started: fill any version that was
+	// abort-marked but never repaired.
+	if mgr.cfg.RepairTimeout > 0 {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 4*mgr.cfg.RepairTimeout)
+			defer cancel()
+			mgr.RepairOrphans(ctx)
+		}()
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blob/internal/erasure"
@@ -103,6 +104,12 @@ type Config struct {
 	// Store gives the repair path access to the metadata providers.
 	// Required only when RepairTimeout > 0.
 	Store NodeStore
+	// Replicate, when set, routes the repair path's two mutations (the
+	// abort mark and the final repaired commit) through the replication
+	// layer instead of applying them directly, so followers of a
+	// replicated shard see them in log order (see replica.go). The
+	// callback is invoked with no Manager locks held.
+	Replicate func(op uint8, blob uint64, v meta.Version) error
 }
 
 // NodeStore is the slice of the metadata-provider interface the repair
@@ -127,10 +134,20 @@ type Manager struct {
 	Aborts    stats.Counter
 	Repairs   stats.Counter
 
+	// passive suppresses autonomous repair activity. A replicated
+	// shard's followers run passive: they apply the leader's log and
+	// must not race it with repairs of their own (replica.go flips this
+	// on promotion/demotion).
+	passive atomic.Bool
+
 	stopRepair chan struct{}
 	repairWG   sync.WaitGroup
 	closed     bool
 }
+
+// SetPassive switches autonomous repair scanning off (true) or on
+// (false). State mutations via ApplyRecord are unaffected.
+func (m *Manager) SetPassive(p bool) { m.passive.Store(p) }
 
 // New creates a Manager and starts its repair loop if configured.
 func New(cfg Config) *Manager {
@@ -178,24 +195,56 @@ func (m *Manager) CreateBlob(pageSize, capacityBytes uint64) (uint64, error) {
 // write's metadata, so it cannot change once pages exist).
 // capacityBytes/pageSize must be a power of two.
 func (m *Manager) CreateBlobMode(pageSize, capacityBytes uint64, red erasure.Redundancy) (uint64, error) {
-	if err := red.Validate(); err != nil {
+	return m.CreateBlobOwned(pageSize, capacityBytes, red, nil)
+}
+
+// CreateBlobOwned allocates a blob whose id satisfies owns — a shard of
+// a replicated vmanager group only hands out ids that the dht ring
+// places on that shard, so every client routes the blob back here (see
+// group.go). A nil owns accepts any id.
+func (m *Manager) CreateBlobOwned(pageSize, capacityBytes uint64, red erasure.Redundancy, owns func(uint64) bool) (uint64, error) {
+	if err := validateGeometry(pageSize, capacityBytes, red); err != nil {
 		return 0, err
-	}
-	if !meta.IsPowerOfTwo(pageSize) {
-		return 0, fmt.Errorf("vmanager: page size %d not a power of two", pageSize)
-	}
-	if capacityBytes == 0 || capacityBytes%pageSize != 0 {
-		return 0, fmt.Errorf("vmanager: capacity %d not a multiple of page size %d", capacityBytes, pageSize)
-	}
-	totalPages := capacityBytes / pageSize
-	ivm, err := meta.NewIntervalVersionMap(totalPages)
-	if err != nil {
-		return 0, fmt.Errorf("vmanager: %w", err)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	id := m.nextID
-	m.nextID++
+	for owns != nil && !owns(id) {
+		id++
+	}
+	if err := m.createBlobAtLocked(id, pageSize, capacityBytes, red); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func validateGeometry(pageSize, capacityBytes uint64, red erasure.Redundancy) error {
+	if err := red.Validate(); err != nil {
+		return err
+	}
+	if !meta.IsPowerOfTwo(pageSize) {
+		return fmt.Errorf("vmanager: page size %d not a power of two", pageSize)
+	}
+	if capacityBytes == 0 || capacityBytes%pageSize != 0 {
+		return fmt.Errorf("vmanager: capacity %d not a multiple of page size %d", capacityBytes, pageSize)
+	}
+	return nil
+}
+
+// createBlobAtLocked creates a blob with a caller-chosen id (log replay
+// uses the leader's id). Idempotent for an identical existing blob.
+func (m *Manager) createBlobAtLocked(id, pageSize, capacityBytes uint64, red erasure.Redundancy) error {
+	totalPages := capacityBytes / pageSize
+	if prev, ok := m.blobs[id]; ok {
+		if prev.pageSize == pageSize && prev.totalPages == totalPages && prev.red == red {
+			return nil
+		}
+		return fmt.Errorf("vmanager: blob %d already exists with different geometry", id)
+	}
+	ivm, err := meta.NewIntervalVersionMap(totalPages)
+	if err != nil {
+		return fmt.Errorf("vmanager: %w", err)
+	}
 	m.blobs[id] = &blobState{
 		id:         id,
 		pageSize:   pageSize,
@@ -206,7 +255,10 @@ func (m *Manager) CreateBlobMode(pageSize, capacityBytes uint64, red erasure.Red
 		pending:    make(map[meta.Version]*pendingWrite),
 		changed:    make(chan struct{}),
 	}
-	return id, nil
+	if id >= m.nextID {
+		m.nextID = id + 1
+	}
+	return nil
 }
 
 // BlobInfo describes a blob's static geometry and current published state.
@@ -293,48 +345,69 @@ func (m *Manager) AssignVersion(blob, writeID uint64, offset, length uint64, isA
 // (all earlier versions committed too) or ctx expires, so a returned
 // WRITE is immediately readable.
 func (m *Manager) Commit(ctx context.Context, blob uint64, v meta.Version, block bool) (meta.Version, error) {
+	pub, _, err := m.commitObserve(blob, v)
+	if err != nil || !block {
+		return pub, err
+	}
+	return m.WaitPublished(ctx, blob, v)
+}
+
+// commitObserve is the non-blocking half of Commit. transitioned
+// reports whether this call actually flipped the version to committed —
+// a replicated shard leader appends a log record exactly when it did
+// (duplicate commits and the already-published path mutate nothing).
+func (m *Manager) commitObserve(blob uint64, v meta.Version) (pub meta.Version, transitioned bool, err error) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	b, ok := m.blobs[blob]
 	if !ok {
-		m.mu.Unlock()
-		return 0, ErrNoBlob
+		return 0, false, ErrNoBlob
 	}
 	p, ok := b.pending[v]
 	switch {
 	case ok && p.aborted:
-		m.mu.Unlock()
-		return 0, fmt.Errorf("%w: version %d", ErrAborted, v)
+		return 0, false, fmt.Errorf("%w: version %d", ErrAborted, v)
 	case !ok:
 		if v <= b.latestPublished {
 			// Already published: the repair path may have completed the
 			// version on the writer's behalf. Check the abort flag.
-			for i := len(b.history) - 1; i >= 0; i-- {
-				if b.history[i].Version == v {
-					if b.history[i].Aborted {
-						m.mu.Unlock()
-						return 0, fmt.Errorf("%w: version %d", ErrAborted, v)
-					}
-					break
-				}
+			if historyAborted(b.history, v) {
+				return 0, false, fmt.Errorf("%w: version %d", ErrAborted, v)
+			}
+			return b.latestPublished, false, nil
+		}
+		return 0, false, fmt.Errorf("%w: version %d", ErrNotPending, v)
+	}
+	if !p.committed {
+		p.committed = true
+		transitioned = true
+		m.Commits.Inc()
+		m.advanceLocked(b)
+	}
+	return b.latestPublished, transitioned, nil
+}
+
+// WaitPublished blocks until version v of blob is published (or ctx
+// expires), returning the latest published version. A version that
+// aborts while waited on returns ErrAborted.
+func (m *Manager) WaitPublished(ctx context.Context, blob uint64, v meta.Version) (meta.Version, error) {
+	m.mu.Lock()
+	for {
+		b, ok := m.blobs[blob]
+		if !ok {
+			m.mu.Unlock()
+			return 0, ErrNoBlob
+		}
+		if b.latestPublished >= v {
+			if historyAborted(b.history, v) {
+				m.mu.Unlock()
+				return 0, fmt.Errorf("%w: version %d", ErrAborted, v)
 			}
 			pub := b.latestPublished
 			m.mu.Unlock()
 			return pub, nil
 		}
-		m.mu.Unlock()
-		return 0, fmt.Errorf("%w: version %d", ErrNotPending, v)
-	}
-	p.committed = true
-	m.Commits.Inc()
-	m.advanceLocked(b)
-
-	if !block {
-		pub := b.latestPublished
-		m.mu.Unlock()
-		return pub, nil
-	}
-	for b.latestPublished < v {
-		if p.aborted {
+		if p, ok := b.pending[v]; ok && p.aborted {
 			m.mu.Unlock()
 			return 0, fmt.Errorf("%w: version %d", ErrAborted, v)
 		}
@@ -347,9 +420,17 @@ func (m *Manager) Commit(ctx context.Context, blob uint64, v meta.Version, block
 		}
 		m.mu.Lock()
 	}
-	pub := b.latestPublished
-	m.mu.Unlock()
-	return pub, nil
+}
+
+// historyAborted reports whether version v is flagged aborted in the
+// write history.
+func historyAborted(history []WriteRecord, v meta.Version) bool {
+	for i := len(history) - 1; i >= 0; i-- {
+		if history[i].Version == v {
+			return history[i].Aborted
+		}
+	}
+	return false
 }
 
 // advanceLocked publishes the longest committed prefix.
@@ -379,16 +460,35 @@ func (m *Manager) advanceLocked(b *blobState) {
 // caller has itself stored valid metadata for the version (or accepts
 // that readers of later versions may fail).
 func (m *Manager) Abort(blob uint64, v meta.Version) error {
+	if _, err := m.markAborted(blob, v); err != nil {
+		return err
+	}
+	if m.cfg.RepairTimeout > 0 {
+		return m.repairVersion(context.Background(), blob, v)
+	}
+	return nil
+}
+
+// markAborted flags a pending version aborted and wakes blocked
+// commits, without triggering repair. Idempotent (changed reports
+// whether this call made the transition); a version that is no longer
+// pending but already flagged in history (replayed abort) is accepted.
+func (m *Manager) markAborted(blob uint64, v meta.Version) (changed bool, err error) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	b, ok := m.blobs[blob]
 	if !ok {
-		m.mu.Unlock()
-		return ErrNoBlob
+		return false, ErrNoBlob
 	}
 	p, ok := b.pending[v]
 	if !ok {
-		m.mu.Unlock()
-		return fmt.Errorf("%w: version %d", ErrNotPending, v)
+		if historyAborted(b.history, v) {
+			return false, nil
+		}
+		return false, fmt.Errorf("%w: version %d", ErrNotPending, v)
+	}
+	if p.aborted {
+		return false, nil
 	}
 	p.aborted = true
 	for i := len(b.history) - 1; i >= 0; i-- {
@@ -401,10 +501,87 @@ func (m *Manager) Abort(blob uint64, v meta.Version) error {
 	// Wake any blocked Commit for this version.
 	close(b.changed)
 	b.changed = make(chan struct{})
-	m.mu.Unlock()
+	return true, nil
+}
 
-	if m.cfg.RepairTimeout > 0 {
-		return m.repairVersion(context.Background(), blob, v)
+// applyRepaired is the second half of the repair path as a log-replay
+// mutation: the version's metadata exists (the leader stored it), so
+// flag it aborted-and-committed and advance publication. Idempotent.
+func (m *Manager) applyRepaired(blob uint64, v meta.Version) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[blob]
+	if !ok {
+		return ErrNoBlob
+	}
+	for i := len(b.history) - 1; i >= 0; i-- {
+		if b.history[i].Version == v {
+			b.history[i].Aborted = true
+			break
+		}
+	}
+	p, ok := b.pending[v]
+	if !ok {
+		return nil // already published
+	}
+	p.aborted = true
+	if !p.committed {
+		p.committed = true
+		m.Repairs.Inc()
+		m.advanceLocked(b)
+	}
+	return nil
+}
+
+// ApplyRecord applies one replicated log record to the manager's state —
+// the follower half of the shard replication protocol. Records must be
+// applied in log order; any divergence from the leader's expectations
+// (version mismatch, unknown blob) is returned as an error, signalling
+// the replica layer to resynchronize from a snapshot rather than limp
+// on with drifted state.
+func (m *Manager) ApplyRecord(rec LogRecord) error {
+	switch rec.Op {
+	case OpCreate:
+		red := erasure.Redundancy{K: int(rec.K), M: int(rec.M)}
+		if err := validateGeometry(rec.PageSize, rec.Capacity, red); err != nil {
+			return err
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.createBlobAtLocked(rec.Blob, rec.PageSize, rec.Capacity, red)
+	case OpAssign:
+		return m.applyAssign(rec)
+	case OpCommit:
+		_, _, err := m.commitObserve(rec.Blob, rec.Version)
+		if errors.Is(err, ErrAborted) {
+			// The leader committed this version before aborting it in a
+			// later record we have not applied yet; our abort state can
+			// only come from the same log, so this cannot happen in
+			// order — but a duplicate delivery after the abort can.
+			return nil
+		}
+		return err
+	case OpAbort:
+		_, err := m.markAborted(rec.Blob, rec.Version)
+		return err
+	case OpRepaired:
+		return m.applyRepaired(rec.Blob, rec.Version)
+	default:
+		return fmt.Errorf("%w: unknown op %d", ErrLogCorrupt, rec.Op)
+	}
+}
+
+// applyAssign re-executes an assignment deterministically: the offset
+// was append-resolved by the leader, so the assigned version must come
+// out identical; if it does not, the replica has diverged.
+func (m *Manager) applyAssign(rec LogRecord) error {
+	a, err := m.AssignVersion(rec.Blob, rec.WriteID, rec.Offset, rec.Length, false)
+	if err != nil {
+		return err
+	}
+	if a.Version != rec.Version {
+		return fmt.Errorf("vmanager: replay diverged: assigned v%d, log says v%d (blob %d)",
+			a.Version, rec.Version, rec.Blob)
 	}
 	return nil
 }
