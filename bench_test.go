@@ -237,3 +237,49 @@ func BenchmarkAblationErasure(b *testing.B) {
 		}
 	}
 }
+
+// The workload-suite scenarios (docs/workloads.md) at benchmark scale:
+// reduced read counts so -bench=. stays in CI budget; cmd/blobbench
+// runs the full-scale versions for BENCH_8.json.
+
+func BenchmarkAblationIngest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.AblateIngest(4, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range rep.Points() {
+				b.ReportMetric(p.Value, metricName(p))
+			}
+		}
+	}
+}
+
+func BenchmarkAblationSwarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.AblateSwarm(8, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range rep.Points() {
+				b.ReportMetric(p.Value, metricName(p))
+			}
+		}
+	}
+}
+
+func BenchmarkAblationTimeTravel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.AblateTimeTravel(6, []int{1, 4}, 1, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range rep.TablePoints() {
+				b.ReportMetric(p.Value, metricName(p))
+			}
+		}
+	}
+}

@@ -10,12 +10,17 @@
 //	blobbench -exp ablations        # design-choice ablations
 //	blobbench -exp hotpath          # zero-copy data path vs legacy codec
 //	blobbench -exp vshards          # sharded version plane scaling
+//	blobbench -exp ingest           # pinned readers under streaming ingestion
+//	blobbench -exp swarm            # Galaxy-Zoo tiny-read swarm
+//	blobbench -exp timetravel       # epoch diffs across version distance
+//	blobbench -exp workloads        # all three scenarios -> BENCH_8.json
 //	blobbench -exp all
 //
-// -json FILE additionally writes the hotpath report (or, with -exp
-// vshards, the shard-scaling report — the BENCH_7.json artifact) as
-// JSON; BENCH_5.json is the hotpath perf-trajectory artifact (see
-// docs/perf.md).
+// -json FILE additionally writes the selected experiment's report as
+// JSON where one is defined: hotpath (the BENCH_5.json perf-trajectory
+// artifact, docs/perf.md), vshards (BENCH_7.json), each workload
+// scenario, and workloads (the combined BENCH_8.json artifact,
+// docs/workloads.md).
 //
 // Reported durations divide by the time scale for comparison with the
 // paper; bandwidths multiply. The normalized (paper-comparable) value is
@@ -36,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3a|fig3b|fig3c|ablations|hotpath|vshards|all")
+	exp := flag.String("exp", "all", "experiment: fig3a|fig3b|fig3c|ablations|hotpath|vshards|ingest|swarm|timetravel|workloads|all")
 	iters := flag.Int("iters", 3, "iterations per measured point")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	jsonPath := flag.String("json", "", "write the hotpath report to this file as JSON")
@@ -75,11 +80,124 @@ func main() {
 		vshardsJSON = *jsonPath
 	}
 	run("vshards", func() error { return vshards(*quick, vshardsJSON) })
+	// The workload scenarios (docs/workloads.md) write their report only
+	// when selected directly, like vshards.
+	scenarioJSON := func(name string) string {
+		if *exp == name {
+			return *jsonPath
+		}
+		return ""
+	}
+	wp := bench.DefaultWorkloadParams()
+	if *quick {
+		wp = bench.QuickWorkloadParams()
+	}
+	run("ingest", func() error { return ingest(wp, scenarioJSON("ingest")) })
+	run("swarm", func() error { return swarm(wp, scenarioJSON("swarm")) })
+	run("timetravel", func() error { return timetravel(wp, scenarioJSON("timetravel")) })
+	run("workloads", func() error { return workloads(wp, scenarioJSON("workloads")) })
 
-	if *exp != "all" && *exp != "fig3a" && *exp != "fig3b" && *exp != "fig3c" && *exp != "ablations" && *exp != "hotpath" && *exp != "vshards" {
+	known := map[string]bool{
+		"all": true, "fig3a": true, "fig3b": true, "fig3c": true, "ablations": true,
+		"hotpath": true, "vshards": true, "ingest": true, "swarm": true,
+		"timetravel": true, "workloads": true,
+	}
+	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// writeJSON writes a report artifact when a path was requested.
+func writeJSON(jsonPath string, rep any) error {
+	if jsonPath == "" {
+		return nil
+	}
+	j, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(j, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+	return nil
+}
+
+// ingest runs the streaming-ingestion scenario: reader p99 against a
+// pinned snapshot with continuous epoch ingestion on vs off.
+func ingest(wp bench.WorkloadParams, jsonPath string) error {
+	rep, err := bench.AblateIngest(wp.IngestReaders, wp.IngestReadsPerReader)
+	if err != nil {
+		return err
+	}
+	printIngest(rep)
+	return writeJSON(jsonPath, rep)
+}
+
+func printIngest(rep bench.IngestReport) {
+	fmt.Printf("Pinned snapshot readers under streaming ingestion (%d readers x %d tile reads, %dx%d tiles of %.0f KB)\n",
+		rep.Readers, rep.ReadsPerReader, rep.TilesX, rep.TilesY, rep.TileKB)
+	fmt.Printf("latencies carry the 1/%d simulation time scale; snapshots byte-stable: %v\n\n",
+		netsim.TimeScale, rep.SnapshotStable)
+	for _, p := range rep.Points() {
+		fmt.Printf("   %-36s %10.2f %s\n", p.Name, p.Value, p.Unit)
+	}
+}
+
+// swarm runs the Galaxy-Zoo tiny-read scenario.
+func swarm(wp bench.WorkloadParams, jsonPath string) error {
+	rep, err := bench.AblateSwarm(wp.SwarmReaders, wp.SwarmReadsPerReader)
+	if err != nil {
+		return err
+	}
+	printSwarm(rep)
+	return writeJSON(jsonPath, rep)
+}
+
+func printSwarm(rep bench.SwarmReport) {
+	fmt.Printf("Galaxy-Zoo swarm: %d readers x %d random %d-byte cutout reads of one hot version\n",
+		rep.Readers, rep.ReadsPerReader, rep.TileBytes)
+	fmt.Printf("rates carry the 1/%d simulation time scale (multiply to compare); verified: %v\n\n",
+		netsim.TimeScale, rep.Verified)
+	for _, p := range rep.Points() {
+		fmt.Printf("   %-36s %10.2f %s\n", p.Name, p.Value, p.Unit)
+	}
+}
+
+// timetravel runs the version-distance diff scenario.
+func timetravel(wp bench.WorkloadParams, jsonPath string) error {
+	rep, err := bench.AblateTimeTravel(wp.TimeTravelEpochs, wp.TimeTravelDistances, wp.TimeTravelIters, wp.TimeTravelWorkers)
+	if err != nil {
+		return err
+	}
+	printTimeTravel(rep)
+	return writeJSON(jsonPath, rep)
+}
+
+func printTimeTravel(rep bench.TimeTravelReport) {
+	fmt.Printf("Time-travel diffs: %d epochs captured, diff(last-d, last) per distance d, %d workers\n",
+		rep.Epochs, rep.Workers)
+	fmt.Printf("ground truth (injected transients) verified: %v\n\n", rep.GroundTruthVerified)
+	for _, p := range rep.Points {
+		fmt.Printf("   distance %2d: %8.2f ms/diff  %8.2f MB/s  %3d candidate(s)\n",
+			p.Distance, p.DiffMeanMs, p.MBPerS, p.Candidates)
+	}
+}
+
+// workloads runs all three scenarios and writes the combined
+// BENCH_8.json artifact.
+func workloads(wp bench.WorkloadParams, jsonPath string) error {
+	rep, err := bench.RunWorkloads(wp)
+	if err != nil {
+		return err
+	}
+	printIngest(rep.Ingest)
+	fmt.Println()
+	printSwarm(rep.Swarm)
+	fmt.Println()
+	printTimeTravel(rep.TimeTravel)
+	return writeJSON(jsonPath, rep)
 }
 
 // hotpath runs the zero-copy data path ablation (docs/perf.md) and

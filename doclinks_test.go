@@ -55,8 +55,9 @@ func TestDocLinks(t *testing.T) {
 // architecture overview, so a reader landing anywhere finds them.
 func TestDocCrossReferences(t *testing.T) {
 	wants := map[string][]string{
-		"README.md":              {"docs/architecture.md", "docs/diskstore-format.md", "docs/replication.md", "docs/erasure.md", "docs/perf.md", "docs/observability.md", "docs/vmanager-group.md"},
-		"docs/architecture.md":   {"diskstore-format.md", "replication.md", "erasure.md", "perf.md", "observability.md", "vmanager-group.md"},
+		"README.md":              {"docs/architecture.md", "docs/diskstore-format.md", "docs/replication.md", "docs/erasure.md", "docs/perf.md", "docs/observability.md", "docs/vmanager-group.md", "docs/workloads.md"},
+		"docs/architecture.md":   {"diskstore-format.md", "replication.md", "erasure.md", "perf.md", "observability.md", "vmanager-group.md", "workloads.md"},
+		"docs/workloads.md":      {"architecture.md", "perf.md"},
 		"docs/erasure.md":        {"replication.md", "architecture.md"},
 		"docs/replication.md":    {"erasure.md", "architecture.md"},
 		"docs/perf.md":           {"architecture.md"},

@@ -176,6 +176,62 @@ func TestAblateHotPathRuns(t *testing.T) {
 	}
 }
 
+func TestAblateIngestRuns(t *testing.T) {
+	rep, err := AblateIngest(2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SnapshotStable {
+		t.Error("pinned snapshots not byte-stable")
+	}
+	if rep.Quiescent.Reads != 24 || rep.Ingesting.Reads != 24 {
+		t.Errorf("read counts: %+v / %+v", rep.Quiescent, rep.Ingesting)
+	}
+	if rep.Ingesting.EpochsPublished <= 0 {
+		t.Error("ingestion phase published no epochs")
+	}
+	if rep.P99RatioPct <= 0 {
+		t.Errorf("p99 ratio = %v", rep.P99RatioPct)
+	}
+}
+
+func TestAblateSwarmRuns(t *testing.T) {
+	rep, err := AblateSwarm(3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Error("swarm reads not verified against the catalog")
+	}
+	if rep.TotalReads != 60 || rep.ReadsPerSec <= 0 {
+		t.Errorf("total=%d rate=%v", rep.TotalReads, rep.ReadsPerSec)
+	}
+	if rep.AllocsPerRead <= 0 || rep.KBPerRead <= 0 {
+		t.Errorf("degenerate alloc budget: %+v", rep)
+	}
+}
+
+func TestAblateTimeTravelRuns(t *testing.T) {
+	rep, err := AblateTimeTravel(5, []int{1, 4}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.GroundTruthVerified {
+		t.Error("diffs not verified against injected transients")
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points: %+v", rep.Points)
+	}
+	for _, p := range rep.Points {
+		if p.DiffMeanMs <= 0 || p.MBPerS <= 0 {
+			t.Errorf("distance %d: degenerate measurement %+v", p.Distance, p)
+		}
+		if p.Candidates < 1 {
+			t.Errorf("distance %d: the injected supernova produced no candidates", p.Distance)
+		}
+	}
+}
+
 func TestAblateVmanagerShardsRuns(t *testing.T) {
 	rep, err := AblateVmanagerShards([]int{1, 2}, 2, 2, 4, 50*time.Microsecond)
 	if err != nil {

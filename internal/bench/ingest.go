@@ -1,0 +1,295 @@
+package bench
+
+// Streaming-ingestion workload (docs/workloads.md): continuous survey
+// epochs are appended as new blob versions by a background ingestor
+// while N detection readers loop over a pinned snapshot with
+// ReadPinned. The measurement is the paper's headline claim quantified:
+// reader latency with ingestion running vs the same readers on a
+// quiescent cluster. Lock-free snapshot reads mean the two p99s should
+// sit within noise of each other.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"blob/internal/cluster"
+	"blob/internal/core"
+	"blob/internal/netsim"
+	"blob/internal/sky"
+)
+
+// IngestPhaseStats is one phase's reader-side measurement.
+type IngestPhaseStats struct {
+	Mode       string  `json:"mode"` // "quiescent" or "ingesting"
+	Reads      int     `json:"reads"`
+	ReadMeanMs float64 `json:"read_mean_ms"`
+	ReadP99Ms  float64 `json:"read_p99_ms"`
+	// EpochsPublished counts survey epochs the ingestor published while
+	// this phase's readers ran (always 0 for the quiescent phase).
+	EpochsPublished int `json:"epochs_published"`
+}
+
+// IngestReport is the streaming-ingestion scenario result, part of the
+// BENCH_8.json artifact.
+type IngestReport struct {
+	TilesX         int     `json:"tiles_x"`
+	TilesY         int     `json:"tiles_y"`
+	TileW          int     `json:"tile_w"`
+	TileH          int     `json:"tile_h"`
+	TileKB         float64 `json:"tile_kb"`
+	Readers        int     `json:"readers"`
+	ReadsPerReader int     `json:"reads_per_reader"`
+
+	Quiescent IngestPhaseStats `json:"quiescent"`
+	Ingesting IngestPhaseStats `json:"ingesting"`
+
+	// P99RatioPct is ingesting p99 / quiescent p99 in percent; 100 means
+	// ingestion did not move reader tail latency at all. The acceptance
+	// gate is <= 125.
+	P99RatioPct float64 `json:"p99_ratio_pct"`
+	// SnapshotStable is true when every pinned-snapshot read was
+	// byte-identical across the whole run and matched the catalog's
+	// ground-truth rendering.
+	SnapshotStable bool `json:"snapshot_stable"`
+}
+
+// Points flattens the report for the text-table printers.
+func (r IngestReport) Points() []AblationPoint {
+	return []AblationPoint{
+		{Name: "quiescent read mean", Value: r.Quiescent.ReadMeanMs, Unit: "ms"},
+		{Name: "quiescent read p99", Value: r.Quiescent.ReadP99Ms, Unit: "ms"},
+		{Name: "ingesting read mean", Value: r.Ingesting.ReadMeanMs, Unit: "ms"},
+		{Name: "ingesting read p99", Value: r.Ingesting.ReadP99Ms, Unit: "ms"},
+		{Name: "p99 ratio (ingest/quiescent)", Value: r.P99RatioPct, Unit: "%"},
+		{Name: "epochs published under readers", Value: float64(r.Ingesting.EpochsPublished), Unit: "epochs"},
+	}
+}
+
+// ingestGeo is the scenario's survey tiling: 6x4 tiles of 32x32 pixels
+// (2 KB per tile), small enough that epoch capture publishes at a high
+// version rate — the adversarial part is version churn, not bulk bytes.
+func ingestGeo() sky.Geometry { return sky.Geometry{TilesX: 6, TilesY: 4, TileW: 32, TileH: 32} }
+
+// workloadSurvey builds a scenario survey on the given cluster: one
+// blob whose page size equals the tile size, so one tile read is one
+// page fetch. The returned client must outlive the survey; callers
+// close it (or shut the whole cluster down) when done.
+func workloadSurvey(cl *cluster.Cluster, cat *sky.Catalog, telescopes int) (*sky.Survey, *core.Client, error) {
+	ctx := context.Background()
+	c, err := cl.NewClient(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	geo := cat.Geometry()
+	pageSize := geo.TileBytes()
+	pages := uint64(1)
+	for pages*pageSize < geo.SkyBytes() {
+		pages *= 2
+	}
+	b, err := c.CreateBlob(ctx, pageSize, pages*pageSize)
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	sv, err := sky.NewSurvey(b, cat, telescopes)
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	return sv, c, nil
+}
+
+// AblateIngest runs the streaming-ingestion scenario: readers reads of
+// one tile each against a pinned epoch-0 snapshot, once on a quiescent
+// cluster and once under continuous background epoch ingestion, on the
+// simulated Grid'5000 fabric (latencies carry netsim.TimeScale).
+func AblateIngest(readers, readsPerReader int) (IngestReport, error) {
+	geo := ingestGeo()
+	rep := IngestReport{
+		TilesX: geo.TilesX, TilesY: geo.TilesY, TileW: geo.TileW, TileH: geo.TileH,
+		TileKB:  float64(geo.TileBytes()) / 1024,
+		Readers: readers, ReadsPerReader: readsPerReader,
+	}
+	// 12 storage nodes: the ingest bands stripe over enough NICs that
+	// the residual reader slowdown reflects concurrency control (none),
+	// not a bandwidth squeeze on a handful of shared NICs — the claim
+	// under test is synchronization-freedom, so the fabric is
+	// provisioned the way the paper's 50-node testbed was.
+	//
+	// The fabric carries 4x extra time dilation on top of
+	// netsim.TimeScale (latency x bandwidth product invariant, same as
+	// the global dilation). This scenario compares two tail latencies of
+	// the SAME fabric, so the ratio is dilation-invariant — but the
+	// in-process harness noise (GC, goroutine scheduling on small hosts)
+	// is real time, and stretching the simulated component shrinks that
+	// noise's share of p99 on both sides of the ratio.
+	const dilate = 4
+	net := netsim.Grid5000()
+	net.Latency *= dilate
+	net.BandwidthBps /= dilate
+	cl, err := cluster.Launch(cluster.Config{
+		DataProviders: 12,
+		MetaProviders: 12,
+		CoLocate:      true,
+		Net:           net,
+		CacheNodes:    -1,
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer cl.Shutdown()
+	sv, client, err := workloadSurvey(cl, sky.NewCatalog(geo, 88), 2)
+	if err != nil {
+		return rep, err
+	}
+	defer client.Close()
+	ctx := context.Background()
+	// Two seed epochs: epoch 0 is the pinned snapshot under test; a
+	// second proves the pin already survives one later version before
+	// the storm starts.
+	for e := 0; e < 2; e++ {
+		if _, err := sv.CaptureEpoch(ctx); err != nil {
+			return rep, err
+		}
+	}
+
+	// Each reader is an independent client with its own connections and
+	// simulated NIC — an analysis process, not a thread of the ingestor.
+	// The readers persist across both phases, so the byte-stability
+	// check spans them: a tile's checksum observed on the quiescent
+	// cluster must still match while ingestion hammers the blob.
+	prs := make([]*sky.PinnedReader, readers)
+	for ri := range prs {
+		rc, err := cl.NewClient(ctx)
+		if err != nil {
+			return rep, err
+		}
+		defer rc.Close()
+		rb, err := rc.OpenBlob(ctx, sv.Blob().ID())
+		if err != nil {
+			return rep, err
+		}
+		if prs[ri], err = sv.PinReaderOn(rb, 0); err != nil {
+			return rep, err
+		}
+		// Unmeasured warm-up sweep: dial connections, populate the
+		// metadata cache, seed the stability checksums.
+		for ty := 0; ty < geo.TilesY; ty++ {
+			for tx := 0; tx < geo.TilesX; tx++ {
+				if err := prs[ri].ReadTile(ctx, tx, ty); err != nil {
+					return rep, err
+				}
+			}
+		}
+	}
+
+	rep.SnapshotStable = true
+	// phase runs one measured round of a mode and returns the raw read
+	// latencies plus the number of epochs the ingestor published during
+	// it. The caller interleaves quiescent and ingesting rounds
+	// (A/B/A/B…) so that slow environmental drift — GC, scheduler, a
+	// shared host — lands on both modes equally instead of biasing
+	// whichever phase ran last.
+	phase := func(mode string, reads int) ([]time.Duration, int, error) {
+		runtime.GC()
+		var ing *sky.Ingestor
+		if mode == "ingesting" {
+			// A short cadence (real time; the fabric is dilated) keeps the
+			// version churn high — many epochs publish under the readers —
+			// while modeling a survey's fixed exposure rhythm rather than
+			// a pathological busy-loop writer. Prerendering keeps pixel
+			// synthesis (pure CPU, ~ms per epoch) out of the measured
+			// window: on a small host it would otherwise starve reader
+			// goroutines and show up as storage-tail noise.
+			ing = sky.StartIngest(ctx, sv, sky.IngestOptions{
+				Cadence:   15 * time.Millisecond,
+				Prerender: 32,
+			})
+		}
+		lats := make([][]time.Duration, readers)
+		errs := make([]error, readers)
+		var wg sync.WaitGroup
+		for ri := 0; ri < readers; ri++ {
+			wg.Add(1)
+			go func(ri int) {
+				defer wg.Done()
+				pr := prs[ri]
+				rng := rand.New(rand.NewSource(int64(ri)*1000 + 7))
+				lat := make([]time.Duration, reads)
+				for i := 0; i < reads; i++ {
+					tx, ty := rng.Intn(geo.TilesX), rng.Intn(geo.TilesY)
+					t0 := time.Now()
+					if err := pr.ReadTile(ctx, tx, ty); err != nil {
+						errs[ri] = err
+						return
+					}
+					lat[i] = time.Since(t0)
+				}
+				// End-to-end ground truth: the pinned snapshot still
+				// renders epoch 0 exactly.
+				for ty := 0; ty < geo.TilesY; ty++ {
+					for tx := 0; tx < geo.TilesX; tx++ {
+						if err := pr.VerifyAgainstCatalog(ctx, tx, ty); err != nil {
+							errs[ri] = err
+							return
+						}
+					}
+				}
+				lats[ri] = lat
+			}(ri)
+		}
+		wg.Wait()
+		published := 0
+		if ing != nil {
+			n, err := ing.Stop()
+			if err != nil {
+				return nil, 0, fmt.Errorf("bench: ingestor: %w", err)
+			}
+			published = n
+		}
+		var all []time.Duration
+		for ri := 0; ri < readers; ri++ {
+			if errs[ri] != nil {
+				return nil, 0, errs[ri]
+			}
+			all = append(all, lats[ri]...)
+		}
+		return all, published, nil
+	}
+
+	rounds := 3
+	if readsPerReader < 3*10 {
+		rounds = 1
+	}
+	perRound := readsPerReader / rounds
+	var qLat, iLat []time.Duration
+	for round := 0; round < rounds; round++ {
+		lat, _, err := phase("quiescent", perRound)
+		if err != nil {
+			return rep, err
+		}
+		qLat = append(qLat, lat...)
+		lat, published, err := phase("ingesting", perRound)
+		if err != nil {
+			return rep, err
+		}
+		iLat = append(iLat, lat...)
+		rep.Ingesting.EpochsPublished += published
+	}
+	rep.Quiescent.Mode, rep.Ingesting.Mode = "quiescent", "ingesting"
+	rep.Quiescent.Reads = len(qLat)
+	rep.Quiescent.ReadMeanMs, rep.Quiescent.ReadP99Ms = latStats(qLat)
+	rep.Ingesting.Reads = len(iLat)
+	rep.Ingesting.ReadMeanMs, rep.Ingesting.ReadP99Ms = latStats(iLat)
+	if rep.Ingesting.EpochsPublished == 0 {
+		return rep, fmt.Errorf("bench: ingestion phase published no epochs; the scenario measured nothing")
+	}
+	if rep.Quiescent.ReadP99Ms > 0 {
+		rep.P99RatioPct = rep.Ingesting.ReadP99Ms / rep.Quiescent.ReadP99Ms * 100
+	}
+	return rep, nil
+}

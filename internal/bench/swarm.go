@@ -1,0 +1,187 @@
+package bench
+
+// Galaxy-Zoo swarm workload (docs/workloads.md): a crowd of classifiers
+// each fetching one tiny random cutout of the same hot published
+// version — the exact adversary of the large-sequential Figure 3
+// benches. The interesting numbers are aggregate reads/s and the
+// per-read allocation budget of the zero-copy read path; every read is
+// a pinned-snapshot read, so the swarm never queues on the version
+// manager.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"blob/internal/sky"
+)
+
+// SwarmReport is the Galaxy-Zoo swarm scenario result, part of the
+// BENCH_8.json artifact.
+type SwarmReport struct {
+	TilesX         int     `json:"tiles_x"`
+	TilesY         int     `json:"tiles_y"`
+	TileBytes      uint64  `json:"tile_bytes"`
+	Readers        int     `json:"readers"`
+	ReadsPerReader int     `json:"reads_per_reader"`
+	TotalReads     int     `json:"total_reads"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+	ReadsPerSec    float64 `json:"reads_per_sec"`
+	ReadMeanMs     float64 `json:"read_mean_ms"`
+	ReadP99Ms      float64 `json:"read_p99_ms"`
+	AllocsPerRead  float64 `json:"allocs_per_read"`
+	KBPerRead      float64 `json:"kb_per_read"`
+	// Verified is true when every tile's bytes stayed identical across
+	// all rereads and matched the catalog rendering.
+	Verified bool `json:"verified"`
+}
+
+// Points flattens the report for the text-table printers.
+func (r SwarmReport) Points() []AblationPoint {
+	return []AblationPoint{
+		{Name: "aggregate tiny reads", Value: r.ReadsPerSec, Unit: "reads/s"},
+		{Name: "read mean", Value: r.ReadMeanMs, Unit: "ms"},
+		{Name: "read p99", Value: r.ReadP99Ms, Unit: "ms"},
+		{Name: "allocs per read", Value: r.AllocsPerRead, Unit: "allocs"},
+		{Name: "KB allocated per read", Value: r.KBPerRead, Unit: "KB"},
+	}
+}
+
+// AblateSwarm runs the swarm: readers goroutines, each performing
+// readsPerReader random single-tile reads of the hot (latest) version
+// over the simulated Grid'5000 fabric. Latencies carry
+// netsim.TimeScale; reads/s divides it back out for comparison with
+// real hardware.
+func AblateSwarm(readers, readsPerReader int) (SwarmReport, error) {
+	// 8x8 tiles of 16x16 pixels: 512-byte cutouts, the "tiny random
+	// read" shape of crowd classification traffic.
+	geo := sky.Geometry{TilesX: 8, TilesY: 8, TileW: 16, TileH: 16}
+	rep := SwarmReport{
+		TilesX: geo.TilesX, TilesY: geo.TilesY, TileBytes: geo.TileBytes(),
+		Readers: readers, ReadsPerReader: readsPerReader,
+	}
+	sc := DefaultScale()
+	sc.MetaPutDelay, sc.MetaProcessDelay = 0, 0
+	cl, err := grid5000Cluster(4, sc, -1)
+	if err != nil {
+		return rep, err
+	}
+	defer cl.Shutdown()
+	sv, client, err := workloadSurvey(cl, sky.NewCatalog(geo, 4242), 2)
+	if err != nil {
+		return rep, err
+	}
+	defer client.Close()
+	ctx := context.Background()
+	if _, err := sv.CaptureEpoch(ctx); err != nil {
+		return rep, err
+	}
+
+	// One independent client per swarm reader — a crowd of classifiers,
+	// each with its own connections and simulated NIC.
+	prs := make([]*sky.PinnedReader, readers)
+	for ri := range prs {
+		rc, err := cl.NewClient(ctx)
+		if err != nil {
+			return rep, err
+		}
+		defer rc.Close()
+		rb, err := rc.OpenBlob(ctx, sv.Blob().ID())
+		if err != nil {
+			return rep, err
+		}
+		if prs[ri], err = sv.PinReaderOn(rb, 0); err != nil {
+			return rep, err
+		}
+	}
+	// Unmeasured warm-up: every reader sweeps the sky once, dialing its
+	// connections, filling its metadata cache and seeding the stability
+	// checksums, so the measured window is steady-state swarm traffic.
+	var warmWg sync.WaitGroup
+	warmErrs := make([]error, readers)
+	for ri := 0; ri < readers; ri++ {
+		warmWg.Add(1)
+		go func(ri int) {
+			defer warmWg.Done()
+			for ty := 0; ty < geo.TilesY; ty++ {
+				for tx := 0; tx < geo.TilesX; tx++ {
+					if err := prs[ri].ReadTile(ctx, tx, ty); err != nil {
+						warmErrs[ri] = err
+						return
+					}
+				}
+			}
+		}(ri)
+	}
+	warmWg.Wait()
+	for _, err := range warmErrs {
+		if err != nil {
+			return rep, err
+		}
+	}
+
+	lats := make([][]time.Duration, readers)
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	m0, b0 := ms.Mallocs, ms.TotalAlloc
+	t0 := time.Now()
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			pr := prs[ri]
+			rng := rand.New(rand.NewSource(int64(ri)*31 + 5))
+			lat := make([]time.Duration, readsPerReader)
+			for i := 0; i < readsPerReader; i++ {
+				tx, ty := rng.Intn(geo.TilesX), rng.Intn(geo.TilesY)
+				s0 := time.Now()
+				if err := pr.ReadTile(ctx, tx, ty); err != nil {
+					errs[ri] = err
+					return
+				}
+				lat[i] = time.Since(s0)
+			}
+			lats[ri] = lat
+		}(ri)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&ms)
+
+	var all []time.Duration
+	for ri := 0; ri < readers; ri++ {
+		if errs[ri] != nil {
+			return rep, errs[ri]
+		}
+		all = append(all, lats[ri]...)
+	}
+	rep.TotalReads = len(all)
+	rep.ElapsedSec = elapsed.Seconds()
+	rep.ReadsPerSec = float64(rep.TotalReads) / elapsed.Seconds()
+	rep.ReadMeanMs, rep.ReadP99Ms = latStats(all)
+	rep.AllocsPerRead = float64(ms.Mallocs-m0) / float64(rep.TotalReads)
+	rep.KBPerRead = float64(ms.TotalAlloc-b0) / float64(rep.TotalReads) / 1024
+	if rep.AllocsPerRead <= 0 {
+		return rep, fmt.Errorf("bench: degenerate swarm alloc measurement")
+	}
+
+	// Correctness half: rereads were checksum-stable per reader (a
+	// ReadTile failure would have surfaced above); finish with one full
+	// catalog-ground-truth sweep.
+	pr := prs[0]
+	for ty := 0; ty < geo.TilesY; ty++ {
+		for tx := 0; tx < geo.TilesX; tx++ {
+			if err := pr.VerifyAgainstCatalog(ctx, tx, ty); err != nil {
+				return rep, err
+			}
+		}
+	}
+	rep.Verified = true
+	return rep, nil
+}

@@ -1,0 +1,168 @@
+package bench
+
+// Time-travel analytics workload (docs/workloads.md): diff two survey
+// epochs — arbitrarily far apart in version history — to find
+// transients, using sky.Survey.DiffEpochs over explicit-version pinned
+// reads. The sweep measures diff throughput as a function of version
+// distance: a store whose historical versions stay first-class should
+// show flat cost, since every version's metadata tree is equally
+// reachable (no delta-chain replay).
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"blob/internal/sky"
+)
+
+// TimeTravelPoint is one version-distance measurement.
+type TimeTravelPoint struct {
+	Distance   int     `json:"distance"` // epochs between the two versions
+	EpochA     int     `json:"epoch_a"`
+	EpochB     int     `json:"epoch_b"`
+	DiffMeanMs float64 `json:"diff_mean_ms"`
+	TilesPerS  float64 `json:"tiles_per_s"`
+	MBPerS     float64 `json:"mb_per_s"`
+	Candidates int     `json:"candidates"`
+}
+
+// TimeTravelReport is the time-travel scenario result, part of the
+// BENCH_8.json artifact.
+type TimeTravelReport struct {
+	TilesX     int               `json:"tiles_x"`
+	TilesY     int               `json:"tiles_y"`
+	TileKB     float64           `json:"tile_kb"`
+	Epochs     int               `json:"epochs"`
+	Iterations int               `json:"iterations"`
+	Workers    int               `json:"workers"`
+	Points     []TimeTravelPoint `json:"points"`
+	// GroundTruthVerified is true when every diff found exactly the
+	// transients the catalog says it decisively must (and none it must
+	// not).
+	GroundTruthVerified bool `json:"ground_truth_verified"`
+}
+
+// TablePoints flattens the report for the text-table printers.
+func (r TimeTravelReport) TablePoints() []AblationPoint {
+	pts := make([]AblationPoint, 0, 2*len(r.Points))
+	for _, p := range r.Points {
+		pts = append(pts,
+			AblationPoint{Name: fmt.Sprintf("distance %d diff mean", p.Distance), Value: p.DiffMeanMs, Unit: "ms"},
+			AblationPoint{Name: fmt.Sprintf("distance %d throughput", p.Distance), Value: p.MBPerS, Unit: "MB/s"},
+		)
+	}
+	return pts
+}
+
+// verifyDiffGroundTruth checks one diff result against the catalog's
+// analytic prediction: every decisively-expected transient produces a
+// candidate on its tile, and no candidate lands on a tile without an
+// expected or ambiguous transient.
+func verifyDiffGroundTruth(cat *sky.Catalog, d sky.EpochDiff, threshold float64) error {
+	expected, ambiguous := cat.ExpectedDiff(d.EpochA, d.EpochB, threshold)
+	type tile struct{ x, y int }
+	allowed := map[tile]bool{}
+	for _, tr := range expected {
+		allowed[tile{tr.TileX, tr.TileY}] = true
+	}
+	for _, tr := range ambiguous {
+		allowed[tile{tr.TileX, tr.TileY}] = true
+	}
+	found := map[tile]bool{}
+	for _, c := range d.Candidates {
+		tl := tile{c.TileX, c.TileY}
+		if !allowed[tl] {
+			return fmt.Errorf("bench: diff(%d,%d) found a candidate on quiet tile (%d,%d)",
+				d.EpochA, d.EpochB, c.TileX, c.TileY)
+		}
+		found[tl] = true
+	}
+	for _, tr := range expected {
+		if !found[tile{tr.TileX, tr.TileY}] {
+			return fmt.Errorf("bench: diff(%d,%d) missed the decisive transient on tile (%d,%d)",
+				d.EpochA, d.EpochB, tr.TileX, tr.TileY)
+		}
+	}
+	return nil
+}
+
+// AblateTimeTravel captures `epochs` survey epochs (with one injected
+// supernova near the end, so every diff against the final epoch sees a
+// decisive change) and then measures DiffEpochs(last-d, last) for each
+// version distance d, iters times each.
+func AblateTimeTravel(epochs int, distances []int, iters, workers int) (TimeTravelReport, error) {
+	geo := sky.Geometry{TilesX: 4, TilesY: 4, TileW: 32, TileH: 32}
+	rep := TimeTravelReport{
+		TilesX: geo.TilesX, TilesY: geo.TilesY, TileKB: float64(geo.TileBytes()) / 1024,
+		Epochs: epochs, Iterations: iters, Workers: workers,
+	}
+	if iters < 1 {
+		iters = 1
+		rep.Iterations = 1
+	}
+	if workers < 1 {
+		workers = 4
+		rep.Workers = 4
+	}
+	last := epochs - 1
+	for _, d := range distances {
+		if d < 1 || d > last {
+			return rep, fmt.Errorf("bench: version distance %d out of range with %d epochs", d, epochs)
+		}
+	}
+	cat := sky.NewCatalog(geo, 1717)
+	// The supernova peaks one epoch before the end: every diff ending at
+	// the last epoch sees a large flux change regardless of distance.
+	cat.AddTransient(sky.Transient{
+		TileX: 2, TileY: 1, X: 12, Y: 18,
+		PeakFlux: 45000, PeakEpoch: last - 1, RiseEpochs: 1, DecayTau: 3,
+	})
+
+	sc := DefaultScale()
+	sc.MetaPutDelay, sc.MetaProcessDelay = 0, 0
+	cl, err := grid5000Cluster(4, sc, -1)
+	if err != nil {
+		return rep, err
+	}
+	defer cl.Shutdown()
+	sv, client, err := workloadSurvey(cl, cat, 2)
+	if err != nil {
+		return rep, err
+	}
+	defer client.Close()
+	ctx := context.Background()
+	for e := 0; e < epochs; e++ {
+		if _, err := sv.CaptureEpoch(ctx); err != nil {
+			return rep, err
+		}
+	}
+
+	const threshold = 6.0
+	rep.GroundTruthVerified = true
+	for _, dist := range distances {
+		pt := TimeTravelPoint{Distance: dist, EpochA: last - dist, EpochB: last}
+		var total time.Duration
+		for it := 0; it < iters; it++ {
+			t0 := time.Now()
+			d, err := sv.DiffEpochs(ctx, pt.EpochA, pt.EpochB, threshold, workers)
+			if err != nil {
+				return rep, err
+			}
+			total += time.Since(t0)
+			if it == 0 {
+				pt.Candidates = len(d.Candidates)
+				if err := verifyDiffGroundTruth(cat, d, threshold); err != nil {
+					return rep, err
+				}
+			}
+		}
+		mean := total / time.Duration(iters)
+		pt.DiffMeanMs = mean.Seconds() * 1e3
+		tiles := geo.TilesX * geo.TilesY
+		pt.TilesPerS = float64(tiles) / mean.Seconds()
+		pt.MBPerS = float64(2*geo.SkyBytes()) / mean.Seconds() / (1 << 20)
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}

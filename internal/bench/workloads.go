@@ -1,0 +1,61 @@
+package bench
+
+// WorkloadSuiteReport aggregates the three traffic-shape scenarios
+// (docs/workloads.md) into the BENCH_8.json artifact: streaming survey
+// ingestion vs pinned readers, the Galaxy-Zoo tiny-read swarm, and
+// time-travel diff analytics across version distance.
+type WorkloadSuiteReport struct {
+	Ingest     IngestReport     `json:"ingest"`
+	Swarm      SwarmReport      `json:"swarm"`
+	TimeTravel TimeTravelReport `json:"timetravel"`
+}
+
+// WorkloadParams sizes a full suite run; cmd/blobbench shrinks it for
+// -quick smoke runs.
+type WorkloadParams struct {
+	IngestReaders, IngestReadsPerReader int
+	SwarmReaders, SwarmReadsPerReader   int
+	TimeTravelEpochs                    int
+	TimeTravelDistances                 []int
+	TimeTravelIters                     int
+	TimeTravelWorkers                   int
+}
+
+// DefaultWorkloadParams is the committed-artifact scale.
+func DefaultWorkloadParams() WorkloadParams {
+	return WorkloadParams{
+		IngestReaders: 8, IngestReadsPerReader: 150,
+		SwarmReaders: 16, SwarmReadsPerReader: 250,
+		TimeTravelEpochs:    10,
+		TimeTravelDistances: []int{1, 2, 4, 8},
+		TimeTravelIters:     3,
+		TimeTravelWorkers:   8,
+	}
+}
+
+// QuickWorkloadParams is the CI bench-smoke scale.
+func QuickWorkloadParams() WorkloadParams {
+	return WorkloadParams{
+		IngestReaders: 4, IngestReadsPerReader: 40,
+		SwarmReaders: 8, SwarmReadsPerReader: 60,
+		TimeTravelEpochs:    6,
+		TimeTravelDistances: []int{1, 4},
+		TimeTravelIters:     1,
+		TimeTravelWorkers:   4,
+	}
+}
+
+// RunWorkloads runs all three scenarios and returns the combined
+// report.
+func RunWorkloads(p WorkloadParams) (WorkloadSuiteReport, error) {
+	var rep WorkloadSuiteReport
+	var err error
+	if rep.Ingest, err = AblateIngest(p.IngestReaders, p.IngestReadsPerReader); err != nil {
+		return rep, err
+	}
+	if rep.Swarm, err = AblateSwarm(p.SwarmReaders, p.SwarmReadsPerReader); err != nil {
+		return rep, err
+	}
+	rep.TimeTravel, err = AblateTimeTravel(p.TimeTravelEpochs, p.TimeTravelDistances, p.TimeTravelIters, p.TimeTravelWorkers)
+	return rep, err
+}

@@ -126,6 +126,15 @@ type Config struct {
 	// VMElectionTimeout is the base silence before a follower
 	// campaigns (default 8*VMHeartbeat).
 	VMElectionTimeout time.Duration
+	// VMMaxLogRecords caps each vmanager replica's in-memory publish
+	// log (group mode only; 0 = the replica default). Beyond the cap
+	// the leader drops the older half and lagging followers catch up
+	// from a checkpoint snapshot instead of log replay. Tests set it
+	// low to force truncation at small scale and prove historical
+	// versions stay readable afterwards (the blob state checkpoints
+	// carry every version's size and history; page metadata lives in
+	// the DHT and is never truncated).
+	VMMaxLogRecords int
 	// VMAppendDelay simulates per-record log append durability cost at
 	// each shard leader, slept under the shard's serializing lock — the
 	// knob that makes publish throughput scale measurably with shard
@@ -383,6 +392,7 @@ func (c *Cluster) startVMReplica(s, j int, rejoin bool) error {
 		Heartbeat:       c.cfg.VMHeartbeat,
 		ElectionTimeout: c.cfg.VMElectionTimeout,
 		AppendDelay:     c.cfg.VMAppendDelay,
+		MaxLogRecords:   c.cfg.VMMaxLogRecords,
 		Rejoin:          rejoin,
 		Manager: vmanager.Config{
 			RepairTimeout: c.cfg.RepairTimeout,

@@ -51,6 +51,26 @@ func (b *Blob) ReadDetailed(ctx context.Context, buf []byte, offset uint64, v me
 	return b.readDetailed(ctx, buf, offset, v, false)
 }
 
+// ReadPinned reads version v with no version-manager interaction at
+// all. The caller asserts v is published — it pinned v earlier, from
+// Latest, WaitVersion, a Write it performed, or another read's Latest
+// return. This is the snapshot read of a pinned version in its purest
+// form: a published version's metadata sub-forest and pages are
+// immutable, so the read touches only the (decentralized) metadata ring
+// and the data providers. A reader holding a pinned version can loop on
+// ReadPinned forever without ever contacting the centralized version
+// manager — concurrent writers publishing v+1, v+2, ... cannot slow it
+// down there, which is the paper's lock-free claim and what
+// bench.AblateIngest measures.
+//
+// Reading a never-published v through ReadPinned is a caller bug: the
+// metadata traversal will fail (or, for an assigned-but-unpublished v,
+// observe a tree still under construction).
+func (b *Blob) ReadPinned(ctx context.Context, buf []byte, offset uint64, v meta.Version) error {
+	_, err := b.readDetailed(ctx, buf, offset, v, true)
+	return err
+}
+
 // readDetailed implements READ; vKnownPublished skips the freshness
 // round trip when the caller just learned v from the version manager.
 func (b *Blob) readDetailed(ctx context.Context, buf []byte, offset uint64, v meta.Version, vKnownPublished bool) (res ReadResult, err error) {

@@ -98,8 +98,21 @@ func (s *Survey) CaptureEpoch(ctx context.Context) (meta.Version, error) {
 	s.mu.Lock()
 	epoch := len(s.epochVers)
 	s.mu.Unlock()
+	bands, err := s.RenderEpochBands(epoch)
+	if err != nil {
+		return 0, err
+	}
+	return s.CaptureEpochBands(ctx, epoch, bands)
+}
 
-	vers := make([]meta.Version, s.telescopes)
+// RenderEpochBands renders every telescope's band of an epoch without
+// writing anything: bands[t] is telescope t's contiguous slice of the
+// sky (nil for a telescope with no rows). Rendering is the camera's
+// job, not the store's; splitting it out lets an ingest pipeline
+// prepare exposures ahead of the write-out (sky.IngestOptions.Prerender)
+// so storage benchmarks do not time the pixel synthesis.
+func (s *Survey) RenderEpochBands(epoch int) ([][]byte, error) {
+	bands := make([][]byte, s.telescopes)
 	errs := make([]error, s.telescopes)
 	var wg sync.WaitGroup
 	for tscope := 0; tscope < s.telescopes; tscope++ {
@@ -121,9 +134,47 @@ func (s *Survey) CaptureEpoch(ctx context.Context) (meta.Version, error) {
 					}
 				}
 			}
-			v, err := s.blob.Write(ctx, band, s.geo.TileOffset(0, fromRow))
-			vers[tscope], errs[tscope] = v, err
+			bands[tscope] = band
 		}(tscope, fromRow, toRow)
+	}
+	wg.Wait()
+	for t, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sky: telescope %d epoch %d render: %w", t, epoch, err)
+		}
+	}
+	return bands, nil
+}
+
+// CaptureEpochBands writes pre-rendered telescope bands (from
+// RenderEpochBands) as epoch `epoch`, all telescopes concurrently. The
+// epoch number must be the next uncaptured one — bands render
+// epoch-dependent pixels, so writing them under any other epoch would
+// break the catalog ground truth every test leans on.
+func (s *Survey) CaptureEpochBands(ctx context.Context, epoch int, bands [][]byte) (meta.Version, error) {
+	s.mu.Lock()
+	next := len(s.epochVers)
+	s.mu.Unlock()
+	if epoch != next {
+		return 0, fmt.Errorf("sky: capture of epoch %d out of order (next is %d)", epoch, next)
+	}
+	if len(bands) != s.telescopes {
+		return 0, fmt.Errorf("sky: %d bands for %d telescopes", len(bands), s.telescopes)
+	}
+	vers := make([]meta.Version, s.telescopes)
+	errs := make([]error, s.telescopes)
+	var wg sync.WaitGroup
+	for tscope := 0; tscope < s.telescopes; tscope++ {
+		fromRow, toRow := s.bandRows(tscope)
+		if fromRow >= toRow {
+			continue
+		}
+		wg.Add(1)
+		go func(tscope, fromRow int) {
+			defer wg.Done()
+			v, err := s.blob.Write(ctx, bands[tscope], s.geo.TileOffset(0, fromRow))
+			vers[tscope], errs[tscope] = v, err
+		}(tscope, fromRow)
 	}
 	wg.Wait()
 	var maxVer meta.Version
