@@ -16,6 +16,11 @@
 //	blobctl -vm ... -pm ... vmstatus [-json]
 //	blobctl -vm ... -pm ... trace 0x1d8f3ab27c64e901
 //
+//	# against a monitor node (docs/observability.md): live dashboard
+//	# and the merged cluster event tail
+//	blobctl -monitor host:4500 top [-interval 2s] [-once]
+//	blobctl -monitor host:4500 events [-follow] [-min-severity warn]
+//
 // Against a sharded, replicated version plane (docs/vmanager-group.md)
 // -vm takes the group syntax: semicolon-separated shards,
 // comma-separated replicas — `-vm "h1:4001,h2:4001;h3:4001,h4:4001"`.
@@ -51,10 +56,21 @@ func main() {
 	replicas := flag.Int("replicas", 1, "data replication factor for writes")
 	redundancy := flag.String("redundancy", "", `redundancy mode for created blobs: "replicate" or "rs(k,m)" (default: the cluster's advertised mode)`)
 	traceOps := flag.Bool("trace", false, "trace this invocation's operations and print their trace ids (inspect with blobctl trace <id>)")
+	monAddr := flag.String("monitor", "", "monitor node RPC address (top and events commands)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|repair|stats|vmstatus|trace [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|repair|stats|vmstatus|trace|top|events [subflags]")
 		os.Exit(2)
+	}
+	// The monitor-plane commands speak only to the monitor node — no
+	// blob client (and no manager addresses) needed.
+	switch flag.Arg(0) {
+	case "top":
+		runTop(*monAddr, flag.Args()[1:])
+		return
+	case "events":
+		runEvents(*monAddr, flag.Args()[1:])
+		return
 	}
 	red, err := erasure.ParseRedundancy(*redundancy)
 	if err != nil {

@@ -1,21 +1,23 @@
 package main
 
 import (
-	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 
+	"blob/internal/monitor"
 	"blob/internal/rpc"
 	"blob/internal/stats"
 )
 
 // startAdmin serves the node's observability plane on addr (see
 // docs/observability.md): Prometheus text exposition at /metrics, a
-// liveness probe at /healthz, and the runtime profiler under
-// /debug/pprof/ (delegated to the default mux the pprof import
-// populates).
-func startAdmin(addr string, reg *stats.Registry) {
+// readiness probe at /healthz (503 with a reason until the node can
+// actually serve: page store open, shard leader reachable), the runtime
+// profiler under /debug/pprof/ (delegated to the default mux the pprof
+// import populates), and — when this node hosts the monitor role — the
+// cluster-wide /cluster/* endpoints.
+func startAdmin(addr string, reg *stats.Registry, mon *monitor.Monitor, ready func() (bool, string)) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -24,8 +26,17 @@ func startAdmin(addr string, reg *stats.Registry) {
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		ok, detail := ready()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			http.Error(w, detail, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(detail + "\n"))
 	})
+	if mon != nil {
+		mon.RegisterHTTP(mux)
+	}
 	mux.Handle("/debug/pprof/", http.DefaultServeMux)
 	go func() {
 		if err := http.ListenAndServe(addr, mux); err != nil {

@@ -39,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -46,6 +47,8 @@ import (
 	"blob/internal/dht"
 	"blob/internal/diskstore"
 	"blob/internal/erasure"
+	"blob/internal/events"
+	"blob/internal/monitor"
 	"blob/internal/mstore"
 	"blob/internal/pmanager"
 	"blob/internal/provider"
@@ -79,7 +82,7 @@ func main() {
 		velection  = flag.Duration("velection", 0, "follower silence before campaigning (0 = 10x -vheartbeat)")
 		repairBps  = flag.Int64("repair-rate", 0, "replica repair pull throttle in bytes/sec (0 = unthrottled; provider role)")
 		repairEvr  = flag.Duration("repair-interval", time.Minute, "replica repair sweep period (repairer role)")
-		vmAddr     = flag.String("vm", "", "version manager address (repairer role)")
+		vmAddr     = flag.String("vm", "", `version manager address, or a shard group "a,b;c,d" (repairer role)`)
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "data provider heartbeat interval")
 		strategy   = flag.String("strategy", "round-robin", "placement strategy: round-robin|least-loaded|power-of-two")
 		redundancy = flag.String("redundancy", "replicate", `advertised redundancy mode: "replicate" or "rs(k,m)" (pmanager role; clients adopt it for new blobs)`)
@@ -89,6 +92,10 @@ func main() {
 		traceEvery = flag.Int("trace-sample", 0, "record spans for 1-in-N root operations (0 disables tracing, 1 traces everything)")
 		traceRing  = flag.Int("trace-ring", trace.DefaultRing, "span ring buffer capacity (spans kept per process)")
 		slowThresh = flag.Duration("slow-threshold", 0, "log the span tree of client operations slower than this (repairer role; 0 disables)")
+		eventRing  = flag.Int("event-ring", 0, "cluster event journal ring capacity (0 = default, negative disables)")
+		pollEvery  = flag.Duration("poll", time.Second, "cluster poll interval (monitor role)")
+		watchVM    = flag.String("watch-vm", "", `version-manager shards the monitor polls: replica addresses comma-separated within a shard, shards separated by ";" (monitor role)`)
+		watchEvs   = flag.String("watch-events", "", "comma-separated extra addresses the monitor tails MEvents from, e.g. the repairer node (monitor role)")
 	)
 	flag.Parse()
 
@@ -126,10 +133,16 @@ func main() {
 		srv.EnableMetrics(reg)
 		registerRPCMetrics(reg)
 	}
+	// Every process keeps a cluster event journal (docs/observability.md)
+	// served over MEvents; role setup below hooks its emit sites in.
+	journal := events.NewJournal(adv, *eventRing)
+	srv.SetJournal(journal)
+	pool.SetJournal(journal)
 
 	var vm *vmanager.Manager
 	var vrep *vmanager.Replica
 	var pm *pmanager.Manager
+	var mon *monitor.Monitor
 	var dataSvc *provider.Service
 	var dataStore provider.PageStore
 	var providerID uint32
@@ -152,6 +165,7 @@ func main() {
 				Strategy:         strat,
 				HeartbeatTimeout: 4 * *heartbeat,
 				Redundancy:       red,
+				Journal:          journal,
 			})
 			pm.RegisterHandlers(srv)
 			// The metadata directory co-habits the provider manager node.
@@ -198,6 +212,7 @@ func main() {
 					Heartbeat:       *vbeat,
 					ElectionTimeout: *velection,
 					Rejoin:          *vrejoin,
+					Journal:         journal,
 					Manager:         cfg,
 				})
 				vrep.RegisterHandlers(srv)
@@ -234,6 +249,7 @@ func main() {
 					Sync:             *syncWrites,
 					CompactEvery:     *compactEvr,
 					CompactRateBytes: *compactBps,
+					Journal:          journal,
 				}, *capacity)
 				if err != nil {
 					log.Fatalf("provider: open data dir %s: %v", *dataDir, err)
@@ -277,19 +293,24 @@ func main() {
 			if *repairEvr <= 0 {
 				log.Fatal("repairer role needs -repair-interval > 0")
 			}
+			vmShards, err := vmanager.ParseGroupAddrs(*vmAddr)
+			if err != nil {
+				log.Fatalf("repairer: -vm: %v", err)
+			}
 			client, err := core.NewClient(ctx, core.Options{
-				Network:       rpc.TCP{},
-				VManagerAddr:  *vmAddr,
-				PManagerAddr:  *pmAddr,
-				MetaDirAddr:   *pmAddr,
-				Tracer:        tracer,
-				SlowThreshold: *slowThresh,
+				Network:        rpc.TCP{},
+				VManagerShards: vmShards,
+				PManagerAddr:   *pmAddr,
+				MetaDirAddr:    *pmAddr,
+				Tracer:         tracer,
+				SlowThreshold:  *slowThresh,
 			})
 			if err != nil {
 				log.Fatalf("repairer: connect: %v", err)
 			}
 			agent := repairpkg.New(client)
 			agent.Log = log.Printf
+			agent.Journal = journal
 			interval := *repairEvr
 			go func() {
 				t := time.NewTicker(interval)
@@ -304,6 +325,13 @@ func main() {
 						log.Printf("repairer: provider death detected, sweeping now")
 					}
 					sctx, cancel := context.WithTimeout(ctx, interval*4)
+					// Re-learn the metadata membership each sweep: the
+					// boot-time ring may predate some nodes' registration,
+					// and a stale ring hashes tree nodes to the wrong
+					// provider.
+					if err := client.Meta().Refresh(sctx); err != nil {
+						log.Printf("repairer: refresh metadata ring: %v", err)
+					}
 					blobs, err := client.VersionManager().Blobs(sctx)
 					if err != nil {
 						log.Printf("repairer: list blobs: %v", err)
@@ -323,6 +351,42 @@ func main() {
 				}
 			}()
 			log.Printf("role repairer (interval %v)", interval)
+
+		case "monitor":
+			// The cluster health plane's aggregator: polls every node,
+			// rolls the cluster up into one snapshot, and serves it over
+			// MCluster (blobctl top) and the admin listener's /cluster/*
+			// endpoints (docs/observability.md).
+			if *pmAddr == "" {
+				log.Fatal("monitor role needs -pm")
+			}
+			var shards [][]string
+			if *watchVM != "" {
+				var err error
+				shards, err = vmanager.ParseGroupAddrs(*watchVM)
+				if err != nil {
+					log.Fatalf("monitor: -watch-vm: %v", err)
+				}
+			}
+			var extra []string
+			if *watchEvs != "" {
+				for _, a := range strings.Split(*watchEvs, ",") {
+					if a = strings.TrimSpace(a); a != "" {
+						extra = append(extra, a)
+					}
+				}
+			}
+			mon = monitor.New(monitor.Config{
+				Pool:       pool,
+				PMAddr:     *pmAddr,
+				VMShards:   shards,
+				EventNodes: extra,
+				Interval:   *pollEvery,
+				Logf:       log.Printf,
+			})
+			mon.RegisterHandlers(srv)
+			log.Printf("role monitor (poll %v, %d vm shards, %d extra event nodes)",
+				*pollEvery, len(shards), len(extra))
 
 		case "metadata":
 			if *pmAddr == "" {
@@ -346,19 +410,46 @@ func main() {
 		log.Fatalf("listen %s: %v", *listen, err)
 	}
 	srv.Start(l)
+	var serving atomic.Bool
+	serving.Store(true)
 	log.Printf("listening on %s (advertised as %s)", *listen, adv)
+	if mon != nil {
+		mon.Start()
+	}
 	if *adminAddr != "" {
-		startAdmin(*adminAddr, reg)
+		// Readiness (not liveness): serving goes false the moment
+		// shutdown begins — before the page store closes — and a
+		// vmanager replica is only ready while its shard has a leader
+		// it can route to. The page store itself opened before the RPC
+		// listener, so "serving" also implies "store open".
+		ready := func() (bool, string) {
+			if !serving.Load() {
+				return false, "shutting down"
+			}
+			if vrep != nil {
+				st := vrep.Status()
+				if !st.IsLeader && st.Leader < 0 {
+					return false, fmt.Sprintf("vmanager shard %d: no reachable leader", st.Shard)
+				}
+			}
+			return true, "ok"
+		}
+		startAdmin(*adminAddr, reg, mon, ready)
 	}
 
 	// Heartbeat loop for the data provider role.
 	stop := make(chan struct{})
 
-	// When the pmanager and repairer roles co-habit this process, a
-	// detected heartbeat death triggers an immediate repair pass.
-	if pm != nil && hasRepairer {
+	// The pmanager always watches for heartbeat deaths: the watch loop
+	// is what journals heartbeat-death events for the monitor's tail.
+	// When a repairer role co-habits this process, a death additionally
+	// triggers an immediate repair pass.
+	if pm != nil {
 		go pm.DeathWatch(stop, func(id uint32) {
 			log.Printf("pmanager: provider %d stopped heartbeating", id)
+			if !hasRepairer {
+				return
+			}
 			select {
 			case repairNow <- struct{}{}:
 			default:
@@ -369,15 +460,32 @@ func main() {
 		go func() {
 			t := time.NewTicker(*heartbeat)
 			defer t.Stop()
+			// Bloom-digest piggyback: recompute when the store's
+			// counters move, resend bytes only while the manager's held
+			// hash disagrees (see docs/observability.md).
+			var digHash, held uint64
+			var digest []byte
+			lastPuts, lastPages := int64(-1), int64(-1)
 			for {
 				select {
 				case <-stop:
 					return
 				case <-t.C:
 					snap := dataSvc.Snapshot()
+					if snap.Puts != lastPuts || snap.PageCount != lastPages {
+						digHash, digest, _ = dataSvc.DigestBytes()
+						lastPuts, lastPages = snap.Puts, snap.PageCount
+					}
+					var payload []byte
+					if digHash != 0 && digHash != held {
+						payload = digest
+					}
 					hctx, cancel := context.WithTimeout(ctx, *heartbeat)
-					if err := pmanager.SendHeartbeat(hctx, pool, *pmAddr, providerID, snap.BytesUsed, snap.ActiveOps); err != nil {
+					h, err := pmanager.SendHeartbeatDigest(hctx, pool, *pmAddr, providerID, snap.BytesUsed, snap.ActiveOps, digHash, payload)
+					if err != nil {
 						log.Printf("heartbeat: %v", err)
+					} else {
+						held = h
 					}
 					cancel()
 				}
@@ -407,7 +515,11 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
+	serving.Store(false)
 	close(stop)
+	if mon != nil {
+		mon.Close()
+	}
 	// Stop serving before closing the store: a GetPages answered from a
 	// closed store would report pages absent rather than failing the
 	// connection, and clients cannot tell that apart from data loss.

@@ -61,7 +61,7 @@ func TestDocCrossReferences(t *testing.T) {
 		"docs/erasure.md":        {"replication.md", "architecture.md"},
 		"docs/replication.md":    {"erasure.md", "architecture.md"},
 		"docs/perf.md":           {"architecture.md"},
-		"docs/observability.md":  {"architecture.md", "perf.md"},
+		"docs/observability.md":  {"architecture.md", "perf.md", "replication.md", "vmanager-group.md"},
 		"docs/vmanager-group.md": {"architecture.md", "replication.md"},
 	}
 	for file, targets := range wants {

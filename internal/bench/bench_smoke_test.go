@@ -171,6 +171,9 @@ func TestAblateHotPathRuns(t *testing.T) {
 	if rep.Legacy.WriteAllocsPerOp <= 0 || rep.Vectored.WriteAllocsPerOp <= 0 {
 		t.Errorf("degenerate alloc measurements: %+v", rep)
 	}
+	if rep.Monitored.ReadP99Ms <= 0 {
+		t.Errorf("monitored mode did not run: %+v", rep.Monitored)
+	}
 	if len(rep.Points()) == 0 {
 		t.Error("no ablation points")
 	}

@@ -18,6 +18,8 @@ import (
 
 	"blob/internal/cluster"
 	"blob/internal/core"
+	"blob/internal/monitor"
+	"blob/internal/rpc"
 	"blob/internal/trace"
 )
 
@@ -48,6 +50,11 @@ type HotPathReport struct {
 	// attached (docs/observability.md) — the recommended production
 	// sampling rate, measured so the tracing tax stays visible.
 	Traced HotPathStats `json:"traced"`
+	// Monitored is the vectored path while a cluster monitor polls the
+	// deployment's MStats/MLatency/MEvents/MVmStatus every 50ms — far
+	// more aggressive than the production 1s default, so the measured
+	// tax is an upper bound on what the health plane costs.
+	Monitored HotPathStats `json:"monitored"`
 
 	// Reductions are (legacy - vectored) / legacy, in percent.
 	WriteAllocReductionPct float64 `json:"write_alloc_reduction_pct"`
@@ -60,6 +67,10 @@ type HotPathReport struct {
 	// TraceOverheadPct is (traced - vectored) / vectored write mean, in
 	// percent: what 1-in-64 span sampling costs on the write hot path.
 	TraceOverheadPct float64 `json:"trace_overhead_pct"`
+	// MonitorOverheadPct is (monitored - vectored) / vectored read p99,
+	// in percent: what the polling monitor costs the read tail. The
+	// acceptance bar is <2%; negative values are run-to-run noise.
+	MonitorOverheadPct float64 `json:"monitor_overhead_pct"`
 
 	// RoundTripsVerified is true when every read in both modes returned
 	// exactly the bytes its write stored.
@@ -68,8 +79,8 @@ type HotPathReport struct {
 
 // Points flattens the report for the text-table printers.
 func (r HotPathReport) Points() []AblationPoint {
-	pts := make([]AblationPoint, 0, 32)
-	for _, st := range []HotPathStats{r.Legacy, r.Vectored, r.Traced} {
+	pts := make([]AblationPoint, 0, 40)
+	for _, st := range []HotPathStats{r.Legacy, r.Vectored, r.Traced, r.Monitored} {
 		pts = append(pts,
 			AblationPoint{Name: st.Mode + " write mean", Value: st.WriteMeanMs, Unit: "ms"},
 			AblationPoint{Name: st.Mode + " write p99", Value: st.WriteP99Ms, Unit: "ms"},
@@ -89,6 +100,7 @@ func (r HotPathReport) Points() []AblationPoint {
 		AblationPoint{Name: "write mean speedup", Value: r.WriteMeanSpeedupPct, Unit: "%"},
 		AblationPoint{Name: "read mean speedup", Value: r.ReadMeanSpeedupPct, Unit: "%"},
 		AblationPoint{Name: "trace overhead, write mean", Value: r.TraceOverheadPct, Unit: "%"},
+		AblationPoint{Name: "monitor overhead, read p99", Value: r.MonitorOverheadPct, Unit: "%"},
 	)
 	return pts
 }
@@ -114,8 +126,26 @@ func AblateHotPath(writes int, segPages uint64, sc Scale) (HotPathReport, error)
 	}
 	defer cl.Shutdown()
 
-	for _, mode := range []string{"legacy", "vectored", "traced"} {
+	for _, mode := range []string{"legacy", "vectored", "traced", "monitored"} {
+		var mon *monitor.Monitor
+		var mpool *rpc.Pool
+		if mode == "monitored" {
+			// The monitor polls the same deployment the ops run against,
+			// from its own simulated host, at 20x the production rate.
+			mpool = rpc.NewPool(cl.ClientOptions("bench-monitor").Network)
+			mon = monitor.New(monitor.Config{
+				Pool:     mpool,
+				PMAddr:   cl.PMAddr,
+				VMShards: cl.VMShardAddrs,
+				Interval: 50 * time.Millisecond,
+			})
+			mon.Start()
+		}
 		st, ok, err := hotPathMode(cl, mode, writes, segPages, scHot)
+		if mon != nil {
+			mon.Close()
+			mpool.Close()
+		}
 		if err != nil {
 			return rep, err
 		}
@@ -129,6 +159,8 @@ func AblateHotPath(writes int, segPages uint64, sc Scale) (HotPathReport, error)
 			rep.Vectored = st
 		case "traced":
 			rep.Traced = st
+		case "monitored":
+			rep.Monitored = st
 		}
 	}
 
@@ -147,13 +179,15 @@ func AblateHotPath(writes int, segPages uint64, sc Scale) (HotPathReport, error)
 	// Sign flipped versus the reductions: positive means tracing made
 	// writes slower.
 	rep.TraceOverheadPct = -pct(rep.Vectored.WriteMeanMs, rep.Traced.WriteMeanMs)
+	rep.MonitorOverheadPct = -pct(rep.Vectored.ReadP99Ms, rep.Monitored.ReadP99Ms)
 	return rep, nil
 }
 
 // hotPathMode runs one mode's write+read sweep and returns its stats
 // and whether all round trips were byte-identical. Modes: "legacy"
 // (pre-vectored codec), "vectored" (the production path, tracing off),
-// "traced" (vectored + 1-in-64 span sampling).
+// "traced" (vectored + 1-in-64 span sampling), "monitored" (vectored
+// while the caller keeps a cluster monitor polling).
 func hotPathMode(cl *cluster.Cluster, mode string, writes int, segPages uint64, sc Scale) (HotPathStats, bool, error) {
 	st := HotPathStats{Mode: mode}
 	ctx := context.Background()

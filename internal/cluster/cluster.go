@@ -17,6 +17,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,8 @@ import (
 	"blob/internal/dht"
 	"blob/internal/diskstore"
 	"blob/internal/erasure"
+	"blob/internal/events"
+	"blob/internal/monitor"
 	"blob/internal/mstore"
 	"blob/internal/netsim"
 	"blob/internal/pmanager"
@@ -150,6 +153,16 @@ type Config struct {
 	// SlowThreshold is forwarded to each client's slow-request log (see
 	// core.Options.SlowThreshold). Only meaningful with tracing armed.
 	SlowThreshold time.Duration
+	// EventRing overrides every node's event-journal ring size
+	// (0 = events.DefaultRing; negative disables journals entirely).
+	EventRing int
+	// Monitor, when true, embeds a cluster monitor (internal/monitor)
+	// polling the deployment from its own "monitor" host; Cluster.Mon
+	// exposes it.
+	Monitor bool
+	// MonitorInterval is the embedded monitor's poll period
+	// (0 = the monitor default, 1s).
+	MonitorInterval time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -218,6 +231,12 @@ type Cluster struct {
 	VMAddr  string
 	PMAddr  string
 	DirAddr string
+	// RepairAddr serves the repair agent's event journal over MEvents
+	// (set when Config.RepairInterval > 0 and journals are enabled).
+	RepairAddr string
+
+	// Mon is the embedded cluster monitor (Config.Monitor).
+	Mon *monitor.Monitor
 
 	dataHosts []string
 	servers   []*rpc.Server
@@ -242,6 +261,15 @@ type Cluster struct {
 	// lazily when Config.TraceSampleEvery is set.
 	traceMu sync.Mutex
 	tracers []*trace.Tracer
+
+	// journalMu guards journals: one event journal per simulated node
+	// (restart creates a fresh one, like a real process restart).
+	journalMu     sync.Mutex
+	journals      []*events.Journal
+	repairJournal *events.Journal
+	// hbPool is the heartbeat loops' shared client pool, retained so
+	// ResumeProviderHeartbeat can relaunch a stopped loop.
+	hbPool *rpc.Pool
 }
 
 // newTracer creates (and retains, for TraceSpans) a span tracer for the
@@ -271,6 +299,36 @@ func (c *Cluster) TraceSpans(traceID uint64) []trace.Span {
 	return spans
 }
 
+// newJournal creates (and retains, for Events) the event journal of the
+// named simulated node, or nil when Config.EventRing is negative.
+func (c *Cluster) newJournal(node string) *events.Journal {
+	if c.cfg.EventRing < 0 {
+		return nil
+	}
+	j := events.NewJournal(node, c.cfg.EventRing)
+	c.journalMu.Lock()
+	c.journals = append(c.journals, j)
+	c.journalMu.Unlock()
+	return j
+}
+
+// Events merges every live node journal, oldest first by timestamp —
+// the in-process equivalent of the monitor tailing MEvents cluster-wide.
+// Journals of restarted nodes' dead incarnations are included (their
+// events happened), which is exactly what a drill asserting event order
+// wants.
+func (c *Cluster) Events() []events.Event {
+	c.journalMu.Lock()
+	journals := append([]*events.Journal(nil), c.journals...)
+	c.journalMu.Unlock()
+	var evs []events.Event
+	for _, j := range journals {
+		evs = append(evs, j.Events()...)
+	}
+	sort.SliceStable(evs, func(i, k int) bool { return evs[i].Time < evs[k].Time })
+	return evs
+}
+
 // dataService returns the current RPC service of data provider i, which
 // RestartDataProvider may have replaced since launch.
 func (c *Cluster) dataService(i int) *provider.Service {
@@ -290,9 +348,10 @@ func (c *Cluster) dataHostName(i int) string {
 // newDataService hosts a provider service over st with repair armed:
 // the service gets a connection pool dialing from its own host (the
 // vantage MPullPages pulls peers from) and the configured pull throttle.
-func (c *Cluster) newDataService(i int, st provider.PageStore) *provider.Service {
+func (c *Cluster) newDataService(i int, st provider.PageStore, j *events.Journal) *provider.Service {
 	svc := provider.NewService(st)
 	pool := rpc.NewPool(hostDialer{c.fab.Host(c.dataHostName(i))})
+	pool.SetJournal(j)
 	c.svcMu.Lock()
 	c.pools = append(c.pools, pool)
 	c.svcMu.Unlock()
@@ -303,7 +362,7 @@ func (c *Cluster) newDataService(i int, st provider.PageStore) *provider.Service
 // newDataStore builds data provider i's storage backend from the
 // deployment config: RAM-only by default, or a disk-backed segment log
 // (with an optional write-through RAM cache) under Config.DataDir.
-func (c *Cluster) newDataStore(i int) (provider.PageStore, error) {
+func (c *Cluster) newDataStore(i int, j *events.Journal) (provider.PageStore, error) {
 	if c.cfg.DataDir == "" {
 		return provider.NewStore(c.cfg.ProviderCapacity), nil
 	}
@@ -312,6 +371,7 @@ func (c *Cluster) newDataStore(i int) (provider.PageStore, error) {
 		SegmentSize:      c.cfg.SegmentSize,
 		CompactEvery:     c.cfg.CompactEvery,
 		CompactRateBytes: c.cfg.CompactRateBytes,
+		Journal:          j,
 	}, c.cfg.ProviderCapacity)
 	if err != nil {
 		return nil, err
@@ -383,6 +443,10 @@ func (c *Cluster) startVMReplica(s, j int, rejoin bool) error {
 	c.svcMu.Lock()
 	c.pools = append(c.pools, pool)
 	c.svcMu.Unlock()
+	// A restarted replica gets a fresh journal, like a real process
+	// restart; MEvents pollers detect the sequence reset and re-tail.
+	jn := c.newJournal(host.Name())
+	pool.SetJournal(jn)
 	rep := vmanager.NewReplica(vmanager.ReplicaConfig{
 		Shard:           s,
 		Shards:          c.cfg.VShards,
@@ -394,6 +458,7 @@ func (c *Cluster) startVMReplica(s, j int, rejoin bool) error {
 		AppendDelay:     c.cfg.VMAppendDelay,
 		MaxLogRecords:   c.cfg.VMMaxLogRecords,
 		Rejoin:          rejoin,
+		Journal:         jn,
 		Manager: vmanager.Config{
 			RepairTimeout: c.cfg.RepairTimeout,
 			Store:         repairStore,
@@ -403,6 +468,7 @@ func (c *Cluster) startVMReplica(s, j int, rejoin bool) error {
 	if t := c.newTracer(host.Name() + ":rpc"); t != nil {
 		srv.SetTracer(t)
 	}
+	srv.SetJournal(jn)
 	rep.RegisterHandlers(srv)
 	l, err := host.Listen("rpc")
 	if err != nil {
@@ -463,17 +529,20 @@ func Launch(cfg Config) (*Cluster, error) {
 	if cfg.HeartbeatInterval > 0 {
 		hbTimeout = 4 * cfg.HeartbeatInterval
 	}
+	jPM := c.newJournal("pm")
 	c.PM = pmanager.New(pmanager.Config{
 		Strategy:         cfg.Strategy,
 		HeartbeatTimeout: hbTimeout,
 		Replicas:         cfg.DataReplicas,
 		Redundancy:       cfg.Redundancy,
+		Journal:          jPM,
 	})
 	c.Dir = dht.NewDirectory()
 	pmHost := c.fab.Host("pm")
 	addr, err := serve(pmHost, "rpc", func(s *rpc.Server) {
 		c.PM.RegisterHandlers(s)
 		c.Dir.RegisterHandlers(s)
+		s.SetJournal(jPM)
 	})
 	if err != nil {
 		c.Shutdown()
@@ -490,16 +559,20 @@ func Launch(cfg Config) (*Cluster, error) {
 		return fmt.Sprintf("meta%d", i)
 	}
 	for i := 0; i < cfg.DataProviders; i++ {
-		st, err := c.newDataStore(i)
+		j := c.newJournal(dataHost(i))
+		st, err := c.newDataStore(i, j)
 		if err != nil {
 			c.Shutdown()
 			return nil, err
 		}
-		svc := c.newDataService(i, st)
+		svc := c.newDataService(i, st, j)
 		c.DataStores = append(c.DataStores, st)
 		c.DataServices = append(c.DataServices, svc)
 		c.dataHosts = append(c.dataHosts, dataHost(i))
-		addr, err := serve(c.fab.Host(dataHost(i)), "data", svc.RegisterHandlers)
+		addr, err := serve(c.fab.Host(dataHost(i)), "data", func(s *rpc.Server) {
+			svc.RegisterHandlers(s)
+			s.SetJournal(j)
+		})
 		if err != nil {
 			c.Shutdown()
 			return nil, err
@@ -550,6 +623,20 @@ func Launch(cfg Config) (*Cluster, error) {
 		c.startHeartbeats()
 	}
 	if cfg.RepairInterval > 0 {
+		// The repair agent is a client-side process with no RPC service
+		// of its own; give its journal a dedicated node so the monitor
+		// can tail sweep events like any other node's.
+		c.repairJournal = c.newJournal("repair")
+		if c.repairJournal != nil {
+			addr, err := serve(c.fab.Host("repair"), "rpc", func(s *rpc.Server) {
+				s.SetJournal(c.repairJournal)
+			})
+			if err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+			c.RepairAddr = addr
+		}
 		go c.repairLoop()
 		if cfg.HeartbeatInterval > 0 {
 			// Heartbeat-death detection triggers an immediate repair
@@ -561,6 +648,22 @@ func Launch(cfg Config) (*Cluster, error) {
 				}
 			})
 		}
+	}
+	if cfg.Monitor {
+		mpool := rpc.NewPool(hostDialer{c.fab.Host("monitor")})
+		c.pools = append(c.pools, mpool)
+		var eventNodes []string
+		if c.RepairAddr != "" {
+			eventNodes = append(eventNodes, c.RepairAddr)
+		}
+		c.Mon = monitor.New(monitor.Config{
+			Pool:       mpool,
+			PMAddr:     c.PMAddr,
+			VMShards:   c.VMShardAddrs,
+			EventNodes: eventNodes,
+			Interval:   cfg.MonitorInterval,
+		})
+		c.Mon.Start()
 	}
 	return c, nil
 }
@@ -599,6 +702,7 @@ func (c *Cluster) repairLoop() {
 				continue // managers not reachable yet; retry next tick
 			}
 			client, agent = cl, repair.New(cl)
+			agent.Journal = c.repairJournal
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		// Enumerate blobs through the client's version-plane routing so
@@ -614,7 +718,8 @@ func (c *Cluster) repairLoop() {
 // fault-injection hook for "the node silently died": the provider
 // manager stops hearing from it, excludes it from placement, and (when
 // a repair loop is armed) DeathWatch triggers an immediate repair pass.
-// A no-op without Config.HeartbeatInterval; the loop does not restart.
+// A no-op without Config.HeartbeatInterval; ResumeProviderHeartbeat
+// brings the loop back.
 func (c *Cluster) StopProviderHeartbeat(i int) {
 	c.svcMu.RLock()
 	defer c.svcMu.RUnlock()
@@ -627,35 +732,80 @@ func (c *Cluster) StopProviderHeartbeat(i int) {
 	}
 }
 
+// ResumeProviderHeartbeat relaunches data provider i's heartbeat loop
+// after StopProviderHeartbeat — the "node came back" half of a silent
+// death drill. The manager re-admits the provider on its next beat
+// (same id, bumped epoch). A no-op if the loop is still running.
+func (c *Cluster) ResumeProviderHeartbeat(i int) {
+	c.svcMu.Lock()
+	defer c.svcMu.Unlock()
+	if i < 0 || i >= len(c.hbProvStop) {
+		return
+	}
+	select {
+	case <-c.hbProvStop[i]:
+		// Closed: the loop exited. Swap in a fresh stop channel and
+		// restart the loop against it.
+		stop := make(chan struct{})
+		c.hbProvStop[i] = stop
+		go c.providerHeartbeatLoop(i, stop)
+	default:
+		// Still running; nothing to resume.
+	}
+}
+
 // startHeartbeats runs one reporting loop per data provider.
 func (c *Cluster) startHeartbeats() {
-	pool := rpc.NewPool(hostDialer{c.fab.Host("hb")})
-	c.pools = append(c.pools, pool)
+	c.hbPool = rpc.NewPool(hostDialer{c.fab.Host("hb")})
+	c.pools = append(c.pools, c.hbPool)
 	for i := range c.DataServices {
-		id := uint32(i + 1) // registration order matches IDs
-		i := i
 		stop := make(chan struct{})
 		c.hbProvStop = append(c.hbProvStop, stop)
-		go func() {
-			t := time.NewTicker(c.cfg.HeartbeatInterval)
-			defer t.Stop()
-			for {
-				select {
-				case <-c.hbStop:
-					return
-				case <-stop:
-					return
-				case <-t.C:
-					// Re-resolve each tick: RestartDataProvider swaps
-					// the service, and heartbeats must report the live
-					// store's load, not the dead one's.
-					snap := c.dataService(i).Snapshot()
-					ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-					pmanager.SendHeartbeat(ctx, pool, c.PMAddr, id, snap.BytesUsed, snap.ActiveOps)
-					cancel()
-				}
+		go c.providerHeartbeatLoop(i, stop)
+	}
+}
+
+// providerHeartbeatLoop reports data provider i's load to the provider
+// manager every HeartbeatInterval until stop (or cluster shutdown).
+func (c *Cluster) providerHeartbeatLoop(i int, stop chan struct{}) {
+	id := uint32(i + 1) // registration order matches IDs
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	// Digest piggyback state: the bloom digest is recomputed
+	// only when the store's write/delete counters move, and its
+	// bytes ride a heartbeat only while the manager's held hash
+	// disagrees — steady state costs 8 extra bytes per beat.
+	var digHash uint64
+	var digest []byte
+	var held uint64
+	lastPuts, lastPages := int64(-1), int64(-1)
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-stop:
+			return
+		case <-t.C:
+			// Re-resolve each tick: RestartDataProvider swaps
+			// the service, and heartbeats must report the live
+			// store's load, not the dead one's.
+			sv := c.dataService(i)
+			snap := sv.Snapshot()
+			if snap.Puts != lastPuts || snap.PageCount != lastPages {
+				digHash, digest, _ = sv.DigestBytes()
+				lastPuts, lastPages = snap.Puts, snap.PageCount
 			}
-		}()
+			var payload []byte
+			if digHash != 0 && digHash != held {
+				payload = digest
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			if h, err := pmanager.SendHeartbeatDigest(ctx, c.hbPool, c.PMAddr, id,
+				snap.BytesUsed, snap.ActiveOps, digHash, payload); err == nil {
+				held = h
+			}
+			cancel()
+		}
 	}
 }
 
@@ -749,15 +899,19 @@ func (c *Cluster) restartDataProvider(i int, wipe bool) error {
 			return fmt.Errorf("cluster: wipe provider %d data dir: %w", i, err)
 		}
 	}
-	st, err := c.newDataStore(i)
+	// The new incarnation gets a fresh journal, like a real process
+	// restart; MEvents pollers detect the sequence reset and re-tail.
+	jn := c.newJournal(c.dataHosts[i])
+	st, err := c.newDataStore(i, jn)
 	if err != nil {
 		return fmt.Errorf("cluster: reopen provider %d store: %w", i, err)
 	}
-	svc := c.newDataService(i, st)
+	svc := c.newDataService(i, st, jn)
 	srv := rpc.NewServer()
 	if t := c.newTracer(c.dataHosts[i] + ":data"); t != nil {
 		srv.SetTracer(t)
 	}
+	srv.SetJournal(jn)
 	svc.RegisterHandlers(srv)
 	l, err := c.fab.Host(c.dataHosts[i]).Listen("data")
 	if err != nil {
@@ -776,6 +930,9 @@ func (c *Cluster) restartDataProvider(i int, wipe bool) error {
 // Shutdown stops every service and the fabric, closing any persistent
 // data stores.
 func (c *Cluster) Shutdown() {
+	if c.Mon != nil {
+		c.Mon.Close()
+	}
 	select {
 	case <-c.hbStop:
 	default:

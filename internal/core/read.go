@@ -124,7 +124,7 @@ func (b *Blob) readDetailed(ctx context.Context, buf []byte, offset uint64, v me
 
 	b.c.Reads.Inc()
 	b.c.BytesRead.Add(int64(len(buf)))
-	b.c.ReadLatency.Observe(time.Since(start))
+	b.c.ReadLatency.ObserveExemplar(time.Since(start), root.TraceID())
 	return res, nil
 }
 

@@ -217,7 +217,7 @@ func (b *Blob) writeInternal(ctx context.Context, buf []byte, offset uint64, isA
 
 	b.c.Writes.Inc()
 	b.c.BytesWritten.Add(int64(len(buf)))
-	b.c.WriteLatency.Observe(time.Since(start))
+	b.c.WriteLatency.ObserveExemplar(time.Since(start), root.TraceID())
 	return res, nil
 }
 

@@ -3,6 +3,8 @@ package diskstore
 import (
 	"fmt"
 	"time"
+
+	"blob/internal/events"
 )
 
 // Compaction rewrites mostly-dead sealed segments: every still-live put
@@ -132,6 +134,8 @@ func (s *Store) CompactOnce() (bool, error) {
 	s.compactions++
 	s.mu.Unlock()
 	cand.retire(true)
+	s.opts.Journal.Emit(events.SevInfo, events.CompactionDone, size-cand.live,
+		"rewrote segment %d: %d of %d bytes dead reclaimed", cand.id, size-cand.live, size)
 	return true, nil
 }
 

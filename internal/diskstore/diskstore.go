@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blob/internal/events"
 	"blob/internal/throttle"
 	"blob/internal/wire"
 )
@@ -79,6 +80,9 @@ type Options struct {
 	// through a token bucket, so background reclamation cannot starve
 	// foreground page traffic. Zero leaves compaction unthrottled.
 	CompactRateBytes int64
+	// Journal, if set, records compactions and sidecar-degrade
+	// recoveries as cluster events for the monitor plane.
+	Journal *events.Journal
 }
 
 func (o *Options) fillDefaults() {
@@ -237,6 +241,11 @@ func Open(opts Options) (*Store, error) {
 				s.nextID = id + 1
 				continue
 			}
+			// A sealed segment should always absorb from its sidecar;
+			// reaching the replay path means the sidecar was missing,
+			// stale or corrupt.
+			opts.Journal.Emit(events.SevError, events.SidecarDegrade, seg.size,
+				"segment %s: sidecar missing or corrupt; fully replaying %d bytes", seg.path, seg.size)
 		}
 		if err := s.scanSegment(seg, replay, last); err != nil {
 			seg.f.Close()

@@ -1,0 +1,293 @@
+// Package events implements the cluster event journal: a structured,
+// severity-tagged record of cluster *state transitions* — elections,
+// heartbeat deaths, repair sweeps, compactions — as opposed to the
+// per-request spans kept by package trace. Every instrumented process
+// keeps a fixed-size ring of events (old entries are overwritten, so
+// memory is bounded at construction) and serves it over the MEvents
+// RPC; the monitor merges rings cluster-wide and blobctl tails them.
+//
+// The design mirrors trace.Tracer deliberately:
+//
+//   - A nil *Journal is a valid journal whose every method is a no-op,
+//     so emit sites need no nil branches and cost nothing when the
+//     journal is disabled.
+//   - Emitting is one short critical section copying a value into a
+//     preallocated ring slot.
+//   - Events are plain values: emitting copies them in, collection
+//     copies them out, and rings from different nodes merge by
+//     timestamp without coordination (each journal's Seq is only
+//     node-local, used for incremental tailing).
+//
+// The event schema, the full type table and the wire format are
+// specified in docs/observability.md.
+package events
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Severity classifies an event for filtering and health evaluation.
+type Severity uint8
+
+const (
+	// SevInfo marks routine transitions: sweeps, compactions,
+	// membership refreshes, elections completing normally.
+	SevInfo Severity = iota
+	// SevWarn marks degradation the cluster is expected to absorb:
+	// heartbeat deaths, degraded stripes, dial-failure bursts.
+	SevWarn
+	// SevError marks conditions needing an operator: unrepairable
+	// stripes, sidecar corruption falling back to full replay.
+	SevError
+)
+
+// String returns the severity's fixed-width label.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "INFO"
+	case SevWarn:
+		return "WARN"
+	case SevError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("SEV(%d)", uint8(s))
+	}
+}
+
+// ParseSeverity maps a user-facing name (case-sensitive, as printed by
+// String or the lowercase flag forms) to a Severity.
+func ParseSeverity(s string) (Severity, error) {
+	switch s {
+	case "info", "INFO":
+		return SevInfo, nil
+	case "warn", "WARN", "warning":
+		return SevWarn, nil
+	case "error", "ERROR":
+		return SevError, nil
+	}
+	return 0, fmt.Errorf("events: unknown severity %q", s)
+}
+
+// Type identifies what kind of transition an event records. The
+// constants below are the complete set; TestEventTypesCovered enforces
+// that every one has a label and at least one emit site.
+type Type uint16
+
+const (
+	// ElectionWon: a vmanager replica won its campaign and now leads
+	// its shard. Val is the term.
+	ElectionWon Type = 1 + iota
+	// ElectionLost: a leader stepped down (higher term seen or a
+	// failed campaign). Val is the term stepped down at.
+	ElectionLost
+	// TermChange: a replica adopted a new leader's term without
+	// itself changing role. Val is the new term.
+	TermChange
+	// LogTruncate: a follower discarded divergent publish-log
+	// records to converge with its leader. Val is records dropped.
+	LogTruncate
+	// SnapshotInstall: a lagging replica replaced its state with a
+	// leader snapshot instead of replaying records. Val is the
+	// snapshot's last sequence number.
+	SnapshotInstall
+	// HeartbeatDeath: pmanager declared a provider dead after
+	// hbTimeout without a heartbeat. Val is the provider id.
+	HeartbeatDeath
+	// DeathWatchTrigger: a DeathWatch callback fired, kicking the
+	// repair agent out of its timer sleep. Val is the provider id.
+	DeathWatchTrigger
+	// MembershipRefresh: the provider set changed (registration or
+	// re-registration bumped the epoch). Val is the new epoch.
+	MembershipRefresh
+	// DigestRefresh: pmanager accepted a new bloom digest from a
+	// provider's heartbeat. Val is the provider id.
+	DigestRefresh
+	// RepairStart: a repair sweep began. Val is the blob count in
+	// scope.
+	RepairStart
+	// RepairFinish: a repair sweep completed. Val is the degraded
+	// page slots still outstanding after the sweep (0 = the cluster
+	// is back to full redundancy) — the monitor's redundancy-debt
+	// source.
+	RepairFinish
+	// PagesReconstructed: erasure reconstruction rebuilt missing
+	// shards during a sweep. Val is pages reconstructed.
+	PagesReconstructed
+	// RedundancyDegraded: a sweep found stripes or replica slots
+	// below their redundancy target. Val is the degraded slot count
+	// found (before repair restored any).
+	RedundancyDegraded
+	// Unrepairable: a sweep found pages with too few survivors to
+	// reconstruct. Val is the unrepairable page count.
+	Unrepairable
+	// CompactionDone: the diskstore compactor rewrote a segment.
+	// Val is bytes reclaimed.
+	CompactionDone
+	// SidecarDegrade: a segment's index sidecar was missing, stale
+	// or corrupt and recovery fell back to a full replay. Val is the
+	// segment bytes replayed.
+	SidecarDegrade
+	// DialFailure: an rpc client's dials to one address are failing
+	// (rate-limited to one event per address per cooldown). Val is
+	// the consecutive-failure count.
+	DialFailure
+
+	maxType
+)
+
+// labels maps every Type to its stable, dash-separated wire/display
+// name. TestEventTypesCovered fails if a constant is missing here.
+var labels = map[Type]string{
+	ElectionWon:        "election-won",
+	ElectionLost:       "election-lost",
+	TermChange:         "term-change",
+	LogTruncate:        "log-truncate",
+	SnapshotInstall:    "snapshot-install",
+	HeartbeatDeath:     "heartbeat-death",
+	DeathWatchTrigger:  "deathwatch-trigger",
+	MembershipRefresh:  "membership-refresh",
+	DigestRefresh:      "digest-refresh",
+	RepairStart:        "repair-start",
+	RepairFinish:       "repair-finish",
+	PagesReconstructed: "pages-reconstructed",
+	RedundancyDegraded: "redundancy-degraded",
+	Unrepairable:       "unrepairable",
+	CompactionDone:     "compaction",
+	SidecarDegrade:     "sidecar-degrade",
+	DialFailure:        "dial-failure",
+}
+
+// String returns the type's label ("type-N" for unknown values decoded
+// from a newer node).
+func (t Type) String() string {
+	if s, ok := labels[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("type-%d", uint16(t))
+}
+
+// Event is one recorded transition. Events are plain values.
+type Event struct {
+	Seq  uint64   // journal-local, monotonically increasing from 1
+	Time int64    // unix nanoseconds
+	Sev  Severity //
+	Type Type     //
+	Node string   // the emitting journal's node name
+	Msg  string   // human-readable detail
+	Val  int64    // the type's numeric payload (see the constants)
+}
+
+// Format renders the event as one log/tail line:
+//
+//	15:04:05.000 WARN  node-3           heartbeat-death      provider 2 silent for 1.2s
+func (e Event) Format() string {
+	ts := time.Unix(0, e.Time).Format("15:04:05.000")
+	return fmt.Sprintf("%s %-5s %-16s %-20s %s", ts, e.Sev, e.Node, e.Type, e.Msg)
+}
+
+// Journal records events for one node (one logical process; in a netsim
+// cluster every simulated node has its own). The nil journal and the
+// zero ring are both valid and record nothing.
+type Journal struct {
+	node string
+
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total events ever emitted; ring slot = next % len(ring)
+}
+
+// DefaultRing is the per-process ring size used when a caller passes 0.
+// Events are far rarer than spans, so the ring is smaller than trace's.
+const DefaultRing = 1024
+
+// NewJournal creates a journal for the named node with a ring of
+// ringSize events (0 selects DefaultRing, negative disables recording).
+func NewJournal(node string, ringSize int) *Journal {
+	if ringSize == 0 {
+		ringSize = DefaultRing
+	}
+	if ringSize < 0 {
+		ringSize = 0
+	}
+	return &Journal{node: node, ring: make([]Event, ringSize)}
+}
+
+// Node returns the journal's node name ("" for a nil journal).
+func (j *Journal) Node() string {
+	if j == nil {
+		return ""
+	}
+	return j.node
+}
+
+// Enabled reports whether the journal records at all.
+func (j *Journal) Enabled() bool { return j != nil && len(j.ring) > 0 }
+
+// Emit records an event. The format and args build Msg; val carries the
+// type's numeric payload. Safe on a nil journal.
+func (j *Journal) Emit(sev Severity, typ Type, val int64, format string, args ...any) {
+	if j == nil || len(j.ring) == 0 {
+		return
+	}
+	e := Event{
+		Time: time.Now().UnixNano(),
+		Sev:  sev,
+		Type: typ,
+		Node: j.node,
+		Msg:  fmt.Sprintf(format, args...),
+		Val:  val,
+	}
+	j.mu.Lock()
+	e.Seq = j.next + 1
+	j.ring[j.next%uint64(len(j.ring))] = e
+	j.next++
+	j.mu.Unlock()
+}
+
+// LatestSeq returns the newest sequence number ever emitted (0 when
+// nothing was, or on a nil journal).
+func (j *Journal) LatestSeq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Events returns a copy of every live event, oldest first.
+func (j *Journal) Events() []Event {
+	return j.EventsSince(0, SevInfo)
+}
+
+// EventsSince returns events with Seq > sinceSeq and severity >= minSev,
+// oldest first. This is the incremental-tail query: a follower remembers
+// the last Seq it saw per node and asks for what's new.
+func (j *Journal) EventsSince(sinceSeq uint64, minSev Severity) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := uint64(len(j.ring))
+	if n == 0 {
+		return nil
+	}
+	count := j.next
+	if count > n {
+		count = n
+	}
+	out := make([]Event, 0, count)
+	start := j.next - count
+	for i := uint64(0); i < count; i++ {
+		e := j.ring[(start+i)%n]
+		if e.Seq == 0 || e.Seq <= sinceSeq || e.Sev < minSev {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package events
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNilJournalIsSafe(t *testing.T) {
+	var j *Journal
+	j.Emit(SevWarn, HeartbeatDeath, 3, "provider %d dead", 3)
+	if j.Enabled() {
+		t.Fatal("nil journal reports enabled")
+	}
+	if got := j.Events(); got != nil {
+		t.Fatalf("nil journal returned events: %v", got)
+	}
+	if j.Node() != "" {
+		t.Fatalf("nil journal node = %q", j.Node())
+	}
+}
+
+func TestEmitAndFilter(t *testing.T) {
+	j := NewJournal("n1", 16)
+	j.Emit(SevInfo, RepairStart, 2, "sweep of %d blobs", 2)
+	j.Emit(SevWarn, HeartbeatDeath, 7, "provider 7 silent")
+	j.Emit(SevError, Unrepairable, 1, "1 page lost")
+
+	all := j.Events()
+	if len(all) != 3 {
+		t.Fatalf("got %d events, want 3", len(all))
+	}
+	for i, e := range all {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d has Seq %d", i, e.Seq)
+		}
+		if e.Node != "n1" {
+			t.Errorf("event %d node = %q", i, e.Node)
+		}
+	}
+	if all[0].Msg != "sweep of 2 blobs" || all[0].Val != 2 {
+		t.Errorf("formatting lost: %+v", all[0])
+	}
+
+	warns := j.EventsSince(0, SevWarn)
+	if len(warns) != 2 || warns[0].Type != HeartbeatDeath || warns[1].Type != Unrepairable {
+		t.Fatalf("severity filter wrong: %+v", warns)
+	}
+	tail := j.EventsSince(2, SevInfo)
+	if len(tail) != 1 || tail[0].Type != Unrepairable {
+		t.Fatalf("since-seq filter wrong: %+v", tail)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	j := NewJournal("n", 4)
+	for i := 0; i < 10; i++ {
+		j.Emit(SevInfo, CompactionDone, int64(i), "c%d", i)
+	}
+	got := j.Events()
+	if len(got) != 4 {
+		t.Fatalf("ring of 4 holds %d", len(got))
+	}
+	for i, e := range got {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("slot %d Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	j := NewJournal("node-2", 8)
+	j.Emit(SevWarn, DialFailure, 5, "dial 10.0.0.1:99: %v", "refused")
+	j.Emit(SevInfo, MembershipRefresh, 3, "epoch 3")
+	want := j.Events()
+
+	latest, got, err := DecodeEvents(EncodeEvents(j.LatestSeq(), want))
+	if err != nil {
+		t.Fatalf("DecodeEvents: %v", err)
+	}
+	if latest != 2 {
+		t.Errorf("latest seq = %d, want 2", latest)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Empty set round-trips to empty; latestSeq still travels (how a
+	// poller tells a filtered-out tail from a restarted journal).
+	latest, got, err = DecodeEvents(EncodeEvents(7, nil))
+	if err != nil || len(got) != 0 || latest != 7 {
+		t.Fatalf("empty round trip: %d %v %v", latest, got, err)
+	}
+
+	// A corrupt count must be rejected before allocation.
+	if _, _, err := DecodeEvents([]byte{0x00, 0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+}
+
+func TestQueryWire(t *testing.T) {
+	since, sev, err := DecodeEventsQuery(EncodeEventsQuery(42, SevError))
+	if err != nil || since != 42 || sev != SevError {
+		t.Fatalf("query round trip: %d %v %v", since, sev, err)
+	}
+	since, sev, err = DecodeEventsQuery(nil)
+	if err != nil || since != 0 || sev != SevInfo {
+		t.Fatalf("empty query: %d %v %v", since, sev, err)
+	}
+}
+
+func TestSeverityParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Severity
+	}{{"info", SevInfo}, {"WARN", SevWarn}, {"error", SevError}} {
+		got, err := ParseSeverity(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSeverity(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseSeverity("loud"); err == nil {
+		t.Error("ParseSeverity accepted junk")
+	}
+}

@@ -1,0 +1,91 @@
+package events
+
+import (
+	"fmt"
+
+	"blob/internal/wire"
+)
+
+// MEvents is the RPC method every instrumented node serves (the rpc
+// server registers it when given a journal): it returns the node's
+// event ring, optionally filtered by sequence and severity.
+//
+//	request:  uvarint sinceSeq | u8 minSeverity (empty body = everything)
+//	response: uvarint latestSeq | uvarint n | n × event (see EncodeEvents)
+//
+// latestSeq is the journal's newest sequence number regardless of the
+// filter. A poller holding a cursor above it knows the node restarted
+// (journal seqs begin again at 1) and resets its cursor instead of
+// skipping every event the reborn journal will ever emit.
+const MEvents = 0x0701
+
+// EncodeEventsQuery builds an MEvents request body.
+func EncodeEventsQuery(sinceSeq uint64, minSev Severity) []byte {
+	w := wire.NewWriter(12)
+	w.Uvarint(sinceSeq)
+	w.Uint8(uint8(minSev))
+	return w.Bytes()
+}
+
+// DecodeEventsQuery parses an MEvents request body. An empty body asks
+// for everything.
+func DecodeEventsQuery(body []byte) (uint64, Severity, error) {
+	if len(body) == 0 {
+		return 0, SevInfo, nil
+	}
+	r := wire.NewReader(body)
+	since := r.Uvarint()
+	sev := Severity(r.Uint8())
+	return since, sev, r.Err()
+}
+
+// EncodeEvents serializes events as an MEvents response. latestSeq is
+// the journal's newest sequence number (LatestSeq), echoed so pollers
+// can detect a journal reborn by a process restart.
+func EncodeEvents(latestSeq uint64, evs []Event) []byte {
+	w := wire.NewWriter(48 * (1 + len(evs)))
+	w.Uvarint(latestSeq)
+	w.Uvarint(uint64(len(evs)))
+	for _, e := range evs {
+		w.Uvarint(e.Seq)
+		w.Varint(e.Time)
+		w.Uint8(uint8(e.Sev))
+		w.Uvarint(uint64(e.Type))
+		w.String(e.Node)
+		w.String(e.Msg)
+		w.Varint(e.Val)
+	}
+	return w.Bytes()
+}
+
+// DecodeEvents parses an MEvents response.
+func DecodeEvents(body []byte) (latestSeq uint64, evs []Event, err error) {
+	r := wire.NewReader(body)
+	latestSeq = r.Uvarint()
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return 0, nil, fmt.Errorf("events: decode events: %w", err)
+	}
+	// Each event costs at least 8 bytes on the wire; reject counts a
+	// corrupt frame could not actually carry before allocating.
+	if n < 0 || n > r.Remaining()/8+1 {
+		return 0, nil, fmt.Errorf("events: event count %d exceeds body", n)
+	}
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		e := Event{
+			Seq:  r.Uvarint(),
+			Time: r.Varint(),
+			Sev:  Severity(r.Uint8()),
+			Type: Type(r.Uvarint()),
+			Node: r.String(),
+			Msg:  r.String(),
+			Val:  r.Varint(),
+		}
+		if err := r.Err(); err != nil {
+			return 0, nil, fmt.Errorf("events: decode event %d: %w", i, err)
+		}
+		out = append(out, e)
+	}
+	return latestSeq, out, nil
+}

@@ -1,0 +1,344 @@
+// Package monitor implements the cluster health plane's aggregator: a
+// process that polls every node's stats, status and event-journal RPCs,
+// rolls them up into one ClusterSnapshot (capacity, per-shard leaders,
+// redundancy debt, merged latency quantiles, a green/yellow/red
+// verdict with reasons) and serves the result three ways — the
+// MCluster RPC for blobctl top, and /cluster/metrics, /cluster/healthz
+// and /cluster/events on an admin HTTP listener for scrapers and
+// probes. Semantics are specified in docs/observability.md.
+//
+// The monitor is a pure observer: it holds no cluster state, issues
+// only read RPCs, and any number of monitors may watch one deployment.
+// Everything it reports is reconstructed from poll responses, so a
+// restarted monitor converges within one poll (event-derived aggregates
+// like debt converge at the next repair sweep).
+package monitor
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"blob/internal/events"
+	"blob/internal/pmanager"
+	"blob/internal/provider"
+	"blob/internal/rpc"
+	"blob/internal/stats"
+	"blob/internal/vmanager"
+)
+
+// Config describes what to watch and how often.
+type Config struct {
+	// Pool is the RPC client pool used for every poll. The monitor does
+	// not close it.
+	Pool *rpc.Pool
+	// PMAddr is the provider manager's RPC address (required: provider
+	// membership is discovered from it every poll).
+	PMAddr string
+	// VMShards lists the version-manager group's replica addresses,
+	// VMShards[s][r] = replica r of shard s. Empty for single-manager
+	// deployments (the monitor then skips leader checks).
+	VMShards [][]string
+	// EventNodes are additional RPC addresses to tail MEvents from,
+	// beyond the provider manager, vmanager replicas and providers —
+	// e.g. the node hosting the repair agent's journal.
+	EventNodes []string
+	// Interval is the poll period (default 1s).
+	Interval time.Duration
+	// CallTimeout bounds each individual poll RPC (default 2s, clamped
+	// to Interval when the interval is shorter).
+	CallTimeout time.Duration
+	// EventTail caps the merged recent-events buffer (default 512).
+	EventTail int
+	// Logf, when set, receives poll-loop diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Monitor polls the cluster and maintains the latest ClusterSnapshot.
+type Monitor struct {
+	cfg Config
+
+	mu      sync.Mutex
+	snap    ClusterSnapshot
+	lastSeq map[string]uint64 // per-node MEvents cursor
+	tail    []events.Event    // merged recent events, oldest first
+	agg     eventAgg
+	rates   rateTracker
+	polls   int64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// New creates a monitor; Start begins polling.
+func New(cfg Config) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	if cfg.CallTimeout > cfg.Interval {
+		cfg.CallTimeout = cfg.Interval
+	}
+	if cfg.EventTail <= 0 {
+		cfg.EventTail = 512
+	}
+	return &Monitor{
+		cfg:     cfg,
+		lastSeq: make(map[string]uint64),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the poll loop (first poll immediately, then every
+// Interval).
+func (m *Monitor) Start() {
+	go func() {
+		defer close(m.done)
+		m.Poll(context.Background())
+		t := time.NewTicker(m.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Poll(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the poll loop and waits for it to exit.
+func (m *Monitor) Close() {
+	m.once.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// Snapshot returns the latest rolled-up cluster view. The zero
+// snapshot (Health == "") means no poll has completed yet.
+func (m *Monitor) Snapshot() ClusterSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.snap
+	// Aliased slices are never mutated in place (each poll builds fresh
+	// ones), so handing them out without copying is safe.
+	return s
+}
+
+// EventsSince returns the merged event tail with Time > since and
+// severity >= minSev, oldest first.
+func (m *Monitor) EventsSince(since int64, minSev events.Severity) []events.Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []events.Event
+	for _, e := range m.tail {
+		if e.Time > since && e.Sev >= minSev {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Polls returns how many polls have completed (for overhead tests).
+func (m *Monitor) Polls() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.polls
+}
+
+func (m *Monitor) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf("monitor: "+format, args...)
+	}
+}
+
+// call wraps one poll RPC in its timeout.
+func (m *Monitor) call(ctx context.Context, f func(context.Context) error) error {
+	cctx, cancel := context.WithTimeout(ctx, m.cfg.CallTimeout)
+	defer cancel()
+	return f(cctx)
+}
+
+// Poll runs one collection round and publishes the resulting snapshot.
+// The loop calls it on its ticker; tests may call it directly.
+func (m *Monitor) Poll(ctx context.Context) ClusterSnapshot {
+	now := time.Now()
+	in := rollupInput{now: now}
+
+	// Membership first: it names the providers everything else polls.
+	var ms pmanager.Membership
+	in.pmErr = m.call(ctx, func(c context.Context) (err error) {
+		ms, err = pmanager.FetchMembers(c, m.cfg.Pool, m.cfg.PMAddr)
+		return err
+	})
+	in.membership = ms
+
+	// Fan out the per-node polls; each has its own timeout, so one dead
+	// node cannot stall the round past CallTimeout.
+	var wg sync.WaitGroup
+	var collMu sync.Mutex
+	in.provStats = make(map[uint32]provider.Stats)
+	in.latency = make(map[uint32][2]stats.HistogramSnapshot)
+
+	eventTargets := map[string]bool{m.cfg.PMAddr: true}
+	for _, a := range m.cfg.EventNodes {
+		eventTargets[a] = true
+	}
+	for _, sh := range m.cfg.VMShards {
+		for _, a := range sh {
+			eventTargets[a] = true
+		}
+	}
+	for _, mem := range ms.Members {
+		if mem.Alive {
+			eventTargets[mem.Addr] = true
+		}
+		if !mem.Alive {
+			continue
+		}
+		mem := mem
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var st provider.Stats
+			err := m.call(ctx, func(c context.Context) error {
+				resp, err := m.cfg.Pool.Call(c, mem.Addr, provider.MStats, nil)
+				if err != nil {
+					return err
+				}
+				st, err = provider.DecodeStats(resp)
+				return err
+			})
+			if err != nil {
+				m.logf("stats %s: %v", mem.Addr, err)
+				return
+			}
+			var get, put stats.HistogramSnapshot
+			if err := m.call(ctx, func(c context.Context) (err error) {
+				get, put, err = provider.FetchLatency(c, m.cfg.Pool, mem.Addr)
+				return err
+			}); err != nil {
+				m.logf("latency %s: %v", mem.Addr, err)
+			}
+			collMu.Lock()
+			in.provStats[mem.ID] = st
+			in.latency[mem.ID] = [2]stats.HistogramSnapshot{get, put}
+			collMu.Unlock()
+		}()
+	}
+
+	// Version-plane status, one shard at a time (replicas within a
+	// shard polled sequentially — there are few).
+	shardRolls := make([]ShardRoll, len(m.cfg.VMShards))
+	for s := range m.cfg.VMShards {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			roll := ShardRoll{Shard: s, Leader: -1, Replicas: len(m.cfg.VMShards[s])}
+			for rIdx, addr := range m.cfg.VMShards[s] {
+				var st vmanager.ReplicaStatus
+				err := m.call(ctx, func(c context.Context) error {
+					resp, err := m.cfg.Pool.Call(c, addr, vmanager.MVmStatus, nil)
+					if err != nil {
+						return err
+					}
+					st, err = vmanager.DecodeReplicaStatus(resp)
+					return err
+				})
+				if err != nil {
+					continue
+				}
+				roll.Reachable++
+				if st.Term > roll.Term {
+					roll.Term = st.Term
+				}
+				if st.LogLen > roll.LogLen {
+					roll.LogLen = st.LogLen
+				}
+				if st.Blobs > roll.Blobs {
+					roll.Blobs = st.Blobs
+				}
+				if st.IsLeader {
+					roll.Leader = rIdx
+				}
+			}
+			shardRolls[s] = roll
+		}()
+	}
+
+	// Event tails, incremental per node.
+	var freshMu sync.Mutex
+	var fresh []events.Event
+	for addr := range eventTargets {
+		addr := addr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.mu.Lock()
+			since := m.lastSeq[addr]
+			m.mu.Unlock()
+			var latest uint64
+			var evs []events.Event
+			err := m.call(ctx, func(c context.Context) error {
+				resp, err := m.cfg.Pool.Call(c, addr, events.MEvents, events.EncodeEventsQuery(since, events.SevInfo))
+				if err != nil {
+					return err
+				}
+				latest, evs, err = events.DecodeEvents(resp)
+				return err
+			})
+			if err != nil {
+				return
+			}
+			m.mu.Lock()
+			if latest < since {
+				// The node restarted: its journal's sequence numbers
+				// began again at 1. Reset the cursor so the next poll
+				// collects the reborn journal from the top.
+				m.lastSeq[addr] = 0
+			} else if len(evs) > 0 {
+				m.lastSeq[addr] = evs[len(evs)-1].Seq
+			}
+			m.mu.Unlock()
+			if len(evs) == 0 {
+				return
+			}
+			freshMu.Lock()
+			fresh = append(fresh, evs...)
+			freshMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	in.shards = shardRolls
+
+	// Merge fresh events into the bounded tail and the aggregates.
+	sort.SliceStable(fresh, func(i, j int) bool { return fresh[i].Time < fresh[j].Time })
+
+	m.mu.Lock()
+	m.agg.ingest(fresh)
+	m.tail = append(m.tail, fresh...)
+	if len(m.tail) > m.cfg.EventTail {
+		m.tail = append([]events.Event(nil), m.tail[len(m.tail)-m.cfg.EventTail:]...)
+	}
+	in.agg = &m.agg
+	in.tail = append([]events.Event(nil), m.tail...)
+	rates := make(map[uint32][2]float64, len(in.provStats))
+	for id, st := range in.provStats {
+		g, p := m.rates.rates(id, st, now)
+		rates[id] = [2]float64{g, p}
+	}
+	m.rates.advance(now)
+	in.provRates = rates
+
+	snap := rollup(in)
+	m.snap = snap
+	m.polls++
+	m.mu.Unlock()
+	return snap
+}

@@ -287,3 +287,12 @@ func (c *Client) CacheStats() CacheStats {
 func (c *Client) StoreStats(ctx context.Context) (map[string]dht.StoreStats, error) {
 	return c.kv.Stats(ctx)
 }
+
+// Refresh refetches the metadata provider membership from the
+// directory, if the underlying kv client knows one. Long-lived agents
+// (the repairer) call this per sweep: a boot-time ring snapshot can
+// predate some providers' registration, and a stale ring hashes node
+// keys to the wrong provider forever.
+func (c *Client) Refresh(ctx context.Context) error {
+	return c.kv.Refresh(ctx)
+}

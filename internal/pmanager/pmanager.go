@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"blob/internal/erasure"
+	"blob/internal/events"
 	"blob/internal/rpc"
 	"blob/internal/wire"
 )
@@ -31,6 +32,8 @@ const (
 	MHeartbeat = 0x0402
 	MAllocate  = 0x0403
 	MList      = 0x0404
+	MMembers   = 0x0405
+	MDigests   = 0x0406
 )
 
 func init() {
@@ -38,6 +41,8 @@ func init() {
 	rpc.RegisterMethodName(MHeartbeat, "pmanager.MHeartbeat")
 	rpc.RegisterMethodName(MAllocate, "pmanager.MAllocate")
 	rpc.RegisterMethodName(MList, "pmanager.MList")
+	rpc.RegisterMethodName(MMembers, "pmanager.MMembers")
+	rpc.RegisterMethodName(MDigests, "pmanager.MDigests")
 }
 
 // Strategy selects providers for new pages.
@@ -86,6 +91,12 @@ type provider struct {
 	// deadNotified marks that a DeathWatch pass already reported this
 	// provider silent; a heartbeat or re-registration re-arms it.
 	deadNotified bool
+	// digHash/digest hold the provider's latest bloom holdings digest,
+	// piggybacked on heartbeats (docs/replication.md): clients seed
+	// their routing caches from here instead of probing providers on
+	// first miss. digest is the wire encoding (provider.Digest.Encode).
+	digHash uint64
+	digest  []byte
 }
 
 // Manager is the provider manager service.
@@ -96,6 +107,7 @@ type Manager struct {
 	red        erasure.Redundancy
 	rrCounter  uint64
 	rng        *rand.Rand
+	journal    *events.Journal
 	mu         sync.Mutex
 	byID       map[uint32]*provider
 	nextID     uint32
@@ -123,6 +135,9 @@ type Config struct {
 	// Seed seeds the randomized strategies (0 uses a fixed seed, keeping
 	// placement reproducible in experiments).
 	Seed int64
+	// Journal, if set, records membership transitions (heartbeat
+	// deaths, registrations, digest refreshes) for the monitor plane.
+	Journal *events.Journal
 }
 
 // New creates a Manager.
@@ -140,6 +155,7 @@ func New(cfg Config) *Manager {
 		replicas:  cfg.Replicas,
 		red:       cfg.Redundancy,
 		rng:       rand.New(rand.NewSource(seed)),
+		journal:   cfg.Journal,
 		byID:      make(map[uint32]*provider),
 		nextID:    1,
 	}
@@ -154,13 +170,19 @@ func (m *Manager) Redundancy() erasure.Redundancy { return m.red }
 // Register adds (or re-registers) a provider, returning its ID.
 func (m *Manager) Register(addr string, capacity int64) uint32 {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, p := range m.byID {
 		if p.info.Addr == addr {
 			p.capacity = capacity
 			p.lastSeen = time.Now()
+			wasDead := p.deadNotified
 			p.deadNotified = false
-			return p.info.ID
+			id, epoch := p.info.ID, m.epoch
+			m.mu.Unlock()
+			if wasDead {
+				m.journal.Emit(events.SevInfo, events.MembershipRefresh, int64(epoch),
+					"provider %d (%s) re-registered after death", id, addr)
+			}
+			return id
 		}
 	}
 	id := m.nextID
@@ -171,23 +193,43 @@ func (m *Manager) Register(addr string, capacity int64) uint32 {
 		lastSeen: time.Now(),
 	}
 	m.epoch++
+	epoch := m.epoch
+	m.mu.Unlock()
+	m.journal.Emit(events.SevInfo, events.MembershipRefresh, int64(epoch),
+		"provider %d (%s) registered; epoch %d", id, addr, epoch)
 	return id
 }
 
-// Heartbeat records a provider's load report. Unknown IDs are ignored
-// (the provider should re-register after a manager restart).
-func (m *Manager) Heartbeat(id uint32, bytesUsed, activeOps int64) bool {
+// Heartbeat records a provider's load report plus an optional bloom
+// holdings digest (digHash identifies it; digest is its wire encoding,
+// sent only when the provider believes ours is stale). It returns
+// whether the id is known and the digest hash now held, so the sender
+// can decide whether the next beat needs the bytes. Unknown IDs are
+// ignored (the provider should re-register after a manager restart).
+func (m *Manager) Heartbeat(id uint32, bytesUsed, activeOps int64, digHash uint64, digest []byte) (known bool, heldHash uint64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	p, ok := m.byID[id]
 	if !ok {
-		return false
+		m.mu.Unlock()
+		return false, 0
 	}
 	p.bytesUsed = bytesUsed
 	p.activeOps = activeOps
 	p.lastSeen = time.Now()
 	p.deadNotified = false
-	return true
+	refreshed := false
+	if len(digest) > 0 && digHash != p.digHash {
+		p.digHash = digHash
+		p.digest = append([]byte(nil), digest...)
+		refreshed = true
+	}
+	held := p.digHash
+	m.mu.Unlock()
+	if refreshed {
+		m.journal.Emit(events.SevInfo, events.DigestRefresh, int64(id),
+			"provider %d pushed holdings digest (%d bytes)", id, len(digest))
+	}
+	return true, held
 }
 
 // DeathWatch scans for providers that stopped heartbeating and calls
@@ -226,6 +268,10 @@ func (m *Manager) DeathWatch(stop <-chan struct{}, onDeath func(id uint32)) {
 		}
 		m.mu.Unlock()
 		for _, id := range dead {
+			m.journal.Emit(events.SevWarn, events.HeartbeatDeath, int64(id),
+				"provider %d silent past %s; excluded from placement", id, m.hbTimeout)
+			m.journal.Emit(events.SevInfo, events.DeathWatchTrigger, int64(id),
+				"triggering repair for dead provider %d", id)
 			onDeath(id)
 		}
 	}
@@ -351,12 +397,72 @@ func (m *Manager) List() (uint64, []ProviderInfo) {
 	return m.epoch, out
 }
 
+// Member is the monitor-facing view of one registered provider.
+type Member struct {
+	ID        uint32
+	Addr      string
+	Alive     bool
+	LastSeen  time.Duration // age of the last heartbeat
+	Capacity  int64
+	BytesUsed int64
+	ActiveOps int64
+	DigHash   uint64
+}
+
+// Members returns every registered provider with liveness, the epoch
+// and the advertised redundancy — the monitor's membership snapshot.
+func (m *Manager) Members() (uint64, []Member) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	out := make([]Member, 0, len(m.byID))
+	for _, p := range m.byID {
+		age := now.Sub(p.lastSeen)
+		out = append(out, Member{
+			ID:        p.info.ID,
+			Addr:      p.info.Addr,
+			Alive:     m.hbTimeout <= 0 || age <= m.hbTimeout,
+			LastSeen:  age,
+			Capacity:  p.capacity,
+			BytesUsed: p.bytesUsed,
+			ActiveOps: p.activeOps,
+			DigHash:   p.digHash,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return m.epoch, out
+}
+
+// ProviderDigest is one provider's piggybacked holdings digest.
+type ProviderDigest struct {
+	ID      uint32
+	DigHash uint64
+	Digest  []byte // wire encoding (provider.Digest.Encode); empty = none held
+}
+
+// Digests returns the holdings digests collected from heartbeats.
+func (m *Manager) Digests() []ProviderDigest {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ProviderDigest, 0, len(m.byID))
+	for _, p := range m.byID {
+		if len(p.digest) == 0 {
+			continue
+		}
+		out = append(out, ProviderDigest{ID: p.info.ID, DigHash: p.digHash, Digest: p.digest})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
 // RegisterHandlers wires the manager's RPC methods onto srv.
 func (m *Manager) RegisterHandlers(srv *rpc.Server) {
 	srv.Handle(MRegister, m.handleRegister)
 	srv.Handle(MHeartbeat, m.handleHeartbeat)
 	srv.Handle(MAllocate, m.handleAllocate)
 	srv.Handle(MList, m.handleList)
+	srv.Handle(MMembers, m.handleMembers)
+	srv.Handle(MDigests, m.handleDigests)
 }
 
 func (m *Manager) handleRegister(_ context.Context, body []byte) ([]byte, error) {
@@ -377,12 +483,56 @@ func (m *Manager) handleHeartbeat(_ context.Context, body []byte) ([]byte, error
 	id := r.Uint32()
 	bytesUsed := r.Varint()
 	activeOps := r.Varint()
+	// Digest piggyback fields; absent on the legacy 3-field form.
+	var digHash uint64
+	var digest []byte
+	if r.Remaining() > 0 {
+		digHash = r.Uint64()
+		digest = r.BytesField()
+	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("pmanager heartbeat: %w", err)
 	}
-	known := m.Heartbeat(id, bytesUsed, activeOps)
-	w := wire.NewWriter(1)
+	known, held := m.Heartbeat(id, bytesUsed, activeOps, digHash, digest)
+	w := wire.NewWriter(12)
 	w.Bool(known)
+	w.Uint64(held)
+	return w.Bytes(), nil
+}
+
+func (m *Manager) handleMembers(_ context.Context, _ []byte) ([]byte, error) {
+	epoch, members := m.Members()
+	w := wire.NewWriter(32 + 48*len(members))
+	w.Uint64(epoch)
+	w.Uint8(uint8(m.red.K))
+	w.Uint8(uint8(m.red.M))
+	w.Uvarint(uint64(len(members)))
+	for _, mb := range members {
+		w.Uint32(mb.ID)
+		w.String(mb.Addr)
+		w.Bool(mb.Alive)
+		w.Varint(int64(mb.LastSeen))
+		w.Varint(mb.Capacity)
+		w.Varint(mb.BytesUsed)
+		w.Varint(mb.ActiveOps)
+		w.Uint64(mb.DigHash)
+	}
+	return w.Bytes(), nil
+}
+
+func (m *Manager) handleDigests(_ context.Context, _ []byte) ([]byte, error) {
+	ds := m.Digests()
+	sz := 16
+	for _, d := range ds {
+		sz += 16 + len(d.Digest)
+	}
+	w := wire.NewWriter(sz)
+	w.Uvarint(uint64(len(ds)))
+	for _, d := range ds {
+		w.Uint32(d.ID)
+		w.Uint64(d.DigHash)
+		w.BytesField(d.Digest)
+	}
 	return w.Bytes(), nil
 }
 
@@ -469,12 +619,33 @@ func RegisterProvider(ctx context.Context, pool *rpc.Pool, pmAddr, addr string, 
 
 // SendHeartbeat reports load for a provider.
 func SendHeartbeat(ctx context.Context, pool *rpc.Pool, pmAddr string, id uint32, bytesUsed, activeOps int64) error {
-	w := wire.NewWriter(24)
+	_, err := SendHeartbeatDigest(ctx, pool, pmAddr, id, bytesUsed, activeOps, 0, nil)
+	return err
+}
+
+// SendHeartbeatDigest reports load plus the provider's holdings digest:
+// digHash identifies the digest the provider currently has, digest (its
+// wire encoding) rides along only when the sender believes the manager
+// is stale. The returned heldHash is what the manager holds after this
+// beat — when it differs from digHash the next beat should carry the
+// bytes.
+func SendHeartbeatDigest(ctx context.Context, pool *rpc.Pool, pmAddr string, id uint32, bytesUsed, activeOps int64, digHash uint64, digest []byte) (heldHash uint64, err error) {
+	w := wire.NewWriter(36 + len(digest))
 	w.Uint32(id)
 	w.Varint(bytesUsed)
 	w.Varint(activeOps)
-	_, err := pool.Call(ctx, pmAddr, MHeartbeat, w.Bytes())
-	return err
+	w.Uint64(digHash)
+	w.BytesField(digest)
+	resp, err := pool.Call(ctx, pmAddr, MHeartbeat, w.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(resp)
+	r.Bool() // known
+	if r.Remaining() > 0 {
+		heldHash = r.Uint64()
+	}
+	return heldHash, r.Err()
 }
 
 // Directory is a decoded MList response: the registration epoch, the
@@ -484,6 +655,66 @@ type Directory struct {
 	Epoch      uint64
 	Redundancy erasure.Redundancy
 	Providers  []ProviderInfo
+}
+
+// Membership is a decoded MMembers response.
+type Membership struct {
+	Epoch      uint64
+	Redundancy erasure.Redundancy
+	Members    []Member
+}
+
+// FetchMembers retrieves the monitor-facing membership snapshot.
+func FetchMembers(ctx context.Context, pool *rpc.Pool, pmAddr string) (Membership, error) {
+	resp, err := pool.Call(ctx, pmAddr, MMembers, nil)
+	if err != nil {
+		return Membership{}, fmt.Errorf("pmanager: members: %w", err)
+	}
+	r := wire.NewReader(resp)
+	ms := Membership{Epoch: r.Uint64()}
+	ms.Redundancy = erasure.Redundancy{K: int(r.Uint8()), M: int(r.Uint8())}
+	n := int(r.Uvarint())
+	if n > r.Remaining()/12+1 {
+		return Membership{}, fmt.Errorf("pmanager: member count %d exceeds body", n)
+	}
+	ms.Members = make([]Member, 0, n)
+	for i := 0; i < n; i++ {
+		ms.Members = append(ms.Members, Member{
+			ID:        r.Uint32(),
+			Addr:      r.String(),
+			Alive:     r.Bool(),
+			LastSeen:  time.Duration(r.Varint()),
+			Capacity:  r.Varint(),
+			BytesUsed: r.Varint(),
+			ActiveOps: r.Varint(),
+			DigHash:   r.Uint64(),
+		})
+	}
+	return ms, r.Err()
+}
+
+// FetchDigests retrieves the holdings digests the manager collected
+// from provider heartbeats. Digest bytes are copied out of the pooled
+// response, so callers may retain them.
+func FetchDigests(ctx context.Context, pool *rpc.Pool, pmAddr string) ([]ProviderDigest, error) {
+	resp, err := pool.Call(ctx, pmAddr, MDigests, nil)
+	if err != nil {
+		return nil, fmt.Errorf("pmanager: digests: %w", err)
+	}
+	r := wire.NewReader(resp)
+	n := int(r.Uvarint())
+	if n > r.Remaining()/13+1 {
+		return nil, fmt.Errorf("pmanager: digest count %d exceeds body", n)
+	}
+	out := make([]ProviderDigest, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ProviderDigest{
+			ID:      r.Uint32(),
+			DigHash: r.Uint64(),
+			Digest:  r.BytesCopy(),
+		})
+	}
+	return out, r.Err()
 }
 
 // FetchProviders retrieves the provider directory.

@@ -84,9 +84,9 @@ func TestRoundRobinBalances(t *testing.T) {
 func TestLeastLoadedPrefersEmpty(t *testing.T) {
 	m := newManagerWith(t, Config{Strategy: LeastLoaded}, 3)
 	// Report heavy load on providers 1 and 2.
-	m.Heartbeat(1, 1<<30, 0)
-	m.Heartbeat(2, 1<<30, 0)
-	m.Heartbeat(3, 0, 0)
+	m.Heartbeat(1, 1<<30, 0, 0, nil)
+	m.Heartbeat(2, 1<<30, 0, 0, nil)
+	m.Heartbeat(3, 0, 0, 0, nil)
 	ids, _, err := m.Allocate(4, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestHeartbeatTimeoutExcludesDead(t *testing.T) {
 	if _, _, err := m.Allocate(1, 1); !errors.Is(err, ErrNoProviders) {
 		t.Fatalf("stale providers still allocatable: %v", err)
 	}
-	m.Heartbeat(idA, 10, 0) // A comes back
+	m.Heartbeat(idA, 10, 0, 0, nil) // A comes back
 	ids, _, err := m.Allocate(2, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -140,7 +140,7 @@ func TestHeartbeatTimeoutExcludesDead(t *testing.T) {
 
 func TestHeartbeatUnknownID(t *testing.T) {
 	m := New(Config{})
-	if m.Heartbeat(99, 0, 0) {
+	if known, _ := m.Heartbeat(99, 0, 0, 0, nil); known {
 		t.Error("heartbeat for unknown ID should report false")
 	}
 }
@@ -210,6 +210,43 @@ func TestRPCEndToEnd(t *testing.T) {
 	if dir.Redundancy.IsRS() {
 		t.Errorf("default deployment advertises %v, want replicate", dir.Redundancy)
 	}
+
+	// Digest piggyback: the first extended heartbeat carries the bytes
+	// (manager held nothing), after which the held hash matches and a
+	// hash-only beat suffices. MDigests then serves the stored copy.
+	dig := []byte{1, 2, 3, 4}
+	held, err := SendHeartbeatDigest(ctx, pool, "pm:rpc", id, 123, 4, 0xfeed, dig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held != 0xfeed {
+		t.Errorf("held hash after digest beat = %#x, want 0xfeed", held)
+	}
+	held, err = SendHeartbeatDigest(ctx, pool, "pm:rpc", id, 123, 4, 0xfeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held != 0xfeed {
+		t.Errorf("hash-only beat lost the held digest: held = %#x", held)
+	}
+	digs, err := FetchDigests(ctx, pool, "pm:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(digs) != 1 || digs[0].ID != id || digs[0].DigHash != 0xfeed ||
+		string(digs[0].Digest) != string(dig) {
+		t.Errorf("digests = %+v", digs)
+	}
+
+	// Membership snapshot carries load and the digest hash.
+	ms, err := FetchMembers(ctx, pool, "pm:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Members) != 1 || !ms.Members[0].Alive || ms.Members[0].DigHash != 0xfeed ||
+		ms.Members[0].BytesUsed != 123 {
+		t.Errorf("members = %+v", ms)
+	}
 }
 
 func TestAllocateInvalidCount(t *testing.T) {
@@ -270,7 +307,7 @@ func TestDeathWatch(t *testing.T) {
 	}
 
 	// A heartbeat revives the provider and re-arms the watch.
-	if !m.Heartbeat(id, 0, 0) {
+	if known, _ := m.Heartbeat(id, 0, 0, 0, nil); !known {
 		t.Fatal("heartbeat rejected")
 	}
 	select {

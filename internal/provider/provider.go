@@ -35,6 +35,10 @@ const (
 	// bloom digest; pull missing pages from a named healthy peer.
 	MListWrites = 0x0306
 	MPullPages  = 0x0307
+
+	// MLatency serves the provider's get/put latency histogram
+	// snapshots for the monitor's cluster-wide quantile rollups.
+	MLatency = 0x0308
 )
 
 // ErrFull is returned when a put would exceed the provider's capacity.

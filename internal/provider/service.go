@@ -3,6 +3,7 @@ package provider
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"blob/internal/rpc"
 	"blob/internal/stats"
@@ -31,6 +32,11 @@ type Service struct {
 	repairedPages stats.Counter
 	repairBytes   stats.Counter
 	bloomSkips    stats.Counter
+
+	// GetLatency and PutLatency record page-serving handler latency;
+	// MLatency exports their snapshots for cluster-wide merging.
+	GetLatency stats.Histogram
+	PutLatency stats.Histogram
 }
 
 // NewService creates a Service serving ps.
@@ -58,6 +64,7 @@ func init() {
 	rpc.RegisterMethodName(MStats, "provider.MStats")
 	rpc.RegisterMethodName(MListWrites, "provider.MListWrites")
 	rpc.RegisterMethodName(MPullPages, "provider.MPullPages")
+	rpc.RegisterMethodName(MLatency, "provider.MLatency")
 }
 
 // RegisterHandlers wires the provider's RPC methods onto srv.
@@ -69,6 +76,7 @@ func (sv *Service) RegisterHandlers(srv *rpc.Server) {
 	srv.Handle(MStats, sv.handleStats)
 	srv.Handle(MListWrites, sv.handleListWrites)
 	srv.Handle(MPullPages, sv.handlePullPages)
+	srv.Handle(MLatency, sv.handleLatency)
 }
 
 // Wire formats.
@@ -79,7 +87,11 @@ func (sv *Service) RegisterHandlers(srv *rpc.Server) {
 
 func (sv *Service) handlePutPages(_ context.Context, body []byte) ([]byte, error) {
 	sv.ActiveOps.Add(1)
-	defer sv.ActiveOps.Add(-1)
+	start := time.Now()
+	defer func() {
+		sv.PutLatency.Observe(time.Since(start))
+		sv.ActiveOps.Add(-1)
+	}()
 	r := wire.NewReader(body)
 	blob := r.Uint64()
 	write := r.Uint64()
@@ -107,7 +119,11 @@ func (sv *Service) handlePutPages(_ context.Context, body []byte) ([]byte, error
 // without intermediate assembly.
 func (sv *Service) handleGetPages(_ context.Context, body []byte) ([][]byte, error) {
 	sv.ActiveOps.Add(1)
-	defer sv.ActiveOps.Add(-1)
+	start := time.Now()
+	defer func() {
+		sv.GetLatency.Observe(time.Since(start))
+		sv.ActiveOps.Add(-1)
+	}()
 	r := wire.NewReader(body)
 	n := int(r.Uvarint())
 	// Each ref occupies exactly 20 request bytes, so any claimed count

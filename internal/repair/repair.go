@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"blob/internal/core"
+	"blob/internal/events"
 	"blob/internal/meta"
 	"blob/internal/mstore"
 	"blob/internal/provider"
@@ -36,6 +37,9 @@ type Repairer struct {
 	c *core.Client
 	// Log, when set, receives progress lines (blobnode wires its logger).
 	Log func(format string, args ...any)
+	// Journal, when set, records sweep-level cluster events
+	// (repair-start/finish, redundancy degradation) for the monitor.
+	Journal *events.Journal
 }
 
 // New creates a repair agent over an established client.
@@ -472,6 +476,8 @@ func eligibleSources(holdings map[uint32]provider.Holdings, heldBy map[uint32]ma
 // first hard error aborts (per-provider failures are soft and counted
 // in the report).
 func (r *Repairer) RepairAll(ctx context.Context, blobs []uint64) (Report, error) {
+	r.Journal.Emit(events.SevInfo, events.RepairStart, int64(len(blobs)),
+		"sweep over %d blobs", len(blobs))
 	var total Report
 	for _, id := range blobs {
 		rep, err := r.RepairBlob(ctx, id)
@@ -487,8 +493,50 @@ func (r *Repairer) RepairAll(ctx context.Context, blobs []uint64) (Report, error
 		total.Unrepairable += rep.Unrepairable
 		total.ProviderErrors += rep.ProviderErrors
 		if err != nil {
+			r.emitSweep(total, err)
 			return total, err
 		}
 	}
+	r.emitSweep(total, nil)
 	return total, nil
+}
+
+// emitSweep records the sweep's outcome in the journal: what was found
+// degraded, what reconstruction rebuilt, what stayed broken, and the
+// redundancy debt left outstanding (RepairFinish.Val — the monitor's
+// debt source).
+func (r *Repairer) emitSweep(total Report, err error) {
+	if r.Journal == nil {
+		return
+	}
+	if total.PagesMissing > 0 {
+		r.Journal.Emit(events.SevWarn, events.RedundancyDegraded, total.PagesMissing,
+			"sweep found %d degraded slots (%d checked)", total.PagesMissing, total.PagesChecked)
+	}
+	if total.PagesReconstructed > 0 {
+		r.Journal.Emit(events.SevInfo, events.PagesReconstructed, total.PagesReconstructed,
+			"reconstructed %d pages (%d bytes pushed, %d survivor bytes read)",
+			total.PagesReconstructed, total.ReconstructedBytes, total.SurvivorBytes)
+	}
+	if total.Unrepairable > 0 {
+		r.Journal.Emit(events.SevError, events.Unrepairable, total.Unrepairable,
+			"%d slots unrepairable (%d provider errors)", total.Unrepairable, total.ProviderErrors)
+	}
+	outstanding := total.Unrepairable
+	sev := events.SevInfo
+	detail := ""
+	if err != nil {
+		sev = events.SevError
+		detail = "; aborted: " + err.Error()
+		// An aborted sweep proves nothing about unexamined slots: keep
+		// whatever degradation it saw on the books.
+		if m := total.PagesMissing - total.PagesRepaired - total.PagesSkipped - total.PagesReconstructed; m > outstanding {
+			outstanding = m
+		}
+	} else if outstanding > 0 {
+		sev = events.SevWarn
+	}
+	r.Journal.Emit(sev, events.RepairFinish, outstanding,
+		"sweep done: %d repaired, %d reconstructed, %d outstanding%s",
+		total.PagesRepaired, total.PagesReconstructed, outstanding, detail)
 }

@@ -3,7 +3,9 @@ package rpc
 import (
 	"context"
 	"sync"
+	"time"
 
+	"blob/internal/events"
 	"blob/internal/trace"
 )
 
@@ -18,11 +20,69 @@ type Pool struct {
 	mu      sync.Mutex
 	clients map[string]*Client
 	closed  bool
+
+	journal *events.Journal
+	dialsMu sync.Mutex
+	dials   map[string]*dialState
 }
+
+// dialState tracks consecutive dial failures to one address so the
+// journal records failure bursts, not every failed attempt.
+type dialState struct {
+	fails    int64
+	lastEmit time.Time
+}
+
+// dialEventCooldown is the minimum spacing between dial-failure events
+// for the same address.
+const dialEventCooldown = 5 * time.Second
 
 // NewPool returns an empty pool over the given network.
 func NewPool(n Network) *Pool {
 	return &Pool{network: n, clients: make(map[string]*Client)}
+}
+
+// SetJournal attaches a cluster event journal: bursts of dial failures
+// to one address emit a rate-limited events.DialFailure. Call before
+// the pool is shared.
+func (p *Pool) SetJournal(j *events.Journal) {
+	if !j.Enabled() {
+		return
+	}
+	p.dialsMu.Lock()
+	p.journal = j
+	p.dials = make(map[string]*dialState)
+	p.dialsMu.Unlock()
+}
+
+// noteDial records a dial outcome for addr, emitting a DialFailure
+// event when failures persist past the per-address cooldown.
+func (p *Pool) noteDial(addr string, err error) {
+	if p.journal == nil {
+		return
+	}
+	p.dialsMu.Lock()
+	if err == nil {
+		delete(p.dials, addr)
+		p.dialsMu.Unlock()
+		return
+	}
+	st := p.dials[addr]
+	if st == nil {
+		st = &dialState{}
+		p.dials[addr] = st
+	}
+	st.fails++
+	fails := st.fails
+	emit := time.Since(st.lastEmit) >= dialEventCooldown
+	if emit {
+		st.lastEmit = time.Now()
+	}
+	p.dialsMu.Unlock()
+	if emit {
+		p.journal.Emit(events.SevWarn, events.DialFailure, fails,
+			"dial %s failing (%d consecutive): %v", addr, fails, err)
+	}
 }
 
 // Get returns a live client for addr, dialing if necessary.
@@ -40,6 +100,7 @@ func (p *Pool) Get(addr string) (*Client, error) {
 
 	// Dial outside the lock; racing dials are harmless (loser is closed).
 	c, err := Dial(p.network, addr)
+	p.noteDial(addr, err)
 	if err != nil {
 		return nil, err
 	}

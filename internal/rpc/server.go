@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"blob/internal/events"
 	"blob/internal/stats"
 	"blob/internal/trace"
 )
@@ -27,9 +28,10 @@ func RegisterMethodName(method uint32, name string) {
 }
 
 func init() {
-	// trace cannot import rpc (rpc imports trace), so its one method id
-	// is named here.
+	// trace and events cannot import rpc (rpc imports both), so their
+	// method ids are named here.
 	RegisterMethodName(trace.MSpans, "trace.MSpans")
+	RegisterMethodName(events.MEvents, "events.MEvents")
 }
 
 // MethodName returns the registered name for a method id, or a hex
@@ -145,6 +147,23 @@ func (s *Server) SetTracer(t *trace.Tracer) {
 			return nil, err
 		}
 		return trace.EncodeSpans(t.SpansFor(id)), nil
+	})
+}
+
+// SetJournal attaches a cluster event journal: the events.MEvents
+// method is served from the journal's ring, so the monitor and blobctl
+// can tail this node's state transitions. Call at most once, before
+// Serve.
+func (s *Server) SetJournal(j *events.Journal) {
+	if !j.Enabled() {
+		return
+	}
+	s.Handle(events.MEvents, func(_ context.Context, body []byte) ([]byte, error) {
+		since, minSev, err := events.DecodeEventsQuery(body)
+		if err != nil {
+			return nil, err
+		}
+		return events.EncodeEvents(j.LatestSeq(), j.EventsSince(since, minSev)), nil
 	})
 }
 
@@ -389,7 +408,10 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 			}()
 			if metrics != nil {
-				metrics.hist(method).Observe(time.Since(start))
+				// Traced requests leave their trace ID as the bucket's
+				// exemplar, so a latency spike on /metrics points at a
+				// concrete span tree.
+				metrics.hist(method).ObserveExemplar(time.Since(start), tc.TraceID)
 			}
 			op.EndErr(err)
 			r := reply{id: id, req: body}

@@ -147,8 +147,17 @@ func writeHistogram(w io.Writer, name string, h *Histogram) error {
 		}
 		_, hi := bucketBounds(i)
 		le := fmt.Sprintf("%g", float64(hi)/1e6) // µs bound → seconds
-		if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_bucket"+name[len(fam):], "le", le), cum); err != nil {
+		series := withLabel(fam+"_bucket"+name[len(fam):], "le", le)
+		if _, err := fmt.Fprintf(w, "%s %d\n", series, cum); err != nil {
 			return err
+		}
+		// Exemplar trace IDs ride as comment lines (the 0.0.4 text
+		// format has no exemplar syntax; comments keep every parser
+		// happy while `blobctl trace <id>` can still pivot from them).
+		if ex := h.exemplars[i].Load(); ex != 0 {
+			if _, err := fmt.Fprintf(w, "# exemplar %s trace=%016x\n", series, ex); err != nil {
+				return err
+			}
 		}
 	}
 	if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_bucket"+name[len(fam):], "le", "+Inf"), h.count.Load()); err != nil {

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"blob/internal/wire"
+)
+
+func TestSnapshotMergeQuantile(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 90; i++ {
+		a.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(10 * time.Millisecond)
+	}
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 100 {
+		t.Fatalf("merged count = %d, want 100", s.Count)
+	}
+	if s.Max() != 10*time.Millisecond {
+		t.Errorf("merged max = %v, want 10ms", s.Max())
+	}
+	// p50 must land in the fast population, p99 in the slow one.
+	if p50 := s.Quantile(0.50); p50 > time.Millisecond {
+		t.Errorf("p50 = %v, want sub-millisecond", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 5*time.Millisecond {
+		t.Errorf("p99 = %v, want in the 10ms band", p99)
+	}
+	// Single-histogram quantiles agree with snapshot quantiles.
+	if a.Quantile(0.99) != a.Snapshot().Quantile(0.99) {
+		t.Error("Histogram.Quantile disagrees with its own snapshot")
+	}
+}
+
+func TestSnapshotEmptyMerge(t *testing.T) {
+	var s HistogramSnapshot
+	s.Merge(HistogramSnapshot{})
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Error("empty merged snapshot should report zeros")
+	}
+}
+
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Microsecond)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Second)
+	want := h.Snapshot()
+
+	var w wire.Writer
+	want.EncodeTo(&w)
+	w.String("tail") // snapshots must not consume past their end
+
+	r := wire.NewReader(w.Bytes())
+	got, err := DecodeSnapshotFrom(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if r.String() != "tail" {
+		t.Error("decode consumed past the snapshot")
+	}
+
+	// A bucket count beyond the fixed array is rejected, not written
+	// out of bounds.
+	var bad wire.Writer
+	bad.Uvarint(64)
+	if _, err := DecodeSnapshotFrom(wire.NewReader(bad.Bytes())); err == nil {
+		t.Error("oversized bucket count accepted")
+	}
+}
+
+func TestObserveExemplar(t *testing.T) {
+	var h Histogram
+	h.ObserveExemplar(100*time.Microsecond, 0xabcd)
+	h.ObserveExemplar(100*time.Microsecond, 0) // untraced: keeps prior exemplar
+	b := bucketOf(100)
+	if got := h.Exemplar(b); got != 0xabcd {
+		t.Fatalf("exemplar = %#x, want 0xabcd", got)
+	}
+	h.ObserveExemplar(100*time.Microsecond, 0xbeef) // last traced writer wins
+	if got := h.Exemplar(b); got != 0xbeef {
+		t.Fatalf("exemplar = %#x, want 0xbeef", got)
+	}
+	if h.Exemplar(-1) != 0 || h.Exemplar(99) != 0 {
+		t.Error("out-of-range exemplar index should return 0")
+	}
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3 (exemplar observations still count)", h.Count())
+	}
+}
+
+func TestPrometheusExemplarComment(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Label("req_seconds", "method", "MGet"))
+	h.ObserveExemplar(100*time.Microsecond, 0xdead)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# exemplar ") || !strings.Contains(out, "trace=000000000000dead") {
+		t.Errorf("exposition missing exemplar comment:\n%s", out)
+	}
+	// The comment must reference the bucket series it annotates.
+	if !strings.Contains(out, `# exemplar req_seconds_bucket{method="MGet",le=`) {
+		t.Errorf("exemplar comment not tied to its bucket series:\n%s", out)
+	}
+}

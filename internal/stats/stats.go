@@ -56,6 +56,10 @@ type Histogram struct {
 	count   atomic.Int64
 	sumUS   atomic.Int64
 	maxUS   atomic.Int64
+	// exemplars[i] holds the trace ID of the most recent traced
+	// observation that landed in bucket i (0 = none yet), giving each
+	// latency bucket a concrete request to pivot into via MSpans.
+	exemplars [32]atomic.Uint64
 }
 
 func bucketOf(us int64) int {
@@ -96,6 +100,30 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// ObserveExemplar records one duration and, when traceID is nonzero,
+// remembers it as the bucket's exemplar: a real request whose span tree
+// explains that latency band. The last writer wins, which is exactly
+// the freshness an operator pivoting from a histogram wants.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	if traceID != 0 {
+		h.exemplars[bucketOf(us)].Store(traceID)
+	}
+	h.Observe(d)
+}
+
+// Exemplar returns the trace ID most recently recorded for bucket i
+// (0 when the bucket has never seen a traced observation).
+func (h *Histogram) Exemplar(i int) uint64 {
+	if i < 0 || i >= len(h.exemplars) {
+		return 0
+	}
+	return h.exemplars[i].Load()
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -119,7 +147,66 @@ func (h *Histogram) Max() time.Duration {
 // The estimate is clamped to the observed maximum, so Quantile(1) ==
 // Max and the tail bucket (whose upper bound is open) stays honest.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.count.Load()
+	return h.Snapshot().Quantile(q)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's buckets —
+// a plain value that travels over RPCs (see EncodeTo/DecodeSnapshot)
+// and merges with snapshots from other nodes, which is how the monitor
+// computes cluster-wide quantiles from per-node histograms.
+type HistogramSnapshot struct {
+	Buckets [32]int64
+	Count   int64
+	SumUS   int64
+	MaxUS   int64
+}
+
+// Snapshot copies the histogram's current state. Buckets are loaded
+// individually, so a snapshot taken during concurrent observation may
+// be off by the in-flight observations — fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumUS = h.sumUS.Load()
+	s.MaxUS = h.maxUS.Load()
+	return s
+}
+
+// Merge folds another snapshot into s (bucket-wise sum, max of maxes).
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.SumUS += o.SumUS
+	if o.MaxUS > s.MaxUS {
+		s.MaxUS = o.MaxUS
+	}
+}
+
+// Max returns the largest observation in the snapshot.
+func (s HistogramSnapshot) Max() time.Duration {
+	return time.Duration(s.MaxUS) * time.Microsecond
+}
+
+// Mean returns the snapshot's mean observation.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumUS/s.Count) * time.Microsecond
+}
+
+// Quantile estimates the q-quantile of the snapshot; see
+// Histogram.Quantile for the interpolation rules.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	total := int64(0)
+	for i := range s.Buckets {
+		total += s.Buckets[i]
+	}
 	if total == 0 {
 		return 0
 	}
@@ -127,10 +214,10 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if rank < 1 {
 		rank = 1
 	}
-	max := h.Max()
+	max := s.Max()
 	var cum int64
-	for i := range h.buckets {
-		n := h.buckets[i].Load()
+	for i := range s.Buckets {
+		n := s.Buckets[i]
 		cum += n
 		if cum < rank {
 			continue

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"fmt"
+
+	"blob/internal/wire"
+)
+
+// Histogram snapshots travel inside latency RPCs (provider.MLatency)
+// so the monitor can merge per-node distributions into cluster
+// quantiles. The encoding trims trailing empty buckets: a histogram
+// whose slowest observation sits in bucket 12 costs 13 varints, not 32.
+
+// EncodeTo appends the snapshot to w.
+func (s HistogramSnapshot) EncodeTo(w *wire.Writer) {
+	n := len(s.Buckets)
+	for n > 0 && s.Buckets[n-1] == 0 {
+		n--
+	}
+	w.Uvarint(uint64(n))
+	for i := 0; i < n; i++ {
+		w.Varint(s.Buckets[i])
+	}
+	w.Varint(s.Count)
+	w.Varint(s.SumUS)
+	w.Varint(s.MaxUS)
+}
+
+// DecodeSnapshotFrom reads one snapshot written by EncodeTo. It leaves
+// r positioned after the snapshot, so several can be concatenated.
+func DecodeSnapshotFrom(r *wire.Reader) (HistogramSnapshot, error) {
+	var s HistogramSnapshot
+	n := r.Uvarint()
+	if n > uint64(len(s.Buckets)) {
+		return s, fmt.Errorf("stats: snapshot has %d buckets, max %d", n, len(s.Buckets))
+	}
+	for i := uint64(0); i < n; i++ {
+		s.Buckets[i] = r.Varint()
+	}
+	s.Count = r.Varint()
+	s.SumUS = r.Varint()
+	s.MaxUS = r.Varint()
+	return s, r.Err()
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"blob/internal/erasure"
+	"blob/internal/events"
 	"blob/internal/meta"
 	"blob/internal/rpc"
 	"blob/internal/wire"
@@ -129,6 +130,9 @@ type ReplicaConfig struct {
 	Manager Config
 	// Logf, if set, receives handoff/resync events.
 	Logf func(format string, args ...any)
+	// Journal, if set, records cluster events (elections, term
+	// changes, truncation, snapshot installs) for the monitor plane.
+	Journal *events.Journal
 }
 
 func (c *ReplicaConfig) defaults() {
@@ -287,6 +291,12 @@ func (r *Replica) logf(format string, args ...any) {
 	}
 }
 
+// emit records a cluster event prefixed with this replica's identity.
+// Safe when no journal is configured.
+func (r *Replica) emit(sev events.Severity, typ events.Type, val int64, format string, args ...any) {
+	r.cfg.Journal.Emit(sev, typ, val, "s%dr%d: "+format, append([]any{r.cfg.Shard, r.cfg.Index}, args...)...)
+}
+
 // leaderLocked gates a client call on this replica being the live
 // leader.
 func (r *Replica) leaderLocked() error {
@@ -345,6 +355,8 @@ func (r *Replica) truncateLocked() {
 	drop := len(r.log) - r.cfg.MaxLogRecords/2
 	r.logBase += uint64(drop)
 	r.log = append([]LogRecord(nil), r.log[drop:]...)
+	r.emit(events.SevInfo, events.LogTruncate, int64(drop),
+		"dropped %d publish-log records (base now %d)", drop, r.logBase)
 }
 
 // stepDownLocked demotes a leader (or re-aims a follower) to follow
@@ -352,6 +364,7 @@ func (r *Replica) truncateLocked() {
 // records, so it always asks for a snapshot resync.
 func (r *Replica) stepDownLocked(term uint64, leaderIdx int) {
 	wasLeader := r.role == roleLeader
+	termChanged := term != r.term
 	r.term = term
 	r.role = roleFollower
 	r.leader = leaderIdx
@@ -360,6 +373,11 @@ func (r *Replica) stepDownLocked(term uint64, leaderIdx int) {
 		r.needResync = true
 		r.mgr.SetPassive(true)
 		r.logf("stepping down to follower of r%d at term %d (resync pending)", leaderIdx, term)
+		r.emit(events.SevWarn, events.ElectionLost, int64(term),
+			"deposed; following r%d at term %d", leaderIdx, term)
+	} else if termChanged {
+		r.emit(events.SevInfo, events.TermChange, int64(term),
+			"adopted term %d under leader r%d", term, leaderIdx)
 	}
 	r.broadcastLocked()
 }
@@ -888,6 +906,8 @@ func (r *Replica) installLocked(seq uint64, ckpt []byte) error {
 	r.logBase = seq
 	r.needResync = false
 	r.logf("installed snapshot at seq %d", seq)
+	r.emit(events.SevInfo, events.SnapshotInstall, int64(seq),
+		"installed leader snapshot at seq %d", seq)
 	go old.Close()
 	return nil
 }
@@ -1158,6 +1178,7 @@ func (r *Replica) campaign(startTerm uint64) {
 	term := r.term
 	r.mu.Unlock()
 	r.logf("promoted to leader at term %d", term)
+	r.emit(events.SevInfo, events.ElectionWon, int64(term), "leads at term %d", term)
 
 	// Finish what the dead leader started: fill any version that was
 	// abort-marked but never repaired.
