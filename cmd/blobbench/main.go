@@ -14,6 +14,7 @@
 //	blobbench -exp swarm            # Galaxy-Zoo tiny-read swarm
 //	blobbench -exp timetravel       # epoch diffs across version distance
 //	blobbench -exp workloads        # all three scenarios -> BENCH_8.json
+//	blobbench -exp chaos            # gray-failure matrix -> BENCH_10.json
 //	blobbench -exp all
 //
 // -json FILE additionally writes the selected experiment's report as
@@ -41,7 +42,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3a|fig3b|fig3c|ablations|hotpath|vshards|ingest|swarm|timetravel|workloads|all")
+	exp := flag.String("exp", "all", "experiment: fig3a|fig3b|fig3c|ablations|hotpath|vshards|ingest|swarm|timetravel|workloads|chaos|all")
 	iters := flag.Int("iters", 3, "iterations per measured point")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	jsonPath := flag.String("json", "", "write the hotpath report to this file as JSON")
@@ -96,11 +97,12 @@ func main() {
 	run("swarm", func() error { return swarm(wp, scenarioJSON("swarm")) })
 	run("timetravel", func() error { return timetravel(wp, scenarioJSON("timetravel")) })
 	run("workloads", func() error { return workloads(wp, scenarioJSON("workloads")) })
+	run("chaos", func() error { return chaos(*quick, scenarioJSON("chaos")) })
 
 	known := map[string]bool{
 		"all": true, "fig3a": true, "fig3b": true, "fig3c": true, "ablations": true,
 		"hotpath": true, "vshards": true, "ingest": true, "swarm": true,
-		"timetravel": true, "workloads": true,
+		"timetravel": true, "workloads": true, "chaos": true,
 	}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
@@ -197,6 +199,34 @@ func workloads(wp bench.WorkloadParams, jsonPath string) error {
 	printSwarm(rep.Swarm)
 	fmt.Println()
 	printTimeTravel(rep.TimeTravel)
+	return writeJSON(jsonPath, rep)
+}
+
+// chaos runs the gray-failure matrix (docs/robustness.md) and
+// optionally writes the BENCH_10.json artifact with the two robustness
+// gates: stalled-replica p99 within 3x healthy (hedging + breakers
+// on), no-fault hedge overhead under 5% extra provider requests.
+func chaos(quick bool, jsonPath string) error {
+	reads := 120
+	if quick {
+		reads = 40
+	}
+	rep, err := bench.AblateChaos(reads)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Gray-failure matrix: %d providers, %dx replication, %d-page segment, %d reads/cell\n",
+		rep.Providers, rep.Replicas, rep.SegPages, rep.Reads)
+	fmt.Printf("latencies carry the 1/%d simulation time scale; breakers enabled in every cell\n\n", netsim.TimeScale)
+	for _, p := range rep.Points() {
+		fmt.Printf("   %-44s %10.2f %s\n", p.Name, p.Value, p.Unit)
+	}
+	for _, s := range rep.Scenarios {
+		if s.HedgedReads > 0 || s.BreakersOpened > 0 {
+			fmt.Printf("   [%s] hedged %d, wins %d, breaker-opens %d\n",
+				s.Name, s.HedgedReads, s.HedgeWins, s.BreakersOpened)
+		}
+	}
 	return writeJSON(jsonPath, rep)
 }
 

@@ -21,6 +21,11 @@
 //	blobctl -monitor host:4500 top [-interval 2s] [-once]
 //	blobctl -monitor host:4500 events [-follow] [-min-severity warn]
 //
+//	# gray-failure injection (docs/robustness.md): make provider 2 hold
+//	# every page serve 500ms, then heal it
+//	blobctl -vm ... -pm ... chaos -provider 2 -delay 500ms
+//	blobctl -vm ... -pm ... chaos -provider 2
+//
 // Against a sharded, replicated version plane (docs/vmanager-group.md)
 // -vm takes the group syntax: semicolon-separated shards,
 // comma-separated replicas — `-vm "h1:4001,h2:4001;h3:4001,h4:4001"`.
@@ -41,6 +46,8 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
+	"time"
 
 	"blob"
 	"blob/internal/dht"
@@ -59,7 +66,7 @@ func main() {
 	monAddr := flag.String("monitor", "", "monitor node RPC address (top and events commands)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|repair|stats|vmstatus|trace|top|events [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: blobctl [flags] create|write|append|read|stat|gc|repair|stats|vmstatus|trace|top|events|chaos [subflags]")
 		os.Exit(2)
 	}
 	// The monitor-plane commands speak only to the monitor node — no
@@ -95,6 +102,10 @@ func main() {
 		Redundancy:     red,
 		CacheNodes:     -1,
 		Tracer:         tracer,
+		// Operator reads get the production failure posture: hedged
+		// fetches are on by default and per-peer breakers route around
+		// gray peers (docs/robustness.md).
+		Breakers: true,
 	})
 	if err != nil {
 		log.Fatalf("connect: %v", err)
@@ -169,6 +180,7 @@ func main() {
 		length := fs.Uint64("length", 0, "bytes to read (page multiple)")
 		version := fs.Uint64("version", 0, "version to read (0 = latest)")
 		out := fs.String("out", "", "output file (default stdout)")
+		count := fs.Int("count", 1, "repeat the read this many times (latency smoke; payload written once)")
 		fs.Parse(args)
 		b, err := client.OpenBlob(ctx, *blobID)
 		if err != nil {
@@ -183,16 +195,37 @@ func main() {
 			}
 			v = latest
 		}
-		latest, err := b.Read(ctx, buf, *offset, v)
-		if err != nil {
-			log.Fatalf("read: %v", err)
+		if *count < 1 {
+			*count = 1
 		}
+		var latest blob.Version
+		start := time.Now()
+		for i := 0; i < *count; i++ {
+			if latest, err = b.Read(ctx, buf, *offset, v); err != nil {
+				log.Fatalf("read: %v", err)
+			}
+		}
+		elapsed := time.Since(start)
 		if *out == "" {
 			os.Stdout.Write(buf)
 		} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 			log.Fatalf("write %s: %v", *out, err)
 		}
 		fmt.Fprintf(os.Stderr, "read %d bytes of version %d (latest published: %d)\n", len(buf), v, latest)
+		if *count > 1 {
+			fmt.Fprintf(os.Stderr, "reads: %d in %v (mean %v/read)\n",
+				*count, elapsed.Round(time.Millisecond), (elapsed / time.Duration(*count)).Round(time.Microsecond))
+		}
+		// Surface the gray-failure machinery's verdict on this
+		// invocation: how often a fetch was hedged to a second replica,
+		// how often the hedge won, and which peers the client's
+		// breakers currently refuse (docs/robustness.md).
+		if hedged := client.HedgedReads.Value(); hedged > 0 {
+			fmt.Fprintf(os.Stderr, "hedged fetches: %d (%d won)\n", hedged, client.HedgeWins.Value())
+		}
+		if open := client.Pool().OpenBreakers(); len(open) > 0 {
+			fmt.Fprintf(os.Stderr, "breakers open: %s\n", strings.Join(open, ", "))
+		}
 
 	case "stat":
 		fs := flag.NewFlagSet("stat", flag.ExitOnError)
@@ -402,6 +435,45 @@ func main() {
 		}
 		if down > 0 {
 			os.Exit(1)
+		}
+
+	case "chaos":
+		// Gray-failure injection (docs/robustness.md): arm or heal a
+		// data provider's chaos mode live. The provider keeps running,
+		// registered and heartbeating — it just serves pages slowly
+		// (-delay), or not at all (-stall), until healed (no flags).
+		fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+		provID := fs.Uint("provider", 0, "data provider id to target (see blobctl stats)")
+		nodeAddr := fs.String("addr", "", "provider address to target (alternative to -provider)")
+		delay := fs.Duration("delay", 0, "hold every page serve this long (0 with no -stall heals)")
+		stall := fs.Bool("stall", false, "stall page serves outright until healed")
+		fs.Parse(args)
+		addr := *nodeAddr
+		if addr == "" {
+			if *provID == 0 {
+				log.Fatal("chaos: -provider or -addr is required")
+			}
+			provs, err := client.AllProviders(ctx)
+			if err != nil {
+				log.Fatalf("list providers: %v", err)
+			}
+			for _, p := range provs {
+				if p.ID == uint32(*provID) {
+					addr = p.Addr
+					break
+				}
+			}
+			if addr == "" {
+				log.Fatalf("chaos: no provider with id %d", *provID)
+			}
+		}
+		if _, err := client.Pool().Call(ctx, addr, provider.MChaos, provider.EncodeChaos(*delay, *stall)); err != nil {
+			log.Fatalf("chaos: %s: %v", addr, err)
+		}
+		if *delay == 0 && !*stall {
+			fmt.Printf("%s healed\n", addr)
+		} else {
+			fmt.Printf("%s chaos armed: delay %v, stall %v\n", addr, *delay, *stall)
 		}
 
 	case "trace":

@@ -113,6 +113,13 @@ func printSnapshot(s monitor.ClusterSnapshot, tail int) {
 		fmt.Printf("   last sweep %s", time.Unix(0, s.LastSweep).Format("15:04:05"))
 	}
 	fmt.Println()
+	if s.BreakersOpen > 0 {
+		fmt.Printf("breakers open %d:", s.BreakersOpen)
+		for _, b := range s.OpenBreakers {
+			fmt.Printf("  %s", b)
+		}
+		fmt.Println()
+	}
 	if s.ReadP99 > 0 || s.WriteP99 > 0 {
 		fmt.Printf("read  p50 %-9v p99 %-9v max %-9v\n",
 			time.Duration(s.ReadP50), time.Duration(s.ReadP99), time.Duration(s.ReadMax))

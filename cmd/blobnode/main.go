@@ -93,6 +93,8 @@ func main() {
 		traceRing  = flag.Int("trace-ring", trace.DefaultRing, "span ring buffer capacity (spans kept per process)")
 		slowThresh = flag.Duration("slow-threshold", 0, "log the span tree of client operations slower than this (repairer role; 0 disables)")
 		eventRing  = flag.Int("event-ring", 0, "cluster event journal ring capacity (0 = default, negative disables)")
+		chaosDelay = flag.Duration("chaos-delay", 0, "gray-failure injection: hold every page serve this long (provider role; change live with blobctl chaos)")
+		chaosStall = flag.Bool("chaos-stall", false, "gray-failure injection: stall page serves outright until healed via blobctl chaos (provider role)")
 		pollEvery  = flag.Duration("poll", time.Second, "cluster poll interval (monitor role)")
 		watchVM    = flag.String("watch-vm", "", `version-manager shards the monitor polls: replica addresses comma-separated within a shard, shards separated by ";" (monitor role)`)
 		watchEvs   = flag.String("watch-events", "", "comma-separated extra addresses the monitor tails MEvents from, e.g. the repairer node (monitor role)")
@@ -277,6 +279,12 @@ func main() {
 			providerID = id
 			log.Printf("role provider (id %d, capacity %d, persistence %q, repair rate %d B/s)",
 				id, *capacity, *dataDir, *repairBps)
+			if *chaosDelay > 0 || *chaosStall {
+				// Boot gray: the acceptance harness and the chaos bench
+				// start sick providers this way (docs/robustness.md).
+				dataSvc.SetChaos(*chaosDelay, *chaosStall)
+				log.Printf("provider: CHAOS armed (delay %v, stall %v)", *chaosDelay, *chaosStall)
+			}
 
 		case "repairer":
 			// The replica repair agent: periodically walks every blob's
@@ -297,6 +305,12 @@ func main() {
 			if err != nil {
 				log.Fatalf("repairer: -vm: %v", err)
 			}
+			// The repairer is the deployment's long-lived client, and its
+			// journal is what the monitor tails (-watch-events) — so its
+			// breakers are the cluster's gray-failure detector: a provider
+			// answering its sweeps slowly or not at all trips a per-peer
+			// breaker here, and the open/close transitions surface in
+			// blobctl events and the monitor rollup (docs/robustness.md).
 			client, err := core.NewClient(ctx, core.Options{
 				Network:        rpc.TCP{},
 				VManagerShards: vmShards,
@@ -304,6 +318,8 @@ func main() {
 				MetaDirAddr:    *pmAddr,
 				Tracer:         tracer,
 				SlowThreshold:  *slowThresh,
+				Breakers:       true,
+				Journal:        journal,
 			})
 			if err != nil {
 				log.Fatalf("repairer: connect: %v", err)

@@ -235,6 +235,52 @@ func TestAblateTimeTravelRuns(t *testing.T) {
 	}
 }
 
+// TestAblateChaosRuns verifies the gray-failure matrix harness end to
+// end at smoke scale. Latency ratios are not asserted here — CI
+// machines are too noisy for that; the committed BENCH_10.json carries
+// the gate numbers — but the structural claims must hold: every cell's
+// reads verify byte-identical under fault, the stalled cell hedges,
+// and hedging costs no extra requests when nothing is wrong.
+func TestAblateChaosRuns(t *testing.T) {
+	rep, err := AblateChaos(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 5 {
+		t.Fatalf("scenarios: %+v", rep.Scenarios)
+	}
+	var healthyOff, healthyOn, stalled *ChaosScenario
+	for i := range rep.Scenarios {
+		s := &rep.Scenarios[i]
+		if !s.Verified {
+			t.Errorf("%q: reads not verified byte-identical", s.Name)
+		}
+		if s.ReadP99Ms <= 0 || s.ProviderGets <= 0 {
+			t.Errorf("%q: degenerate measurement %+v", s.Name, s)
+		}
+		switch {
+		case s.Fault == "none" && !s.Hedging:
+			healthyOff = s
+		case s.Fault == "none" && s.Hedging:
+			healthyOn = s
+		case s.Fault == "stall":
+			stalled = s
+		}
+	}
+	if stalled == nil || stalled.HedgedReads == 0 || stalled.HedgeWins == 0 {
+		t.Errorf("stalled cell never hedged: %+v", stalled)
+	}
+	if healthyOff.HedgedReads != 0 {
+		t.Errorf("hedging-off cell recorded hedges: %+v", healthyOff)
+	}
+	// The no-fault overhead gate, with slack for a hedge or two fired
+	// by scheduler noise.
+	if healthyOn.ProviderGets > healthyOff.ProviderGets*110/100 {
+		t.Errorf("no-fault hedge overhead: %d gets hedged vs %d unhedged",
+			healthyOn.ProviderGets, healthyOff.ProviderGets)
+	}
+}
+
 func TestAblateVmanagerShardsRuns(t *testing.T) {
 	rep, err := AblateVmanagerShards([]int{1, 2}, 2, 2, 4, 50*time.Microsecond)
 	if err != nil {

@@ -1,0 +1,243 @@
+package bench
+
+// Gray-failure chaos ablation (docs/robustness.md): read latency with
+// one replica of the hot page slowed or stalled — heartbeats keep
+// flowing, so the provider manager never notices — across the hedging
+// on/off axis, with circuit breakers enabled throughout. The two
+// numbers the robustness work is judged by:
+//
+//   - stalled-replica read p99 with hedging + breakers on must stay
+//     within 3x the healthy p99 (the hedge masks the stall per read;
+//     the breaker then routes around the peer entirely, so the tail
+//     re-converges on healthy speed), and
+//   - the no-fault hedge overhead — extra provider requests issued by
+//     hedging when nothing is wrong — must stay under 5%.
+//
+// Both land in the BENCH_10.json artifact.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"blob/internal/cluster"
+	"blob/internal/events"
+	"blob/internal/netsim"
+)
+
+// ChaosScenario is one cell of the fault x hedging matrix.
+type ChaosScenario struct {
+	Name    string `json:"name"`
+	Hedging bool   `json:"hedging"`
+	// Fault names the injected gray failure: "none", "slow" (the hot
+	// page's primary replica answers ~100 ms late) or "stall" (it never
+	// answers at all; connections stay up, heartbeats keep flowing).
+	Fault string `json:"fault"`
+	Reads int    `json:"reads"`
+
+	ReadMeanMs float64 `json:"read_mean_ms"`
+	ReadP99Ms  float64 `json:"read_p99_ms"`
+	// HedgedReads / HedgeWins are the client's hedge counters over the
+	// measured window; BreakersOpened counts breaker-open journal
+	// events (docs/observability.md).
+	HedgedReads    int64 `json:"hedged_reads"`
+	HedgeWins      int64 `json:"hedge_wins"`
+	BreakersOpened int   `json:"breakers_opened"`
+	// ProviderGets is the total page requests the providers saw during
+	// the measured window — the denominator of the hedge-overhead gate.
+	ProviderGets int64 `json:"provider_gets"`
+	// Verified is true when every read returned bytes identical to what
+	// was written, fault or not.
+	Verified bool `json:"verified"`
+}
+
+// ChaosReport is the BENCH_10.json gray-failure artifact.
+type ChaosReport struct {
+	Providers int             `json:"providers"`
+	Replicas  int             `json:"replicas"`
+	SegPages  uint64          `json:"seg_pages"`
+	Reads     int             `json:"reads"`
+	Scenarios []ChaosScenario `json:"scenarios"`
+
+	// HealthyP99Ms and StalledP99Ms are the hedging-on read p99 with no
+	// fault and with one stalled replica; StalledSlowdown is their
+	// ratio — the "≤ 3x" robustness gate.
+	HealthyP99Ms    float64 `json:"healthy_p99_ms"`
+	StalledP99Ms    float64 `json:"stalled_p99_ms"`
+	StalledSlowdown float64 `json:"stalled_slowdown"`
+	// HedgeOverheadPct is the no-fault cost of hedging: extra provider
+	// requests per read with hedging on versus off — the "≤ 5%" gate.
+	HedgeOverheadPct float64 `json:"hedge_overhead_pct"`
+}
+
+// Points flattens the headline numbers for the text-table printers.
+func (r ChaosReport) Points() []AblationPoint {
+	pts := make([]AblationPoint, 0, len(r.Scenarios)+2)
+	for _, s := range r.Scenarios {
+		pts = append(pts, AblationPoint{Name: s.Name, Value: s.ReadP99Ms, Unit: "ms p99"})
+	}
+	pts = append(pts,
+		AblationPoint{Name: "stalled/healthy p99 slowdown (gate <= 3)", Value: r.StalledSlowdown, Unit: "x"},
+		AblationPoint{Name: "no-fault hedge overhead (gate <= 5)", Value: r.HedgeOverheadPct, Unit: "%"})
+	return pts
+}
+
+// AblateChaos runs the matrix: 4 storage nodes, 2x replication,
+// hedging on/off, one gray-failed replica of the hot pages. Stall with
+// hedging off is deliberately absent — an unhedged read of a stalled
+// replica blocks until its deadline, which is the failure mode the
+// rest of the matrix exists to price.
+func AblateChaos(reads int) (ChaosReport, error) {
+	rep := ChaosReport{Providers: 4, Replicas: 2, SegPages: 16, Reads: reads}
+	cells := []struct {
+		name    string
+		hedging bool
+		fault   string
+	}{
+		{"healthy, hedging off", false, "none"},
+		{"healthy, hedging on", true, "none"},
+		{"slow replica, hedging off", false, "slow"},
+		{"slow replica, hedging on", true, "slow"},
+		{"stalled replica, hedging on", true, "stall"},
+	}
+	for _, c := range cells {
+		s, err := chaosCell(c.name, c.hedging, c.fault, rep, reads)
+		if err != nil {
+			return rep, fmt.Errorf("bench: chaos %q: %w", c.name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, s)
+	}
+	var healthyOff, healthyOn, stalled ChaosScenario
+	for _, s := range rep.Scenarios {
+		switch {
+		case s.Fault == "none" && !s.Hedging:
+			healthyOff = s
+		case s.Fault == "none" && s.Hedging:
+			healthyOn = s
+		case s.Fault == "stall":
+			stalled = s
+		}
+	}
+	rep.HealthyP99Ms = healthyOn.ReadP99Ms
+	rep.StalledP99Ms = stalled.ReadP99Ms
+	if healthyOn.ReadP99Ms > 0 {
+		rep.StalledSlowdown = stalled.ReadP99Ms / healthyOn.ReadP99Ms
+	}
+	if healthyOff.ProviderGets > 0 {
+		rep.HedgeOverheadPct = 100 * (float64(healthyOn.ProviderGets)/float64(healthyOff.ProviderGets) - 1)
+	}
+	return rep, nil
+}
+
+// chaosCell measures one scenario on a fresh cluster, so breaker state
+// and latency EWMAs never leak between cells.
+func chaosCell(name string, hedging bool, fault string, rep ChaosReport, reads int) (ChaosScenario, error) {
+	sc := ChaosScenario{Name: name, Hedging: hedging, Fault: fault, Reads: reads}
+	cl, err := cluster.Launch(cluster.Config{
+		DataProviders:  rep.Providers,
+		MetaProviders:  rep.Providers,
+		CoLocate:       true,
+		DataReplicas:   rep.Replicas,
+		Net:            netsim.Grid5000(),
+		CacheNodes:     -1, // warm metadata cache: the measured path is data fetches
+		Breakers:       true,
+		DisableHedging: !hedging,
+	})
+	if err != nil {
+		return sc, err
+	}
+	defer cl.Shutdown()
+	ctx := context.Background()
+	c, err := cl.NewClient(ctx)
+	if err != nil {
+		return sc, err
+	}
+	defer c.Close()
+
+	const pageSize = 4 << 10
+	segBytes := rep.SegPages * pageSize
+	b, err := c.CreateBlob(ctx, pageSize, 4*segBytes)
+	if err != nil {
+		return sc, err
+	}
+	data := make([]byte, segBytes)
+	for i := range data {
+		data[i] = byte(i*13 + 7)
+	}
+	v, err := b.Write(ctx, data, 0)
+	if err != nil {
+		return sc, err
+	}
+	// Unmeasured warm-up: dial the connections and seed each provider's
+	// latency tracker past its minimum sample count, so the hedge delay
+	// in the measured window is the adaptive one, not the cold default.
+	got := make([]byte, segBytes)
+	for i := 0; i < 4; i++ {
+		if _, err := b.Read(ctx, got, 0, v); err != nil {
+			return sc, err
+		}
+	}
+
+	// Gray-fail the primary replica of page 0 — the provider every read
+	// of this segment asks first. Its heartbeats keep flowing, so the
+	// provider manager never reroutes around it; only the client-side
+	// hedges and breakers can.
+	leaves, err := b.ReadMeta(ctx, 0, pageSize, v)
+	if err != nil {
+		return sc, err
+	}
+	if len(leaves) == 0 || len(leaves[0].Leaf.Providers) < rep.Replicas {
+		return sc, fmt.Errorf("page 0 has no full replica tier")
+	}
+	victim := int(leaves[0].Leaf.Providers[0]) - 1
+	switch fault {
+	case "slow":
+		cl.SlowProvider(victim, 100*time.Millisecond, 10*time.Millisecond)
+	case "stall":
+		cl.StallProvider(victim)
+	}
+	defer cl.Heal()
+
+	gets0 := providerGets(cl, rep.Providers)
+	hedged0, wins0 := c.HedgedReads.Value(), c.HedgeWins.Value()
+	sc.Verified = true
+	lat := make([]time.Duration, reads)
+	for i := 0; i < reads; i++ {
+		rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		clear(got)
+		t0 := time.Now()
+		_, err := b.Read(rctx, got, 0, v)
+		lat[i] = time.Since(t0)
+		cancel()
+		if err != nil {
+			return sc, err
+		}
+		if !bytes.Equal(got, data) {
+			sc.Verified = false
+		}
+	}
+	sc.ReadMeanMs, sc.ReadP99Ms = latStats(lat)
+	sc.ProviderGets = providerGets(cl, rep.Providers) - gets0
+	sc.HedgedReads = c.HedgedReads.Value() - hedged0
+	sc.HedgeWins = c.HedgeWins.Value() - wins0
+	for _, e := range cl.Events() {
+		if e.Type == events.BreakerOpen {
+			sc.BreakersOpened++
+		}
+	}
+	if !sc.Verified {
+		return sc, fmt.Errorf("reads under fault %q served bytes differing from what was written", fault)
+	}
+	return sc, nil
+}
+
+// providerGets sums the page-request counters across the data
+// providers.
+func providerGets(cl *cluster.Cluster, n int) int64 {
+	var total int64
+	for i := 0; i < n; i++ {
+		total += cl.DataServices[i].Snapshot().Gets
+	}
+	return total
+}

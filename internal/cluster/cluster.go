@@ -156,6 +156,14 @@ type Config struct {
 	// EventRing overrides every node's event-journal ring size
 	// (0 = events.DefaultRing; negative disables journals entirely).
 	EventRing int
+	// Breakers arms per-peer circuit breakers (rpc.BreakerConfig
+	// defaults) on every cluster client's connection pool; breaker
+	// transitions land in the client's event journal and surface
+	// through Events and the monitor.
+	Breakers bool
+	// DisableHedging turns off clients' hedged reads (on by default;
+	// the knob exists for the chaos bench ablation).
+	DisableHedging bool
 	// Monitor, when true, embeds a cluster monitor (internal/monitor)
 	// polling the deployment from its own "monitor" host; Cluster.Mon
 	// exposes it.
@@ -823,6 +831,9 @@ func (c *Cluster) ClientOptions(hostName string) core.Options {
 		MetaReplicas:     c.cfg.MetaReplicas,
 		CacheNodes:       c.cfg.CacheNodes,
 		MetaProcessDelay: c.cfg.MetaProcessDelay,
+		DisableHedging:   c.cfg.DisableHedging,
+		Breakers:         c.cfg.Breakers,
+		Journal:          c.newJournal(hostName),
 		Tracer:           c.newTracer(hostName),
 		SlowThreshold:    c.cfg.SlowThreshold,
 	}

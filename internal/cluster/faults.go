@@ -1,8 +1,16 @@
-// Fault injection for the sharded version plane (group mode only; see
-// docs/vmanager-group.md). The harness can kill, restart and partition
-// individual vmanager replicas and wait out leader handoff — the
-// primitives the kill-leader-mid-publish and partition/heal tests are
-// built from.
+// Fault injection. Two families live here:
+//
+//   - Crash faults for the sharded version plane (group mode only; see
+//     docs/vmanager-group.md): kill, restart and partition individual
+//     vmanager replicas and wait out leader handoff.
+//
+//   - Gray failures over the netsim fabric (docs/robustness.md):
+//     SlowProvider, StallProvider, FlakyProvider and FlakyLink degrade
+//     a node's links without stopping its process — heartbeats keep
+//     flowing (they are sent by the harness's own "hb" host), so the
+//     provider manager keeps believing the node is healthy. These are
+//     the failures the deadline/hedge/breaker machinery is built to
+//     absorb, and Heal undoes them all.
 
 package cluster
 
@@ -10,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"blob/internal/netsim"
 	"blob/internal/vmanager"
 )
 
@@ -107,6 +116,59 @@ func (c *Cluster) HealVMReplica(s, j int) {
 		rep.SetNetFault(false)
 	}
 }
+
+// Fabric exposes the simulated network fabric for fault injection the
+// helpers below do not cover.
+func (c *Cluster) Fabric() *netsim.Net { return c.fab }
+
+// DataHostName returns the simulated host name of data provider i —
+// the value FlakyLink and Fabric-level fault injection address hosts
+// by.
+func (c *Cluster) DataHostName(i int) string { return c.dataHostName(i) }
+
+// dataAddr is data provider i's RPC endpoint on the fabric. Faults are
+// installed on the endpoint, not the host, so a co-located metadata
+// provider on the same simulated machine stays healthy — the sharpest
+// form of gray failure.
+func (c *Cluster) dataAddr(i int) string { return c.dataHostName(i) + ":data" }
+
+// SlowProvider makes data provider i slow without killing it: every
+// frame to or from its RPC endpoint is delayed by extra, plus a
+// uniformly random jitter in [0, jitter). The provider keeps serving
+// and heartbeating — it is just gray. Undo with HealProvider or Heal.
+func (c *Cluster) SlowProvider(i int, extra, jitter time.Duration) {
+	c.fab.SetAddrFault(c.dataAddr(i), netsim.Fault{ExtraLatency: extra, Jitter: jitter})
+}
+
+// StallProvider freezes data provider i's RPC endpoint: connections
+// stay up, dials succeed, but no frame moves in either direction until
+// HealProvider or Heal. The gray failure a crash detector never sees.
+func (c *Cluster) StallProvider(i int) {
+	c.fab.SetAddrFault(c.dataAddr(i), netsim.Fault{Stall: true})
+}
+
+// FlakyProvider makes connections touching data provider i's RPC
+// endpoint reset with probability p per frame (a TCP RST, never silent
+// byte loss — the rpc layer sees a clean connection error and its
+// retry/breaker machinery takes over).
+func (c *Cluster) FlakyProvider(i int, p float64) {
+	c.fab.SetAddrFault(c.dataAddr(i), netsim.Fault{DropProb: p})
+}
+
+// HealProvider clears the gray fault on data provider i's endpoint.
+func (c *Cluster) HealProvider(i int) { c.fab.SetAddrFault(c.dataAddr(i), netsim.Fault{}) }
+
+// FlakyLink makes the directed fabric link from one named host to
+// another reset connections with probability p per frame. Host names
+// follow the Launch topology ("client1", "node0", "pm", ...). Undo
+// with p == 0 or Heal.
+func (c *Cluster) FlakyLink(from, to string, p float64) {
+	c.fab.SetLinkFault(from, to, netsim.Fault{DropProb: p})
+}
+
+// Heal removes every injected fabric fault (but does not rejoin
+// vmanager partitions — those are process-level, see HealVMReplica).
+func (c *Cluster) Heal() { c.fab.Heal() }
 
 // WaitVMLeader blocks until shard s has a replica claiming leadership
 // whose index differs from `not` (pass -1 to accept any), returning the

@@ -22,6 +22,7 @@ import (
 
 	"blob/internal/dht"
 	"blob/internal/erasure"
+	"blob/internal/events"
 	"blob/internal/meta"
 	"blob/internal/mstore"
 	"blob/internal/pmanager"
@@ -86,6 +87,23 @@ type Options struct {
 	// false and get the zero-copy codec plus the pipelined write
 	// protocol.
 	LegacyDataPath bool
+	// DisableHedging turns off hedged reads (docs/robustness.md):
+	// without it, a page fetch that outlives its provider's adaptive
+	// hedge delay (~p95 of that provider's recent latency) is raced
+	// against the next replica — or, for rs(k,m) blobs, served by early
+	// stripe reconstruction — and the first usable response wins. The
+	// knob exists for the gray-failure ablation (bench.AblateChaos).
+	DisableHedging bool
+	// Breakers enables per-peer circuit breakers on the client's RPC
+	// pool (docs/robustness.md): a provider whose calls persistently
+	// fail or crawl is failed fast and routed around — replica routing
+	// treats an open breaker like a bloom miss, never skipping the last
+	// replica holding a page — until a background probe finds the peer
+	// healthy again.
+	Breakers bool
+	// Journal, when non-nil, receives this client's connectivity
+	// events: dial-failure bursts and circuit-breaker transitions.
+	Journal *events.Journal
 	// Tracer records spans for this client's operations and propagates
 	// them to every service the operation touches (docs/observability.md).
 	// Nil disables tracing; the operation hot path then stays
@@ -127,6 +145,10 @@ type Client struct {
 	// later read retries them).
 	repairSem chan struct{}
 
+	// lat tracks per-provider fetch latency; the read path derives each
+	// provider's adaptive hedge delay from it (latency.go).
+	lat *latencies
+
 	// Metrics for the experiment harness.
 	Writes        stats.Counter
 	Reads         stats.Counter
@@ -149,6 +171,13 @@ type Client struct {
 	DegradedReads      stats.Counter
 	ReconstructedPages stats.Counter
 	ParityBytes        stats.Counter
+	// Hedged-read counters (docs/robustness.md): HedgedReads counts
+	// hedge RPCs issued because a page fetch outlived its provider's
+	// adaptive hedge delay; HedgeWins counts pages actually served by
+	// hedge data (replicate mode) or by the early stripe reconstruction
+	// a straggling shard provider was abandoned for (rs mode).
+	HedgedReads stats.Counter
+	HedgeWins   stats.Counter
 
 	// clusterRed is the redundancy mode the provider manager advertises,
 	// captured at connect; the effective creation mode when
@@ -183,6 +212,15 @@ func NewClient(ctx context.Context, opts Options) (*Client, error) {
 		opts.MetaReplicas = 1
 	}
 	pool := rpc.NewPool(opts.Network)
+	pool.SetJournal(opts.Journal)
+	if opts.Breakers {
+		// Latency tripping is on for clients: the gray failure worth
+		// detecting is the provider that answers everything, slowly —
+		// error-rate alone never sees it. 250ms of sustained success
+		// latency is far beyond any healthy page fetch and comfortably
+		// below the multi-second stalls the chaos harness injects.
+		pool.EnableBreakers(rpc.BreakerConfig{LatencyTrip: 250 * time.Millisecond})
+	}
 	kv, err := dht.NewDirectoryClient(ctx, pool, opts.MetaDirAddr, opts.MetaReplicas)
 	if err != nil {
 		pool.Close()
@@ -205,6 +243,7 @@ func NewClient(ctx context.Context, opts Options) (*Client, error) {
 		providers: make(map[uint32]string),
 		digests:   make(map[uint32]digestEntry),
 		repairSem: make(chan struct{}, 4),
+		lat:       newLatencies(),
 	}
 	if err := c.refreshProviders(ctx); err != nil {
 		pool.Close()
@@ -293,6 +332,28 @@ func (c *Client) providerAddr(ctx context.Context, id uint32) (string, error) {
 		return "", fmt.Errorf("core: unknown provider id %d", id)
 	}
 	return addr, nil
+}
+
+// cachedProviderAddr resolves a provider ID from the local map only —
+// no directory refresh — for best-effort paths (hedges, breaker-aware
+// routing) that must never add a round trip of their own.
+func (c *Client) cachedProviderAddr(id uint32) (string, bool) {
+	c.provMu.RLock()
+	addr, ok := c.providers[id]
+	c.provMu.RUnlock()
+	return addr, ok
+}
+
+// observeFetch feeds one page-fetch outcome into the latency tracker
+// (successes only — a failure's duration says nothing about the
+// provider's service time) and the pool's circuit breaker for the
+// provider. The async fetch fan-outs bypass the pool's synchronous
+// call path, so this is how their evidence reaches both.
+func (c *Client) observeFetch(addr string, err error, d time.Duration) {
+	if err == nil {
+		c.lat.observe(addr, d)
+	}
+	c.pool.Observe(addr, err, d)
 }
 
 // endRoot completes a traced operation's root span and, when the

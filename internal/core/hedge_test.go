@@ -1,0 +1,251 @@
+package core_test
+
+// Gray-failure tests (docs/robustness.md): a provider that stalls
+// without crashing — heartbeats keep flowing, the manager keeps
+// placing data on it — must not stall reads. Hedged reads mask it on
+// the replicated path, shard abandonment + stripe reconstruction on
+// the erasure-coded path, and circuit breakers stop routing to it
+// once the evidence accumulates.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"blob/internal/cluster"
+	"blob/internal/core"
+	"blob/internal/erasure"
+	"blob/internal/events"
+	"blob/internal/meta"
+)
+
+// tierProvider returns the replica-tier provider IDs of the page at
+// offset 0.
+func tierProviders(t *testing.T, b *core.Blob, v meta.Version) []uint32 {
+	t.Helper()
+	leaves, err := b.ReadMeta(context.Background(), 0, pageSize, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 1 {
+		t.Fatalf("ReadMeta: %d leaves, want 1", len(leaves))
+	}
+	return leaves[0].Leaf.Providers
+}
+
+func TestHedgedReadMasksStalledReplica(t *testing.T) {
+	cl, c := launch(t, cluster.Config{DataReplicas: 2})
+	ctx := context.Background()
+
+	b, err := c.CreateBlob(ctx, pageSize, 64*pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(9, 8*pageSize)
+	v, err := b.Write(ctx, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := b.Read(ctx, got, 0, v); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall page 0's primary replica: its connections stay up, its
+	// heartbeats keep flowing, but no page fetch to it ever returns.
+	provs := tierProviders(t, b, v)
+	if len(provs) != 2 {
+		t.Fatalf("page 0 has %d replicas, want 2", len(provs))
+	}
+	cl.StallProvider(int(provs[0]) - 1)
+	defer cl.Heal()
+
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	clear(got)
+	if _, err := b.Read(rctx, got, 0, v); err != nil {
+		t.Fatalf("read with one stalled replica: %v", err)
+	}
+	elapsed := time.Since(start)
+	if !bytes.Equal(got, data) {
+		t.Fatal("hedged read returned wrong bytes")
+	}
+	if c.HedgedReads.Value() == 0 {
+		t.Fatal("read never hedged despite a stalled primary")
+	}
+	if c.HedgeWins.Value() == 0 {
+		t.Fatal("no hedge win recorded despite a stalled primary")
+	}
+	// The stall is unbounded, so completing at all proves the hedge;
+	// the bound below only guards against pathological hedge delays.
+	if elapsed > 5*time.Second {
+		t.Fatalf("hedged read took %v", elapsed)
+	}
+}
+
+func TestDisableHedgingStalledReplicaBlocksRead(t *testing.T) {
+	cl, c := launch(t, cluster.Config{DataReplicas: 2, DisableHedging: true})
+	ctx := context.Background()
+
+	b, err := c.CreateBlob(ctx, pageSize, 64*pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(11, 4*pageSize)
+	v, err := b.Write(ctx, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	provs := tierProviders(t, b, v)
+	cl.StallProvider(int(provs[0]) - 1)
+	defer cl.Heal()
+
+	// Without hedging the read waits out the stalled primary until its
+	// deadline: the ablation the hedge exists to beat.
+	rctx, cancel := context.WithTimeout(ctx, 400*time.Millisecond)
+	defer cancel()
+	got := make([]byte, len(data))
+	if _, err := b.Read(rctx, got, 0, v); err == nil {
+		t.Fatal("read with hedging disabled completed despite the stalled primary")
+	}
+	if c.HedgedReads.Value() != 0 {
+		t.Fatalf("HedgedReads = %d with hedging disabled", c.HedgedReads.Value())
+	}
+
+	cl.Heal()
+	if _, err := b.Read(ctx, got, 0, v); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read after heal returned wrong bytes")
+	}
+}
+
+func TestStripedHedgeReconstructsStalledShard(t *testing.T) {
+	cl, c := launch(t, cluster.Config{
+		DataProviders: 6,
+		MetaProviders: 6,
+		Redundancy:    erasure.Redundancy{K: 4, M: 2},
+	})
+	ctx := context.Background()
+
+	b, err := c.CreateBlob(ctx, pageSize, 64*pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(13, 4*pageSize) // one rs(4,2) stripe
+	v, err := b.Write(ctx, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := b.Read(ctx, got, 0, v); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall page 0's home provider: the direct shard fetch to it is
+	// abandoned after the hedge delay and the page served by decoding
+	// the stripe's other shards.
+	_, home := leafPlacement(t, b, v)
+	cl.StallProvider(int(home) - 1)
+	defer cl.Heal()
+
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	clear(got)
+	if _, err := b.Read(rctx, got, 0, v); err != nil {
+		t.Fatalf("striped read with one stalled provider: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstructed read returned wrong bytes")
+	}
+	if c.HedgedReads.Value() == 0 || c.HedgeWins.Value() == 0 {
+		t.Fatalf("rs hedge counters = %d/%d, want both > 0",
+			c.HedgedReads.Value(), c.HedgeWins.Value())
+	}
+	if c.DegradedReads.Value() == 0 || c.ReconstructedPages.Value() == 0 {
+		t.Fatalf("reconstruction counters = %d/%d, want both > 0",
+			c.DegradedReads.Value(), c.ReconstructedPages.Value())
+	}
+}
+
+func TestBreakerOpensOnFlakyProviderAndRecovers(t *testing.T) {
+	cl, c := launch(t, cluster.Config{DataReplicas: 2, Breakers: true})
+	ctx := context.Background()
+
+	b, err := c.CreateBlob(ctx, pageSize, 64*pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(17, 8*pageSize)
+	v, err := b.Write(ctx, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	provs := tierProviders(t, b, v)
+	victim := int(provs[0]) - 1
+	cl.FlakyProvider(victim, 1) // every frame resets the connection
+	defer cl.Heal()
+
+	// Keep reading: each attempt on the flaky provider fails fast and
+	// the replica serves the page, while the failures accumulate into
+	// the client's breaker until it opens.
+	got := make([]byte, len(data))
+	deadline := time.Now().Add(10 * time.Second)
+	for len(c.Pool().OpenBreakers()) == 0 {
+		rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		_, err := b.Read(rctx, got, 0, v)
+		cancel()
+		if err != nil {
+			t.Fatalf("read during flaky provider: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("read during flaky provider returned wrong bytes")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never opened on the flaky provider")
+		}
+	}
+
+	// Heal and keep reading: once OpenFor elapses routing re-admits the
+	// peer, the half-open probe succeeds, and the breaker closes —
+	// journaling the transition.
+	cl.Heal()
+	breakerEvents := func() (opened, closed bool) {
+		for _, ev := range cl.Events() {
+			switch ev.Type {
+			case events.BreakerOpen:
+				opened = true
+			case events.BreakerClose:
+				closed = true
+			}
+		}
+		return opened, closed
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		_, err := b.Read(rctx, got, 0, v)
+		cancel()
+		if err != nil {
+			t.Fatalf("read after heal: %v", err)
+		}
+		if _, closed := breakerEvents(); closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never closed after heal")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(c.Pool().OpenBreakers()) > 0 {
+		t.Fatalf("breakers still open after close event: %v", c.Pool().OpenBreakers())
+	}
+	if opened, closed := breakerEvents(); !opened || !closed {
+		t.Fatalf("journal events: open=%v close=%v, want both", opened, closed)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+// Per-provider fetch latency estimation for hedged reads
+// (docs/robustness.md): every successful page fetch feeds its
+// provider's smoothed-latency estimator, and the read path asks the
+// estimator how long a fetch to that provider may run before it is
+// worth racing a second replica. The estimators are the classic
+// Jacobson/Karels pair — srtt tracks the mean, rttvar the deviation —
+// so srtt + 4*rttvar approximates a high percentile (~p95+) of that
+// provider's recent latency: a hedge fires only for genuine
+// stragglers, keeping the no-fault hedge rate (and hence the extra
+// provider load) near zero.
+
+import (
+	"sync"
+	"time"
+)
+
+const (
+	// hedgeMinDelay floors the adaptive delay: on a fast local cluster
+	// the estimators converge to microseconds, where scheduler jitter
+	// alone would fire spurious hedges.
+	hedgeMinDelay = 10 * time.Millisecond
+	// hedgeMaxDelay caps the delay so one pathologically slow sample
+	// era cannot disable hedging for a provider that later degrades.
+	hedgeMaxDelay = time.Second
+	// hedgeDefaultDelay is used until a provider has hedgeMinSamples
+	// observations.
+	hedgeDefaultDelay = 50 * time.Millisecond
+	hedgeMinSamples   = 3
+)
+
+// latEstimate is one provider's smoothed latency state. Units are
+// seconds (float: the EWMA updates divide).
+type latEstimate struct {
+	srtt   float64
+	rttvar float64
+	n      int
+}
+
+// latencies tracks per-provider fetch latency for the whole client.
+// One short critical section per observation; fetch fan-outs read it
+// once per group.
+type latencies struct {
+	mu sync.Mutex
+	m  map[string]*latEstimate
+}
+
+func newLatencies() *latencies { return &latencies{m: make(map[string]*latEstimate)} }
+
+// observe feeds one successful fetch's latency into addr's estimator
+// (gains 1/8 and 1/4, the TCP RTO constants).
+func (l *latencies) observe(addr string, d time.Duration) {
+	sec := d.Seconds()
+	l.mu.Lock()
+	e := l.m[addr]
+	if e == nil {
+		e = &latEstimate{srtt: sec, rttvar: sec / 2}
+		l.m[addr] = e
+	} else {
+		diff := sec - e.srtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar += (diff - e.rttvar) / 4
+		e.srtt += (sec - e.srtt) / 8
+	}
+	e.n++
+	l.mu.Unlock()
+}
+
+// hedgeDelay returns how long a fetch to addr may run before the read
+// hedges it: ~p95 of addr's recent successful latency, clamped to
+// [hedgeMinDelay, hedgeMaxDelay].
+func (l *latencies) hedgeDelay(addr string) time.Duration {
+	l.mu.Lock()
+	e := l.m[addr]
+	d := hedgeDefaultDelay
+	if e != nil && e.n >= hedgeMinSamples {
+		d = time.Duration((e.srtt + 4*e.rttvar) * float64(time.Second))
+	}
+	l.mu.Unlock()
+	if d < hedgeMinDelay {
+		d = hedgeMinDelay
+	}
+	if d > hedgeMaxDelay {
+		d = hedgeMaxDelay
+	}
+	return d
+}

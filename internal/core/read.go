@@ -140,11 +140,15 @@ func (b *Blob) ReadMeta(ctx context.Context, offset, length uint64, v meta.Versi
 
 // fetchPages downloads every non-zero leaf's page into buf, zero-filling
 // zero pages, with replica failover, checksum verification, bloom-hinted
-// replica routing and read-repair (docs/replication.md §6): a replica
-// whose cached digest definitely lacks a page is skipped without an RPC,
-// a definite miss refreshes that replica's digest, and a page a later
+// and breaker-aware replica routing, hedged fetches and read-repair
+// (docs/replication.md §6, docs/robustness.md): a replica whose cached
+// digest definitely lacks a page — or whose circuit breaker is open —
+// is skipped without an RPC, a definite miss refreshes that replica's
+// digest, a group that outlives its provider's adaptive hedge delay is
+// raced against the next replica tier (hedge.go), and a page a later
 // replica serves is re-pushed in the background to every replica that
-// missed it, restoring redundancy as a side effect of reading.
+// definitively missed it, restoring redundancy as a side effect of
+// reading.
 func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, leaves []mstore.PageLeaf) (err error) {
 	ctx, fop := trace.Start(ctx, "read.fetch")
 	if fop != nil {
@@ -152,14 +156,8 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 		defer func() { fop.EndErr(err) }()
 	}
 	tc := trace.FromContext(ctx)
-	type item struct {
-		leaf mstore.PageLeaf
-		dst  []byte
-		// missed collects providers that definitively lacked the page
-		// (absent response or digest-ruled-out) — the read-repair targets.
-		missed []uint32
-	}
-	remaining := make([]item, 0, len(leaves))
+	dl, _ := ctx.Deadline()
+	remaining := make([]fetchItem, 0, len(leaves))
 	var striped []stripedItem
 	for _, l := range leaves {
 		dst := buf[(l.Page-pr.First)*b.pageSize : (l.Page-pr.First+1)*b.pageSize]
@@ -173,7 +171,7 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 			striped = append(striped, stripedItem{leaf: l, dst: dst})
 			continue
 		}
-		remaining = append(remaining, item{leaf: l, dst: dst})
+		remaining = append(remaining, fetchItem{leaf: l, dst: dst})
 	}
 	if len(striped) > 0 {
 		if err := b.fetchStriped(ctx, striped); err != nil {
@@ -191,23 +189,18 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 		if tier > 0 {
 			fop.Notef("retry: tier %d, %d pages", tier, len(remaining))
 		}
-		type group struct {
-			refs  []provider.PageRef
-			items []item
-			dsts  [][]byte
-		}
 		// Pre-count the fan-out so each group's slices allocate exactly
 		// once (incremental append growth was a measurable slice of the
-		// read path, docs/perf.md). The count ignores bloom skips, so a
-		// skip merely leaves a little slack capacity.
+		// read path, docs/perf.md). The count ignores bloom and breaker
+		// skips, so a skip merely leaves a little slack capacity.
 		counts := make(map[uint32]int, 8)
 		for _, it := range remaining {
 			if provs := it.leaf.Leaf.Providers; tier < len(provs) {
 				counts[provs[tier]]++
 			}
 		}
-		groups := make(map[uint32]*group, len(counts))
-		var next []item
+		groups := make(map[uint32]*fetchGroup, len(counts))
+		var next []fetchItem
 		for _, it := range remaining {
 			provs := it.leaf.Leaf.Providers
 			if tier >= len(provs) {
@@ -215,10 +208,21 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 					ErrPageUnavailable, it.leaf.Page, it.leaf.Leaf.Write, len(provs))
 			}
 			id := provs[tier]
-			// Bloom routing: skip a replica whose fresh digest rules the
-			// page out — but never the last one, so a stale digest can
-			// cost extra hops yet never fail a read by itself.
 			if tier < len(provs)-1 {
+				// Breaker routing: a replica whose circuit breaker is
+				// open is skipped like a bloom miss, without an RPC — but
+				// never the last one, which is always worth a probe. An
+				// open breaker is not a definite miss, so unlike a bloom
+				// skip it marks no read-repair target.
+				if addr, ok := b.c.cachedProviderAddr(id); ok && !b.c.pool.Available(addr) {
+					fop.Notef("breaker-skip: provider %d", id)
+					next = append(next, it)
+					continue
+				}
+				// Bloom routing: skip a replica whose fresh digest rules
+				// the page out — but never the last one, so a stale
+				// digest can cost extra hops yet never fail a read by
+				// itself.
 				if d, ok := b.c.cachedDigest(id); ok &&
 					!d.MightContain(b.id, it.leaf.Leaf.Write, it.leaf.Leaf.RelPage) {
 					b.c.BloomSkips.Inc()
@@ -231,9 +235,9 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 			g := groups[id]
 			if g == nil {
 				n := counts[id]
-				g = &group{
+				g = &fetchGroup{
 					refs:  make([]provider.PageRef, 0, n),
-					items: make([]item, 0, n),
+					items: make([]fetchItem, 0, n),
 					dsts:  make([][]byte, 0, n),
 				}
 				groups[id] = g
@@ -246,8 +250,9 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 		}
 
 		pend := make([]*rpc.Pending, 0, len(groups))
-		gs := make([]*group, 0, len(groups))
+		gs := make([]*fetchGroup, 0, len(groups))
 		ids := make([]uint32, 0, len(groups))
+		addrs := make([]string, 0, len(groups))
 		for id, g := range groups {
 			addr, err := b.c.providerAddr(ctx, id)
 			if err != nil {
@@ -255,15 +260,18 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 				next = append(next, g.items...)
 				continue
 			}
-			pend = append(pend, b.c.pool.GoT(addr, provider.MGetPages, provider.EncodeGetPages(g.refs), tc))
+			pend = append(pend, b.c.pool.GoVecTD(addr, provider.MGetPages,
+				[][]byte{provider.EncodeGetPages(g.refs)}, tc, dl))
 			gs = append(gs, g)
 			ids = append(ids, id)
+			addrs = append(addrs, addr)
 		}
+		dispatched := time.Now()
 		// missedWrites gathers, per definitively-missing provider, the
 		// writes probed there — the digest refresh below scopes its
 		// MListWrites to them. Allocated only when a miss happens.
 		var missedWrites map[uint32][]uint64
-		miss := func(it item, id uint32) item {
+		miss := func(it fetchItem, id uint32) fetchItem {
 			it.missed = append(it.missed, id)
 			if missedWrites == nil {
 				missedWrites = make(map[uint32][]uint64)
@@ -276,7 +284,7 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 		// the page bytes in place (it.dst or the decoded copy);
 		// scheduleReadRepair materializes its own copy only for repairs
 		// it actually schedules.
-		served := func(it item, data []byte) {
+		served := func(it fetchItem, data []byte) {
 			if len(it.missed) > 0 {
 				repairs = append(repairs, readRepair{
 					write:     it.leaf.Leaf.Write,
@@ -299,12 +307,36 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 			status = make([]provider.PageStatus, maxGroup)
 		}
 		for i, p := range pend {
-			resp, err := p.Wait(ctx)
+			resp, err, hedged, abandoned := b.waitFetchHedged(ctx, p, gs[i], addrs[i], tier, tc, dispatched, fop)
+			// serveHedged serves item j from verified hedge bytes when
+			// the hedge produced them — the first-usable-response-wins
+			// half of the race the primary lost (or failed).
+			serveHedged := func(j int, it fetchItem) bool {
+				if hedged == nil || hedged[j] == nil {
+					return false
+				}
+				copy(it.dst, hedged[j])
+				b.c.HedgeWins.Inc()
+				served(it, it.dst)
+				return true
+			}
+			if abandoned {
+				// Every page of the group was hedge-served; the
+				// straggling primary was never decoded.
+				for j, it := range gs[i].items {
+					serveHedged(j, it)
+				}
+				continue
+			}
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
-				next = append(next, gs[i].items...)
+				for j, it := range gs[i].items {
+					if !serveHedged(j, it) {
+						next = append(next, it)
+					}
+				}
 				continue
 			}
 			if legacy {
@@ -318,13 +350,17 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 					case data == nil:
 						// Definite miss: the provider answered and lacks
 						// the page — a read-repair target.
-						next = append(next, miss(it, ids[i]))
+						if it = miss(it, ids[i]); !serveHedged(j, it) {
+							next = append(next, it)
+						}
 					case uint64(len(data)) != b.pageSize ||
 						wire.Checksum64(data) != it.leaf.Leaf.Checksum:
 						// Corrupt copy: fail over, but don't re-push — the
 						// provider holds a (bad) record and first-wins puts
 						// would not replace it.
-						next = append(next, it)
+						if !serveHedged(j, it) {
+							next = append(next, it)
+						}
 					default:
 						copy(it.dst, data)
 						served(it, data)
@@ -343,12 +379,16 @@ func (b *Blob) fetchPages(ctx context.Context, buf []byte, pr meta.PageRange, le
 				it := gs[i].items[j]
 				switch {
 				case st == provider.PageMissing:
-					next = append(next, miss(it, ids[i]))
+					if it = miss(it, ids[i]); !serveHedged(j, it) {
+						next = append(next, it)
+					}
 				case st == provider.PageBad ||
 					wire.Checksum64(it.dst) != it.leaf.Leaf.Checksum:
 					// Wrong size or corrupt: fail over; the next tier
 					// overwrites whatever landed in dst.
-					next = append(next, it)
+					if !serveHedged(j, it) {
+						next = append(next, it)
+					}
 				default:
 					served(it, it.dst)
 				}

@@ -11,7 +11,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"blob/internal/erasure"
 	"blob/internal/meta"
@@ -127,14 +129,18 @@ type stripedItem struct {
 
 // fetchStriped downloads erasure-coded pages: a first wave fetches
 // every page from its single data provider; pages that fail (provider
-// down, definite miss, corrupt bytes) degrade to stripe reconstruction
-// — pull any k surviving shards, decode, serve, and re-push the
-// reconstructed page to its home provider in the background.
+// down, definite miss, corrupt bytes) or outlive their provider's
+// adaptive hedge delay (the rs hedge, hedge.go) degrade to stripe
+// reconstruction — pull any k surviving shards, decode, serve, and
+// re-push the reconstructed page to its home provider in the
+// background.
 func (b *Blob) fetchStriped(ctx context.Context, items []stripedItem) (err error) {
 	ctx, sop := trace.Start(ctx, "read.stripe")
 	if sop != nil {
 		defer func() { sop.EndErr(err) }()
 	}
+	tc := trace.FromContext(ctx)
+	dl, _ := ctx.Deadline()
 	type group struct {
 		refs  []provider.PageRef
 		items []stripedItem
@@ -156,22 +162,39 @@ func (b *Blob) fetchStriped(ctx context.Context, items []stripedItem) (err error
 	}
 
 	var failed []stripedItem
+	hedgedPages := 0
 	pend := make([]*rpc.Pending, 0, len(groups))
 	gs := make([]*group, 0, len(groups))
+	addrs := make([]string, 0, len(groups))
 	for id, g := range groups {
 		addr, err := b.c.providerAddr(ctx, id)
 		if err != nil {
 			failed = append(failed, g.items...)
 			continue
 		}
-		pend = append(pend, b.c.pool.Go(addr, provider.MGetPages, provider.EncodeGetPages(g.refs)))
+		if !b.c.pool.Available(addr) {
+			// Open breaker: skip the fast-fail round trip and degrade
+			// straight to reconstruction (which probes every survivor,
+			// breakers or not — it is the path of last resort).
+			sop.Notef("breaker-skip: provider %d", id)
+			failed = append(failed, g.items...)
+			continue
+		}
+		pend = append(pend, b.c.pool.GoVecTD(addr, provider.MGetPages,
+			[][]byte{provider.EncodeGetPages(g.refs)}, tc, dl))
 		gs = append(gs, g)
+		addrs = append(addrs, addr)
 	}
+	dispatched := time.Now()
 	for i, p := range pend {
-		resp, err := p.Wait(ctx)
+		resp, err := b.waitShardHedged(ctx, p, addrs[i], dispatched)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
+			}
+			if errors.Is(err, errShardHedged) {
+				sop.Notef("hedge: %d pages from %s -> reconstruction", len(gs[i].items), addrs[i])
+				hedgedPages += len(gs[i].items)
 			}
 			failed = append(failed, gs[i].items...)
 			continue
@@ -214,6 +237,11 @@ func (b *Blob) fetchStriped(ctx context.Context, items []stripedItem) (err error
 			return err
 		}
 	}
+	// Every hedged-away page was served by reconstruction (an error
+	// above would have returned): those hedges won.
+	if hedgedPages > 0 {
+		b.c.HedgeWins.Add(int64(hedgedPages))
+	}
 	return nil
 }
 
@@ -252,6 +280,8 @@ func (b *Blob) reconstructStripe(ctx context.Context, items []stripedItem) error
 		g.slots = append(g.slots, s)
 	}
 
+	tc := trace.FromContext(ctx)
+	dl, _ := ctx.Deadline()
 	shards := make([][]byte, n)
 	pend := make([]*rpc.Pending, 0, len(groups))
 	gs := make([]*group, 0, len(groups))
@@ -260,7 +290,8 @@ func (b *Blob) reconstructStripe(ctx context.Context, items []stripedItem) error
 		if err != nil {
 			continue // unreachable survivor: maybe enough others remain
 		}
-		pend = append(pend, b.c.pool.Go(addr, provider.MGetPages, provider.EncodeGetPages(g.refs)))
+		pend = append(pend, b.c.pool.GoVecTD(addr, provider.MGetPages,
+			[][]byte{provider.EncodeGetPages(g.refs)}, tc, dl))
 		gs = append(gs, g)
 	}
 	for i, p := range pend {

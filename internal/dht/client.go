@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"blob/internal/backoff"
 	"blob/internal/rpc"
 	"blob/internal/stats"
 	"blob/internal/trace"
@@ -40,14 +41,18 @@ type Client struct {
 	mu   sync.RWMutex
 	ring *Ring
 
-	// refreshMu rate-limits empty-ring directory refetches.
-	refreshMu   sync.Mutex
-	lastRefresh time.Time
+	// refreshMu rate-limits empty-ring directory refetches on the
+	// shared backoff curve: consecutive empty refreshes space out
+	// exponentially, and a successful (non-empty) one resets the curve.
+	refreshMu      sync.Mutex
+	nextRefresh    time.Time
+	refreshAttempt int
 }
 
-// emptyRefreshEvery bounds how often an empty-ring operation refetches
-// the directory membership.
-const emptyRefreshEvery = time.Second
+// refreshBackoff paces empty-ring directory refetches: quick retries
+// while the cluster is still booting, easing off toward one per second
+// if no storage node ever registers.
+var refreshBackoff = backoff.Policy{Base: 125 * time.Millisecond, Max: time.Second}
 
 // ringOrRefresh returns the current ring, refetching the directory
 // membership first (rate-limited) when the snapshot is empty. A
@@ -61,14 +66,21 @@ func (c *Client) ringOrRefresh(ctx context.Context) *Ring {
 		return ring
 	}
 	c.refreshMu.Lock()
-	due := time.Since(c.lastRefresh) >= emptyRefreshEvery
+	due := time.Now().After(c.nextRefresh)
 	if due {
-		c.lastRefresh = time.Now()
+		c.nextRefresh = time.Now().Add(refreshBackoff.Delay(c.refreshAttempt))
+		c.refreshAttempt++
 	}
 	c.refreshMu.Unlock()
 	if due {
 		if err := c.Refresh(ctx); err != nil {
 			return ring
+		}
+		if r := c.Ring(); r.Size() > 0 {
+			c.refreshMu.Lock()
+			c.refreshAttempt = 0
+			c.refreshMu.Unlock()
+			return r
 		}
 	}
 	return c.Ring()

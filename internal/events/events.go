@@ -134,6 +134,15 @@ const (
 	// (rate-limited to one event per address per cooldown). Val is
 	// the consecutive-failure count.
 	DialFailure
+	// BreakerOpen: a peer's circuit breaker tripped — recent calls to
+	// it failed or crawled, and new calls now fail fast until a probe
+	// succeeds (docs/robustness.md). Val is the cumulative trip count
+	// for that peer.
+	BreakerOpen
+	// BreakerClose: a half-open probe succeeded and the peer's
+	// breaker re-admitted traffic. Val is the trip count it recovered
+	// from.
+	BreakerClose
 
 	maxType
 )
@@ -158,6 +167,8 @@ var labels = map[Type]string{
 	CompactionDone:     "compaction",
 	SidecarDegrade:     "sidecar-degrade",
 	DialFailure:        "dial-failure",
+	BreakerOpen:        "breaker-open",
+	BreakerClose:       "breaker-close",
 }
 
 // String returns the type's label ("type-N" for unknown values decoded

@@ -54,6 +54,7 @@ func (m *Monitor) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		repairPending = 1
 	}
 	p("# TYPE cluster_repair_pending gauge\ncluster_repair_pending %d\n", repairPending)
+	p("# TYPE cluster_breakers_open gauge\ncluster_breakers_open %d\n", s.BreakersOpen)
 	if s.ReadP99 > 0 {
 		p("# TYPE cluster_read_seconds gauge\n")
 		p("cluster_read_seconds{quantile=\"0.5\"} %g\n", float64(s.ReadP50)/1e9)

@@ -70,6 +70,79 @@ func TestEventAggDebtLifecycle(t *testing.T) {
 	}
 }
 
+func TestEventAggBreakers(t *testing.T) {
+	var a eventAgg
+	ts := func(s int64) int64 { return s * int64(time.Second) }
+	open := func(at int64, node, peer string) events.Event {
+		return events.Event{Time: ts(at), Type: events.BreakerOpen, Node: node,
+			Msg: "peer " + peer + ": circuit breaker open (trip 1, err-rate 0.62, lat-ewma 310ms)"}
+	}
+	closed := func(at int64, node, peer string) events.Event {
+		return events.Event{Time: ts(at), Type: events.BreakerClose, Node: node,
+			Msg: "peer " + peer + ": circuit breaker closed after probe"}
+	}
+
+	// Two clients trip against the same sick peer; one recovers.
+	a.ingest([]events.Event{
+		open(1, "client0", "node2:data"),
+		open(2, "client1", "node2:data"),
+		closed(3, "client0", "node2:data"),
+	})
+	got := a.openBreakers()
+	if len(got) != 1 || got[0] != "client1 -> node2:data" {
+		t.Fatalf("open breakers = %v, want [client1 -> node2:data]", got)
+	}
+
+	// Re-open after a close: newest event wins per (node, peer) slot.
+	a.ingest([]events.Event{open(4, "client0", "node2:data")})
+	if got := a.openBreakers(); len(got) != 2 {
+		t.Fatalf("after re-open, open breakers = %v, want 2 entries", got)
+	}
+
+	// Portless peer addresses must still parse.
+	a.ingest([]events.Event{open(5, "client2", "node9")})
+	found := false
+	for _, b := range a.openBreakers() {
+		if b == "client2 -> node9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("portless peer missing from %v", a.openBreakers())
+	}
+
+	// Rollup surfaces open breakers as a yellow reason.
+	in := rollupInput{
+		now: time.Now(),
+		membership: pmanager.Membership{Members: []pmanager.Member{
+			{ID: 1, Addr: "a", Alive: true}}},
+		agg: &a,
+	}
+	s := rollup(in)
+	if s.Health != HealthYellow || s.BreakersOpen != 3 {
+		t.Errorf("open breakers -> %s open=%d, want yellow/3", s.Health, s.BreakersOpen)
+	}
+	reasonFound := false
+	for _, r := range s.Reasons {
+		if strings.Contains(r, "circuit breakers open: 3") {
+			reasonFound = true
+		}
+	}
+	if !reasonFound {
+		t.Errorf("no breaker reason in %v", s.Reasons)
+	}
+
+	// All healed: green again, gauge zeroed.
+	a.ingest([]events.Event{
+		closed(6, "client0", "node2:data"),
+		closed(6, "client1", "node2:data"),
+		closed(6, "client2", "node9"),
+	})
+	if s := rollup(in); s.Health != HealthGreen || s.BreakersOpen != 0 {
+		t.Errorf("after heal -> %s open=%d, want green/0", s.Health, s.BreakersOpen)
+	}
+}
+
 func TestRollupHealthRules(t *testing.T) {
 	now := time.Now()
 	alive := pmanager.Membership{Epoch: 3, Members: []pmanager.Member{

@@ -3,6 +3,7 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"blob/internal/events"
@@ -56,6 +57,14 @@ type ClusterSnapshot struct {
 	WriteP99 int64 `json:"write_p99,omitempty"`
 	WriteMax int64 `json:"write_max,omitempty"`
 
+	// Gray-failure plane (docs/robustness.md): circuit breakers
+	// currently open anywhere in the cluster, derived from the
+	// BreakerOpen/BreakerClose event stream. Each entry reads
+	// "observer -> peer" — the node whose pool tripped, and the peer it
+	// tripped on.
+	BreakersOpen int      `json:"breakers_open"`
+	OpenBreakers []string `json:"open_breakers,omitempty"`
+
 	// Recent merged events, oldest first (bounded tail).
 	Events []events.Event `json:"events,omitempty"`
 }
@@ -99,6 +108,9 @@ type eventAgg struct {
 	lastDeathT  int64 // newest HeartbeatDeath
 	lastUnrepT  int64 // newest Unrepairable
 	elections   []int64
+	// breakers tracks each observer->peer circuit by its newest open
+	// and close event times; a circuit is open while openT > closeT.
+	breakers map[string][2]int64
 }
 
 // ingest folds newly collected events in. Events may arrive slightly
@@ -134,8 +146,54 @@ func (a *eventAgg) ingest(evs []events.Event) {
 			if len(a.elections) > 256 {
 				a.elections = a.elections[len(a.elections)-256:]
 			}
+		case events.BreakerOpen, events.BreakerClose:
+			if a.breakers == nil {
+				a.breakers = make(map[string][2]int64)
+			}
+			key := e.Node + " -> " + breakerPeer(e.Msg)
+			t := a.breakers[key]
+			if e.Type == events.BreakerOpen && e.Time >= t[0] {
+				t[0] = e.Time
+			}
+			if e.Type == events.BreakerClose && e.Time >= t[1] {
+				t[1] = e.Time
+			}
+			a.breakers[key] = t
 		}
 	}
+}
+
+// breakerPeer extracts the peer address from a breaker event message
+// ("peer <addr>: circuit breaker ..."); unknown shapes pass through
+// whole, so a changed emit format degrades the label, never the count.
+func breakerPeer(msg string) string {
+	const prefix = "peer "
+	rest, ok := strings.CutPrefix(msg, prefix)
+	if !ok {
+		return msg
+	}
+	// "host:port: circuit ..." — the address ends at the colon after
+	// the port, i.e. the second colon (or the first, if no port).
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		if j := strings.IndexByte(rest[i+1:], ':'); j >= 0 {
+			return rest[:i+1+j]
+		}
+		return rest[:i]
+	}
+	return rest
+}
+
+// openBreakers lists the observer->peer circuits currently open,
+// sorted for stable snapshots.
+func (a *eventAgg) openBreakers() []string {
+	var open []string
+	for key, t := range a.breakers {
+		if t[0] > t[1] {
+			open = append(open, key)
+		}
+	}
+	sort.Strings(open)
+	return open
 }
 
 // electionsSince counts leader elections recorded after t.
@@ -291,6 +349,14 @@ func rollup(in rollupInput) ClusterSnapshot {
 		}
 		if n := a.electionsSince(in.now.Add(-electionChurnWindow).UnixNano()); len(in.shards) > 0 && n > len(in.shards) {
 			reasons = append(reasons, fmt.Sprintf("election churn: %d leader elections in the last %v", n, electionChurnWindow))
+		}
+		// Open circuit breakers mark gray peers: some node has stopped
+		// routing to a peer that is slow or erroring but not dead.
+		s.OpenBreakers = a.openBreakers()
+		s.BreakersOpen = len(s.OpenBreakers)
+		if s.BreakersOpen > 0 {
+			reasons = append(reasons, fmt.Sprintf("circuit breakers open: %d (%s)",
+				s.BreakersOpen, strings.Join(s.OpenBreakers, ", ")))
 		}
 	}
 

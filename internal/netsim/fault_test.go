@@ -1,0 +1,185 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoPair dials an echo server and returns the client conn.
+func echoPair(t *testing.T, n *Net, cliHost, srvHost string) net.Conn {
+	t.Helper()
+	l, err := n.Host(srvHost).Listen("7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := startEcho(t, l)
+	t.Cleanup(stop)
+	c, err := n.Host(cliHost).Dial(srvHost + ":7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func echoOnce(c net.Conn, msg []byte) error {
+	if _, err := c.Write(msg); err != nil {
+		return err
+	}
+	got := make([]byte, len(msg))
+	_, err := io.ReadFull(c, got)
+	return err
+}
+
+func TestFaultExtraLatency(t *testing.T) {
+	n := New(Fast())
+	defer n.Close()
+	c := echoPair(t, n, "cli", "srv")
+
+	msg := []byte("ping")
+	start := time.Now()
+	if err := echoOnce(c, msg); err != nil {
+		t.Fatal(err)
+	}
+	healthy := time.Since(start)
+
+	const extra = 30 * time.Millisecond
+	n.SetHostFault("srv", Fault{ExtraLatency: extra})
+	start = time.Now()
+	if err := echoOnce(c, msg); err != nil {
+		t.Fatal(err)
+	}
+	slow := time.Since(start)
+	// Both directions cross the faulted host, so the echo pays >= 2x.
+	if slow < healthy+2*extra {
+		t.Fatalf("faulted echo took %v, want >= %v", slow, healthy+2*extra)
+	}
+
+	// Healing is immediate, including for this already-open connection.
+	n.Heal()
+	start = time.Now()
+	if err := echoOnce(c, msg); err != nil {
+		t.Fatal(err)
+	}
+	if healed := time.Since(start); healed >= extra {
+		t.Fatalf("healed echo took %v, want < %v", healed, extra)
+	}
+}
+
+func TestFaultStallAndHeal(t *testing.T) {
+	n := New(Fast())
+	defer n.Close()
+	c := echoPair(t, n, "cli", "srv")
+	if err := echoOnce(c, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	n.SetHostFault("srv", Fault{Stall: true})
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- echoOnce(c, []byte("stalled")) }()
+
+	select {
+	case err := <-done:
+		t.Fatalf("echo completed during stall (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	n.Heal()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("echo still stalled after Heal")
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("stall released after only %v", d)
+	}
+}
+
+func TestFaultDropResetsConnection(t *testing.T) {
+	n := New(Fast())
+	defer n.Close()
+	c := echoPair(t, n, "cli", "srv")
+	if err := echoOnce(c, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	n.SetLinkFault("cli", "srv", Fault{DropProb: 1})
+	if err := echoOnce(c, []byte("doomed")); err == nil {
+		t.Fatal("write over a DropProb=1 link should reset the connection")
+	}
+	// The reset is a full connection close, like a TCP RST: reads fail too.
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after injected reset should fail")
+	}
+
+	// A fresh dial still works: the fault resets connections, it does not
+	// unbind the listener — and healing restores clean traffic.
+	n.Heal()
+	c2, err := n.Host("cli").Dial("srv:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := echoOnce(c2, []byte("recovered")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultRefuseDial(t *testing.T) {
+	n := New(Fast())
+	defer n.Close()
+	echoPair(t, n, "cli", "srv") // binds the listener
+
+	n.SetHostFault("srv", Fault{RefuseDial: true})
+	if _, err := n.Host("cli").Dial("srv:7"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial under RefuseDial fault: err = %v, want ErrRefused", err)
+	}
+	n.ClearHostFault("srv")
+	c, err := n.Host("cli").Dial("srv:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+func TestFaultAddrScoped(t *testing.T) {
+	n := New(Fast())
+	defer n.Close()
+	// Two services on one host: the fault targets only port 7.
+	sick := echoPair(t, n, "cli", "srv")
+	l, err := n.Host("srv").Listen("8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := startEcho(t, l)
+	defer stop()
+	healthy, err := n.Host("cli").Dial("srv:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+
+	const extra = 40 * time.Millisecond
+	n.SetAddrFault("srv:7", Fault{ExtraLatency: extra})
+
+	start := time.Now()
+	if err := echoOnce(healthy, []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d >= extra {
+		t.Fatalf("co-located healthy service delayed %v by an addr fault on the sick one", d)
+	}
+	start = time.Now()
+	if err := echoOnce(sick, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 2*extra {
+		t.Fatalf("addr-faulted echo took %v, want >= %v", d, 2*extra)
+	}
+}

@@ -21,6 +21,8 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -70,14 +72,175 @@ type Net struct {
 	listeners map[string]*listener
 	nics      map[string]*nic
 	closed    bool
+
+	// Injected faults (docs/robustness.md): live connections consult
+	// these maps on every frame, so installing or clearing a fault takes
+	// effect immediately — including for connections dialed before it.
+	faultMu    sync.Mutex
+	linkFaults map[linkKey]Fault
+	hostFaults map[string]Fault
+	addrFaults map[string]Fault
 }
+
+// linkKey identifies one directed link for fault injection.
+type linkKey struct{ from, to string }
 
 // New creates an empty fabric.
 func New(cfg Config) *Net {
 	return &Net{
-		cfg:       cfg,
-		listeners: make(map[string]*listener),
-		nics:      make(map[string]*nic),
+		cfg:        cfg,
+		listeners:  make(map[string]*listener),
+		nics:       make(map[string]*nic),
+		linkFaults: make(map[linkKey]Fault),
+		hostFaults: make(map[string]Fault),
+		addrFaults: make(map[string]Fault),
+	}
+}
+
+// Fault describes injected link misbehaviour — the gray failures the
+// robustness machinery (deadlines, hedges, breakers; docs/robustness.md)
+// is built to absorb. The zero Fault injects nothing.
+type Fault struct {
+	// ExtraLatency delays every frame's delivery by this much on top of
+	// the fabric's configured latency (a slow or overloaded peer).
+	ExtraLatency time.Duration
+	// Jitter adds a further uniformly random delay in [0, Jitter) per
+	// frame (an erratic peer).
+	Jitter time.Duration
+	// DropProb resets the connection with this per-frame probability:
+	// the frame is not delivered and the connection dies, as a TCP RST
+	// would — never silent byte loss, which a stream transport cannot
+	// produce (a flaky link).
+	DropProb float64
+	// Stall blocks every frame indefinitely — the connection stays up
+	// but nothing moves, the classic gray failure — until the fault is
+	// cleared (writers then resume) or the connection is closed.
+	Stall bool
+	// RefuseDial makes new dials across the faulted link fail with
+	// ErrRefused while established connections keep working.
+	RefuseDial bool
+}
+
+// active reports whether the fault injects anything.
+func (f Fault) active() bool {
+	return f.ExtraLatency > 0 || f.Jitter > 0 || f.DropProb > 0 || f.Stall || f.RefuseDial
+}
+
+// SetLinkFault installs f on the directed link from -> to (replacing
+// any previous link fault there). Frames already in flight keep their
+// original delivery time.
+func (n *Net) SetLinkFault(from, to string, f Fault) {
+	n.faultMu.Lock()
+	if f.active() {
+		n.linkFaults[linkKey{from, to}] = f
+	} else {
+		delete(n.linkFaults, linkKey{from, to})
+	}
+	n.faultMu.Unlock()
+}
+
+// SetHostFault installs f on every link touching host, in both
+// directions (a sick machine rather than a sick cable).
+func (n *Net) SetHostFault(host string, f Fault) {
+	n.faultMu.Lock()
+	if f.active() {
+		n.hostFaults[host] = f
+	} else {
+		delete(n.hostFaults, host)
+	}
+	n.faultMu.Unlock()
+}
+
+// SetAddrFault installs f on every link whose either endpoint is the
+// service bound to addr (host:port), in both directions. It scopes a
+// fault to one service on a host that runs several — the co-located
+// data provider can be sick while the meta provider beside it stays
+// healthy.
+func (n *Net) SetAddrFault(addr string, f Fault) {
+	n.faultMu.Lock()
+	if f.active() {
+		n.addrFaults[addr] = f
+	} else {
+		delete(n.addrFaults, addr)
+	}
+	n.faultMu.Unlock()
+}
+
+// ClearLinkFault removes the directed link fault from -> to.
+func (n *Net) ClearLinkFault(from, to string) { n.SetLinkFault(from, to, Fault{}) }
+
+// ClearHostFault removes host's fault.
+func (n *Net) ClearHostFault(host string) { n.SetHostFault(host, Fault{}) }
+
+// ClearAddrFault removes addr's fault.
+func (n *Net) ClearAddrFault(addr string) { n.SetAddrFault(addr, Fault{}) }
+
+// Heal removes every installed fault; stalled writers resume at their
+// next poll tick.
+func (n *Net) Heal() {
+	n.faultMu.Lock()
+	clear(n.linkFaults)
+	clear(n.hostFaults)
+	clear(n.addrFaults)
+	n.faultMu.Unlock()
+}
+
+// faultFor combines the faults affecting one frame between the given
+// endpoints: the directed link fault between the hosts, both hosts'
+// faults, and both endpoint addresses' faults. Delays add, drop
+// probabilities and booleans take the worst case.
+func (n *Net) faultFor(src, dst, srcAddr, dstAddr string) (Fault, bool) {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	if len(n.linkFaults) == 0 && len(n.hostFaults) == 0 && len(n.addrFaults) == 0 {
+		return Fault{}, false
+	}
+	var out Fault
+	found := false
+	for _, f := range []Fault{n.linkFaults[linkKey{src, dst}], n.hostFaults[src], n.hostFaults[dst],
+		n.addrFaults[srcAddr], n.addrFaults[dstAddr]} {
+		if !f.active() {
+			continue
+		}
+		found = true
+		out.ExtraLatency += f.ExtraLatency
+		out.Jitter += f.Jitter
+		if f.DropProb > out.DropProb {
+			out.DropProb = f.DropProb
+		}
+		out.Stall = out.Stall || f.Stall
+		out.RefuseDial = out.RefuseDial || f.RefuseDial
+	}
+	return out, found
+}
+
+// faultDelay applies the current fault on src->dst for one frame about
+// to be written on conn c: it blocks while the link is stalled,
+// resets the connection on a drop, and otherwise returns the extra
+// delivery delay to add to the frame.
+func (n *Net) faultDelay(c *conn) (time.Duration, error) {
+	for {
+		f, ok := n.faultFor(c.srcHost, c.dstHost, c.local.String(), c.peer.String())
+		if !ok {
+			return 0, nil
+		}
+		if f.Stall {
+			select {
+			case <-c.wr.closed:
+				return 0, io.ErrClosedPipe
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
+		if f.DropProb > 0 && rand.Float64() < f.DropProb {
+			c.Close()
+			return 0, io.ErrClosedPipe
+		}
+		d := f.ExtraLatency
+		if f.Jitter > 0 {
+			d += time.Duration(rand.Int63n(int64(f.Jitter)))
+		}
+		return d, nil
 	}
 }
 
@@ -166,8 +329,12 @@ func (h *Host) Dial(addr string) (net.Conn, error) {
 	if l == nil {
 		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
 	}
+	if f, ok := h.net.faultFor(h.name, hostOf(addr), "", addr); ok && f.RefuseDial {
+		return nil, fmt.Errorf("%w: %s (injected fault)", ErrRefused, addr)
+	}
 	remoteNIC := h.net.nicFor(hostOf(addr))
 	cliEnd, srvEnd := newPipePair(
+		h.net,
 		h.net.cfg.Latency,
 		h.nic, remoteNIC,
 		simAddr(h.name+":0"), simAddr(addr),

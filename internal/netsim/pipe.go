@@ -108,8 +108,11 @@ func (b *pipeBuf) read(p []byte, deadline time.Time) (int, error) {
 
 // conn is one endpoint of a simulated duplex connection.
 type conn struct {
+	net          *Net // fault lookup (nil in direct newPipePair tests)
 	rd, wr       *pipeBuf
 	local, peer  net.Addr
+	srcHost      string
+	dstHost      string
 	latency      time.Duration
 	srcNIC       *nic
 	dstNIC       *nic
@@ -118,22 +121,35 @@ type conn struct {
 }
 
 // newPipePair creates the two endpoints of a connection between hosts.
-// Frames written on either end are charged to both NICs and delivered
-// after the configured latency.
-func newPipePair(latency time.Duration, cliNIC, srvNIC *nic, cliAddr, srvAddr net.Addr) (cli, srv net.Conn) {
+// Frames written on either end are charged to both NICs, delivered
+// after the configured latency, and subjected to whatever faults the
+// fabric has installed on the link at write time.
+func newPipePair(n *Net, latency time.Duration, cliNIC, srvNIC *nic, cliAddr, srvAddr net.Addr) (cli, srv net.Conn) {
 	c2s := newPipeBuf()
 	s2c := newPipeBuf()
+	cliHost, srvHost := hostOf(cliAddr.String()), hostOf(srvAddr.String())
 	cli = &conn{
-		rd: s2c, wr: c2s,
+		net: n, rd: s2c, wr: c2s,
 		local: cliAddr, peer: srvAddr,
+		srcHost: cliHost, dstHost: srvHost,
 		latency: latency, srcNIC: cliNIC, dstNIC: srvNIC,
 	}
 	srv = &conn{
-		rd: c2s, wr: s2c,
+		net: n, rd: c2s, wr: s2c,
 		local: srvAddr, peer: cliAddr,
+		srcHost: srvHost, dstHost: cliHost,
 		latency: latency, srcNIC: srvNIC, dstNIC: cliNIC,
 	}
 	return cli, srv
+}
+
+// injectFault applies the link's current fault to one outbound frame:
+// stall, reset, or an extra delivery delay.
+func (c *conn) injectFault() (time.Duration, error) {
+	if c.net == nil {
+		return 0, nil
+	}
+	return c.net.faultDelay(c)
 }
 
 func (c *conn) Read(p []byte) (int, error) {
@@ -155,6 +171,10 @@ func (c *conn) Write(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	extra, err := c.injectFault()
+	if err != nil {
+		return 0, err
+	}
 	// Serialization delay on both NICs: the sender blocks until its NIC
 	// would have drained the frame (backpressure), and the receive NIC's
 	// horizon advances too so inbound and outbound traffic contend.
@@ -167,7 +187,7 @@ func (c *conn) Write(p []byte) (int, error) {
 	if wait >= minMaterializedSleep {
 		time.Sleep(wait)
 	}
-	if err := c.wr.write(p, time.Now().Add(c.latency)); err != nil {
+	if err := c.wr.write(p, time.Now().Add(c.latency+extra)); err != nil {
 		return 0, err
 	}
 	return len(p), nil
@@ -192,6 +212,10 @@ func (c *conn) WriteBuffers(bufs *net.Buffers) (int64, error) {
 		data = append(data, b...)
 	}
 	*bufs = nil
+	extra, err := c.injectFault()
+	if err != nil {
+		return 0, err
+	}
 	w1 := c.srcNIC.reserve(total)
 	w2 := c.dstNIC.reserve(total)
 	wait := w1
@@ -201,7 +225,7 @@ func (c *conn) WriteBuffers(bufs *net.Buffers) (int64, error) {
 	if wait >= minMaterializedSleep {
 		time.Sleep(wait)
 	}
-	if err := c.wr.writeOwned(data, time.Now().Add(c.latency)); err != nil {
+	if err := c.wr.writeOwned(data, time.Now().Add(c.latency+extra)); err != nil {
 		return 0, err
 	}
 	return int64(total), nil

@@ -234,9 +234,16 @@ type Caller interface {
 //	                      | uvarint n | n × (u32 rel, u64 checksum)
 //	MPullPages response:  uvarint pulled | uvarint bytes | uvarint skipped
 
-func (sv *Service) handleListWrites(_ context.Context, body []byte) ([]byte, error) {
+func (sv *Service) handleListWrites(ctx context.Context, body []byte) ([]byte, error) {
 	sv.ActiveOps.Add(1)
 	defer sv.ActiveOps.Add(-1)
+	// Chaos mode covers the whole read-side serve path, holdings
+	// listings included — so an injected gray failure is visible to the
+	// repairer's sweeps (and trips its breakers), not only to clients
+	// fetching pages.
+	if err := sv.chaosEnter(ctx); err != nil {
+		return nil, err
+	}
 	r := wire.NewReader(body)
 	n := int(r.Uvarint())
 	var want map[WriteRef]bool

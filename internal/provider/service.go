@@ -37,6 +37,11 @@ type Service struct {
 	// MLatency exports their snapshots for cluster-wide merging.
 	GetLatency stats.Histogram
 	PutLatency stats.Histogram
+
+	// chaos holds injected gray-failure state (chaos.go). It applies to
+	// page serves only — writes stay healthy, so injected chaos never
+	// puts acked data at risk.
+	chaos chaos
 }
 
 // NewService creates a Service serving ps.
@@ -77,6 +82,7 @@ func (sv *Service) RegisterHandlers(srv *rpc.Server) {
 	srv.Handle(MListWrites, sv.handleListWrites)
 	srv.Handle(MPullPages, sv.handlePullPages)
 	srv.Handle(MLatency, sv.handleLatency)
+	srv.Handle(MChaos, sv.handleChaos)
 }
 
 // Wire formats.
@@ -117,13 +123,16 @@ func (sv *Service) handlePutPages(_ context.Context, body []byte) ([]byte, error
 // in place, and a slice outlives even a concurrent GC delete of its map
 // entry), so fetched pages travel from store memory to the socket
 // without intermediate assembly.
-func (sv *Service) handleGetPages(_ context.Context, body []byte) ([][]byte, error) {
+func (sv *Service) handleGetPages(ctx context.Context, body []byte) ([][]byte, error) {
 	sv.ActiveOps.Add(1)
 	start := time.Now()
 	defer func() {
 		sv.GetLatency.Observe(time.Since(start))
 		sv.ActiveOps.Add(-1)
 	}()
+	if err := sv.chaosEnter(ctx); err != nil {
+		return nil, err
+	}
 	r := wire.NewReader(body)
 	n := int(r.Uvarint())
 	// Each ref occupies exactly 20 request bytes, so any claimed count

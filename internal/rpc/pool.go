@@ -2,9 +2,11 @@ package rpc
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
+	"blob/internal/backoff"
 	"blob/internal/events"
 	"blob/internal/trace"
 )
@@ -14,6 +16,13 @@ import (
 // Every component that talks to many peers (clients fanning out to data
 // and metadata providers, the GC agent, the repair path in the version
 // manager) shares this type.
+//
+// Failure handling is policy-driven (docs/robustness.md): transport
+// failures retry under a jittered-exponential backoff bounded by a
+// per-pool retry budget (so a cluster-wide outage cannot become a
+// retry storm), and optional per-peer circuit breakers fail calls to a
+// persistently failing or crawling peer fast, probing it back to
+// health once it recovers.
 type Pool struct {
 	network Network
 
@@ -21,10 +30,24 @@ type Pool struct {
 	clients map[string]*Client
 	closed  bool
 
+	// retry policy for transport failures; the budget is shared by all
+	// peers of this pool.
+	retry       backoff.Policy
+	retryBudget *backoff.Budget
+
+	breakMu  sync.Mutex
+	breakCfg BreakerConfig
+	breakOn  bool
+	breakers map[string]*breaker
+
 	journal *events.Journal
 	dialsMu sync.Mutex
 	dials   map[string]*dialState
 }
+
+// maxCallRetries bounds how many times one logical call is retried
+// after transport failures (the first attempt is free).
+const maxCallRetries = 2
 
 // dialState tracks consecutive dial failures to one address so the
 // journal records failure bursts, not every failed attempt.
@@ -39,12 +62,17 @@ const dialEventCooldown = 5 * time.Second
 
 // NewPool returns an empty pool over the given network.
 func NewPool(n Network) *Pool {
-	return &Pool{network: n, clients: make(map[string]*Client)}
+	return &Pool{
+		network:     n,
+		clients:     make(map[string]*Client),
+		retryBudget: backoff.NewBudget(0.1, 10),
+	}
 }
 
 // SetJournal attaches a cluster event journal: bursts of dial failures
-// to one address emit a rate-limited events.DialFailure. Call before
-// the pool is shared.
+// to one address emit a rate-limited events.DialFailure, and breaker
+// transitions emit events.BreakerOpen / events.BreakerClose. Call
+// before the pool is shared.
 func (p *Pool) SetJournal(j *events.Journal) {
 	if !j.Enabled() {
 		return
@@ -53,6 +81,99 @@ func (p *Pool) SetJournal(j *events.Journal) {
 	p.journal = j
 	p.dials = make(map[string]*dialState)
 	p.dialsMu.Unlock()
+}
+
+// EnableBreakers turns on per-peer circuit breakers with the given
+// config (zero fields take defaults; see BreakerConfig). Call before
+// the pool is shared.
+func (p *Pool) EnableBreakers(cfg BreakerConfig) {
+	p.breakMu.Lock()
+	p.breakCfg = cfg.withDefaults()
+	p.breakOn = true
+	p.breakers = make(map[string]*breaker)
+	p.breakMu.Unlock()
+}
+
+// breakerFor returns addr's breaker, creating it on first use, or nil
+// when breakers are disabled.
+func (p *Pool) breakerFor(addr string) *breaker {
+	p.breakMu.Lock()
+	defer p.breakMu.Unlock()
+	if !p.breakOn {
+		return nil
+	}
+	b, ok := p.breakers[addr]
+	if !ok {
+		b = newBreaker(p.breakCfg)
+		p.breakers[addr] = b
+	}
+	return b
+}
+
+// Available reports whether calls to addr are currently admitted —
+// false only while addr's breaker is open. Routing layers use it the
+// way they use bloom hints: skip the peer, unless it is the last one
+// holding the data.
+func (p *Pool) Available(addr string) bool {
+	p.breakMu.Lock()
+	b := p.breakers[addr]
+	p.breakMu.Unlock()
+	return b == nil || b.available()
+}
+
+// OpenBreakers returns the addresses whose breakers are currently
+// denying traffic (for gauges and tests).
+func (p *Pool) OpenBreakers() []string {
+	p.breakMu.Lock()
+	defer p.breakMu.Unlock()
+	var open []string
+	for addr, b := range p.breakers {
+		if !b.available() {
+			open = append(open, addr)
+		}
+	}
+	return open
+}
+
+// callFailure classifies err for breaker accounting: transport errors
+// and blown deadlines are the peer's failures; application errors and
+// caller-side cancellation are not.
+func callFailure(err error) bool {
+	return err != nil && !IsServerError(err) && !errors.Is(err, context.Canceled)
+}
+
+// Observe feeds one call outcome into addr's breaker — the hook for
+// async callers (GoVecT fan-outs) that wait on Pendings themselves and
+// would otherwise bypass breaker accounting. latency matters only for
+// successes. Safe to call with breakers disabled.
+func (p *Pool) Observe(addr string, err error, latency time.Duration) {
+	if err != nil && (errors.Is(err, ErrBreakerOpen) || errors.Is(err, context.Canceled)) {
+		return // never admitted, or abandoned by the caller: not evidence
+	}
+	br := p.breakerFor(addr)
+	if br == nil {
+		return
+	}
+	opened, closed := br.record(callFailure(err), latency)
+	if opened || closed {
+		p.journalBreaker(addr, br, opened)
+	}
+}
+
+// journalBreaker emits breaker transition events.
+func (p *Pool) journalBreaker(addr string, br *breaker, opened bool) {
+	if p.journal == nil {
+		return
+	}
+	_, trips, errRate, lat := br.snapshot()
+	if opened {
+		p.journal.Emit(events.SevWarn, events.BreakerOpen, trips,
+			"peer %s: circuit breaker open (trip %d, err-rate %.2f, lat-ewma %s)",
+			addr, trips, errRate, lat.Round(time.Millisecond))
+	} else {
+		p.journal.Emit(events.SevInfo, events.BreakerClose, trips,
+			"peer %s: circuit breaker closed after probe", addr)
+	}
 }
 
 // noteDial records a dial outcome for addr, emitting a DialFailure
@@ -131,58 +252,87 @@ func (p *Pool) Invalidate(addr string) {
 	}
 }
 
-// Call performs a synchronous RPC to addr. On a transport failure it
-// redials once and retries; application errors (ServerError) are returned
-// as-is, since retrying a failed operation on the same node is futile.
-func (p *Pool) Call(ctx context.Context, addr string, method uint32, body []byte) ([]byte, error) {
-	c, err := p.Get(addr)
-	if err != nil {
-		return nil, err
+// do runs one logical call under the pool's failure policy: breaker
+// admission, then up to 1+maxCallRetries attempts with backoff between
+// them, each attempt's outcome fed to the breaker. handle performs the
+// call on the given client and reports (error, final); final
+// short-circuits the retry loop (used for decode errors — the response
+// arrived, so re-asking would return the same bytes).
+func (p *Pool) do(ctx context.Context, addr string, handle func(*Client) (error, bool)) error {
+	br := p.breakerFor(addr)
+	var err error
+	for attempt := 0; ; attempt++ {
+		if br != nil && !br.allow() {
+			if err != nil {
+				return err // breaker slammed shut mid-loop: report the real failure
+			}
+			return ErrBreakerOpen
+		}
+		start := time.Now()
+		var final bool
+		var c *Client
+		c, err = p.Get(addr)
+		if err == nil {
+			err, final = handle(c)
+		}
+		if br != nil && !errors.Is(err, context.Canceled) {
+			if opened, closed := br.record(callFailure(err), time.Since(start)); opened || closed {
+				p.journalBreaker(addr, br, opened)
+			}
+		}
+		if err == nil {
+			p.retryBudget.Success()
+			return nil
+		}
+		if final || IsServerError(err) || ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		// Transport failure: the cached connection is dead.
+		p.Invalidate(addr)
+		if attempt >= maxCallRetries || !p.retryBudget.Allow() {
+			return err
+		}
+		if p.retry.Sleep(ctx, attempt) != nil {
+			return err
+		}
 	}
-	resp, err := c.Call(ctx, method, body)
-	if err == nil || IsServerError(err) || ctx.Err() != nil {
-		return resp, err
-	}
-	// Transport failure: one redial attempt.
-	p.Invalidate(addr)
-	c, err = p.Get(addr)
-	if err != nil {
-		return nil, err
-	}
-	return c.Call(ctx, method, body)
 }
 
-// CallWith performs a synchronous RPC with Call's redial-once-and-retry
-// semantics, hands the response to decode, and then releases the pooled
-// response buffer. decode must not retain the body (or any sub-slice of
-// it) past its return — copy what it keeps. This is the hot-path shape:
-// callers get pooled-buffer reuse without giving up the transparent
-// redial Call provides.
+// Call performs a synchronous RPC to addr under the pool's retry and
+// breaker policy. Application errors (ServerError) are returned as-is
+// and never retried — re-asking the same node is futile.
+func (p *Pool) Call(ctx context.Context, addr string, method uint32, body []byte) ([]byte, error) {
+	tc := trace.FromContext(ctx)
+	dl, _ := ctx.Deadline()
+	var resp []byte
+	err := p.do(ctx, addr, func(c *Client) (error, bool) {
+		b, err := c.GoVecTD(method, [][]byte{body}, tc, dl).Wait(ctx)
+		resp = b
+		return err, false
+	})
+	return resp, err
+}
+
+// CallWith performs a synchronous RPC with Call's retry semantics,
+// hands the response to decode, and then releases the pooled response
+// buffer. decode must not retain the body (or any sub-slice of it)
+// past its return — copy what it keeps. This is the hot-path shape:
+// callers get pooled-buffer reuse without giving up transparent
+// retries.
 func (p *Pool) CallWith(ctx context.Context, addr string, method uint32, body []byte, decode func([]byte) error) error {
 	tc := trace.FromContext(ctx)
-	attempt := func() (err error, transported bool) {
-		c, err := p.Get(addr)
-		if err != nil {
-			return err, false
-		}
-		pd := c.GoT(method, body, tc)
+	dl, _ := ctx.Deadline()
+	return p.do(ctx, addr, func(c *Client) (error, bool) {
+		pd := c.GoVecTD(method, [][]byte{body}, tc, dl)
 		resp, err := pd.Wait(ctx)
 		if err != nil {
 			return err, false
 		}
 		err = decode(resp)
 		pd.Release()
+		// The response arrived; a decode error is final.
 		return err, true
-	}
-	err, transported := attempt()
-	if transported || err == nil || IsServerError(err) || ctx.Err() != nil {
-		return err
-	}
-	// Transport failure: one redial attempt (decode errors never retry —
-	// the response arrived; re-asking would return the same bytes).
-	p.Invalidate(addr)
-	err, _ = attempt()
-	return err
+	})
 }
 
 // Go starts an asynchronous call to addr. Dial errors surface through
@@ -209,6 +359,15 @@ func (p *Pool) GoVec(addr string, method uint32, segs [][]byte) *Pending {
 // the shape async fan-outs use, since they have no per-call context to
 // extract a trace from. A zero tc emits the legacy frame.
 func (p *Pool) GoVecT(addr string, method uint32, segs [][]byte, tc trace.Ctx) *Pending {
+	return p.GoVecTD(addr, method, segs, tc, time.Time{})
+}
+
+// GoVecTD is GoVecT with an absolute deadline stamped into the frame
+// (zero = none), so async fan-outs propagate their remaining budget
+// the way synchronous Calls do. Async calls bypass breaker admission —
+// fan-outs consult Available for routing instead — but callers should
+// feed outcomes back via Observe.
+func (p *Pool) GoVecTD(addr string, method uint32, segs [][]byte, tc trace.Ctx, deadline time.Time) *Pending {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -217,7 +376,7 @@ func (p *Pool) GoVecT(addr string, method uint32, segs [][]byte, tc trace.Ctx) *
 	c, warm := p.clients[addr]
 	p.mu.Unlock()
 	if warm && !c.Closed() {
-		return c.GoVecT(method, segs, tc)
+		return c.GoVecTD(method, segs, tc, deadline)
 	}
 
 	// Cold address: complete the Pending from a dialing goroutine. The
@@ -231,7 +390,7 @@ func (p *Pool) GoVecT(addr string, method uint32, segs [][]byte, tc trace.Ctx) *
 			cl.err = err
 			return
 		}
-		inner := c.GoVecT(method, segs, tc)
+		inner := c.GoVecTD(method, segs, tc, deadline)
 		<-inner.c.done
 		cl.resp, cl.err = inner.c.resp, inner.c.err
 	}()

@@ -28,14 +28,24 @@
 //
 // Message wire format (both directions, little endian):
 //
-//	request:        0x01 | u64 id | u32 method | uvarint len | body
-//	traced request: 0x03 | u64 id | u32 method | u64 traceID | u64 spanID | uvarint len | body
-//	response:       0x02 | u64 id | u8 status  | uvarint len | body-or-error
+//	request:          0x01 | u64 id | u32 method | uvarint len | body
+//	traced request:   0x03 | u64 id | u32 method | u64 traceID | u64 spanID | uvarint len | body
+//	deadline request: 0x04 | u64 id | u32 method | u64 traceID | u64 spanID | uvarint deadlineMS | uvarint len | body
+//	response:         0x02 | u64 id | u8 status  | uvarint len | body-or-error
 //
 // The traced request kind is an optional extension (see
 // docs/observability.md): a call whose context carries no trace emits
 // the byte-identical legacy 0x01 frame, and a server that does not
 // trace still understands 0x03 and simply forwards the ids.
+//
+// The deadline request kind (docs/robustness.md) additionally carries
+// the caller's remaining time budget in whole milliseconds (always
+// ≥ 1 on the wire; an already-expired call never leaves the client).
+// The server derives a handler-context deadline from it and drops
+// work whose budget lapsed while queued, so abandoned requests stop
+// consuming the cluster hop by hop. Its trace ids are zero when the
+// call is untraced. Calls without a context deadline keep emitting
+// the 0x01/0x03 frames byte-identically.
 package rpc
 
 import (
@@ -46,6 +56,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blob/internal/stats"
 	"blob/internal/trace"
@@ -98,6 +109,18 @@ func IsServerError(err error) bool {
 // ErrClosed is returned for calls on a closed client or server.
 var ErrClosed = errors.New("rpc: connection closed")
 
+// ErrRemoteExpired is returned when the server reports that the call's
+// propagated deadline lapsed before or during handling. It matches
+// context.DeadlineExceeded under errors.Is, so callers need no special
+// case: a deadline blown remotely looks like one blown locally.
+var ErrRemoteExpired error = remoteExpiredError{}
+
+type remoteExpiredError struct{}
+
+func (remoteExpiredError) Error() string { return "rpc: deadline exceeded on server" }
+
+func (remoteExpiredError) Is(target error) bool { return target == context.DeadlineExceeded }
+
 // ErrTooLarge is returned when a message exceeds the frame limit.
 var ErrTooLarge = errors.New("rpc: message too large")
 
@@ -105,12 +128,18 @@ var ErrTooLarge = errors.New("rpc: message too large")
 const MaxBody = 128 << 20
 
 const (
-	kindRequest       = 0x01
-	kindResponse      = 0x02
-	kindRequestTraced = 0x03
+	kindRequest         = 0x01
+	kindResponse        = 0x02
+	kindRequestTraced   = 0x03
+	kindRequestDeadline = 0x04
 
 	statusOK  = 0
 	statusErr = 1
+	// statusExpired marks a reply to a deadline request whose budget ran
+	// out server-side (queued too long, or the handler overran it). It
+	// is only ever sent in response to kind 0x04, which old clients
+	// never emit, so the status byte stays interop-safe.
+	statusExpired = 2
 )
 
 // maxFrame bounds how many payload bytes one writer-loop flush coalesces.
@@ -122,6 +151,7 @@ const maxFrame = 1 << 20
 type Metrics struct {
 	CallsSent      stats.Counter
 	CallsHandled   stats.Counter
+	CallsExpired   stats.Counter // requests dropped server-side: deadline lapsed in queue
 	FramesSent     stats.Counter
 	MessagesCoaled stats.Counter
 	BytesSent      stats.Counter
@@ -136,6 +166,7 @@ type call struct {
 	id     uint64
 	method uint32
 	tc     trace.Ctx // zero for untraced calls (the common case)
+	dlMS   uint64    // remaining deadline budget in ms; 0 = no deadline
 	segs   [][]byte
 	done   chan struct{}
 	resp   *Buf
@@ -207,6 +238,37 @@ func (c *Client) GoVec(method uint32, segs [][]byte) *Pending {
 // frame header. A zero tc selects the legacy request kind, so untraced
 // traffic is byte-identical with pre-tracing builds.
 func (c *Client) GoVecT(method uint32, segs [][]byte, tc trace.Ctx) *Pending {
+	return c.GoVecTD(method, segs, tc, time.Time{})
+}
+
+// deadlineBudget converts an absolute deadline into the wire's whole-
+// millisecond remaining budget. expired reports a deadline already in
+// the past — such a call must fail locally, never reach the wire.
+func deadlineBudget(deadline time.Time) (ms uint64, expired bool) {
+	if deadline.IsZero() {
+		return 0, false
+	}
+	rem := time.Until(deadline)
+	if rem <= 0 {
+		return 0, true
+	}
+	ms = uint64((rem + time.Millisecond - 1) / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	return ms, false
+}
+
+// GoVecTD is GoVecT with an absolute deadline: the remaining budget is
+// stamped into the frame (kind 0x04) so the server can stop working on
+// a request its caller has already abandoned. A zero deadline emits
+// the legacy frames; an already-expired one fails without touching the
+// connection.
+func (c *Client) GoVecTD(method uint32, segs [][]byte, tc trace.Ctx, deadline time.Time) *Pending {
+	dlMS, expired := deadlineBudget(deadline)
+	if expired {
+		return &Pending{c: &call{err: context.DeadlineExceeded, done: closedChan}}
+	}
 	total := 0
 	for _, s := range segs {
 		total += len(s)
@@ -218,6 +280,7 @@ func (c *Client) GoVecT(method uint32, segs [][]byte, tc trace.Ctx) *Pending {
 		id:     c.nextID.Add(1),
 		method: method,
 		tc:     tc,
+		dlMS:   dlMS,
 		segs:   segs,
 		done:   make(chan struct{}),
 	}
@@ -242,9 +305,11 @@ func (c *Client) GoVecT(method uint32, segs [][]byte, tc trace.Ctx) *Pending {
 }
 
 // Call performs a synchronous RPC. Any trace the context carries is
-// propagated in the frame header.
+// propagated in the frame header, and any context deadline rides along
+// as the request's remaining budget (see the deadline request kind).
 func (c *Client) Call(ctx context.Context, method uint32, body []byte) ([]byte, error) {
-	return c.GoT(method, body, trace.FromContext(ctx)).Wait(ctx)
+	dl, _ := ctx.Deadline()
+	return c.GoVecTD(method, [][]byte{body}, trace.FromContext(ctx), dl).Wait(ctx)
 }
 
 // Pending represents an in-flight asynchronous call.
@@ -257,6 +322,11 @@ var closedChan = func() chan struct{} {
 	close(ch)
 	return ch
 }()
+
+// Done returns a channel that is closed when the call completes; Wait
+// then returns without blocking. Hedged fan-outs select over several
+// calls with it.
+func (p *Pending) Done() <-chan struct{} { return p.c.done }
 
 // Wait blocks until the call completes or ctx is done. The returned body
 // sits in a pooled buffer: a caller that fully consumes it may hand the
@@ -389,11 +459,19 @@ func (c *Client) writeLoop() {
 			for _, s := range cl.segs {
 				blen += len(s)
 			}
-			if cl.tc.Zero() {
+			switch {
+			case cl.dlMS > 0:
+				enc.hdrByte(kindRequestDeadline)
+				enc.hdrUint64(cl.id)
+				enc.hdrUint32(cl.method)
+				enc.hdrUint64(cl.tc.TraceID)
+				enc.hdrUint64(cl.tc.SpanID)
+				enc.hdrUvarint(cl.dlMS)
+			case cl.tc.Zero():
 				enc.hdrByte(kindRequest)
 				enc.hdrUint64(cl.id)
 				enc.hdrUint32(cl.method)
-			} else {
+			default:
 				enc.hdrByte(kindRequestTraced)
 				enc.hdrUint64(cl.id)
 				enc.hdrUint32(cl.method)
@@ -468,9 +546,13 @@ func (c *Client) readLoop() {
 			body.Release()
 			continue // cancelled or duplicate; drop
 		}
-		if status == statusOK {
+		switch status {
+		case statusOK:
 			cl.resp = body
-		} else {
+		case statusExpired:
+			cl.err = ErrRemoteExpired
+			body.Release()
+		default:
 			cl.err = ServerError(body.Bytes())
 			body.Release()
 		}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -58,9 +59,27 @@ type Server struct {
 	tracer  *trace.Tracer
 	metrics *serverMetrics
 
+	stallTimeout time.Duration // mid-frame read deadline; 0 = DefaultStallTimeout
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+}
+
+// DefaultStallTimeout bounds how long a connection may sit mid-frame:
+// once a request's first header byte has arrived, the rest of the
+// message must follow within this window or the connection is cut. A
+// peer that opens a frame and stalls (slowloris) would otherwise pin a
+// connection goroutine and its pooled buffers forever. Idle
+// connections — no frame in progress — are never timed out.
+const DefaultStallTimeout = 30 * time.Second
+
+// SetStallTimeout overrides the mid-frame stall timeout (tests use
+// short values). Call before Serve.
+func (s *Server) SetStallTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.stallTimeout = d
+	s.mu.Unlock()
 }
 
 // serverMetrics accumulates per-method handler latency into a
@@ -335,13 +354,25 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 
+	s.mu.Lock()
+	stall := s.stallTimeout
+	s.mu.Unlock()
+	if stall <= 0 {
+		stall = DefaultStallTimeout
+	}
+
 	br := newFrameReader(conn)
 	for {
+		// Between messages the connection may idle forever; once a
+		// message's first byte arrives the rest must follow within the
+		// stall timeout (see DefaultStallTimeout).
+		conn.SetReadDeadline(time.Time{})
 		kind, err := br.readByte()
 		if err != nil {
 			return
 		}
-		if kind != kindRequest && kind != kindRequestTraced {
+		conn.SetReadDeadline(time.Now().Add(stall))
+		if kind != kindRequest && kind != kindRequestTraced && kind != kindRequestDeadline {
 			return
 		}
 		id, err := br.readUint64()
@@ -353,12 +384,24 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		var tc trace.Ctx
-		if kind == kindRequestTraced {
+		if kind == kindRequestTraced || kind == kindRequestDeadline {
 			if tc.TraceID, err = br.readUint64(); err != nil {
 				return
 			}
 			if tc.SpanID, err = br.readUint64(); err != nil {
 				return
+			}
+		}
+		// The deadline kind carries the caller's remaining budget in
+		// ms; anchor it to the moment the header was parsed.
+		var deadline time.Time
+		if kind == kindRequestDeadline {
+			dlMS, err := br.readUvarint()
+			if err != nil {
+				return
+			}
+			if dlMS > 0 {
+				deadline = time.Now().Add(time.Duration(dlMS) * time.Millisecond)
 			}
 		}
 		body, err := br.readBody()
@@ -384,6 +427,27 @@ func (s *Server) serveConn(conn net.Conn) {
 				} else {
 					hctx = trace.ContextWith(s.ctx, nil, tc)
 				}
+			}
+			// Deadline propagation: the handler context expires when
+			// the caller's budget does, so nested RPCs the handler
+			// makes carry a shrunken budget downstream. Work whose
+			// budget lapsed while queued is dropped outright — the
+			// caller has already given up on it.
+			if !deadline.IsZero() {
+				if !time.Now().Before(deadline) {
+					M.CallsExpired.Inc()
+					op.EndErr(context.DeadlineExceeded)
+					r := reply{id: id, req: body, status: statusExpired}
+					select {
+					case replies <- r:
+					case <-connDone:
+					case <-s.ctx.Done():
+					}
+					return
+				}
+				var cancel context.CancelFunc
+				hctx, cancel = context.WithDeadline(hctx, deadline)
+				defer cancel()
 			}
 			var start time.Time
 			if metrics != nil {
@@ -415,12 +479,20 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			op.EndErr(err)
 			r := reply{id: id, req: body}
-			if err != nil {
-				r.status = statusErr
-				r.segs = [][]byte{[]byte(err.Error())}
-			} else {
+			switch {
+			case err == nil:
 				r.status = statusOK
 				r.segs = segs
+			case !deadline.IsZero() && errors.Is(err, context.DeadlineExceeded):
+				// The propagated budget ran out mid-handler: report it
+				// as an expiry, not an application error, so the client
+				// sees the same context.DeadlineExceeded it would have
+				// produced locally.
+				M.CallsExpired.Inc()
+				r.status = statusExpired
+			default:
+				r.status = statusErr
+				r.segs = [][]byte{[]byte(err.Error())}
 			}
 			M.CallsHandled.Inc()
 			select {
@@ -463,6 +535,10 @@ func (f *frameReader) readUint64() (uint64, error) {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (f *frameReader) readUvarint() (uint64, error) {
+	return binary.ReadUvarint(f.br)
 }
 
 // readBody reads one length-prefixed body into a pooled buffer.

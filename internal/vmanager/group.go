@@ -3,12 +3,12 @@ package vmanager
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"blob/internal/backoff"
 	"blob/internal/dht"
 	"blob/internal/erasure"
 	"blob/internal/meta"
@@ -110,6 +110,12 @@ func (g *GroupClient) Shards() [][]string { return g.shards }
 // shardOf maps a blob to its shard index.
 func (g *GroupClient) shardOf(blob uint64) int { return ShardOf(len(g.shards), blob) }
 
+// groupBackoff paces full-pass retries while a shard is mid-election:
+// jittered exponential delays from the shared policy (see
+// internal/backoff), replacing the jitter math this file used to
+// hand-roll.
+var groupBackoff = backoff.Policy{Base: 4 * time.Millisecond, Max: 100 * time.Millisecond}
+
 // call invokes method on the shard's leader, following NotLeader
 // redirects and retrying transient unavailability (handoffs, quorum
 // loss, dead replicas) on the shard's other replicas with backoff.
@@ -119,8 +125,8 @@ func (g *GroupClient) call(ctx context.Context, shard int, method uint32, body [
 	if idx < 0 || idx >= len(reps) {
 		idx = 0
 	}
-	backoff := 2 * time.Millisecond
 	var lastErr error
+	pass := 0
 	for attempt := 0; attempt < g.maxAttempts*len(reps); attempt++ {
 		resp, err := g.pool.Call(ctx, reps[idx], method, body)
 		switch {
@@ -149,14 +155,10 @@ func (g *GroupClient) call(ctx context.Context, shard int, method uint32, body [
 		if (attempt+1)%len(reps) == 0 {
 			// Completed a full pass without a leader: back off so an
 			// election can finish.
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(backoff + time.Duration(rand.Int63n(int64(backoff)))):
+			if err := groupBackoff.Sleep(ctx, pass); err != nil {
+				return nil, err
 			}
-			if backoff < 100*time.Millisecond {
-				backoff *= 2
-			}
+			pass++
 		}
 	}
 	return nil, fmt.Errorf("vmanager: shard %d unreachable after retries: %w", shard, lastErr)
